@@ -1,0 +1,319 @@
+// Package trusthmd's benchmarks regenerate every table and figure of the
+// paper (one benchmark per artefact, backed by the internal/exp runners)
+// and additionally measure the core building blocks. Benchmarks default to
+// a scaled-down dataset so `go test -bench=.` completes quickly; set
+// TRUSTHMD_BENCH_SCALE=1.0 to run the paper's full Table I sizes.
+package trusthmd
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"trusthmd/internal/core"
+	"trusthmd/internal/ensemble"
+	"trusthmd/internal/exp"
+	"trusthmd/internal/gen"
+	"trusthmd/internal/hmd"
+	"trusthmd/internal/mat"
+	"trusthmd/internal/ml/tree"
+	"trusthmd/internal/reduce"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("TRUSTHMD_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.08
+}
+
+func benchCfg() exp.Config {
+	return exp.Config{Seed: 1, Scale: benchScale(), M: 25}
+}
+
+// --- One benchmark per paper artefact (DESIGN.md §5) ---
+
+func BenchmarkTableI(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.TableI(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig5(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7a(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig7a(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7b(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig7b(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		for _, which := range []string{"DVFS", "HPC"} {
+			if _, err := exp.Fig8(cfg, which); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig9a(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig9a(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9b(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig9b(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeadlines(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Headlines(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPlatt(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationPlatt(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPosterior(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationPosterior(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDiversity(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationDiversity(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFamilies(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationFamilies(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSources(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationSources(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEMGeneralization(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.EMGeneralization(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGovernorSensitivity(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.GovernorSensitivity(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Component micro-benchmarks ---
+
+func dvfsBenchData(b *testing.B) gen.Splits {
+	b.Helper()
+	s, err := gen.DVFSWithSizes(2, gen.Sizes{Train: 700, Test: 140, Unknown: 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkDatasetGenDVFS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.DVFSWithSizes(int64(i), gen.Sizes{Train: 140, Test: 70, Unknown: 40}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDatasetGenHPC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.HPCWithSizes(int64(i), gen.Sizes{Train: 1400, Test: 280, Unknown: 140}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineTrainRF(b *testing.B) {
+	s := dvfsBenchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hmd.Train(s.Train, hmd.Config{Model: hmd.RandomForest, M: 25, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineAssess(b *testing.B) {
+	s := dvfsBenchData(b)
+	p, err := hmd.Train(s.Train, hmd.Config{Model: hmd.RandomForest, M: 25, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := s.Test.At(0).Features
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Assess(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, d := 2000, 17
+	X := mat.New(n, d)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			X.Set(i, j, rng.NormFloat64())
+		}
+		if X.At(i, 0) > 0 {
+			y[i] = 1
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := tree.New(tree.Config{MaxFeatures: -1, Seed: int64(i)})
+		if err := tr.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnsembleVotes(b *testing.B) {
+	s := dvfsBenchData(b)
+	ens := ensemble.New(ensemble.Config{
+		M:    25,
+		New:  func(seed int64) ensemble.Classifier { return tree.New(tree.Config{MaxFeatures: -1, Seed: seed}) },
+		Seed: 1,
+	})
+	if err := ens.Fit(s.Train.X(), s.Train.Y()); err != nil {
+		b.Fatal(err)
+	}
+	x := s.Test.At(0).Features
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ens.Votes(x)
+	}
+}
+
+func BenchmarkVoteEntropy(b *testing.B) {
+	var est core.Estimator
+	votes := make([]int, 25)
+	for i := range votes {
+		votes[i] = i % 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.VoteEntropy(votes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPCA(b *testing.B) {
+	s := dvfsBenchData(b)
+	X := s.Train.X()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := reduce.FitPCA(X, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Transform(X); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTSNE(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	X := mat.New(120, 10)
+	for i := 0; i < X.Rows(); i++ {
+		for j := 0; j < X.Cols(); j++ {
+			X.Set(i, j, rng.NormFloat64())
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reduce.FitTSNE(X, reduce.TSNEConfig{Iterations: 100, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

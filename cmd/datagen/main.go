@@ -1,0 +1,100 @@
+// Command datagen generates the synthetic DVFS and HPC datasets (Table I
+// sizes by default) and writes the train / known-test / unknown splits to
+// CSV files, one directory per dataset.
+//
+// Usage:
+//
+//	datagen [-out data] [-seed 1] [-scale 1.0] [-dataset both|dvfs|hpc]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"trusthmd/internal/dataset"
+	"trusthmd/internal/gen"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "data", "output directory")
+		seed  = flag.Int64("seed", 1, "random seed")
+		scale = flag.Float64("scale", 1.0, "fraction of the paper's Table I sizes")
+		which = flag.String("dataset", "both", "dvfs, hpc, or both")
+	)
+	flag.Parse()
+	if err := run(*out, *seed, *scale, *which); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, seed int64, scale float64, which string) error {
+	if scale <= 0 {
+		return fmt.Errorf("scale %v must be positive", scale)
+	}
+	scaled := func(s gen.Sizes) gen.Sizes {
+		f := func(n int) int {
+			v := int(math.Round(float64(n) * scale))
+			if v < 20 {
+				v = 20
+			}
+			return v
+		}
+		return gen.Sizes{Train: f(s.Train), Test: f(s.Test), Unknown: f(s.Unknown)}
+	}
+	if which == "both" || which == "dvfs" {
+		s, err := gen.DVFSWithSizes(seed, scaled(gen.TableIDVFS))
+		if err != nil {
+			return err
+		}
+		if err := writeSplits(filepath.Join(out, "dvfs"), s); err != nil {
+			return err
+		}
+	}
+	if which == "both" || which == "hpc" {
+		s, err := gen.HPCWithSizes(seed+1, scaled(gen.TableIHPC))
+		if err != nil {
+			return err
+		}
+		if err := writeSplits(filepath.Join(out, "hpc"), s); err != nil {
+			return err
+		}
+	}
+	if which != "both" && which != "dvfs" && which != "hpc" {
+		return fmt.Errorf("unknown dataset %q", which)
+	}
+	return nil
+}
+
+func writeSplits(dir string, s gen.Splits) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, e := range []struct {
+		name string
+		d    *dataset.Dataset
+	}{
+		{"train.csv", s.Train},
+		{"test_known.csv", s.Test},
+		{"unknown.csv", s.Unknown},
+	} {
+		path := filepath.Join(dir, e.name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := e.d.WriteCSV(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d samples, %d features)\n", path, e.d.Len(), e.d.Dim())
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"trusthmd/internal/dataset"
+)
+
+func TestRunWritesAllSplits(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 1, 0.01, "both"); err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range []string{"dvfs", "hpc"} {
+		for _, name := range []string{"train.csv", "test_known.csv", "unknown.csv"} {
+			path := filepath.Join(dir, ds, name)
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			d, err := dataset.ReadCSV(f)
+			f.Close()
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			if d.Len() == 0 {
+				t.Fatalf("%s: empty dataset", path)
+			}
+		}
+	}
+}
+
+func TestRunSingleDataset(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 1, 0.01, "dvfs"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "hpc")); !os.IsNotExist(err) {
+		t.Fatal("hpc directory should not exist")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(t.TempDir(), 1, 0, "both"); err == nil {
+		t.Fatal("expected scale error")
+	}
+	if err := run(t.TempDir(), 1, 0.01, "bogus"); err == nil {
+		t.Fatal("expected dataset error")
+	}
+}

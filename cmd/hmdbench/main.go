@@ -1,0 +1,128 @@
+// Command hmdbench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §5 for the experiment index).
+//
+// Usage:
+//
+//	hmdbench [-exp all|T1|F4|F5|F7a|F7b|F8|F9a|F9b|H|A1|A2|A3]
+//	         [-scale 1.0] [-seed 1] [-m 25] [-tsne-csv dir]
+//
+// -scale 1.0 reproduces the paper's full Table I sizes (the HPC dataset has
+// 63k samples; the full run takes a few minutes). Smaller scales give quick
+// qualitative runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"trusthmd/internal/exp"
+)
+
+func main() {
+	var (
+		which   = flag.String("exp", "all", "experiment id (T1,F4,F5,F7a,F7b,F8,F9a,F9b,H,A1,A2,A3,A4,A5,E1,E2) or 'all'")
+		scale   = flag.Float64("scale", 1.0, "fraction of the paper's Table I split sizes")
+		seed    = flag.Int64("seed", 1, "random seed")
+		m       = flag.Int("m", 25, "ensemble size")
+		tsneCSV = flag.String("tsne-csv", "", "directory to dump Fig. 8 embedding coordinates as CSV")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Seed: *seed, Scale: *scale, M: *m}
+	ids := strings.Split(*which, ",")
+	if *which == "all" {
+		ids = []string{"T1", "F4", "F5", "F7a", "F7b", "F8", "F9a", "F9b", "H", "A1", "A2", "A3", "A4", "A5", "E1", "E2"}
+	}
+	for _, id := range ids {
+		if err := run(strings.TrimSpace(id), cfg, *tsneCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "hmdbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(id string, cfg exp.Config, tsneCSV string) error {
+	type renderer interface{ Render() string }
+	var (
+		res renderer
+		err error
+	)
+	switch id {
+	case "T1":
+		res, err = exp.TableI(cfg)
+	case "F4":
+		res, err = exp.Fig4(cfg)
+	case "F5":
+		res, err = exp.Fig5(cfg)
+	case "F7a":
+		res, err = exp.Fig7a(cfg)
+	case "F7b":
+		res, err = exp.Fig7b(cfg)
+	case "F8":
+		for _, which := range []string{"DVFS", "HPC"} {
+			r, err := exp.Fig8(cfg, which)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Render())
+			if tsneCSV != "" {
+				if err := dumpTSNE(r, tsneCSV); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case "F9a":
+		res, err = exp.Fig9a(cfg)
+	case "F9b":
+		res, err = exp.Fig9b(cfg)
+	case "H":
+		res, err = exp.Headlines(cfg)
+	case "A1":
+		res, err = exp.AblationPlatt(cfg)
+	case "A2":
+		res, err = exp.AblationPosterior(cfg)
+	case "A3":
+		res, err = exp.AblationDiversity(cfg)
+	case "A4":
+		res, err = exp.AblationFamilies(cfg)
+	case "A5":
+		res, err = exp.AblationSources(cfg)
+	case "E1":
+		res, err = exp.EMGeneralization(cfg)
+	case "E2":
+		res, err = exp.GovernorSensitivity(cfg)
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	return nil
+}
+
+func dumpTSNE(r *exp.TSNEResult, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("fig8_%s.csv", strings.ToLower(r.Dataset)))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, "x,y,label,group,app"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if _, err := fmt.Fprintf(f, "%g,%g,%d,%s,%s\n", p.X, p.Y, p.Label, p.Group, p.App); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %s (%d points)\n", path, len(r.Points))
+	return nil
+}

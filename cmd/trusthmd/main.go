@@ -1,0 +1,135 @@
+// Command trusthmd runs the full trusted-HMD demo: it trains the DVFS
+// pipeline, then streams live simulated telemetry from a mix of known
+// applications and zero-day malware through the online detector, printing
+// each decision as it is made (the deployment loop of the paper's Fig. 1).
+//
+// Usage:
+//
+//	trusthmd [-model rf|lr|svm] [-threshold 0.40] [-windows 40] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"trusthmd/internal/core"
+	"trusthmd/internal/dvfs"
+	"trusthmd/internal/gen"
+	"trusthmd/internal/hmd"
+	"trusthmd/internal/workload"
+)
+
+func main() {
+	var (
+		model     = flag.String("model", "rf", "base classifier: rf, lr, or svm")
+		threshold = flag.Float64("threshold", 0.40, "entropy rejection threshold")
+		windows   = flag.Int("windows", 40, "number of telemetry windows to stream")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := run(*model, *threshold, *windows, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "trusthmd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model string, threshold float64, windows int, seed int64) error {
+	var m hmd.Model
+	switch model {
+	case "rf":
+		m = hmd.RandomForest
+	case "lr":
+		m = hmd.LogisticRegression
+	case "svm":
+		m = hmd.SVM
+	default:
+		return fmt.Errorf("unknown model %q", model)
+	}
+
+	fmt.Println("training trusted HMD on DVFS telemetry...")
+	splits, err := gen.DVFSWithSizes(seed, gen.Sizes{Train: 2100, Test: 700, Unknown: 284})
+	if err != nil {
+		return err
+	}
+	cfg := hmd.Config{Model: m, M: 25, Seed: seed}
+	if m == hmd.LogisticRegression {
+		cfg.MaxFeatures = 0.45
+	}
+	if m == hmd.SVM {
+		cfg.SVMMaxObjective = 0.3
+	}
+	pipeline, err := hmd.Train(splits.Train, cfg)
+	if err != nil {
+		return err
+	}
+
+	sim, err := dvfs.NewSimulator(dvfs.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	online, err := hmd.NewOnline(pipeline, hmd.OnlineConfig{
+		Threshold: threshold,
+		Levels:    sim.Config().Levels,
+		Window:    sim.Config().Steps,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Stream a mix: known benign, known malware, and zero-day workloads.
+	apps := workload.DVFSApps()
+	var pool []workload.DVFSBehavior
+	for _, a := range apps {
+		pool = append(pool, a)
+	}
+	rng := rand.New(rand.NewSource(seed + 99))
+	fmt.Printf("streaming %d windows at threshold %.2f (model %v)\n\n", windows, threshold, m)
+	correctOrRejected := 0
+	for w := 0; w < windows; w++ {
+		app := pool[rng.Intn(len(pool))]
+		trace, err := sim.Trace(app, rng)
+		if err != nil {
+			return err
+		}
+		for _, st := range trace {
+			dec, ok, err := online.Push(st)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			status := "OK"
+			switch {
+			case dec.Decision == core.DecideReject:
+				status = "-> analyst"
+				correctOrRejected++
+			case int(dec.Decision) == app.Label:
+				correctOrRejected++
+			default:
+				status = "MISCLASSIFIED"
+			}
+			kind := "known"
+			if !app.Known {
+				kind = "ZERO-DAY"
+			}
+			fmt.Printf("window %3d  app=%-14s (%s, truth=%s)  decision=%-7v entropy=%.3f  %s\n",
+				w, app.Name, kind, label(app.Label), dec.Decision, dec.Assessment.Entropy, status)
+		}
+	}
+	fmt.Printf("\nstats: %d benign, %d malware, %d rejected (%.1f%% of windows)\n",
+		online.Stats.Benign, online.Stats.Malware, online.Stats.Rejected,
+		100*online.Stats.RejectedFraction())
+	fmt.Printf("safe outcomes (correct or routed to analyst): %d/%d\n",
+		correctOrRejected, online.Stats.Total())
+	return nil
+}
+
+func label(l int) string {
+	if l == 1 {
+		return "malware"
+	}
+	return "benign"
+}

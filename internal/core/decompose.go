@@ -1,0 +1,87 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"trusthmd/internal/stats"
+)
+
+// Decomposition separates a prediction's total uncertainty into its two
+// sources (the paper's §VI names this separation as future work; the
+// estimator here is the standard mutual-information decomposition used
+// with ensembles, cf. Depeweg et al. 2018, Malinin & Gales 2018):
+//
+//	Total     = H( mean_m p_m )        — entropy of the averaged posterior
+//	Aleatoric = mean_m H( p_m )        — expected member entropy (data noise)
+//	Epistemic = Total − Aleatoric      — member disagreement (model uncertainty)
+//
+// Epistemic is the mutual information between the prediction and the model
+// choice; it is non-negative by concavity of entropy. All values are in
+// bits.
+type Decomposition struct {
+	Total     float64
+	Aleatoric float64
+	Epistemic float64
+}
+
+// ErrNoMembers reports an empty member-posterior set.
+var ErrNoMembers = errors.New("core: no member posteriors")
+
+// Decompose computes the decomposition from per-member posterior
+// distributions (one distribution per ensemble member, all of equal
+// length). Members that emit hard one-hot votes contribute zero aleatoric
+// mass, in which case Epistemic equals the vote entropy.
+func Decompose(memberProbs [][]float64) (Decomposition, error) {
+	if len(memberProbs) == 0 {
+		return Decomposition{}, ErrNoMembers
+	}
+	k := len(memberProbs[0])
+	if k < 2 {
+		return Decomposition{}, fmt.Errorf("core: member posterior has %d classes, want >=2", k)
+	}
+	mean := make([]float64, k)
+	var aleatoric float64
+	for m, p := range memberProbs {
+		if len(p) != k {
+			return Decomposition{}, fmt.Errorf("core: member %d posterior has %d classes, want %d", m, len(p), k)
+		}
+		h, err := stats.Entropy(p)
+		if err != nil {
+			return Decomposition{}, fmt.Errorf("core: member %d: %w", m, err)
+		}
+		aleatoric += h
+		for j, v := range p {
+			mean[j] += v
+		}
+	}
+	inv := 1 / float64(len(memberProbs))
+	aleatoric *= inv
+	for j := range mean {
+		mean[j] *= inv
+	}
+	total, err := stats.Entropy(mean)
+	if err != nil {
+		return Decomposition{}, fmt.Errorf("core: averaged posterior: %w", err)
+	}
+	epistemic := total - aleatoric
+	if epistemic < 0 { // numerical round-off; mathematically >= 0
+		epistemic = 0
+	}
+	return Decomposition{Total: total, Aleatoric: aleatoric, Epistemic: epistemic}, nil
+}
+
+// DominantSource names the larger component of the decomposition:
+// "epistemic" for out-of-distribution-style uncertainty (actionable by
+// collecting data and retraining), "aleatoric" for class overlap
+// (actionable only by changing sensors/features), or "none" when the
+// prediction is confident (total below the given floor).
+func (d Decomposition) DominantSource(confidentBelow float64) string {
+	if d.Total < confidentBelow {
+		return "none"
+	}
+	if d.Epistemic >= d.Aleatoric {
+		return "epistemic"
+	}
+	return "aleatoric"
+}

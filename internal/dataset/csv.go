@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serialises the dataset with a header row. Columns are
+// f0..f{d-1}, label, app.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, d.dim+2)
+	for j := 0; j < d.dim; j++ {
+		header[j] = fmt.Sprintf("f%d", j)
+	}
+	header[d.dim] = "label"
+	header[d.dim+1] = "app"
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	rec := make([]string, d.dim+2)
+	for i, s := range d.samples {
+		for j, v := range s.Features {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		rec[d.dim] = strconv.Itoa(s.Label)
+		rec[d.dim+1] = s.App
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset previously produced by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	if len(header) < 3 {
+		return nil, fmt.Errorf("dataset: header has %d columns, want >=3", len(header))
+	}
+	dim := len(header) - 2
+	if header[dim] != "label" || header[dim+1] != "app" {
+		return nil, fmt.Errorf("dataset: unexpected header %v", header)
+	}
+	d := New(dim)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		feats := make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			feats[j], err = strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d col %d: %w", line, j, err)
+			}
+		}
+		label, err := strconv.Atoi(rec[dim])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d label: %w", line, err)
+		}
+		if err := d.Add(Sample{Features: feats, Label: label, App: rec[dim+1]}); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,312 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"trusthmd/internal/mat"
+)
+
+func sample(app string, label int, feats ...float64) Sample {
+	return Sample{Features: feats, Label: label, App: app}
+}
+
+func buildSmall(t *testing.T) *Dataset {
+	t.Helper()
+	d := New(2)
+	for _, s := range []Sample{
+		sample("appA", Benign, 1, 2),
+		sample("appA", Benign, 1.5, 2.5),
+		sample("malX", Malware, 9, 9),
+		sample("malX", Malware, 9.5, 8.5),
+		sample("appB", Benign, 2, 1),
+		sample("malY", Malware, 8, 9),
+	} {
+		if err := d.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestAddValidation(t *testing.T) {
+	d := New(2)
+	if err := d.Add(sample("a", Benign, 1)); err == nil {
+		t.Fatal("expected dim error")
+	}
+	if err := d.Add(Sample{Features: []float64{1, 2}, Label: 7, App: "a"}); err == nil {
+		t.Fatal("expected label error")
+	}
+}
+
+func TestNewPanicsOnBadDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}
+
+func TestXY(t *testing.T) {
+	d := buildSmall(t)
+	X := d.X()
+	if X.Rows() != 6 || X.Cols() != 2 {
+		t.Fatalf("X is %dx%d", X.Rows(), X.Cols())
+	}
+	y := d.Y()
+	if y[0] != Benign || y[2] != Malware {
+		t.Fatalf("labels %v", y)
+	}
+}
+
+func TestAppsSortedAndUnique(t *testing.T) {
+	d := buildSmall(t)
+	apps := d.Apps()
+	want := []string{"appA", "appB", "malX", "malY"}
+	if !reflect.DeepEqual(apps, want) {
+		t.Fatalf("apps %v, want %v", apps, want)
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	d := buildSmall(t)
+	b, m := d.ClassCounts()
+	if b != 3 || m != 3 {
+		t.Fatalf("counts %d %d", b, m)
+	}
+}
+
+func TestSplitByApps(t *testing.T) {
+	d := buildSmall(t)
+	known, unknown := d.SplitByApps([]string{"appB", "malY"})
+	if known.Len() != 4 || unknown.Len() != 2 {
+		t.Fatalf("split %d/%d", known.Len(), unknown.Len())
+	}
+	for i := 0; i < unknown.Len(); i++ {
+		app := unknown.At(i).App
+		if app != "appB" && app != "malY" {
+			t.Fatalf("unexpected app %q in unknown bucket", app)
+		}
+	}
+	// Known and unknown share no apps.
+	kApps := map[string]bool{}
+	for _, a := range known.Apps() {
+		kApps[a] = true
+	}
+	for _, a := range unknown.Apps() {
+		if kApps[a] {
+			t.Fatalf("app %q leaked into both buckets", a)
+		}
+	}
+}
+
+func TestStratifiedSplit(t *testing.T) {
+	d := New(1)
+	for i := 0; i < 100; i++ {
+		lab := Benign
+		if i%2 == 0 {
+			lab = Malware
+		}
+		if err := d.Add(sample("a", lab, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	train, test, err := d.StratifiedSplit(0.8, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 80 || test.Len() != 20 {
+		t.Fatalf("split %d/%d", train.Len(), test.Len())
+	}
+	tb, tm := train.ClassCounts()
+	if tb != 40 || tm != 40 {
+		t.Fatalf("train class balance %d/%d", tb, tm)
+	}
+}
+
+func TestStratifiedSplitErrors(t *testing.T) {
+	d := New(1)
+	if _, _, err := d.StratifiedSplit(0.5, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected empty error")
+	}
+	_ = d.Add(sample("a", Benign, 1))
+	if _, _, err := d.StratifiedSplit(0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected frac error")
+	}
+	if _, _, err := d.StratifiedSplit(1, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected frac error")
+	}
+}
+
+func TestStratifiedSplitDisjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := New(1)
+		n := 10 + rng.Intn(50)
+		for i := 0; i < n; i++ {
+			_ = d.Add(sample("a", i%2, float64(i)))
+		}
+		train, test, err := d.StratifiedSplit(0.7, rng)
+		if err != nil {
+			return false
+		}
+		if train.Len()+test.Len() != n {
+			return false
+		}
+		seen := map[float64]int{}
+		for i := 0; i < train.Len(); i++ {
+			seen[train.At(i).Features[0]]++
+		}
+		for i := 0; i < test.Len(); i++ {
+			seen[test.At(i).Features[0]]++
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTakeN(t *testing.T) {
+	d := buildSmall(t)
+	s, err := d.TakeN(3, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("got %d", s.Len())
+	}
+	if _, err := d.TakeN(100, rand.New(rand.NewSource(2))); err == nil {
+		t.Fatal("expected too-few error")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	d := buildSmall(t)
+	m, err := d.Merge(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 12 {
+		t.Fatalf("merged len %d", m.Len())
+	}
+	if _, err := d.Merge(New(3)); err == nil {
+		t.Fatal("expected dim error")
+	}
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	a := buildSmall(t)
+	b := buildSmall(t)
+	a.Shuffle(rand.New(rand.NewSource(42)))
+	b.Shuffle(rand.New(rand.NewSource(42)))
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i).App != b.At(i).App {
+			t.Fatal("shuffle not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestScaler(t *testing.T) {
+	X := mat.MustFromRows([][]float64{{1, 5}, {3, 5}, {5, 5}})
+	s, err := FitScaler(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dim() != 2 {
+		t.Fatalf("dim %d", s.Dim())
+	}
+	out, err := s.Transform(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := out.ColMeans()
+	if math.Abs(mu[0]) > 1e-12 {
+		t.Fatalf("not centered: %v", mu)
+	}
+	sd := out.ColStds()
+	if math.Abs(sd[0]-1) > 1e-12 {
+		t.Fatalf("not unit variance: %v", sd)
+	}
+	// Constant column untouched by zero-variance guard.
+	if out.At(0, 1) != 0 {
+		t.Fatalf("constant column should map to 0, got %v", out.At(0, 1))
+	}
+	v, err := s.TransformVec([]float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v[0]) > 1e-12 {
+		t.Fatalf("vec transform %v", v)
+	}
+}
+
+func TestScalerErrors(t *testing.T) {
+	if _, err := FitScaler(mat.New(0, 2)); err == nil {
+		t.Fatal("expected empty error")
+	}
+	X := mat.MustFromRows([][]float64{{1, 2}, {3, 4}})
+	s, _ := FitScaler(X)
+	if _, err := s.Transform(mat.New(1, 3)); err == nil {
+		t.Fatal("expected dim error")
+	}
+	if _, err := s.TransformVec([]float64{1}); err == nil {
+		t.Fatal("expected dim error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := buildSmall(t)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() || back.Dim() != d.Dim() {
+		t.Fatalf("round trip %d/%d dim %d/%d", back.Len(), d.Len(), back.Dim(), d.Dim())
+	}
+	for i := 0; i < d.Len(); i++ {
+		a, b := d.At(i), back.At(i)
+		if a.App != b.App || a.Label != b.Label || !reflect.DeepEqual(a.Features, b.Features) {
+			t.Fatalf("sample %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"short":      "a,b\n",
+		"bad header": "f0,x,y\n1,0,a\n",
+		"bad float":  "f0,label,app\nxyz,0,a\n",
+		"bad label":  "f0,label,app\n1.0,zz,a\n",
+		"bad class":  "f0,label,app\n1.0,9,a\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSubsetSharesFeatures(t *testing.T) {
+	d := buildSmall(t)
+	s := d.Subset([]int{0, 2})
+	if s.Len() != 2 || s.At(1).App != "malX" {
+		t.Fatalf("subset wrong: %+v", s.At(1))
+	}
+}

@@ -1,0 +1,61 @@
+package dataset
+
+import (
+	"fmt"
+
+	"trusthmd/internal/mat"
+)
+
+// Scaler standardises features to zero mean and unit variance using
+// statistics fitted on a training set (the "Feature Extraction →
+// Dimensionality Reduction" pipeline of Fig. 1 applies the training-set
+// scaling to all later inputs).
+type Scaler struct {
+	mean []float64
+	std  []float64
+}
+
+// FitScaler learns per-column mean and standard deviation from X. Columns
+// with zero variance get std 1 so that scaling is a no-op for them.
+func FitScaler(X *mat.Matrix) (*Scaler, error) {
+	if X.Rows() == 0 {
+		return nil, ErrEmpty
+	}
+	s := &Scaler{mean: X.ColMeans(), std: X.ColStds()}
+	for j, v := range s.std {
+		if v == 0 {
+			s.std[j] = 1
+		}
+	}
+	return s, nil
+}
+
+// Dim returns the feature dimensionality the scaler was fitted on.
+func (s *Scaler) Dim() int { return len(s.mean) }
+
+// Transform standardises X into a new matrix.
+func (s *Scaler) Transform(X *mat.Matrix) (*mat.Matrix, error) {
+	if X.Cols() != len(s.mean) {
+		return nil, fmt.Errorf("dataset: scaler fitted on %d features, got %d", len(s.mean), X.Cols())
+	}
+	out := X.Clone()
+	for i := 0; i < out.Rows(); i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] = (row[j] - s.mean[j]) / s.std[j]
+		}
+	}
+	return out, nil
+}
+
+// TransformVec standardises a single feature vector into a new slice.
+func (s *Scaler) TransformVec(x []float64) ([]float64, error) {
+	if len(x) != len(s.mean) {
+		return nil, fmt.Errorf("dataset: scaler fitted on %d features, got %d", len(s.mean), len(x))
+	}
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return out, nil
+}

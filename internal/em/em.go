@@ -1,0 +1,195 @@
+// Package em simulates the electromagnetic-emission telemetry substrate of
+// the third HMD family the paper's introduction cites (EDDIE, Nazari et
+// al. [4]): program execution leaks EM side-channel energy whose spectrum
+// is dominated by the program's loop structure — each hot loop contributes
+// a spectral peak at its iteration frequency plus harmonics. Malware that
+// hijacks or adds loops shifts the spectrum.
+//
+// A workload is modelled as a set of loops (fundamental frequency,
+// amplitude, harmonic roll-off); an observation is the emission energy
+// integrated over fixed frequency bands, with 1/f background noise and
+// per-run frequency drift (DVFS and thermal effects move loop frequencies
+// between runs). The experiment E1 feeds these observations through the
+// identical trusted-HMD pipeline to show the uncertainty framework is
+// sensor-agnostic.
+package em
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Loop is one periodic program component emitting at a fundamental
+// frequency (in arbitrary units of the observed band range).
+type Loop struct {
+	// Freq is the fundamental frequency, in (0, 1) relative to the
+	// observed bandwidth.
+	Freq float64
+	// Amp is the peak emission amplitude.
+	Amp float64
+	// Harmonics is the number of harmonic peaks (>= 1); harmonic h has
+	// amplitude Amp / h.
+	Harmonics int
+}
+
+// Behavior is one application's emission model.
+type Behavior struct {
+	// Name, Label, Known follow the workload conventions.
+	Name  string
+	Label int
+	Known bool
+	// Loops are the emitting program components.
+	Loops []Loop
+	// Broadband is the flat emission floor.
+	Broadband float64
+	// Drift is the per-run relative frequency jitter (thermal/DVFS
+	// effects); it widens the app's cluster in feature space.
+	Drift float64
+}
+
+// Validate checks the behaviour's parameters.
+func (b Behavior) Validate() error {
+	if b.Name == "" {
+		return errors.New("em: unnamed app")
+	}
+	if b.Label != 0 && b.Label != 1 {
+		return fmt.Errorf("em: %s: bad label %d", b.Name, b.Label)
+	}
+	if len(b.Loops) == 0 {
+		return fmt.Errorf("em: %s: needs >=1 loop", b.Name)
+	}
+	for i, l := range b.Loops {
+		if l.Freq <= 0 || l.Freq >= 1 {
+			return fmt.Errorf("em: %s: loop %d frequency %v outside (0,1)", b.Name, i, l.Freq)
+		}
+		if l.Amp <= 0 {
+			return fmt.Errorf("em: %s: loop %d amplitude %v must be positive", b.Name, i, l.Amp)
+		}
+		if l.Harmonics < 1 {
+			return fmt.Errorf("em: %s: loop %d needs >=1 harmonic", b.Name, i)
+		}
+	}
+	if b.Broadband < 0 {
+		return fmt.Errorf("em: %s: negative broadband %v", b.Name, b.Broadband)
+	}
+	if b.Drift < 0 || b.Drift > 0.5 {
+		return fmt.Errorf("em: %s: drift %v outside [0,0.5]", b.Name, b.Drift)
+	}
+	return nil
+}
+
+// Config describes the spectral observation.
+type Config struct {
+	// Bands is the number of frequency bands integrated (default 32).
+	Bands int
+	// PeakWidth is the relative width of each spectral peak (default 0.015).
+	PeakWidth float64
+	// NoiseSigma is the multiplicative log-normal measurement noise per
+	// band (default 0.2).
+	NoiseSigma float64
+}
+
+// DefaultConfig returns the observation settings used by experiment E1.
+func DefaultConfig() Config {
+	return Config{Bands: 32, PeakWidth: 0.015, NoiseSigma: 0.2}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Bands < 4 {
+		return fmt.Errorf("em: need >=4 bands, got %d", c.Bands)
+	}
+	if c.PeakWidth <= 0 || c.PeakWidth > 0.2 {
+		return fmt.Errorf("em: peak width %v outside (0,0.2]", c.PeakWidth)
+	}
+	if c.NoiseSigma < 0 || c.NoiseSigma > 2 {
+		return fmt.Errorf("em: noise sigma %v outside [0,2]", c.NoiseSigma)
+	}
+	return nil
+}
+
+// Sensor integrates emission spectra into band energies.
+type Sensor struct {
+	cfg Config
+}
+
+// NewSensor validates cfg and returns a sensor.
+func NewSensor(cfg Config) (*Sensor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Sensor{cfg: cfg}, nil
+}
+
+// Config returns the sensor configuration.
+func (s *Sensor) Config() Config { return s.cfg }
+
+// Bands returns the number of observed bands.
+func (s *Sensor) Bands() int { return s.cfg.Bands }
+
+// Observe produces one band-energy vector for the behaviour: per-run loop
+// frequency drift, Gaussian peaks with harmonics, 1/f background, and
+// multiplicative measurement noise.
+func (s *Sensor) Observe(b Behavior, rng *rand.Rand) ([]float64, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, s.cfg.Bands)
+	// 1/f background plus flat broadband component.
+	for i := range out {
+		f := (float64(i) + 0.5) / float64(s.cfg.Bands)
+		out[i] = b.Broadband + 0.02/(f+0.05)
+	}
+	for _, l := range b.Loops {
+		f0 := l.Freq * (1 + rng.NormFloat64()*b.Drift)
+		for h := 1; h <= l.Harmonics; h++ {
+			fh := f0 * float64(h)
+			if fh >= 1 {
+				break
+			}
+			amp := l.Amp / float64(h)
+			for i := range out {
+				f := (float64(i) + 0.5) / float64(s.cfg.Bands)
+				d := (f - fh) / s.cfg.PeakWidth
+				out[i] += amp * math.Exp(-0.5*d*d)
+			}
+		}
+	}
+	if s.cfg.NoiseSigma > 0 {
+		for i := range out {
+			out[i] *= math.Exp(rng.NormFloat64() * s.cfg.NoiseSigma)
+		}
+	}
+	return out, nil
+}
+
+// Apps returns the EM application catalogue, calibrated like the DVFS one:
+// known benign loops at low-to-mid frequencies, known malware with
+// characteristic high-frequency or multi-peak structure, unknown apps with
+// fundamentals in the unpopulated gaps between the known peaks.
+func Apps() []Behavior {
+	const B, M = 0, 1
+	return []Behavior{
+		// Known benign.
+		{Name: "em_ui_loop", Label: B, Known: true, Loops: []Loop{{Freq: 0.06, Amp: 1.0, Harmonics: 3}}, Broadband: 0.05, Drift: 0.05},
+		{Name: "em_codec", Label: B, Known: true, Loops: []Loop{{Freq: 0.11, Amp: 1.2, Harmonics: 4}}, Broadband: 0.06, Drift: 0.05},
+		{Name: "em_net_poll", Label: B, Known: true, Loops: []Loop{{Freq: 0.16, Amp: 0.8, Harmonics: 2}, {Freq: 0.05, Amp: 0.4, Harmonics: 1}}, Broadband: 0.05, Drift: 0.06},
+		{Name: "em_render", Label: B, Known: true, Loops: []Loop{{Freq: 0.22, Amp: 1.1, Harmonics: 3}}, Broadband: 0.07, Drift: 0.05},
+		{Name: "em_db_scan", Label: B, Known: true, Loops: []Loop{{Freq: 0.28, Amp: 0.9, Harmonics: 2}}, Broadband: 0.06, Drift: 0.06},
+
+		// Known malware: tight high-frequency crypto kernels and
+		// double-peak injector loops.
+		{Name: "em_miner_loop", Label: M, Known: true, Loops: []Loop{{Freq: 0.62, Amp: 1.6, Harmonics: 1}}, Broadband: 0.05, Drift: 0.04},
+		{Name: "em_packer", Label: M, Known: true, Loops: []Loop{{Freq: 0.55, Amp: 1.2, Harmonics: 1}, {Freq: 0.70, Amp: 0.8, Harmonics: 1}}, Broadband: 0.06, Drift: 0.05},
+		{Name: "em_keylogger", Label: M, Known: true, Loops: []Loop{{Freq: 0.48, Amp: 1.0, Harmonics: 2}}, Broadband: 0.05, Drift: 0.05},
+		{Name: "em_exfil", Label: M, Known: true, Loops: []Loop{{Freq: 0.75, Amp: 1.3, Harmonics: 1}, {Freq: 0.12, Amp: 0.3, Harmonics: 1}}, Broadband: 0.07, Drift: 0.05},
+
+		// Unknown: fundamentals in the 0.30-0.46 gap between the benign
+		// and malware bands.
+		{Name: "em_new_app", Label: B, Known: false, Loops: []Loop{{Freq: 0.35, Amp: 1.0, Harmonics: 2}}, Broadband: 0.06, Drift: 0.06},
+		{Name: "em_zeroday_a", Label: M, Known: false, Loops: []Loop{{Freq: 0.40, Amp: 1.2, Harmonics: 1}}, Broadband: 0.05, Drift: 0.05},
+		{Name: "em_zeroday_b", Label: M, Known: false, Loops: []Loop{{Freq: 0.33, Amp: 1.1, Harmonics: 1}, {Freq: 0.44, Amp: 0.6, Harmonics: 1}}, Broadband: 0.06, Drift: 0.05},
+	}
+}

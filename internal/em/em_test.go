@@ -1,0 +1,220 @@
+package em
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trusthmd/internal/mat"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := map[string]func(c Config) Config{
+		"bands":      func(c Config) Config { c.Bands = 2; return c },
+		"width zero": func(c Config) Config { c.PeakWidth = 0; return c },
+		"width big":  func(c Config) Config { c.PeakWidth = 0.5; return c },
+		"noise neg":  func(c Config) Config { c.NoiseSigma = -1; return c },
+		"noise big":  func(c Config) Config { c.NoiseSigma = 3; return c },
+	}
+	for name, mutate := range cases {
+		if err := mutate(DefaultConfig()).Validate(); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+	if _, err := NewSensor(Config{}); err == nil {
+		t.Fatal("expected invalid config error")
+	}
+}
+
+func TestCatalogueValid(t *testing.T) {
+	apps := Apps()
+	if len(apps) < 10 {
+		t.Fatalf("catalogue has %d apps", len(apps))
+	}
+	names := map[string]bool{}
+	var known, unknown, benign, malware int
+	for _, a := range apps {
+		if err := a.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if names[a.Name] {
+			t.Fatalf("duplicate app %q", a.Name)
+		}
+		names[a.Name] = true
+		if a.Known {
+			known++
+		} else {
+			unknown++
+		}
+		if a.Label == 0 {
+			benign++
+		} else {
+			malware++
+		}
+	}
+	if known < 8 || unknown < 2 || benign == 0 || malware == 0 {
+		t.Fatalf("catalogue shape: known=%d unknown=%d benign=%d malware=%d", known, unknown, benign, malware)
+	}
+}
+
+func TestBehaviorValidateRejects(t *testing.T) {
+	base := Apps()[0]
+	cases := map[string]func(b Behavior) Behavior{
+		"no name":   func(b Behavior) Behavior { b.Name = ""; return b },
+		"bad label": func(b Behavior) Behavior { b.Label = 7; return b },
+		"no loops":  func(b Behavior) Behavior { b.Loops = nil; return b },
+		"freq zero": func(b Behavior) Behavior { b.Loops = []Loop{{Freq: 0, Amp: 1, Harmonics: 1}}; return b },
+		"freq high": func(b Behavior) Behavior { b.Loops = []Loop{{Freq: 1, Amp: 1, Harmonics: 1}}; return b },
+		"amp":       func(b Behavior) Behavior { b.Loops = []Loop{{Freq: 0.5, Amp: 0, Harmonics: 1}}; return b },
+		"harmonics": func(b Behavior) Behavior { b.Loops = []Loop{{Freq: 0.5, Amp: 1, Harmonics: 0}}; return b },
+		"broadband": func(b Behavior) Behavior { b.Broadband = -1; return b },
+		"drift":     func(b Behavior) Behavior { b.Drift = 0.9; return b },
+		"drift neg": func(b Behavior) Behavior { b.Drift = -0.1; return b },
+	}
+	for name, mutate := range cases {
+		if err := mutate(base).Validate(); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func mustSensor(t *testing.T) *Sensor {
+	t.Helper()
+	s, err := NewSensor(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestObserveShapeAndPositivity(t *testing.T) {
+	s := mustSensor(t)
+	rng := rand.New(rand.NewSource(1))
+	for _, app := range Apps() {
+		bands, err := s.Observe(app, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if len(bands) != s.Bands() {
+			t.Fatalf("%s: %d bands", app.Name, len(bands))
+		}
+		for i, e := range bands {
+			if e <= 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+				t.Fatalf("%s: band %d energy %v", app.Name, i, e)
+			}
+		}
+	}
+}
+
+func TestObserveRejectsBadBehaviour(t *testing.T) {
+	s := mustSensor(t)
+	if _, err := s.Observe(Behavior{Name: "x"}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestSpectralPeakLocation(t *testing.T) {
+	// A single noiseless loop at 0.5 must put its maximum energy in the
+	// band containing 0.5.
+	s, err := NewSensor(Config{Bands: 32, PeakWidth: 0.015, NoiseSigma: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Behavior{Name: "probe", Label: 0, Loops: []Loop{{Freq: 0.5, Amp: 5, Harmonics: 1}}}
+	bands, err := s.Observe(b, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := mat.ArgMax(bands)
+	wantBand := 16 // band containing 0.5 of 32
+	if best < wantBand-1 || best > wantBand+1 {
+		t.Fatalf("peak in band %d, want near %d", best, wantBand)
+	}
+}
+
+func TestHarmonicsAddPeaks(t *testing.T) {
+	s, err := NewSensor(Config{Bands: 64, PeakWidth: 0.01, NoiseSigma: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	one := Behavior{Name: "h1", Label: 0, Loops: []Loop{{Freq: 0.2, Amp: 2, Harmonics: 1}}}
+	three := Behavior{Name: "h3", Label: 0, Loops: []Loop{{Freq: 0.2, Amp: 2, Harmonics: 3}}}
+	b1, err := s.Observe(one, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := s.Observe(three, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The band near 0.6 (third harmonic) must carry more energy for h3.
+	band := 38 // third harmonic at 0.6 of 64 bands
+	if b3[band] <= b1[band]*1.5 {
+		t.Fatalf("third harmonic missing: %v vs %v", b3[band], b1[band])
+	}
+}
+
+func TestClassSeparationInBandSpace(t *testing.T) {
+	// Known benign fundamentals live below 0.3, known malware above 0.45:
+	// the spectral centroid separates them.
+	s := mustSensor(t)
+	rng := rand.New(rand.NewSource(4))
+	centroid := func(bands []float64) float64 {
+		var total, weighted float64
+		for i, e := range bands {
+			total += e
+			weighted += e * (float64(i) + 0.5) / float64(len(bands))
+		}
+		return weighted / total
+	}
+	var benignMax, malwareMin float64
+	malwareMin = 1
+	for _, app := range Apps() {
+		if !app.Known {
+			continue
+		}
+		var sum float64
+		for k := 0; k < 20; k++ {
+			bands, err := s.Observe(app, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += centroid(bands)
+		}
+		mean := sum / 20
+		if app.Label == 0 && mean > benignMax {
+			benignMax = mean
+		}
+		if app.Label == 1 && mean < malwareMin {
+			malwareMin = mean
+		}
+	}
+	if benignMax >= malwareMin {
+		t.Fatalf("centroids overlap: benign max %.3f vs malware min %.3f", benignMax, malwareMin)
+	}
+}
+
+func TestObserveDeterministicUnderSeed(t *testing.T) {
+	s := mustSensor(t)
+	app := Apps()[0]
+	a, err := s.Observe(app, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Observe(app, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same observation")
+		}
+	}
+}

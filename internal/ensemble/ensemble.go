@@ -1,0 +1,410 @@
+// Package ensemble implements the bagging framework of the paper's Fig. 2:
+// M base classifiers are trained on bootstrap replicates of the training
+// set, and at inference the ensemble exposes the individual hard decisions
+// ("votes") of its members — the analogue of iterating scikit-learn's
+// estimators_ attribute — from which the uncertainty estimator builds the
+// vote frequency distribution.
+//
+// The framework is generic over a Classifier factory, so Random Forest
+// trees, logistic regressions and SVMs all plug in unchanged. It also
+// supports random-restart diversity (no bootstrap resampling, different
+// seeds only) for the deep-ensembles-style ablation.
+package ensemble
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"trusthmd/internal/mat"
+)
+
+// Classifier is the minimal contract a base model must satisfy.
+type Classifier interface {
+	// Fit trains on X (one sample per row) and integer labels y.
+	Fit(X *mat.Matrix, y []int) error
+	// Predict returns the hard class label for one input.
+	Predict(x []float64) int
+}
+
+// ProbClassifier is optionally implemented by base models that can emit a
+// class-probability distribution; the ensemble then supports averaged
+// posteriors (Eq. 3) in addition to hard votes.
+type ProbClassifier interface {
+	Classifier
+	PredictProba(x []float64) []float64
+}
+
+// Diversity selects how ensemble members are diversified.
+type Diversity int
+
+const (
+	// Bootstrap trains each member on a bootstrap replicate (bagging,
+	// Breiman 1996) — the paper's method.
+	Bootstrap Diversity = iota
+	// RandomInit trains each member on the full training set; diversity
+	// comes only from the member's own seed (deep-ensembles style [8]).
+	RandomInit
+)
+
+// String implements fmt.Stringer.
+func (d Diversity) String() string {
+	switch d {
+	case Bootstrap:
+		return "bootstrap"
+	case RandomInit:
+		return "random-init"
+	default:
+		return fmt.Sprintf("diversity(%d)", int(d))
+	}
+}
+
+// Config controls ensemble training.
+type Config struct {
+	// M is the number of base classifiers (the paper varies 1..100 and
+	// settles on ~20-25).
+	M int
+	// New constructs an untrained base classifier from a seed. Required.
+	New func(seed int64) Classifier
+	// Diversity selects bagging vs random-restart (default Bootstrap).
+	Diversity Diversity
+	// MaxSamples is the bootstrap replicate size as a fraction of the
+	// training set (sklearn BaggingClassifier's max_samples); 0 means 1.0.
+	// Smaller replicates increase member diversity at some cost in member
+	// strength.
+	MaxSamples float64
+	// MaxFeatures is the per-member feature subset size as a fraction of
+	// the input dimensionality (sklearn BaggingClassifier's max_features);
+	// 0 means 1.0. Members train and predict on their own random feature
+	// subset, the classic recipe for diversifying otherwise-stable base
+	// learners (random subspaces, Ho 1998).
+	MaxFeatures float64
+	// Seed drives bootstrap resampling and member seeds.
+	Seed int64
+	// Workers caps fit-time parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// KeepFitErrors, when true, tolerates individual member fit errors
+	// (e.g. SVM non-convergence) as long as at least one member trains;
+	// failing members are dropped and recorded in FitErrors. When false
+	// (default) any member error aborts Fit.
+	KeepFitErrors bool
+}
+
+// Bagging is the trained ensemble.
+type Bagging struct {
+	cfg       Config
+	members   []Classifier
+	features  [][]int // per-member feature subset; nil = all features
+	fitErrors []error
+	classes   int
+}
+
+// ErrNotFitted reports use before Fit.
+var ErrNotFitted = errors.New("ensemble: not fitted")
+
+// New returns an untrained ensemble.
+func New(cfg Config) *Bagging {
+	return &Bagging{cfg: cfg}
+}
+
+// Fit trains the M members. With Bootstrap diversity each member sees an
+// n-sample resample-with-replacement of (X, y); with RandomInit each member
+// sees the full data and only its seed differs. Training runs in parallel
+// but is deterministic for a fixed Config.Seed.
+func (b *Bagging) Fit(X *mat.Matrix, y []int) error {
+	if b.cfg.M < 1 {
+		return fmt.Errorf("ensemble: config needs M>=1, got %d", b.cfg.M)
+	}
+	if b.cfg.New == nil {
+		return errors.New("ensemble: config needs a New factory")
+	}
+	if X.Rows() == 0 {
+		return errors.New("ensemble: empty training set")
+	}
+	if X.Rows() != len(y) {
+		return fmt.Errorf("ensemble: %d rows but %d labels", X.Rows(), len(y))
+	}
+	if b.cfg.MaxSamples < 0 || b.cfg.MaxSamples > 1 {
+		return fmt.Errorf("ensemble: max samples %v outside (0,1]", b.cfg.MaxSamples)
+	}
+	if b.cfg.MaxFeatures < 0 || b.cfg.MaxFeatures > 1 {
+		return fmt.Errorf("ensemble: max features %v outside (0,1]", b.cfg.MaxFeatures)
+	}
+	maxLabel := 0
+	for _, lab := range y {
+		if lab > maxLabel {
+			maxLabel = lab
+		}
+	}
+	b.classes = maxLabel + 1
+	if b.classes < 2 {
+		b.classes = 2
+	}
+
+	seedRng := rand.New(rand.NewSource(b.cfg.Seed))
+	bootSeeds := make([]int64, b.cfg.M)
+	memberSeeds := make([]int64, b.cfg.M)
+	featureSets := make([][]int, b.cfg.M)
+	nSub := X.Cols()
+	if b.cfg.MaxFeatures > 0 {
+		nSub = int(b.cfg.MaxFeatures * float64(X.Cols()))
+		if nSub < 1 {
+			nSub = 1
+		}
+	}
+	for i := 0; i < b.cfg.M; i++ {
+		bootSeeds[i] = seedRng.Int63()
+		memberSeeds[i] = seedRng.Int63()
+		if nSub < X.Cols() {
+			idx := seedRng.Perm(X.Cols())[:nSub]
+			sortInts(idx)
+			featureSets[i] = idx
+		}
+	}
+
+	members := make([]Classifier, b.cfg.M)
+	errs := make([]error, b.cfg.M)
+	workers := b.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > b.cfg.M {
+		workers = b.cfg.M
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for m := 0; m < b.cfg.M; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			tx, ty := X, y
+			if b.cfg.Diversity == Bootstrap {
+				size := X.Rows()
+				if b.cfg.MaxSamples > 0 {
+					size = int(b.cfg.MaxSamples * float64(X.Rows()))
+					if size < 1 {
+						size = 1
+					}
+				}
+				tx, ty = ResampleN(X, y, size, rand.New(rand.NewSource(bootSeeds[m])))
+			}
+			if featureSets[m] != nil {
+				tx = selectColumns(tx, featureSets[m])
+			}
+			c := b.cfg.New(memberSeeds[m])
+			if err := c.Fit(tx, ty); err != nil {
+				errs[m] = fmt.Errorf("ensemble: member %d: %w", m, err)
+				return
+			}
+			members[m] = c
+		}(m)
+	}
+	wg.Wait()
+
+	b.members = b.members[:0]
+	b.features = b.features[:0]
+	b.fitErrors = b.fitErrors[:0]
+	for m := 0; m < b.cfg.M; m++ {
+		if errs[m] != nil {
+			if !b.cfg.KeepFitErrors {
+				b.members = nil
+				b.features = nil
+				return errs[m]
+			}
+			b.fitErrors = append(b.fitErrors, errs[m])
+			continue
+		}
+		b.members = append(b.members, members[m])
+		b.features = append(b.features, featureSets[m])
+	}
+	if len(b.members) == 0 {
+		err := errs[0]
+		b.members = nil
+		b.features = nil
+		return fmt.Errorf("ensemble: all members failed to fit: %w", err)
+	}
+	return nil
+}
+
+// sortInts is a tiny insertion sort; feature subsets are short.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// selectColumns builds a matrix restricted to the given columns.
+func selectColumns(X *mat.Matrix, cols []int) *mat.Matrix {
+	out := mat.New(X.Rows(), len(cols))
+	for i := 0; i < X.Rows(); i++ {
+		src := X.Row(i)
+		dst := out.Row(i)
+		for j, c := range cols {
+			dst[j] = src[c]
+		}
+	}
+	return out
+}
+
+// memberInput projects x onto member m's feature subset (or returns x when
+// the member uses all features).
+func (b *Bagging) memberInput(m int, x []float64) []float64 {
+	cols := b.features[m]
+	if cols == nil {
+		return x
+	}
+	out := make([]float64, len(cols))
+	for j, c := range cols {
+		out[j] = x[c]
+	}
+	return out
+}
+
+// Resample draws an n-sample bootstrap replicate of (X, y).
+func Resample(X *mat.Matrix, y []int, rng *rand.Rand) (*mat.Matrix, []int) {
+	return ResampleN(X, y, X.Rows(), rng)
+}
+
+// ResampleN draws a size-sample bootstrap replicate of (X, y), sampling
+// with replacement.
+func ResampleN(X *mat.Matrix, y []int, size int, rng *rand.Rand) (*mat.Matrix, []int) {
+	n := X.Rows()
+	bx := mat.New(size, X.Cols())
+	by := make([]int, size)
+	for i := 0; i < size; i++ {
+		j := rng.Intn(n)
+		copy(bx.Row(i), X.Row(j))
+		by[i] = y[j]
+	}
+	return bx, by
+}
+
+// Estimators returns the trained members — the sklearn estimators_
+// analogue. The returned slice is shared; do not mutate.
+func (b *Bagging) Estimators() []Classifier {
+	if b.members == nil {
+		panic(ErrNotFitted)
+	}
+	return b.members
+}
+
+// Size returns the number of successfully trained members.
+func (b *Bagging) Size() int { return len(b.members) }
+
+// FitErrors returns the per-member errors tolerated under KeepFitErrors.
+func (b *Bagging) FitErrors() []error { return b.fitErrors }
+
+// NumClasses returns the number of classes inferred at fit time.
+func (b *Bagging) NumClasses() int { return b.classes }
+
+// Votes returns the hard decision of every member on x.
+func (b *Bagging) Votes(x []float64) []int {
+	if b.members == nil {
+		panic(ErrNotFitted)
+	}
+	votes := make([]int, len(b.members))
+	for i, m := range b.members {
+		votes[i] = m.Predict(b.memberInput(i, x))
+	}
+	return votes
+}
+
+// VoteCounts returns the per-class tally of member votes on x.
+func (b *Bagging) VoteCounts(x []float64) []int {
+	counts := make([]int, b.classes)
+	for _, v := range b.Votes(x) {
+		if v >= len(counts) { // defensive: member predicted unseen class
+			grown := make([]int, v+1)
+			copy(grown, counts)
+			counts = grown
+		}
+		counts[v]++
+	}
+	return counts
+}
+
+// Predict returns the plurality vote; ties resolve to the lower class.
+func (b *Bagging) Predict(x []float64) int {
+	counts := b.VoteCounts(x)
+	best := 0
+	for lab, c := range counts {
+		if c > counts[best] {
+			best = lab
+		}
+	}
+	return best
+}
+
+// PredictProba averages members' probability outputs (Eq. 3). Members that
+// do not implement ProbClassifier contribute a one-hot distribution of
+// their hard vote, so the result degrades gracefully to vote frequencies.
+func (b *Bagging) PredictProba(x []float64) []float64 {
+	if b.members == nil {
+		panic(ErrNotFitted)
+	}
+	out := make([]float64, b.classes)
+	for i, m := range b.members {
+		xi := b.memberInput(i, x)
+		if pc, ok := m.(ProbClassifier); ok {
+			p := pc.PredictProba(xi)
+			for j := 0; j < len(out) && j < len(p); j++ {
+				out[j] += p[j]
+			}
+			continue
+		}
+		if v := m.Predict(xi); v < len(out) {
+			out[v]++
+		}
+	}
+	inv := 1 / float64(len(b.members))
+	for j := range out {
+		out[j] *= inv
+	}
+	return out
+}
+
+// MemberProbas returns one posterior distribution per member: the member's
+// PredictProba when available, else a one-hot encoding of its hard vote.
+// This is the input to the uncertainty decomposition (core.Decompose).
+func (b *Bagging) MemberProbas(x []float64) [][]float64 {
+	if b.members == nil {
+		panic(ErrNotFitted)
+	}
+	out := make([][]float64, len(b.members))
+	for i, m := range b.members {
+		xi := b.memberInput(i, x)
+		if pc, ok := m.(ProbClassifier); ok {
+			p := pc.PredictProba(xi)
+			row := make([]float64, b.classes)
+			copy(row, p)
+			out[i] = row
+			continue
+		}
+		row := make([]float64, b.classes)
+		if v := m.Predict(xi); v < len(row) {
+			row[v] = 1
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Truncated returns a view of the ensemble restricted to its first m
+// members (used by the Fig. 9a ensemble-size sweep so one 100-member fit
+// serves every prefix). It shares trained members with the receiver.
+func (b *Bagging) Truncated(m int) (*Bagging, error) {
+	if b.members == nil {
+		return nil, ErrNotFitted
+	}
+	if m < 1 || m > len(b.members) {
+		return nil, fmt.Errorf("ensemble: truncate to %d of %d members", m, len(b.members))
+	}
+	return &Bagging{cfg: b.cfg, members: b.members[:m], features: b.features[:m], classes: b.classes}, nil
+}

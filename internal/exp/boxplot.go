@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+
+	"trusthmd/internal/gen"
+	"trusthmd/internal/hmd"
+	"trusthmd/internal/ml/linear"
+	"trusthmd/internal/stats"
+)
+
+// EntropySummary is one box of Figs. 4/5: the distribution of estimated
+// entropies for one (model, split) pair.
+type EntropySummary struct {
+	Model   hmd.Model
+	Split   string // "known" or "unknown"
+	Summary stats.FiveNumber
+}
+
+// BoxplotResult reproduces Fig. 4 (DVFS) or Fig. 5 (HPC).
+type BoxplotResult struct {
+	Dataset string
+	Boxes   []EntropySummary
+	// Excluded records models that could not be trained, with the reason —
+	// the paper excludes SVM from Fig. 5 because it "failed to converge
+	// using the bootstrapped dataset".
+	Excluded map[hmd.Model]string
+}
+
+// Fig4 computes the entropy box plots of the paper's Fig. 4: DVFS dataset,
+// RF / LR / SVM ensembles, known vs unknown inputs.
+func Fig4(cfg Config) (*BoxplotResult, error) {
+	cfg = cfg.normalized()
+	data, err := cfg.dvfsData()
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig4: %w", err)
+	}
+	return entropyBoxes(cfg, "DVFS", data)
+}
+
+// Fig5 computes the entropy box plots of the paper's Fig. 5: HPC dataset.
+// The SVM ensemble fails to converge on the overlapping HPC classes and is
+// recorded in Excluded rather than aborting the experiment, exactly as in
+// the paper's §V-B.
+func Fig5(cfg Config) (*BoxplotResult, error) {
+	cfg = cfg.normalized()
+	data, err := cfg.hpcData()
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig5: %w", err)
+	}
+	return entropyBoxes(cfg, "HPC", data)
+}
+
+func entropyBoxes(cfg Config, name string, data gen.Splits) (*BoxplotResult, error) {
+	res := &BoxplotResult{Dataset: name, Excluded: map[hmd.Model]string{}}
+	for _, model := range Models {
+		p, err := hmd.Train(data.Train, cfg.pipelineConfig(model))
+		if err != nil {
+			var nc *linear.ErrNoConvergence
+			if errors.As(err, &nc) {
+				res.Excluded[model] = nc.Error()
+				continue
+			}
+			return nil, fmt.Errorf("exp: %s %v: %w", name, model, err)
+		}
+		_, hKnown, err := p.AssessDataset(data.Test)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s %v known: %w", name, model, err)
+		}
+		_, hUnknown, err := p.AssessDataset(data.Unknown)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s %v unknown: %w", name, model, err)
+		}
+		for _, e := range []struct {
+			split string
+			h     []float64
+		}{{"known", hKnown}, {"unknown", hUnknown}} {
+			s, err := stats.Summarize(e.h)
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s %v %s: %w", name, model, e.split, err)
+			}
+			res.Boxes = append(res.Boxes, EntropySummary{Model: model, Split: e.split, Summary: s})
+		}
+	}
+	return res, nil
+}
+
+// Render prints one row per box with the five-number summary.
+func (r *BoxplotResult) Render() string {
+	figure := "Fig. 4"
+	if r.Dataset == "HPC" {
+		figure = "Fig. 5"
+	}
+	rows := make([][]string, 0, len(r.Boxes))
+	for _, b := range r.Boxes {
+		rows = append(rows, []string{
+			b.Model.String(), b.Split,
+			fmt.Sprintf("%.3f", b.Summary.Min),
+			fmt.Sprintf("%.3f", b.Summary.Q1),
+			fmt.Sprintf("%.3f", b.Summary.Median),
+			fmt.Sprintf("%.3f", b.Summary.Q3),
+			fmt.Sprintf("%.3f", b.Summary.Max),
+			fmt.Sprintf("%.3f", b.Summary.Mean),
+		})
+	}
+	out := figure + ": estimated entropies, " + r.Dataset + " dataset\n" +
+		table([]string{"Model", "Split", "Min", "Q1", "Median", "Q3", "Max", "Mean"}, rows)
+	for model, reason := range r.Excluded {
+		out += fmt.Sprintf("excluded %v: %s\n", model, reason)
+	}
+	return out
+}

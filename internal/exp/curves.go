@@ -1,0 +1,191 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+
+	"trusthmd/internal/core"
+	"trusthmd/internal/gen"
+	"trusthmd/internal/hmd"
+	"trusthmd/internal/ml/linear"
+)
+
+// RejectionSeries is one curve of Fig. 7a / Fig. 9b: rejected percentage
+// versus entropy threshold for one (model, split) pair.
+type RejectionSeries struct {
+	Model  hmd.Model
+	Split  string // "known" or "unknown"
+	Points []core.SweepPoint
+}
+
+// CurvesResult reproduces Fig. 7a (DVFS) or Fig. 9b (HPC).
+type CurvesResult struct {
+	Dataset  string
+	Series   []RejectionSeries
+	Excluded map[hmd.Model]string
+}
+
+// Fig7a sweeps the entropy threshold from 0.00 to 0.75 in steps of 0.05 on
+// the DVFS dataset and reports the percentage of known and unknown inputs
+// rejected by RF, LR and SVM ensembles (the paper's Fig. 7a).
+func Fig7a(cfg Config) (*CurvesResult, error) {
+	cfg = cfg.normalized()
+	data, err := cfg.dvfsData()
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig7a: %w", err)
+	}
+	return rejectionCurves(cfg, "DVFS", data, 0.75)
+}
+
+// Fig9b is the HPC counterpart (the paper's Fig. 9b): thresholds 0.00-0.80,
+// RF and LR only — SVM does not converge and lands in Excluded.
+func Fig9b(cfg Config) (*CurvesResult, error) {
+	cfg = cfg.normalized()
+	data, err := cfg.hpcData()
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig9b: %w", err)
+	}
+	return rejectionCurves(cfg, "HPC", data, 0.80)
+}
+
+func rejectionCurves(cfg Config, name string, data gen.Splits, maxThr float64) (*CurvesResult, error) {
+	thresholds, err := core.Thresholds(0, maxThr, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	res := &CurvesResult{Dataset: name, Excluded: map[hmd.Model]string{}}
+	for _, model := range Models {
+		p, err := hmd.Train(data.Train, cfg.pipelineConfig(model))
+		if err != nil {
+			var nc *linear.ErrNoConvergence
+			if errors.As(err, &nc) {
+				res.Excluded[model] = nc.Error()
+				continue
+			}
+			return nil, fmt.Errorf("exp: %s %v: %w", name, model, err)
+		}
+		_, hKnown, err := p.AssessDataset(data.Test)
+		if err != nil {
+			return nil, err
+		}
+		_, hUnknown, err := p.AssessDataset(data.Unknown)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range []struct {
+			split string
+			h     []float64
+		}{{"known", hKnown}, {"unknown", hUnknown}} {
+			pts, err := core.RejectionCurve(e.h, thresholds)
+			if err != nil {
+				return nil, err
+			}
+			res.Series = append(res.Series, RejectionSeries{Model: model, Split: e.split, Points: pts})
+		}
+	}
+	return res, nil
+}
+
+// Render prints one row per threshold with one column per series, matching
+// the curves of the figure.
+func (r *CurvesResult) Render() string {
+	figure := "Fig. 7a"
+	if r.Dataset == "HPC" {
+		figure = "Fig. 9b"
+	}
+	if len(r.Series) == 0 {
+		return figure + ": no series (all models excluded)\n"
+	}
+	header := []string{"Threshold"}
+	for _, s := range r.Series {
+		header = append(header, fmt.Sprintf("%v-%s", s.Model, s.Split))
+	}
+	var rows [][]string
+	for i, pt := range r.Series[0].Points {
+		row := []string{fmt.Sprintf("%.2f", pt.Threshold)}
+		for _, s := range r.Series {
+			row = append(row, fmt.Sprintf("%.1f%%", s.Points[i].RejectedPct))
+		}
+		rows = append(rows, row)
+	}
+	out := figure + ": rejected inputs vs entropy threshold, " + r.Dataset + " dataset\n" +
+		table(header, rows)
+	for model, reason := range r.Excluded {
+		out += fmt.Sprintf("excluded %v: %s\n", model, reason)
+	}
+	return out
+}
+
+// F1Series is one curve of Fig. 7b: rejection-aware F1 versus threshold.
+type F1Series struct {
+	Model   hmd.Model
+	Dataset string
+	Points  []core.F1Point
+}
+
+// F1CurvesResult reproduces Fig. 7b.
+type F1CurvesResult struct {
+	Series []F1Series
+}
+
+// Fig7b sweeps the entropy threshold and reports the F1 score over accepted
+// known-test predictions for the RF ensemble on both datasets (the paper's
+// Fig. 7b: RF-DVFS and RF-HPC).
+func Fig7b(cfg Config) (*F1CurvesResult, error) {
+	cfg = cfg.normalized()
+	thresholds, err := core.Thresholds(0.05, 0.85, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	res := &F1CurvesResult{}
+	for _, d := range []struct {
+		name string
+		load func() (gen.Splits, error)
+	}{
+		{"DVFS", cfg.dvfsData},
+		{"HPC", cfg.hpcData},
+	} {
+		data, err := d.load()
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig7b %s: %w", d.name, err)
+		}
+		p, err := hmd.Train(data.Train, cfg.pipelineConfig(hmd.RandomForest))
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig7b %s: %w", d.name, err)
+		}
+		preds, entropies, err := p.AssessDataset(data.Test)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := core.F1Curve(data.Test.Y(), preds, entropies, thresholds)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, F1Series{Model: hmd.RandomForest, Dataset: d.name, Points: pts})
+	}
+	return res, nil
+}
+
+// Render prints the F1 (and precision/recall/rejection) per threshold.
+func (r *F1CurvesResult) Render() string {
+	if len(r.Series) == 0 {
+		return "Fig. 7b: no series\n"
+	}
+	header := []string{"Threshold"}
+	for _, s := range r.Series {
+		name := fmt.Sprintf("%v-%s", s.Model, s.Dataset)
+		header = append(header, name+"-f1", name+"-rej")
+	}
+	var rows [][]string
+	for i, pt := range r.Series[0].Points {
+		row := []string{fmt.Sprintf("%.2f", pt.Threshold)}
+		for _, s := range r.Series {
+			row = append(row,
+				fmt.Sprintf("%.3f", s.Points[i].F1),
+				fmt.Sprintf("%.1f%%", s.Points[i].RejectedPct))
+		}
+		rows = append(rows, row)
+	}
+	return "Fig. 7b: f1-score vs entropy threshold (accepted known-test predictions)\n" +
+		table(header, rows)
+}

@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trusthmd/internal/core"
+	"trusthmd/internal/dataset"
+	"trusthmd/internal/dvfs"
+	"trusthmd/internal/feature"
+	"trusthmd/internal/gen"
+	"trusthmd/internal/hmd"
+	"trusthmd/internal/mat"
+	"trusthmd/internal/metrics"
+	"trusthmd/internal/workload"
+)
+
+// GovernorRow is one policy row of the E2 sensitivity study.
+type GovernorRow struct {
+	Policy         dvfs.Policy
+	Accuracy       float64
+	KnownEntropy   float64
+	UnknownEntropy float64
+	OperatingPoint core.OperatingPoint // at threshold 0.40
+}
+
+// GovernorResult is experiment E2 (extension): sensitivity of the DVFS HMD
+// to the SoC's cpufreq governor policy. The telemetry an HMD sees is
+// shaped by the power-management policy between the workload and the
+// sensor; E2 retrains the RF pipeline under ondemand and conservative
+// governors and compares detectability and zero-day separation. The
+// substantive question: does the paper's approach survive a governor it
+// was not designed around?
+type GovernorResult struct {
+	Rows []GovernorRow
+}
+
+// GovernorPolicies are the swept policies.
+var GovernorPolicies = []dvfs.Policy{dvfs.Ondemand, dvfs.Conservative}
+
+// GovernorSensitivity runs E2.
+func GovernorSensitivity(cfg Config) (*GovernorResult, error) {
+	cfg = cfg.normalized()
+	sizes := cfg.scaled(TableSizesForTest())
+	res := &GovernorResult{}
+	for _, policy := range GovernorPolicies {
+		splits, err := generateDVFSWithPolicy(cfg.Seed+3, sizes, policy)
+		if err != nil {
+			return nil, fmt.Errorf("exp: governor %v: %w", policy, err)
+		}
+		p, err := hmd.Train(splits.train, cfg.pipelineConfig(hmd.RandomForest))
+		if err != nil {
+			return nil, fmt.Errorf("exp: governor %v: %w", policy, err)
+		}
+		preds, hKnown, err := p.AssessDataset(splits.test)
+		if err != nil {
+			return nil, err
+		}
+		_, hUnknown, err := p.AssessDataset(splits.unknown)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := metrics.Score(splits.test.Y(), preds)
+		if err != nil {
+			return nil, err
+		}
+		op, err := core.At(HeadlineThreshold, hKnown, hUnknown)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, GovernorRow{
+			Policy:         policy,
+			Accuracy:       rep.Accuracy,
+			KnownEntropy:   mat.Mean(hKnown),
+			UnknownEntropy: mat.Mean(hUnknown),
+			OperatingPoint: op,
+		})
+	}
+	return res, nil
+}
+
+type dvfsSplitSet struct {
+	train, test, unknown *dataset.Dataset
+}
+
+// generateDVFSWithPolicy mirrors gen.DVFSWithSizes but under an explicit
+// governor policy (gen's default generator is pinned to ondemand).
+func generateDVFSWithPolicy(seed int64, sizes gen.Sizes, policy dvfs.Policy) (dvfsSplitSet, error) {
+	simCfg := dvfs.DefaultConfig()
+	simCfg.Policy = policy
+	sim, err := dvfs.NewSimulator(simCfg)
+	if err != nil {
+		return dvfsSplitSet{}, err
+	}
+	var known, unknown []workload.DVFSBehavior
+	for _, a := range workload.DVFSApps() {
+		if a.Known {
+			known = append(known, a)
+		} else {
+			unknown = append(unknown, a)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dim := feature.DVFSDim(simCfg.Levels)
+
+	build := func(apps []workload.DVFSBehavior, total int) (*dataset.Dataset, error) {
+		alloc, err := workload.Allocate(total, len(apps))
+		if err != nil {
+			return nil, err
+		}
+		d := dataset.New(dim)
+		for i, app := range apps {
+			for k := 0; k < alloc[i]; k++ {
+				trace, err := sim.Trace(app, rng)
+				if err != nil {
+					return nil, err
+				}
+				feats, err := feature.DVFSVector(trace, simCfg.Levels)
+				if err != nil {
+					return nil, err
+				}
+				if err := d.Add(dataset.Sample{Features: feats, Label: app.Label, App: app.Name}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return d, nil
+	}
+
+	var out dvfsSplitSet
+	if out.train, err = build(known, sizes.Train); err != nil {
+		return dvfsSplitSet{}, err
+	}
+	if out.test, err = build(known, sizes.Test); err != nil {
+		return dvfsSplitSet{}, err
+	}
+	if out.unknown, err = build(unknown, sizes.Unknown); err != nil {
+		return dvfsSplitSet{}, err
+	}
+	return out, nil
+}
+
+// Render prints the E2 table.
+func (r *GovernorResult) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Policy.String(),
+			fmt.Sprintf("%.3f", row.Accuracy),
+			fmt.Sprintf("%.3f", row.KnownEntropy),
+			fmt.Sprintf("%.3f", row.UnknownEntropy),
+			fmt.Sprintf("%.1f%%", row.OperatingPoint.KnownRejectedPct),
+			fmt.Sprintf("%.1f%%", row.OperatingPoint.UnknownRejectedPct),
+		})
+	}
+	return "Experiment E2 (extension): DVFS governor-policy sensitivity (RF)\n" +
+		table([]string{"Governor", "Accuracy", "KnownH", "UnknownH", "rejK@0.40", "rejU@0.40"}, rows)
+}

@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"fmt"
+
+	"trusthmd/internal/core"
+	"trusthmd/internal/hmd"
+	"trusthmd/internal/metrics"
+)
+
+// HeadlineResult holds the paper's two quantitative headline claims.
+type HeadlineResult struct {
+	// H1 (§V-A): DVFS RF at entropy threshold 0.40 rejects ~95 % of
+	// unknown workloads while rejecting < 5 % of known workloads.
+	DVFSOperatingPoint core.OperatingPoint
+	// H2 (§V-B): HPC RF accuracy ~0.84 on known data; rejecting uncertain
+	// predictions raises F1 to ~0.95 via higher precision.
+	HPCBaseline      metrics.Report
+	HPCAfterReject   core.F1Point
+	HPCRejectedAtOpt float64
+}
+
+// HeadlineThreshold is the paper's chosen DVFS operating threshold.
+const HeadlineThreshold = 0.40
+
+// Headlines computes both headline numbers with the RF pipelines.
+func Headlines(cfg Config) (*HeadlineResult, error) {
+	cfg = cfg.normalized()
+	res := &HeadlineResult{}
+
+	// H1: DVFS RF operating point.
+	dvfs, err := cfg.dvfsData()
+	if err != nil {
+		return nil, fmt.Errorf("exp: headlines: %w", err)
+	}
+	pd, err := hmd.Train(dvfs.Train, cfg.pipelineConfig(hmd.RandomForest))
+	if err != nil {
+		return nil, fmt.Errorf("exp: headlines dvfs: %w", err)
+	}
+	_, hKnown, err := pd.AssessDataset(dvfs.Test)
+	if err != nil {
+		return nil, err
+	}
+	_, hUnknown, err := pd.AssessDataset(dvfs.Unknown)
+	if err != nil {
+		return nil, err
+	}
+	res.DVFSOperatingPoint, err = core.At(HeadlineThreshold, hKnown, hUnknown)
+	if err != nil {
+		return nil, err
+	}
+
+	// H2: HPC RF F1 before and after rejection.
+	hpc, err := cfg.hpcData()
+	if err != nil {
+		return nil, fmt.Errorf("exp: headlines: %w", err)
+	}
+	ph, err := hmd.Train(hpc.Train, cfg.pipelineConfig(hmd.RandomForest))
+	if err != nil {
+		return nil, fmt.Errorf("exp: headlines hpc: %w", err)
+	}
+	preds, entropies, err := ph.AssessDataset(hpc.Test)
+	if err != nil {
+		return nil, err
+	}
+	yTrue := hpc.Test.Y()
+	res.HPCBaseline, err = metrics.Score(yTrue, preds)
+	if err != nil {
+		return nil, err
+	}
+	// Pick the best F1 over the threshold grid, as the paper's "upon
+	// rejecting the uncertain predictions" (it does not fix a threshold).
+	thresholds, err := core.Thresholds(0.05, 0.85, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	curve, err := core.F1Curve(yTrue, preds, entropies, thresholds)
+	if err != nil {
+		return nil, err
+	}
+	best := curve[0]
+	for _, pt := range curve[1:] {
+		if pt.F1 > best.F1 {
+			best = pt
+		}
+	}
+	res.HPCAfterReject = best
+	res.HPCRejectedAtOpt = best.RejectedPct
+	return res, nil
+}
+
+// Render prints the paper-vs-measured headline comparison.
+func (r *HeadlineResult) Render() string {
+	out := "Headline results\n"
+	out += fmt.Sprintf(
+		"H1 (DVFS RF @ threshold %.2f): unknown rejected %.1f%% (paper ~95%%), known rejected %.1f%% (paper <5%%)\n",
+		HeadlineThreshold, r.DVFSOperatingPoint.UnknownRejectedPct, r.DVFSOperatingPoint.KnownRejectedPct)
+	out += fmt.Sprintf(
+		"H2 (HPC RF): baseline acc %.3f / f1 %.3f (paper ~0.84); after rejection f1 %.3f at threshold %.2f rejecting %.1f%% (paper ~0.95)\n",
+		r.HPCBaseline.Accuracy, r.HPCBaseline.F1, r.HPCAfterReject.F1, r.HPCAfterReject.Threshold, r.HPCRejectedAtOpt)
+	return out
+}

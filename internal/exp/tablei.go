@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"fmt"
+
+	"trusthmd/internal/dataset"
+	"trusthmd/internal/gen"
+)
+
+// TableIResult reproduces the paper's Table I: the dataset taxonomy.
+type TableIResult struct {
+	Rows []TableIRow
+}
+
+// TableIRow is one dataset split line of Table I.
+type TableIRow struct {
+	Dataset string
+	Split   string
+	Samples int
+	Benign  int
+	Malware int
+	Apps    int
+}
+
+// TableI regenerates both datasets and tabulates their split sizes. At
+// Scale 1.0 the sample counts equal the paper's:
+// DVFS 2100/700/284, HPC 44605/6372/12727.
+func TableI(cfg Config) (*TableIResult, error) {
+	cfg = cfg.normalized()
+	dvfs, err := cfg.dvfsData()
+	if err != nil {
+		return nil, fmt.Errorf("exp: table I: %w", err)
+	}
+	hpc, err := cfg.hpcData()
+	if err != nil {
+		return nil, fmt.Errorf("exp: table I: %w", err)
+	}
+	var res TableIResult
+	add := func(name string, s gen.Splits) {
+		for _, e := range []struct {
+			split string
+			d     *dataset.Dataset
+		}{{"Train", s.Train}, {"Test (Known)", s.Test}, {"Unknown", s.Unknown}} {
+			b, m := e.d.ClassCounts()
+			res.Rows = append(res.Rows, TableIRow{
+				Dataset: name,
+				Split:   e.split,
+				Samples: e.d.Len(),
+				Benign:  b,
+				Malware: m,
+				Apps:    len(e.d.Apps()),
+			})
+		}
+	}
+	add("DVFS", dvfs)
+	add("HPC", hpc)
+	return &res, nil
+}
+
+// Render prints the table in the paper's layout (plus class/app columns).
+func (r *TableIResult) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Dataset, row.Split,
+			fmt.Sprint(row.Samples), fmt.Sprint(row.Benign), fmt.Sprint(row.Malware), fmt.Sprint(row.Apps),
+		})
+	}
+	return "Table I: dataset taxonomy\n" +
+		table([]string{"Dataset", "Split", "# of Samples", "Benign", "Malware", "Apps"}, rows)
+}

@@ -1,0 +1,125 @@
+// Package feature implements the feature-extraction stage of the HMD
+// pipeline (Fig. 1): DVFS state time series and raw HPC counter vectors are
+// turned into fixed-length feature vectors consumed by the classifiers.
+package feature
+
+import (
+	"fmt"
+	"math"
+
+	"trusthmd/internal/stats"
+)
+
+// DVFSDim returns the dimensionality of DVFSVector's output for a ladder
+// with the given number of levels: occupancy histogram (levels) +
+// transition shares (3) + level moments (2) + autocorrelations (4).
+func DVFSDim(levels int) int { return levels + 9 }
+
+// DVFSVector extracts features from a DVFS state time series (states in
+// [0, levels)). The features mirror those used on DVFS signatures in the
+// literature: state residency histogram, up/down/stay transition shares,
+// mean and standard deviation of the state, and short-lag autocorrelations
+// of the state sequence (which capture periodic beaconing and burst
+// structure).
+func DVFSVector(states []int, levels int) ([]float64, error) {
+	if levels < 2 {
+		return nil, fmt.Errorf("feature: need >=2 levels, got %d", levels)
+	}
+	if len(states) < 2 {
+		return nil, fmt.Errorf("feature: need >=2 samples, got %d", len(states))
+	}
+	out := make([]float64, 0, DVFSDim(levels))
+
+	// State residency histogram.
+	hist := make([]float64, levels)
+	series := make([]float64, len(states))
+	for i, s := range states {
+		if s < 0 || s >= levels {
+			return nil, fmt.Errorf("feature: state %d at sample %d outside [0,%d)", s, i, levels)
+		}
+		hist[s]++
+		series[i] = float64(s)
+	}
+	inv := 1 / float64(len(states))
+	for i := range hist {
+		hist[i] *= inv
+	}
+	out = append(out, hist...)
+
+	// Transition shares: up, down, stay.
+	var up, down, stay float64
+	for i := 1; i < len(states); i++ {
+		switch {
+		case states[i] > states[i-1]:
+			up++
+		case states[i] < states[i-1]:
+			down++
+		default:
+			stay++
+		}
+	}
+	tInv := 1 / float64(len(states)-1)
+	out = append(out, up*tInv, down*tInv, stay*tInv)
+
+	// Level moments.
+	var m stats.Moments
+	for _, v := range series {
+		m.Add(v)
+	}
+	out = append(out, m.Mean()/float64(levels-1), m.Std()/float64(levels-1))
+
+	// Short-lag autocorrelations capture periodic structure.
+	lags := []int{1, 2, 4, 8}
+	maxLag := lags[len(lags)-1]
+	ac, err := stats.Autocorrelation(series, maxLag)
+	if err != nil {
+		return nil, fmt.Errorf("feature: %w", err)
+	}
+	for _, lag := range lags {
+		if lag < len(ac) {
+			out = append(out, ac[lag])
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out, nil
+}
+
+// HPCDim is the dimensionality of HPCVector's output: log-scaled event
+// counts plus four derived rate features.
+func HPCDim(events int) int { return events + 4 }
+
+// HPCVector extracts features from one window of raw HPC counter values:
+// log1p of each counter (counts are heavy-tailed) plus derived
+// micro-architectural rates — branch-miss rate, cache-miss rate, IPC proxy
+// and syscall intensity — which the HPC-HMD literature reports as the most
+// informative inputs. The expected event order is that of hpc.EventNames.
+func HPCVector(counters []float64) ([]float64, error) {
+	const minEvents = 8
+	if len(counters) < minEvents {
+		return nil, fmt.Errorf("feature: need >=%d counters, got %d", minEvents, len(counters))
+	}
+	out := make([]float64, 0, HPCDim(len(counters)))
+	for i, c := range counters {
+		if c < 0 || math.IsNaN(c) {
+			return nil, fmt.Errorf("feature: counter %d is %v", i, c)
+		}
+		out = append(out, math.Log1p(c))
+	}
+	// Derived rates; indices follow hpc.EventNames:
+	// 0 cycles, 1 instructions, 2 branches, 3 branch-misses,
+	// 4 cache-refs, 5 cache-misses, 6 llc-loads, 7 syscalls, ...
+	ratio := func(num, den float64) float64 {
+		if den <= 0 {
+			return 0
+		}
+		return num / den
+	}
+	out = append(out,
+		ratio(counters[3], counters[2]), // branch miss rate
+		ratio(counters[5], counters[4]), // cache miss rate
+		ratio(counters[1], counters[0]), // IPC proxy
+		ratio(counters[7], counters[1]), // syscalls per instruction
+	)
+	return out, nil
+}

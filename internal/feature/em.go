@@ -1,0 +1,40 @@
+package feature
+
+import (
+	"fmt"
+	"math"
+)
+
+// EMDim returns the dimensionality of EMVector's output for a sensor with
+// the given number of bands: log band energies plus three spectral-shape
+// features (centroid, flatness, peak share).
+func EMDim(bands int) int { return bands + 3 }
+
+// EMVector extracts features from one EM band-energy observation: the log
+// of each band's energy (emission energies are log-normal) plus the
+// spectral centroid (where the energy sits), spectral flatness (geometric /
+// arithmetic mean ratio — near 1 for noise, near 0 for tonal loop peaks)
+// and the share of energy in the single strongest band.
+func EMVector(bands []float64) ([]float64, error) {
+	if len(bands) < 4 {
+		return nil, fmt.Errorf("feature: need >=4 EM bands, got %d", len(bands))
+	}
+	out := make([]float64, 0, EMDim(len(bands)))
+	var total, weighted, logSum, max float64
+	for i, e := range bands {
+		if e <= 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+			return nil, fmt.Errorf("feature: EM band %d energy %v must be positive and finite", i, e)
+		}
+		out = append(out, math.Log(e))
+		total += e
+		weighted += e * (float64(i) + 0.5) / float64(len(bands))
+		logSum += math.Log(e)
+		if e > max {
+			max = e
+		}
+	}
+	centroid := weighted / total
+	flatness := math.Exp(logSum/float64(len(bands))) / (total / float64(len(bands)))
+	out = append(out, centroid, flatness, max/total)
+	return out, nil
+}

@@ -1,0 +1,170 @@
+// Package gen builds the paper's two datasets end to end: it runs the
+// telemetry simulators over the workload catalogue, extracts features, and
+// returns train / known-test / unknown splits with exactly the sample
+// counts of Table I.
+//
+//	DVFS: 2100 train, 700 known test, 284 unknown
+//	HPC: 44605 train, 6372 known test, 12727 unknown
+//
+// Because samples are independent given an application, drawing the train
+// and test sets separately per known application is equivalent to drawing
+// one pool and splitting it, and lets the generator hit the exact counts.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trusthmd/internal/dataset"
+	"trusthmd/internal/dvfs"
+	"trusthmd/internal/feature"
+	"trusthmd/internal/hpc"
+	"trusthmd/internal/workload"
+)
+
+// Splits bundles the three datasets of the paper's Fig. 6 breakdown.
+type Splits struct {
+	Train   *dataset.Dataset // known applications, training share
+	Test    *dataset.Dataset // known applications, held-out share
+	Unknown *dataset.Dataset // unknown applications (zero-day bucket)
+}
+
+// Sizes fixes the total sample counts of each split.
+type Sizes struct {
+	Train, Test, Unknown int
+}
+
+// TableIDVFS is the DVFS row of the paper's Table I.
+var TableIDVFS = Sizes{Train: 2100, Test: 700, Unknown: 284}
+
+// TableIHPC is the HPC row of the paper's Table I.
+var TableIHPC = Sizes{Train: 44605, Test: 6372, Unknown: 12727}
+
+// Validate checks the sizes are usable.
+func (s Sizes) Validate() error {
+	if s.Train < 1 || s.Test < 1 || s.Unknown < 1 {
+		return fmt.Errorf("gen: all splits need >=1 sample, got %+v", s)
+	}
+	return nil
+}
+
+// DVFS generates the full-size DVFS dataset (Table I row 1).
+func DVFS(seed int64) (Splits, error) { return DVFSWithSizes(seed, TableIDVFS) }
+
+// DVFSWithSizes generates a DVFS dataset with custom split sizes (smaller
+// sizes are used by tests and quick benchmarks).
+func DVFSWithSizes(seed int64, sizes Sizes) (Splits, error) {
+	if err := sizes.Validate(); err != nil {
+		return Splits{}, err
+	}
+	sim, err := dvfs.NewSimulator(dvfs.DefaultConfig())
+	if err != nil {
+		return Splits{}, err
+	}
+	apps := workload.DVFSApps()
+	var known, unknown []workload.DVFSBehavior
+	for _, a := range apps {
+		if a.Known {
+			known = append(known, a)
+		} else {
+			unknown = append(unknown, a)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dim := feature.DVFSDim(sim.Config().Levels)
+
+	build := func(apps []workload.DVFSBehavior, total int) (*dataset.Dataset, error) {
+		alloc, err := workload.Allocate(total, len(apps))
+		if err != nil {
+			return nil, err
+		}
+		d := dataset.New(dim)
+		for i, app := range apps {
+			for k := 0; k < alloc[i]; k++ {
+				trace, err := sim.Trace(app, rng)
+				if err != nil {
+					return nil, err
+				}
+				feats, err := feature.DVFSVector(trace, sim.Config().Levels)
+				if err != nil {
+					return nil, err
+				}
+				if err := d.Add(dataset.Sample{Features: feats, Label: app.Label, App: app.Name}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return d, nil
+	}
+
+	var s Splits
+	if s.Train, err = build(known, sizes.Train); err != nil {
+		return Splits{}, fmt.Errorf("gen: dvfs train: %w", err)
+	}
+	if s.Test, err = build(known, sizes.Test); err != nil {
+		return Splits{}, fmt.Errorf("gen: dvfs test: %w", err)
+	}
+	if s.Unknown, err = build(unknown, sizes.Unknown); err != nil {
+		return Splits{}, fmt.Errorf("gen: dvfs unknown: %w", err)
+	}
+	return s, nil
+}
+
+// HPC generates the full-size HPC dataset (Table I row 2).
+func HPC(seed int64) (Splits, error) { return HPCWithSizes(seed, TableIHPC) }
+
+// HPCWithSizes generates an HPC dataset with custom split sizes.
+func HPCWithSizes(seed int64, sizes Sizes) (Splits, error) {
+	if err := sizes.Validate(); err != nil {
+		return Splits{}, err
+	}
+	g := hpc.NewGenerator()
+	apps := workload.HPCApps()
+	var known, unknown []workload.HPCBehavior
+	for _, a := range apps {
+		if a.Known {
+			known = append(known, a)
+		} else {
+			unknown = append(unknown, a)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dim := feature.HPCDim(hpc.NumEvents)
+
+	build := func(apps []workload.HPCBehavior, total int) (*dataset.Dataset, error) {
+		alloc, err := workload.Allocate(total, len(apps))
+		if err != nil {
+			return nil, err
+		}
+		d := dataset.New(dim)
+		for i, app := range apps {
+			for k := 0; k < alloc[i]; k++ {
+				w, err := g.Window(app, rng)
+				if err != nil {
+					return nil, err
+				}
+				feats, err := feature.HPCVector(w)
+				if err != nil {
+					return nil, err
+				}
+				if err := d.Add(dataset.Sample{Features: feats, Label: app.Label, App: app.Name}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return d, nil
+	}
+
+	var s Splits
+	var err error
+	if s.Train, err = build(known, sizes.Train); err != nil {
+		return Splits{}, fmt.Errorf("gen: hpc train: %w", err)
+	}
+	if s.Test, err = build(known, sizes.Test); err != nil {
+		return Splits{}, fmt.Errorf("gen: hpc test: %w", err)
+	}
+	if s.Unknown, err = build(unknown, sizes.Unknown); err != nil {
+		return Splits{}, fmt.Errorf("gen: hpc unknown: %w", err)
+	}
+	return s, nil
+}

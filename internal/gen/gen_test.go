@@ -1,0 +1,144 @@
+package gen
+
+import (
+	"testing"
+
+	"trusthmd/internal/dataset"
+	"trusthmd/internal/feature"
+	"trusthmd/internal/hpc"
+)
+
+func TestDVFSTableISizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table I generation in -short mode")
+	}
+	s, err := DVFS(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Train.Len() != 2100 || s.Test.Len() != 700 || s.Unknown.Len() != 284 {
+		t.Fatalf("sizes %d/%d/%d, want 2100/700/284", s.Train.Len(), s.Test.Len(), s.Unknown.Len())
+	}
+}
+
+func TestDVFSSmallSplits(t *testing.T) {
+	sizes := Sizes{Train: 140, Test: 70, Unknown: 40}
+	s, err := DVFSWithSizes(2, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Train.Len() != 140 || s.Test.Len() != 70 || s.Unknown.Len() != 40 {
+		t.Fatalf("sizes %d/%d/%d", s.Train.Len(), s.Test.Len(), s.Unknown.Len())
+	}
+	// Known and unknown app sets must be disjoint.
+	knownApps := map[string]bool{}
+	for _, a := range s.Train.Apps() {
+		knownApps[a] = true
+	}
+	for _, a := range s.Test.Apps() {
+		if !knownApps[a] {
+			t.Fatalf("test app %q not in training apps", a)
+		}
+	}
+	for _, a := range s.Unknown.Apps() {
+		if knownApps[a] {
+			t.Fatalf("unknown app %q leaked into known set", a)
+		}
+	}
+	// Both classes present in train.
+	b, m := s.Train.ClassCounts()
+	if b == 0 || m == 0 {
+		t.Fatalf("train classes %d/%d", b, m)
+	}
+}
+
+func TestHPCSmallSplits(t *testing.T) {
+	sizes := Sizes{Train: 280, Test: 140, Unknown: 100}
+	s, err := HPCWithSizes(3, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Train.Len() != 280 || s.Test.Len() != 140 || s.Unknown.Len() != 100 {
+		t.Fatalf("sizes %d/%d/%d", s.Train.Len(), s.Test.Len(), s.Unknown.Len())
+	}
+	if s.Train.Dim() != feature.HPCDim(hpc.NumEvents) {
+		t.Fatalf("dim %d", s.Train.Dim())
+	}
+	ub, um := s.Unknown.ClassCounts()
+	if ub == 0 || um == 0 {
+		t.Fatalf("unknown bucket classes %d/%d: needs both", ub, um)
+	}
+}
+
+func TestSizesValidation(t *testing.T) {
+	if _, err := DVFSWithSizes(1, Sizes{}); err == nil {
+		t.Fatal("expected sizes error")
+	}
+	if _, err := HPCWithSizes(1, Sizes{Train: 1}); err == nil {
+		t.Fatal("expected sizes error")
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	sizes := Sizes{Train: 56, Test: 28, Unknown: 12}
+	a, err := DVFSWithSizes(9, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DVFSWithSizes(9, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Train.Len(); i++ {
+		sa, sb := a.Train.At(i), b.Train.At(i)
+		if sa.App != sb.App || sa.Label != sb.Label {
+			t.Fatal("generation not deterministic")
+		}
+		for j := range sa.Features {
+			if sa.Features[j] != sb.Features[j] {
+				t.Fatal("features not deterministic")
+			}
+		}
+	}
+}
+
+func TestLabelsMatchCatalogue(t *testing.T) {
+	sizes := Sizes{Train: 56, Test: 28, Unknown: 12}
+	s, err := DVFSWithSizes(4, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Train.Len(); i++ {
+		smp := s.Train.At(i)
+		if smp.Label != dataset.Benign && smp.Label != dataset.Malware {
+			t.Fatalf("bad label %d", smp.Label)
+		}
+	}
+}
+
+func TestEMSplits(t *testing.T) {
+	sizes := Sizes{Train: 120, Test: 60, Unknown: 30}
+	s, err := EMWithSizes(7, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Train.Len() != 120 || s.Test.Len() != 60 || s.Unknown.Len() != 30 {
+		t.Fatalf("sizes %d/%d/%d", s.Train.Len(), s.Test.Len(), s.Unknown.Len())
+	}
+	knownApps := map[string]bool{}
+	for _, a := range s.Train.Apps() {
+		knownApps[a] = true
+	}
+	for _, a := range s.Unknown.Apps() {
+		if knownApps[a] {
+			t.Fatalf("unknown app %q leaked into training", a)
+		}
+	}
+	b, m := s.Train.ClassCounts()
+	if b == 0 || m == 0 {
+		t.Fatalf("train classes %d/%d", b, m)
+	}
+	if _, err := EMWithSizes(1, Sizes{}); err == nil {
+		t.Fatal("expected sizes error")
+	}
+}

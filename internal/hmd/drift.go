@@ -1,0 +1,141 @@
+package hmd
+
+import (
+	"fmt"
+
+	"trusthmd/internal/stats"
+)
+
+// DriftMonitor watches the stream of per-window predictive entropies
+// emitted by an online trusted HMD and raises an alarm when the recent
+// entropy distribution departs from the known-data baseline. This closes
+// the loop the paper's introduction sketches: uncertain predictions are
+// not just rejected one by one — a sustained shift triggers forensic
+// collection and retraining.
+//
+// Two detectors run side by side:
+//
+//   - a rejection-rate detector: the fraction of the last Window decisions
+//     whose entropy exceeds the rejection threshold, compared with the
+//     baseline rate times Tolerance;
+//   - a Kolmogorov-Smirnov detector: the last Window entropies versus the
+//     baseline entropy sample, alarming at significance Alpha.
+//
+// The monitor is not safe for concurrent use.
+type DriftMonitor struct {
+	baseline     []float64
+	baselineRate float64
+	threshold    float64
+	window       int
+	tolerance    float64
+	alpha        float64
+
+	recent []float64
+}
+
+// DriftConfig parameterises a DriftMonitor.
+type DriftConfig struct {
+	// Threshold is the entropy rejection threshold in use by the detector.
+	Threshold float64
+	// Window is the number of recent decisions considered (default 50).
+	Window int
+	// Tolerance multiplies the baseline rejection rate to form the alarm
+	// level (default 3; an absolute floor of 0.2 applies so that a
+	// near-zero baseline does not alarm on a single rejection).
+	Tolerance float64
+	// Alpha is the KS significance level (default 0.01).
+	Alpha float64
+}
+
+// NewDriftMonitor builds a monitor from the entropies observed on known
+// (in-distribution) validation data.
+func NewDriftMonitor(baselineEntropies []float64, cfg DriftConfig) (*DriftMonitor, error) {
+	if len(baselineEntropies) < 10 {
+		return nil, fmt.Errorf("hmd: drift monitor needs >=10 baseline entropies, got %d", len(baselineEntropies))
+	}
+	if cfg.Threshold < 0 {
+		return nil, fmt.Errorf("hmd: negative threshold %v", cfg.Threshold)
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 50
+	}
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = 3
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
+		cfg.Alpha = 0.01
+	}
+	rejected := 0
+	for _, h := range baselineEntropies {
+		if h > cfg.Threshold {
+			rejected++
+		}
+	}
+	return &DriftMonitor{
+		baseline:     append([]float64(nil), baselineEntropies...),
+		baselineRate: float64(rejected) / float64(len(baselineEntropies)),
+		threshold:    cfg.Threshold,
+		window:       cfg.Window,
+		tolerance:    cfg.Tolerance,
+		alpha:        cfg.Alpha,
+	}, nil
+}
+
+// DriftStatus is the monitor's verdict after an observation.
+type DriftStatus struct {
+	// Alarm is true when either detector fires.
+	Alarm bool
+	// RateAlarm / KSAlarm identify which detector(s) fired.
+	RateAlarm bool
+	KSAlarm   bool
+	// RecentRejectRate is the rejection rate over the current window.
+	RecentRejectRate float64
+	// KSPValue is the significance of the entropy-distribution comparison
+	// (1 before the window has filled).
+	KSPValue float64
+}
+
+// Observe folds one per-window predictive entropy into the monitor and
+// returns the current status. Detectors stay quiet until the window fills.
+func (m *DriftMonitor) Observe(entropy float64) (DriftStatus, error) {
+	if entropy < 0 {
+		return DriftStatus{}, fmt.Errorf("hmd: negative entropy %v", entropy)
+	}
+	m.recent = append(m.recent, entropy)
+	if len(m.recent) > m.window {
+		m.recent = m.recent[1:]
+	}
+	st := DriftStatus{KSPValue: 1}
+	if len(m.recent) < m.window {
+		return st, nil
+	}
+
+	rejected := 0
+	for _, h := range m.recent {
+		if h > m.threshold {
+			rejected++
+		}
+	}
+	st.RecentRejectRate = float64(rejected) / float64(len(m.recent))
+	alarmLevel := m.baselineRate * m.tolerance
+	if alarmLevel < 0.2 {
+		alarmLevel = 0.2
+	}
+	st.RateAlarm = st.RecentRejectRate > alarmLevel
+
+	ks, err := stats.KSTest(m.baseline, m.recent)
+	if err != nil {
+		return DriftStatus{}, err
+	}
+	st.KSPValue = ks.PValue
+	st.KSAlarm = ks.PValue < m.alpha
+
+	st.Alarm = st.RateAlarm || st.KSAlarm
+	return st, nil
+}
+
+// BaselineRejectRate returns the rejection rate measured on the baseline.
+func (m *DriftMonitor) BaselineRejectRate() float64 { return m.baselineRate }
+
+// Reset clears the recent window (e.g. after retraining).
+func (m *DriftMonitor) Reset() { m.recent = m.recent[:0] }

@@ -1,0 +1,161 @@
+package hmd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func baselineEntropies(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64() * 0.15 // confident in-distribution entropies
+	}
+	return out
+}
+
+func TestNewDriftMonitorValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewDriftMonitor(baselineEntropies(rng, 5), DriftConfig{Threshold: 0.4}); err == nil {
+		t.Fatal("expected baseline size error")
+	}
+	if _, err := NewDriftMonitor(baselineEntropies(rng, 50), DriftConfig{Threshold: -1}); err == nil {
+		t.Fatal("expected threshold error")
+	}
+	m, err := NewDriftMonitor(baselineEntropies(rng, 50), DriftConfig{Threshold: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BaselineRejectRate() != 0 {
+		t.Fatalf("baseline rate %v", m.BaselineRejectRate())
+	}
+}
+
+func TestDriftQuietOnInDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, err := NewDriftMonitor(baselineEntropies(rng, 200), DriftConfig{Threshold: 0.4, Window: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		st, err := m.Observe(rng.Float64() * 0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Alarm {
+			t.Fatalf("false alarm at step %d: %+v", i, st)
+		}
+	}
+}
+
+func TestDriftAlarmsOnShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := NewDriftMonitor(baselineEntropies(rng, 200), DriftConfig{Threshold: 0.4, Window: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quiet phase.
+	for i := 0; i < 60; i++ {
+		if _, err := m.Observe(rng.Float64() * 0.15); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compromise phase: high-entropy windows.
+	alarmed := false
+	for i := 0; i < 60; i++ {
+		st, err := m.Observe(0.5 + rng.Float64()*0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Alarm {
+			alarmed = true
+			if !st.RateAlarm && !st.KSAlarm {
+				t.Fatal("alarm without a firing detector")
+			}
+			break
+		}
+	}
+	if !alarmed {
+		t.Fatal("drift not detected")
+	}
+}
+
+func TestDriftKSDetectsSubThresholdShift(t *testing.T) {
+	// A shift that stays below the rejection threshold: the rate detector
+	// is blind, the KS detector must fire.
+	rng := rand.New(rand.NewSource(4))
+	m, err := NewDriftMonitor(baselineEntropies(rng, 300), DriftConfig{Threshold: 0.4, Window: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last DriftStatus
+	for i := 0; i < 120; i++ {
+		st, err := m.Observe(0.25 + rng.Float64()*0.1) // 0.25-0.35, below 0.4
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = st
+		if st.Alarm {
+			if st.RateAlarm {
+				t.Fatal("rate detector should be blind to sub-threshold shift")
+			}
+			return
+		}
+	}
+	t.Fatalf("KS detector missed sub-threshold shift: %+v", last)
+}
+
+func TestDriftQuietUntilWindowFills(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, err := NewDriftMonitor(baselineEntropies(rng, 100), DriftConfig{Threshold: 0.4, Window: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 29; i++ {
+		st, err := m.Observe(0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Alarm {
+			t.Fatalf("alarm before window filled at %d", i)
+		}
+	}
+	st, err := m.Observe(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Alarm {
+		t.Fatal("expected alarm once window filled with high entropies")
+	}
+}
+
+func TestDriftReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m, err := NewDriftMonitor(baselineEntropies(rng, 100), DriftConfig{Threshold: 0.4, Window: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := m.Observe(0.99); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Reset()
+	st, err := m.Observe(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Alarm {
+		t.Fatal("reset must clear the window")
+	}
+}
+
+func TestDriftObserveRejectsNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, err := NewDriftMonitor(baselineEntropies(rng, 100), DriftConfig{Threshold: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Observe(-0.1); err == nil {
+		t.Fatal("expected negative entropy error")
+	}
+}

@@ -1,0 +1,341 @@
+// Package hmd assembles the full detector pipelines of the paper's Fig. 1.
+//
+// The untrusted (conventional) pipeline is feature scaling → PCA → bagging
+// ensemble → majority-vote label. The trusted pipeline adds the
+// uncertainty estimator of package core: every prediction carries the
+// entropy of the ensemble's vote distribution, and a Rejector turns
+// (label, entropy) into Benign / Malware / Reject decisions.
+package hmd
+
+import (
+	"errors"
+	"fmt"
+
+	"trusthmd/internal/core"
+	"trusthmd/internal/dataset"
+	"trusthmd/internal/ensemble"
+	"trusthmd/internal/ml/bayes"
+	"trusthmd/internal/ml/knn"
+	"trusthmd/internal/ml/linear"
+	"trusthmd/internal/ml/tree"
+	"trusthmd/internal/reduce"
+)
+
+// Model selects the base classifier family of the bagging ensemble.
+type Model int
+
+const (
+	// RandomForest bags fully grown CART trees with sqrt(d) feature
+	// sampling — the paper's best performer.
+	RandomForest Model = iota
+	// LogisticRegression bags SGD-trained logistic regressions.
+	LogisticRegression
+	// SVM bags Pegasos-trained linear SVMs. On heavily overlapping data
+	// the hinge objective stays high and training reports
+	// *linear.ErrNoConvergence, reproducing the paper's HPC observation.
+	SVM
+	// NaiveBayes bags Gaussian Naive Bayes models (extension: one of the
+	// families in the Zhou et al. HPC study; used by ablation A4).
+	NaiveBayes
+	// KNN bags k-nearest-neighbour models (extension, ablation A4).
+	KNN
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case RandomForest:
+		return "RF"
+	case LogisticRegression:
+		return "LR"
+	case SVM:
+		return "SVM"
+	case NaiveBayes:
+		return "NB"
+	case KNN:
+		return "KNN"
+	default:
+		return fmt.Sprintf("model(%d)", int(m))
+	}
+}
+
+// Config controls pipeline training.
+type Config struct {
+	// Model is the base classifier family.
+	Model Model
+	// M is the ensemble size (the paper settles on ~20-25; default 25).
+	M int
+	// PCAComponents is the dimensionality after PCA; 0 skips PCA.
+	PCAComponents int
+	// Seed drives all randomness in the pipeline.
+	Seed int64
+	// Diversity selects bagging vs random-restart (default Bootstrap).
+	Diversity ensemble.Diversity
+	// MaxSamples is the bootstrap replicate fraction (0 = full size).
+	MaxSamples float64
+	// MaxFeatures is the per-member feature subset fraction (0 = all). The
+	// experiments use random feature subspaces for the linear ensembles,
+	// whose members are otherwise nearly identical under full bootstraps.
+	MaxFeatures float64
+	// SVMMaxObjective propagates to linear.SVMConfig.MaxObjective when
+	// Model == SVM (0 disables the convergence check).
+	SVMMaxObjective float64
+	// TreeMaxDepth / TreeMinLeaf propagate to the CART members when Model
+	// == RandomForest (0 keeps the defaults: unlimited depth, leaf size 1).
+	// Limited trees emit soft leaf posteriors, which the uncertainty
+	// decomposition (DecomposeUncertainty) needs to observe aleatoric mass.
+	TreeMaxDepth int
+	TreeMinLeaf  int
+	// Workers caps training parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Pipeline is a trained trusted HMD.
+type Pipeline struct {
+	cfg    Config
+	scaler *dataset.Scaler
+	pca    *reduce.PCA
+	ens    *ensemble.Bagging
+	est    core.Estimator
+}
+
+// Assessment is the trusted HMD's per-input output: the raw prediction,
+// the vote-entropy uncertainty, and the vote distribution behind it.
+type Assessment struct {
+	Prediction int
+	Entropy    float64
+	VoteDist   []float64
+}
+
+// Train fits the full pipeline on the training split.
+func Train(train *dataset.Dataset, cfg Config) (*Pipeline, error) {
+	if train == nil || train.Len() == 0 {
+		return nil, errors.New("hmd: empty training set")
+	}
+	if cfg.M <= 0 {
+		cfg.M = 25
+	}
+	X := train.X()
+	scaler, err := dataset.FitScaler(X)
+	if err != nil {
+		return nil, fmt.Errorf("hmd: scaler: %w", err)
+	}
+	Xs, err := scaler.Transform(X)
+	if err != nil {
+		return nil, fmt.Errorf("hmd: scale: %w", err)
+	}
+
+	var pca *reduce.PCA
+	if cfg.PCAComponents > 0 {
+		pca, err = reduce.FitPCA(Xs, cfg.PCAComponents)
+		if err != nil {
+			return nil, fmt.Errorf("hmd: pca: %w", err)
+		}
+		Xs, err = pca.Transform(Xs)
+		if err != nil {
+			return nil, fmt.Errorf("hmd: pca transform: %w", err)
+		}
+	}
+
+	factory, err := factoryFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ens := ensemble.New(ensemble.Config{
+		M:           cfg.M,
+		New:         factory,
+		Diversity:   cfg.Diversity,
+		MaxSamples:  cfg.MaxSamples,
+		MaxFeatures: cfg.MaxFeatures,
+		Seed:        cfg.Seed,
+		Workers:     cfg.Workers,
+	})
+	if err := ens.Fit(Xs, train.Y()); err != nil {
+		return nil, fmt.Errorf("hmd: ensemble: %w", err)
+	}
+	return &Pipeline{
+		cfg:    cfg,
+		scaler: scaler,
+		pca:    pca,
+		ens:    ens,
+		est:    core.Estimator{Classes: dataset.NumClasses},
+	}, nil
+}
+
+func factoryFor(cfg Config) (func(int64) ensemble.Classifier, error) {
+	switch cfg.Model {
+	case RandomForest:
+		return func(seed int64) ensemble.Classifier {
+			// MaxFeatures -1 resolves to sqrt(d) at fit time.
+			return tree.New(tree.Config{
+				MaxFeatures: -1,
+				MaxDepth:    cfg.TreeMaxDepth,
+				MinLeaf:     cfg.TreeMinLeaf,
+				Seed:        seed,
+			})
+		}, nil
+	case LogisticRegression:
+		return func(seed int64) ensemble.Classifier {
+			return linear.NewLogistic(linear.LogisticConfig{Seed: seed, Epochs: 20, Batch: 16})
+		}, nil
+	case SVM:
+		return func(seed int64) ensemble.Classifier {
+			return linear.NewSVM(linear.SVMConfig{Seed: seed, Epochs: 100, MaxObjective: cfg.SVMMaxObjective})
+		}, nil
+	case NaiveBayes:
+		return func(seed int64) ensemble.Classifier {
+			return bayes.New(bayes.Config{})
+		}, nil
+	case KNN:
+		return func(seed int64) ensemble.Classifier {
+			return knn.New(knn.Config{K: 5})
+		}, nil
+	default:
+		return nil, fmt.Errorf("hmd: unknown model %d", int(cfg.Model))
+	}
+}
+
+// project applies scaling and PCA to one raw feature vector.
+func (p *Pipeline) project(x []float64) ([]float64, error) {
+	z, err := p.scaler.TransformVec(x)
+	if err != nil {
+		return nil, err
+	}
+	if p.pca != nil {
+		z, err = p.pca.TransformVec(z)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return z, nil
+}
+
+// Predict runs the untrusted path: the plain majority-vote label.
+func (p *Pipeline) Predict(x []float64) (int, error) {
+	z, err := p.project(x)
+	if err != nil {
+		return 0, err
+	}
+	return p.ens.Predict(z), nil
+}
+
+// Assess runs the trusted path: label plus vote-entropy uncertainty.
+func (p *Pipeline) Assess(x []float64) (Assessment, error) {
+	z, err := p.project(x)
+	if err != nil {
+		return Assessment{}, err
+	}
+	votes := p.ens.Votes(z)
+	h, err := p.est.VoteEntropy(votes)
+	if err != nil {
+		return Assessment{}, err
+	}
+	dist, err := p.est.VoteDistribution(votes)
+	if err != nil {
+		return Assessment{}, err
+	}
+	counts := make([]int, len(dist))
+	best := 0
+	for _, v := range votes {
+		counts[v]++
+	}
+	for lab, c := range counts {
+		if c > counts[best] {
+			best = lab
+		}
+	}
+	return Assessment{Prediction: best, Entropy: h, VoteDist: dist}, nil
+}
+
+// AssessDataset assesses every sample of d, returning parallel slices of
+// predictions and entropies (the form the experiment harness consumes).
+func (p *Pipeline) AssessDataset(d *dataset.Dataset) (preds []int, entropies []float64, err error) {
+	if d == nil || d.Len() == 0 {
+		return nil, nil, errors.New("hmd: empty dataset")
+	}
+	preds = make([]int, d.Len())
+	entropies = make([]float64, d.Len())
+	for i := 0; i < d.Len(); i++ {
+		a, err := p.Assess(d.At(i).Features)
+		if err != nil {
+			return nil, nil, fmt.Errorf("hmd: sample %d: %w", i, err)
+		}
+		preds[i] = a.Prediction
+		entropies[i] = a.Entropy
+	}
+	return preds, entropies, nil
+}
+
+// Posterior returns the averaged member posterior (Eq. 3) for x: mean of
+// members' probability outputs, falling back to vote frequencies for
+// members without probability support.
+func (p *Pipeline) Posterior(x []float64) (core.Posterior, error) {
+	z, err := p.project(x)
+	if err != nil {
+		return nil, err
+	}
+	return core.Posterior(p.ens.PredictProba(z)), nil
+}
+
+// DecomposeUncertainty separates the prediction's uncertainty on x into
+// aleatoric and epistemic components (core.Decompose over the members'
+// posteriors). With fully grown trees the members vote one-hot and all
+// uncertainty registers as epistemic; soft members (LR, NB, kNN) yield a
+// non-trivial split. This implements the source separation the paper's
+// conclusion lists as future work.
+func (p *Pipeline) DecomposeUncertainty(x []float64) (core.Decomposition, error) {
+	z, err := p.project(x)
+	if err != nil {
+		return core.Decomposition{}, err
+	}
+	return core.Decompose(p.ens.MemberProbas(z))
+}
+
+// Decide runs the full trusted decision at a rejection threshold.
+func (p *Pipeline) Decide(x []float64, threshold float64) (core.Decision, Assessment, error) {
+	a, err := p.Assess(x)
+	if err != nil {
+		return core.DecideReject, Assessment{}, err
+	}
+	d, err := core.Rejector{Threshold: threshold}.Decide(a.Prediction, a.Entropy)
+	if err != nil {
+		return core.DecideReject, a, err
+	}
+	return d, a, nil
+}
+
+// Ensemble exposes the trained ensemble (for the Fig. 9a size sweep).
+func (p *Pipeline) Ensemble() *ensemble.Bagging { return p.ens }
+
+// TruncatedAssess assesses x with only the first m ensemble members —
+// used by the Fig. 9a entropy-vs-ensemble-size sweep.
+func (p *Pipeline) TruncatedAssess(x []float64, m int) (Assessment, error) {
+	z, err := p.project(x)
+	if err != nil {
+		return Assessment{}, err
+	}
+	tr, err := p.ens.Truncated(m)
+	if err != nil {
+		return Assessment{}, err
+	}
+	votes := tr.Votes(z)
+	h, err := p.est.VoteEntropy(votes)
+	if err != nil {
+		return Assessment{}, err
+	}
+	dist, err := p.est.VoteDistribution(votes)
+	if err != nil {
+		return Assessment{}, err
+	}
+	pred := 0
+	counts := make([]int, len(dist))
+	for _, v := range votes {
+		counts[v]++
+	}
+	for lab, c := range counts {
+		if c > counts[pred] {
+			pred = lab
+		}
+	}
+	return Assessment{Prediction: pred, Entropy: h, VoteDist: dist}, nil
+}

@@ -1,0 +1,266 @@
+package hmd
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"trusthmd/internal/core"
+	"trusthmd/internal/dataset"
+	"trusthmd/internal/ensemble"
+	"trusthmd/internal/gen"
+	"trusthmd/internal/ml/linear"
+)
+
+func dvfsSplits(t *testing.T) gen.Splits {
+	t.Helper()
+	s, err := gen.DVFSWithSizes(3, gen.Sizes{Train: 280, Test: 140, Unknown: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestModelString(t *testing.T) {
+	if RandomForest.String() != "RF" || LogisticRegression.String() != "LR" || SVM.String() != "SVM" {
+		t.Fatal("model strings")
+	}
+	if Model(9).String() == "" {
+		t.Fatal("unknown model should render")
+	}
+}
+
+func TestTrainPredictAssess(t *testing.T) {
+	s := dvfsSplits(t)
+	p, err := Train(s.Train, Config{Model: RandomForest, M: 11, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < s.Test.Len(); i++ {
+		smp := s.Test.At(i)
+		pred, err := p.Predict(smp.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred == smp.Label {
+			correct++
+		}
+		a, err := p.Assess(smp.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Prediction != pred {
+			t.Fatal("Assess and Predict must agree")
+		}
+		if a.Entropy < 0 || a.Entropy > 1 {
+			t.Fatalf("entropy %v out of range", a.Entropy)
+		}
+		var sum float64
+		for _, v := range a.VoteDist {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("vote dist sums to %v", sum)
+		}
+	}
+	if frac := float64(correct) / float64(s.Test.Len()); frac < 0.9 {
+		t.Fatalf("test accuracy %v", frac)
+	}
+}
+
+func TestTrainWithPCA(t *testing.T) {
+	s := dvfsSplits(t)
+	p, err := Train(s.Train, Config{Model: RandomForest, M: 7, Seed: 2, PCAComponents: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Assess(s.Test.At(0).Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Entropy < 0 {
+		t.Fatal("bad entropy")
+	}
+	// PCA with too many components errors.
+	if _, err := Train(s.Train, Config{Model: RandomForest, M: 3, PCAComponents: 1000}); err == nil {
+		t.Fatal("expected pca error")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, Config{}); err == nil {
+		t.Fatal("expected nil dataset error")
+	}
+	if _, err := Train(dataset.New(2), Config{}); err == nil {
+		t.Fatal("expected empty dataset error")
+	}
+	s := dvfsSplits(t)
+	if _, err := Train(s.Train, Config{Model: Model(42)}); err == nil {
+		t.Fatal("expected unknown model error")
+	}
+}
+
+func TestAssessDataset(t *testing.T) {
+	s := dvfsSplits(t)
+	p, err := Train(s.Train, Config{Model: LogisticRegression, M: 9, Seed: 3, MaxFeatures: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, entropies, err := p.AssessDataset(s.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != s.Test.Len() || len(entropies) != s.Test.Len() {
+		t.Fatal("length mismatch")
+	}
+	if _, _, err := p.AssessDataset(nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if _, _, err := p.AssessDataset(dataset.New(2)); err == nil {
+		t.Fatal("expected empty error")
+	}
+}
+
+func TestDecide(t *testing.T) {
+	s := dvfsSplits(t)
+	p, err := Train(s.Train, Config{Model: RandomForest, M: 9, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := s.Test.At(0).Features
+	d, a, err := p.Decide(x, 1.0) // threshold 1.0 accepts everything
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == core.DecideReject {
+		t.Fatal("threshold 1.0 must accept")
+	}
+	if a.Prediction != 0 && a.Prediction != 1 {
+		t.Fatal("bad prediction")
+	}
+	d, _, err = p.Decide(x, -0.001) // impossible threshold rejects all
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != core.DecideReject {
+		t.Fatal("negative threshold must reject")
+	}
+}
+
+func TestPosterior(t *testing.T) {
+	s := dvfsSplits(t)
+	p, err := Train(s.Train, Config{Model: RandomForest, M: 9, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := p.Posterior(s.Test.At(0).Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range post {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("posterior sums to %v", sum)
+	}
+}
+
+func TestTruncatedAssess(t *testing.T) {
+	s := dvfsSplits(t)
+	p, err := Train(s.Train, Config{Model: RandomForest, M: 20, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := s.Unknown.At(0).Features
+	a5, err := p.TruncatedAssess(x, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aFull, err := p.TruncatedAssess(x, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := p.Assess(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aFull.Entropy != full.Entropy || aFull.Prediction != full.Prediction {
+		t.Fatal("full truncation must equal Assess")
+	}
+	if a5.Entropy < 0 || a5.Entropy > 1 {
+		t.Fatal("bad truncated entropy")
+	}
+	if _, err := p.TruncatedAssess(x, 0); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := p.TruncatedAssess(x, 21); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	s := dvfsSplits(t)
+	p, err := Train(s.Train, Config{Model: RandomForest, M: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Predict([]float64{1, 2}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if _, err := p.Assess([]float64{1}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if _, err := p.Posterior([]float64{1}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestSVMNonConvergencePropagates(t *testing.T) {
+	// Label-noise data: SVM with a strict objective must fail to converge.
+	rng := rand.New(rand.NewSource(8))
+	d := dataset.New(2)
+	for i := 0; i < 200; i++ {
+		if err := d.Add(dataset.Sample{
+			Features: []float64{rng.NormFloat64(), rng.NormFloat64()},
+			Label:    i % 2,
+			App:      "noise",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := Train(d, Config{Model: SVM, M: 3, Seed: 8, SVMMaxObjective: 0.2})
+	if err == nil {
+		t.Fatal("expected non-convergence")
+	}
+	var nc *linear.ErrNoConvergence
+	if !errors.As(err, &nc) {
+		t.Fatalf("error %v should wrap linear.ErrNoConvergence", err)
+	}
+}
+
+func TestEnsembleAccessor(t *testing.T) {
+	s := dvfsSplits(t)
+	p, err := Train(s.Train, Config{Model: RandomForest, M: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ensemble().Size() != 5 {
+		t.Fatal("ensemble accessor")
+	}
+}
+
+func TestDiversityModes(t *testing.T) {
+	s := dvfsSplits(t)
+	for _, mode := range []ensemble.Diversity{ensemble.Bootstrap, ensemble.RandomInit} {
+		p, err := Train(s.Train, Config{Model: LogisticRegression, M: 5, Seed: 10, Diversity: mode})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if _, err := p.Predict(s.Test.At(0).Features); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package hmd
+
+import (
+	"fmt"
+
+	"trusthmd/internal/core"
+	"trusthmd/internal/feature"
+)
+
+// Online is the streaming trusted detector: it consumes DVFS states one
+// sample at a time, maintains a sliding window, and every Stride samples
+// extracts features and produces a trusted decision — the deployment mode
+// the paper's title refers to ("online uncertainty estimation").
+//
+// Online is not safe for concurrent use; give each telemetry stream its own
+// instance.
+type Online struct {
+	pipeline  *Pipeline
+	threshold float64
+	levels    int
+	window    []int
+	stride    int
+	sinceLast int
+
+	// Stats accumulates decision counts for monitoring dashboards.
+	Stats OnlineStats
+}
+
+// OnlineStats tallies the stream's decisions.
+type OnlineStats struct {
+	Benign, Malware, Rejected int
+	Windows                   int
+}
+
+// Total returns the number of decisions made.
+func (s OnlineStats) Total() int { return s.Benign + s.Malware + s.Rejected }
+
+// RejectedFraction returns the share of windows rejected, or 0 before any
+// decision.
+func (s OnlineStats) RejectedFraction() float64 {
+	if s.Total() == 0 {
+		return 0
+	}
+	return float64(s.Rejected) / float64(s.Total())
+}
+
+// OnlineConfig parameterises the streaming detector.
+type OnlineConfig struct {
+	// Threshold is the entropy rejection threshold (the paper's DVFS
+	// operating point is 0.40).
+	Threshold float64
+	// Levels is the DVFS ladder size of the telemetry source.
+	Levels int
+	// Window is the number of states per assessment window.
+	Window int
+	// Stride is how many new samples arrive between assessments; 0 means
+	// a full window (non-overlapping windows).
+	Stride int
+}
+
+// NewOnline wraps a trained pipeline into a streaming detector.
+func NewOnline(p *Pipeline, cfg OnlineConfig) (*Online, error) {
+	if p == nil {
+		return nil, fmt.Errorf("hmd: online needs a trained pipeline")
+	}
+	if cfg.Levels < 2 {
+		return nil, fmt.Errorf("hmd: online needs >=2 levels, got %d", cfg.Levels)
+	}
+	if cfg.Window < 2 {
+		return nil, fmt.Errorf("hmd: online needs window >=2, got %d", cfg.Window)
+	}
+	if cfg.Threshold < 0 {
+		return nil, fmt.Errorf("hmd: negative threshold %v", cfg.Threshold)
+	}
+	stride := cfg.Stride
+	if stride <= 0 {
+		stride = cfg.Window
+	}
+	return &Online{
+		pipeline:  p,
+		threshold: cfg.Threshold,
+		levels:    cfg.Levels,
+		window:    make([]int, 0, cfg.Window),
+		stride:    stride,
+	}, nil
+}
+
+// OnlineDecision is one emitted decision with its provenance.
+type OnlineDecision struct {
+	Decision   core.Decision
+	Assessment Assessment
+}
+
+// Push feeds one DVFS state sample. When a full window is available and the
+// stride has elapsed, it returns a decision; otherwise ok is false.
+func (o *Online) Push(state int) (dec OnlineDecision, ok bool, err error) {
+	if state < 0 || state >= o.levels {
+		return OnlineDecision{}, false, fmt.Errorf("hmd: state %d outside [0,%d)", state, o.levels)
+	}
+	if len(o.window) == cap(o.window) {
+		copy(o.window, o.window[1:])
+		o.window = o.window[:len(o.window)-1]
+	}
+	o.window = append(o.window, state)
+	o.sinceLast++
+	if len(o.window) < cap(o.window) || o.sinceLast < o.stride {
+		return OnlineDecision{}, false, nil
+	}
+	o.sinceLast = 0
+
+	feats, err := feature.DVFSVector(o.window, o.levels)
+	if err != nil {
+		return OnlineDecision{}, false, fmt.Errorf("hmd: online features: %w", err)
+	}
+	d, a, err := o.pipeline.Decide(feats, o.threshold)
+	if err != nil {
+		return OnlineDecision{}, false, err
+	}
+	o.Stats.Windows++
+	switch d {
+	case core.DecideBenign:
+		o.Stats.Benign++
+	case core.DecideMalware:
+		o.Stats.Malware++
+	default:
+		o.Stats.Rejected++
+	}
+	return OnlineDecision{Decision: d, Assessment: a}, true, nil
+}

@@ -1,0 +1,131 @@
+package hmd
+
+import (
+	"math/rand"
+	"testing"
+
+	"trusthmd/internal/core"
+	"trusthmd/internal/dvfs"
+	"trusthmd/internal/workload"
+)
+
+func onlinePipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	s := dvfsSplits(t)
+	p, err := Train(s.Train, Config{Model: RandomForest, M: 11, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewOnlineValidation(t *testing.T) {
+	p := onlinePipeline(t)
+	cases := map[string]OnlineConfig{
+		"levels":    {Threshold: 0.4, Levels: 1, Window: 16},
+		"window":    {Threshold: 0.4, Levels: 8, Window: 1},
+		"threshold": {Threshold: -1, Levels: 8, Window: 16},
+	}
+	for name, cfg := range cases {
+		if _, err := NewOnline(p, cfg); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+	if _, err := NewOnline(nil, OnlineConfig{Threshold: 0.4, Levels: 8, Window: 16}); err == nil {
+		t.Fatal("expected nil pipeline error")
+	}
+}
+
+func TestOnlineStream(t *testing.T) {
+	p := onlinePipeline(t)
+	o, err := NewOnline(p, OnlineConfig{Threshold: 0.4, Levels: 8, Window: 256, Stride: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream a miner trace: decisions should flow once the window fills.
+	sim, err := dvfs.NewSimulator(dvfs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var miner workload.DVFSBehavior
+	for _, a := range workload.DVFSApps() {
+		if a.Name == "miner_a" {
+			miner = a
+		}
+	}
+	rng := rand.New(rand.NewSource(21))
+	decisions := 0
+	malware := 0
+	for i := 0; i < 4; i++ {
+		trace, err := sim.Trace(miner, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range trace {
+			dec, ok, err := o.Push(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				decisions++
+				if dec.Decision == core.DecideMalware {
+					malware++
+				}
+			}
+		}
+	}
+	if decisions == 0 {
+		t.Fatal("no decisions emitted")
+	}
+	if o.Stats.Total() != decisions || o.Stats.Windows != decisions {
+		t.Fatalf("stats mismatch: %+v vs %d", o.Stats, decisions)
+	}
+	if float64(malware)/float64(decisions) < 0.6 {
+		t.Fatalf("miner stream should mostly flag malware: %d/%d", malware, decisions)
+	}
+}
+
+func TestOnlineStrideControlsRate(t *testing.T) {
+	p := onlinePipeline(t)
+	o, err := NewOnline(p, OnlineConfig{Threshold: 0.4, Levels: 8, Window: 64, Stride: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := 0
+	for i := 0; i < 256; i++ {
+		_, ok, err := o.Push(i % 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			emitted++
+		}
+	}
+	// Window fills at 64, then one decision per 16 samples: 1 + (256-64)/16.
+	want := 1 + (256-64)/16
+	if emitted != want {
+		t.Fatalf("emitted %d decisions, want %d", emitted, want)
+	}
+}
+
+func TestOnlineRejectsBadState(t *testing.T) {
+	p := onlinePipeline(t)
+	o, err := NewOnline(p, OnlineConfig{Threshold: 0.4, Levels: 8, Window: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := o.Push(8); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, _, err := o.Push(-1); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestOnlineStatsZero(t *testing.T) {
+	var s OnlineStats
+	if s.RejectedFraction() != 0 || s.Total() != 0 {
+		t.Fatal("zero stats")
+	}
+}

@@ -1,0 +1,94 @@
+package hmd
+
+import (
+	"errors"
+	"fmt"
+
+	"trusthmd/internal/dataset"
+)
+
+// Retrainer implements the feedback loop sketched in the paper's
+// introduction: rejected inputs are collected as forensic data, an analyst
+// assigns them ground-truth labels, and once enough labelled forensics
+// accumulate the detector is retrained with the new workload class folded
+// into its training set. After retraining, the formerly-unknown workload
+// is in distribution: its predictive entropy drops and it is classified
+// rather than rejected.
+//
+// Retrainer is not safe for concurrent use.
+type Retrainer struct {
+	base    *dataset.Dataset
+	cfg     Config
+	quorum  int
+	pending *dataset.Dataset
+	rounds  int
+}
+
+// NewRetrainer wraps the original training set and pipeline configuration.
+// quorum is the number of labelled forensic samples required before
+// ShouldRetrain reports true (minimum 1).
+func NewRetrainer(train *dataset.Dataset, cfg Config, quorum int) (*Retrainer, error) {
+	if train == nil || train.Len() == 0 {
+		return nil, errors.New("hmd: retrainer needs a non-empty training set")
+	}
+	if quorum < 1 {
+		return nil, fmt.Errorf("hmd: retrainer quorum %d must be >=1", quorum)
+	}
+	return &Retrainer{
+		base:    train,
+		cfg:     cfg,
+		quorum:  quorum,
+		pending: dataset.New(train.Dim()),
+	}, nil
+}
+
+// ReportRejection records one rejected input together with the analyst's
+// verdict. app identifies the workload for bookkeeping (it becomes the
+// sample's application tag in the augmented training set).
+func (r *Retrainer) ReportRejection(features []float64, analystLabel int, app string) error {
+	if err := r.pending.Add(dataset.Sample{
+		Features: append([]float64(nil), features...),
+		Label:    analystLabel,
+		App:      app,
+	}); err != nil {
+		return fmt.Errorf("hmd: report rejection: %w", err)
+	}
+	return nil
+}
+
+// Pending returns the number of labelled forensic samples not yet folded
+// into a retraining round.
+func (r *Retrainer) Pending() int { return r.pending.Len() }
+
+// Rounds returns the number of completed retraining rounds.
+func (r *Retrainer) Rounds() int { return r.rounds }
+
+// ShouldRetrain reports whether the forensic quorum has been reached.
+func (r *Retrainer) ShouldRetrain() bool { return r.pending.Len() >= r.quorum }
+
+// Retrain merges the forensic samples into the training set and trains a
+// fresh pipeline. The forensic buffer is drained into the base set, so
+// subsequent rounds build on all evidence gathered so far. The pipeline
+// seed is advanced every round so retrained ensembles are independent.
+func (r *Retrainer) Retrain() (*Pipeline, error) {
+	if r.pending.Len() == 0 {
+		return nil, errors.New("hmd: no forensic samples to retrain on")
+	}
+	merged, err := r.base.Merge(r.pending)
+	if err != nil {
+		return nil, fmt.Errorf("hmd: retrain merge: %w", err)
+	}
+	cfg := r.cfg
+	cfg.Seed += int64(r.rounds + 1)
+	p, err := Train(merged, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("hmd: retrain: %w", err)
+	}
+	r.base = merged
+	r.pending = dataset.New(merged.Dim())
+	r.rounds++
+	return p, nil
+}
+
+// TrainingSize returns the current size of the (augmented) training set.
+func (r *Retrainer) TrainingSize() int { return r.base.Len() }

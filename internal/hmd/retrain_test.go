@@ -1,0 +1,170 @@
+package hmd
+
+import (
+	"testing"
+
+	"trusthmd/internal/dataset"
+	"trusthmd/internal/gen"
+	"trusthmd/internal/mat"
+)
+
+func TestNewRetrainerValidation(t *testing.T) {
+	if _, err := NewRetrainer(nil, Config{}, 5); err == nil {
+		t.Fatal("expected nil training set error")
+	}
+	if _, err := NewRetrainer(dataset.New(3), Config{}, 5); err == nil {
+		t.Fatal("expected empty training set error")
+	}
+	s := dvfsSplits(t)
+	if _, err := NewRetrainer(s.Train, Config{}, 0); err == nil {
+		t.Fatal("expected quorum error")
+	}
+}
+
+func TestRetrainerLifecycle(t *testing.T) {
+	s := dvfsSplits(t)
+	cfg := Config{Model: RandomForest, M: 15, Seed: 30}
+	r, err := NewRetrainer(s.Train, cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ShouldRetrain() || r.Pending() != 0 || r.Rounds() != 0 {
+		t.Fatal("fresh retrainer state")
+	}
+	if _, err := r.Retrain(); err == nil {
+		t.Fatal("expected no-forensics error")
+	}
+	baseSize := r.TrainingSize()
+
+	for i := 0; i < 10; i++ {
+		smp := s.Unknown.At(i)
+		if err := r.ReportRejection(smp.Features, smp.Label, smp.App); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.ShouldRetrain() {
+		t.Fatal("quorum reached but ShouldRetrain false")
+	}
+	p, err := r.Retrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil {
+		t.Fatal("nil pipeline")
+	}
+	if r.Pending() != 0 || r.Rounds() != 1 {
+		t.Fatalf("post-retrain state: pending %d rounds %d", r.Pending(), r.Rounds())
+	}
+	if r.TrainingSize() != baseSize+10 {
+		t.Fatalf("training size %d, want %d", r.TrainingSize(), baseSize+10)
+	}
+}
+
+func TestRetrainerReportValidation(t *testing.T) {
+	s := dvfsSplits(t)
+	r, err := NewRetrainer(s.Train, Config{Model: RandomForest, M: 5, Seed: 31}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReportRejection([]float64{1, 2}, 1, "x"); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if err := r.ReportRejection(s.Unknown.At(0).Features, 7, "x"); err == nil {
+		t.Fatal("expected label error")
+	}
+}
+
+// TestRetrainingAbsorbsZeroDay is the paper's feedback-loop claim end to
+// end: a zero-day family with high entropy becomes classifiable (low
+// entropy, correct label) after its forensics are folded into training.
+func TestRetrainingAbsorbsZeroDay(t *testing.T) {
+	splits, err := gen.DVFSWithSizes(32, gen.Sizes{Train: 1400, Test: 280, Unknown: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Model: RandomForest, M: 25, Seed: 32}
+	before, err := Train(splits.Train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Split the unknown bucket's cryptojack family: half becomes analyst
+	// forensics, half stays held out.
+	var forensic, heldOut []dataset.Sample
+	for i := 0; i < splits.Unknown.Len(); i++ {
+		smp := splits.Unknown.At(i)
+		if smp.App != "cryptojack_v2" {
+			continue
+		}
+		// 3:1 forensic-to-held-out split: deployments accumulate forensics
+		// over time, while evaluation needs only a modest held-out set.
+		if len(forensic) < 3*(len(heldOut)+1) {
+			forensic = append(forensic, smp)
+		} else {
+			heldOut = append(heldOut, smp)
+		}
+	}
+	if len(forensic) < 10 || len(heldOut) < 10 {
+		t.Fatalf("not enough cryptojack samples: %d/%d", len(forensic), len(heldOut))
+	}
+
+	entropyAndAcc := func(p *Pipeline) (float64, float64) {
+		var hs []float64
+		correct := 0
+		for _, smp := range heldOut {
+			a, err := p.Assess(smp.Features)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hs = append(hs, a.Entropy)
+			if a.Prediction == smp.Label {
+				correct++
+			}
+		}
+		return mat.Mean(hs), float64(correct) / float64(len(heldOut))
+	}
+
+	hBefore, _ := entropyAndAcc(before)
+
+	r, err := NewRetrainer(splits.Train, cfg, len(forensic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, smp := range forensic {
+		if err := r.ReportRejection(smp.Features, smp.Label, smp.App); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := r.Retrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hAfter, accAfter := entropyAndAcc(after)
+
+	if hBefore < 0.3 {
+		t.Fatalf("zero-day entropy before retraining %.3f should be high", hBefore)
+	}
+	if hAfter > 0.6*hBefore {
+		t.Fatalf("retraining should substantially cut the family's entropy: %.3f -> %.3f", hBefore, hAfter)
+	}
+	if accAfter < 0.8 {
+		t.Fatalf("retrained accuracy on the absorbed family %.3f", accAfter)
+	}
+	// The rest of the unknown bucket must still be flagged: retraining one
+	// family must not silence the detector on others.
+	var otherHs []float64
+	for i := 0; i < splits.Unknown.Len(); i++ {
+		smp := splits.Unknown.At(i)
+		if smp.App == "cryptojack_v2" {
+			continue
+		}
+		a, err := after.Assess(smp.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		otherHs = append(otherHs, a.Entropy)
+	}
+	if mat.Mean(otherHs) < 0.25 {
+		t.Fatalf("other unknown families lost their entropy: %.3f", mat.Mean(otherHs))
+	}
+}

@@ -1,0 +1,152 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eigen holds the eigendecomposition of a symmetric matrix: A = V diag(L) Vᵀ.
+// Values are sorted in descending order and Vectors' columns correspond to
+// Values (column k of Vectors is the eigenvector for Values[k]).
+type Eigen struct {
+	Values  []float64
+	Vectors *Matrix
+}
+
+// SymEigen computes the eigendecomposition of the symmetric matrix a using
+// the cyclic Jacobi rotation method. The input is not modified. It returns
+// an error if a is not square, empty, or not symmetric to within a small
+// tolerance, or if the iteration fails to converge.
+//
+// Jacobi is O(d^3) per sweep and converges quadratically; it is exact enough
+// for the PCA dimensionalities used in this project (d <= a few hundred).
+func SymEigen(a *Matrix) (*Eigen, error) {
+	n := a.Rows()
+	if n == 0 || a.Cols() != n {
+		return nil, fmt.Errorf("mat: symeigen of %dx%d: %w", a.Rows(), a.Cols(), ErrShape)
+	}
+	var scale float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			scale = math.Max(scale, math.Abs(a.At(i, j)))
+		}
+	}
+	symTol := 1e-8 * math.Max(scale, 1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > symTol {
+				return nil, fmt.Errorf("mat: symeigen: matrix not symmetric at (%d,%d): %g vs %g", i, j, a.At(i, j), a.At(j, i))
+			}
+		}
+	}
+
+	w := a.Clone()
+	v := Identity(n)
+	const maxSweeps = 100
+	tol := 1e-12 * math.Max(scale, 1)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off <= tol {
+			return sortEigen(w, v), nil
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) <= tol/float64(n) {
+					continue
+				}
+				jacobiRotate(w, v, p, q)
+			}
+		}
+	}
+	if offDiagNorm(w) <= 1e-7*math.Max(scale, 1) {
+		// Accept near-convergence; residuals at this scale do not affect
+		// downstream PCA ordering.
+		return sortEigen(w, v), nil
+	}
+	return nil, fmt.Errorf("mat: symeigen: no convergence after %d sweeps (off-diagonal %.3g)", maxSweeps, offDiagNorm(w))
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+func offDiagNorm(m *Matrix) float64 {
+	var s float64
+	n := m.Rows()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := m.At(i, j)
+			s += 2 * v * v
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// jacobiRotate zeroes w[p][q] with a Givens rotation, accumulating the
+// rotation into v.
+func jacobiRotate(w, v *Matrix, p, q int) {
+	n := w.Rows()
+	apq := w.At(p, q)
+	app := w.At(p, p)
+	aqq := w.At(q, q)
+
+	theta := (aqq - app) / (2 * apq)
+	var t float64
+	if theta >= 0 {
+		t = 1 / (theta + math.Sqrt(1+theta*theta))
+	} else {
+		t = -1 / (-theta + math.Sqrt(1+theta*theta))
+	}
+	c := 1 / math.Sqrt(1+t*t)
+	s := t * c
+
+	for k := 0; k < n; k++ {
+		wkp := w.At(k, p)
+		wkq := w.At(k, q)
+		w.Set(k, p, c*wkp-s*wkq)
+		w.Set(k, q, s*wkp+c*wkq)
+	}
+	for k := 0; k < n; k++ {
+		wpk := w.At(p, k)
+		wqk := w.At(q, k)
+		w.Set(p, k, c*wpk-s*wqk)
+		w.Set(q, k, s*wpk+c*wqk)
+	}
+	w.Set(p, q, 0)
+	w.Set(q, p, 0)
+
+	for k := 0; k < n; k++ {
+		vkp := v.At(k, p)
+		vkq := v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+func sortEigen(w, v *Matrix) *Eigen {
+	n := w.Rows()
+	idx := make([]int, n)
+	vals := make([]float64, n)
+	for i := range idx {
+		idx[i] = i
+		vals[i] = w.At(i, i)
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+
+	outVals := make([]float64, n)
+	outVecs := New(n, n)
+	for k, src := range idx {
+		outVals[k] = vals[src]
+		for r := 0; r < n; r++ {
+			outVecs.Set(r, k, v.At(r, src))
+		}
+	}
+	return &Eigen{Values: outVals, Vectors: outVecs}
+}

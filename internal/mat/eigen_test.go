@@ -1,0 +1,212 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := MustFromRows([][]float64{{3, 0}, {0, 1}})
+	e, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Values[0]-3) > 1e-10 || math.Abs(e.Values[1]-1) > 1e-10 {
+		t.Fatalf("values %v", e.Values)
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := MustFromRows([][]float64{{2, 1}, {1, 2}})
+	e, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Values[0]-3) > 1e-10 || math.Abs(e.Values[1]-1) > 1e-10 {
+		t.Fatalf("values %v, want [3 1]", e.Values)
+	}
+	// Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+	v0 := e.Vectors.Col(0)
+	if math.Abs(math.Abs(v0[0])-1/math.Sqrt2) > 1e-9 || math.Abs(v0[0]-v0[1]) > 1e-9 {
+		t.Fatalf("vector %v", v0)
+	}
+}
+
+func TestSymEigenNotSquare(t *testing.T) {
+	if _, err := SymEigen(New(2, 3)); err == nil {
+		t.Fatal("expected shape error")
+	}
+	if _, err := SymEigen(New(0, 0)); err == nil {
+		t.Fatal("expected error for empty matrix")
+	}
+}
+
+func TestSymEigenNotSymmetric(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	if _, err := SymEigen(a); err == nil {
+		t.Fatal("expected symmetry error")
+	}
+}
+
+func TestSymEigenDescendingOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomSym(rng, 6)
+	e, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(e.Values); i++ {
+		if e.Values[i] > e.Values[i-1]+1e-12 {
+			t.Fatalf("values not descending: %v", e.Values)
+		}
+	}
+}
+
+func randomSym(rng *rand.Rand, n int) *Matrix {
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+// Property: A v_k = lambda_k v_k and the eigenvectors are orthonormal.
+func TestSymEigenReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := randomSym(rng, n)
+		e, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < n; k++ {
+			v := e.Vectors.Col(k)
+			av, err := a.MulVec(v)
+			if err != nil {
+				return false
+			}
+			for i := 0; i < n; i++ {
+				if math.Abs(av[i]-e.Values[k]*v[i]) > 1e-7 {
+					return false
+				}
+			}
+		}
+		// Orthonormality.
+		for p := 0; p < n; p++ {
+			vp := e.Vectors.Col(p)
+			for q := p; q < n; q++ {
+				d := Dot(vp, e.Vectors.Col(q))
+				want := 0.0
+				if p == q {
+					want = 1
+				}
+				if math.Abs(d-want) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: trace is preserved (sum of eigenvalues equals trace of A).
+func TestSymEigenTraceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := randomSym(rng, n)
+		e, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		var trace float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+		}
+		return math.Abs(trace-Sum(e.Values)) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("identity wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if Dot(a, b) != 32 {
+		t.Fatalf("dot=%v", Dot(a, b))
+	}
+	if math.Abs(Norm([]float64{3, 4})-5) > 1e-12 {
+		t.Fatal("norm")
+	}
+	if SqDist(a, b) != 27 {
+		t.Fatalf("sqdist=%v", SqDist(a, b))
+	}
+	if math.Abs(Dist(a, b)-math.Sqrt(27)) > 1e-12 {
+		t.Fatal("dist")
+	}
+	dst := CloneVec(a)
+	AddScaled(dst, 2, b)
+	if dst[2] != 15 {
+		t.Fatalf("addscaled %v", dst)
+	}
+	ScaleVec(dst, 0)
+	if dst[0] != 0 {
+		t.Fatal("scalevec")
+	}
+	if ArgMax([]float64{1, 5, 5, 2}) != 1 {
+		t.Fatal("argmax tie should pick lowest index")
+	}
+	if ArgMax(nil) != -1 {
+		t.Fatal("argmax empty")
+	}
+	if Sum(a) != 6 || Mean(a) != 2 {
+		t.Fatal("sum/mean")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("mean empty")
+	}
+}
+
+func TestVectorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"dot":       func() { Dot([]float64{1}, []float64{1, 2}) },
+		"sqdist":    func() { SqDist([]float64{1}, []float64{1, 2}) },
+		"addscaled": func() { AddScaled([]float64{1}, 1, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,305 @@
+// Package mat provides the dense linear algebra used throughout trusthmd:
+// row-major matrices, vector helpers, covariance estimation and a Jacobi
+// symmetric eigendecomposition. It is deliberately small — just enough for
+// PCA, t-SNE and the linear classifiers — and depends only on the standard
+// library.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+//
+// The zero value is an empty 0x0 matrix. Use New or FromRows to construct
+// matrices with data.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// ErrShape reports incompatible matrix dimensions.
+var ErrShape = errors.New("mat: incompatible shapes")
+
+// New returns a zeroed rows x cols matrix.
+// It panics if either dimension is negative.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix by copying the given rows. All rows must have
+// equal length. An empty input yields a 0x0 matrix.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return New(0, 0), nil
+	}
+	c := len(rows[0])
+	m := New(len(rows), c)
+	for i, r := range rows {
+		if len(r) != c {
+			return nil, fmt.Errorf("mat: ragged row %d: got %d values, want %d: %w", i, len(r), c, ErrShape)
+		}
+		copy(m.data[i*c:(i+1)*c], r)
+	}
+	return m, nil
+}
+
+// MustFromRows is FromRows but panics on error. Intended for tests and
+// literals of known shape.
+func MustFromRows(rows [][]float64) *Matrix {
+	m, err := FromRows(rows)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns v to the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns the i-th row as a slice sharing the matrix's storage.
+// Mutating the returned slice mutates the matrix.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range %d", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// RowCopy returns a copy of the i-th row.
+func (m *Matrix) RowCopy(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.Row(i))
+	return out
+}
+
+// Col returns a copy of the j-th column.
+func (m *Matrix) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: col %d out of range %d", j, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	n := New(m.rows, m.cols)
+	copy(n.data, m.data)
+	return n
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product m * b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.cols != b.rows {
+		return nil, fmt.Errorf("mat: mul %dx%d by %dx%d: %w", m.rows, m.cols, b.rows, b.cols, ErrShape)
+	}
+	out := New(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		mrow := m.data[i*m.cols : (i+1)*m.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += mv * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m * x.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if m.cols != len(x) {
+		return nil, fmt.Errorf("mat: mulvec %dx%d by len %d: %w", m.rows, m.cols, len(x), ErrShape)
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = Dot(m.Row(i), x)
+	}
+	return out, nil
+}
+
+// Scale multiplies every element of m by s in place and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+	return m
+}
+
+// Add adds b to m in place and returns m.
+func (m *Matrix) Add(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, fmt.Errorf("mat: add %dx%d and %dx%d: %w", m.rows, m.cols, b.rows, b.cols, ErrShape)
+	}
+	for i := range m.data {
+		m.data[i] += b.data[i]
+	}
+	return m, nil
+}
+
+// Sub subtracts b from m in place and returns m.
+func (m *Matrix) Sub(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, fmt.Errorf("mat: sub %dx%d and %dx%d: %w", m.rows, m.cols, b.rows, b.cols, ErrShape)
+	}
+	for i := range m.data {
+		m.data[i] -= b.data[i]
+	}
+	return m, nil
+}
+
+// Equal reports whether m and b have the same shape and all elements are
+// within tol of each other.
+func (m *Matrix) Equal(b *Matrix, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i := range m.data {
+		if math.Abs(m.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("%dx%d[", m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}
+
+// ColMeans returns the per-column mean of m. A 0-row matrix yields zeros.
+func (m *Matrix) ColMeans() []float64 {
+	means := make([]float64, m.cols)
+	if m.rows == 0 {
+		return means
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	inv := 1 / float64(m.rows)
+	for j := range means {
+		means[j] *= inv
+	}
+	return means
+}
+
+// ColStds returns the per-column sample standard deviation (denominator
+// n-1). Columns with fewer than two rows or zero variance report 0.
+func (m *Matrix) ColStds() []float64 {
+	stds := make([]float64, m.cols)
+	if m.rows < 2 {
+		return stds
+	}
+	means := m.ColMeans()
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			d := v - means[j]
+			stds[j] += d * d
+		}
+	}
+	inv := 1 / float64(m.rows-1)
+	for j := range stds {
+		stds[j] = math.Sqrt(stds[j] * inv)
+	}
+	return stds
+}
+
+// CenterRows subtracts mu from every row of m in place.
+func (m *Matrix) CenterRows(mu []float64) error {
+	if len(mu) != m.cols {
+		return fmt.Errorf("mat: center %dx%d with len %d mean: %w", m.rows, m.cols, len(mu), ErrShape)
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] -= mu[j]
+		}
+	}
+	return nil
+}
+
+// Covariance returns the d x d sample covariance matrix of the rows of m
+// (denominator n-1). It requires at least two rows.
+func (m *Matrix) Covariance() (*Matrix, error) {
+	if m.rows < 2 {
+		return nil, fmt.Errorf("mat: covariance needs >=2 rows, got %d", m.rows)
+	}
+	mu := m.ColMeans()
+	cov := New(m.cols, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for a := 0; a < m.cols; a++ {
+			da := row[a] - mu[a]
+			if da == 0 {
+				continue
+			}
+			crow := cov.data[a*cov.cols : (a+1)*cov.cols]
+			for b := 0; b < m.cols; b++ {
+				crow[b] += da * (row[b] - mu[b])
+			}
+		}
+	}
+	cov.Scale(1 / float64(m.rows-1))
+	return cov, nil
+}

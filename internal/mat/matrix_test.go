@@ -1,0 +1,298 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShape(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("got %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("new matrix not zeroed at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimension")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("got %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 6 {
+		t.Fatalf("At(2,1)=%v, want 6", m.At(2, 1))
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("expected error for ragged rows")
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m, err := FromRows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatalf("got %dx%d, want 0x0", m.Rows(), m.Cols())
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	m := New(2, 2)
+	m.Set(1, 0, 7.5)
+	if got := m.At(1, 0); got != 7.5 {
+		t.Fatalf("got %v, want 7.5", got)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestRowSharesStorage(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(0)
+	r[1] = 99
+	if m.At(0, 1) != 99 {
+		t.Fatal("Row must share storage")
+	}
+	rc := m.RowCopy(1)
+	rc[0] = -1
+	if m.At(1, 0) != 3 {
+		t.Fatal("RowCopy must not share storage")
+	}
+}
+
+func TestColAndClone(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Col(1)
+	if c[0] != 2 || c[1] != 4 {
+		t.Fatalf("Col(1)=%v", c)
+	}
+	n := m.Clone()
+	n.Set(0, 0, -5)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must deep copy")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("got %dx%d", tr.Rows(), tr.Cols())
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatalf("transpose wrong: %v", tr)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MustFromRows([][]float64{{5, 6}, {7, 8}})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustFromRows([][]float64{{19, 22}, {43, 50}})
+	if !got.Equal(want, 1e-12) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestMulShapeError(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got, err := a.MulVec([]float64{1, 0, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MustFromRows([][]float64{{1, 1}, {1, 1}})
+	if _, err := a.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(1, 1) != 5 {
+		t.Fatalf("add failed: %v", a)
+	}
+	if _, err := a.Sub(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(1, 1) != 4 {
+		t.Fatalf("sub failed: %v", a)
+	}
+	a.Scale(2)
+	if a.At(0, 0) != 2 {
+		t.Fatalf("scale failed: %v", a)
+	}
+	if _, err := a.Add(New(1, 1)); err == nil {
+		t.Fatal("expected shape error")
+	}
+	if _, err := a.Sub(New(1, 1)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestColMeansStds(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 10}, {3, 10}, {5, 10}})
+	mu := m.ColMeans()
+	if mu[0] != 3 || mu[1] != 10 {
+		t.Fatalf("means %v", mu)
+	}
+	sd := m.ColStds()
+	if math.Abs(sd[0]-2) > 1e-12 {
+		t.Fatalf("std %v, want 2", sd[0])
+	}
+	if sd[1] != 0 {
+		t.Fatalf("constant column std %v, want 0", sd[1])
+	}
+}
+
+func TestCenterRows(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	if err := m.CenterRows(m.ColMeans()); err != nil {
+		t.Fatal(err)
+	}
+	mu := m.ColMeans()
+	if math.Abs(mu[0]) > 1e-12 || math.Abs(mu[1]) > 1e-12 {
+		t.Fatalf("not centered: %v", mu)
+	}
+	if err := m.CenterRows([]float64{1}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	// Perfectly correlated columns: cov = [[var, var],[var, var]].
+	m := MustFromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	cov, err := m.Covariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cov.At(0, 0)-1) > 1e-12 || math.Abs(cov.At(0, 1)-1) > 1e-12 {
+		t.Fatalf("cov %v", cov)
+	}
+	if _, err := New(1, 2).Covariance(); err == nil {
+		t.Fatal("expected error for 1 row")
+	}
+}
+
+func TestCovarianceSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(8, 4)
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 4; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		cov, err := m.Covariance()
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 4; i++ {
+			if cov.At(i, i) < 0 {
+				return false
+			}
+			for j := 0; j < 4; j++ {
+				if math.Abs(cov.At(i, j)-cov.At(j, i)) > 1e-10 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(6)
+		c := 1 + rng.Intn(6)
+		m := New(r, c)
+		for i := range m.data {
+			m.data[i] = rng.NormFloat64()
+		}
+		return m.T().T().Equal(m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []int{1 + rng.Intn(4), 1 + rng.Intn(4), 1 + rng.Intn(4), 1 + rng.Intn(4)}
+		mk := func(r, c int) *Matrix {
+			m := New(r, c)
+			for i := range m.data {
+				m.data[i] = rng.NormFloat64()
+			}
+			return m
+		}
+		a, b, c := mk(dims[0], dims[1]), mk(dims[1], dims[2]), mk(dims[2], dims[3])
+		ab, _ := a.Mul(b)
+		abc1, _ := ab.Mul(c)
+		bc, _ := b.Mul(c)
+		abc2, _ := a.Mul(bc)
+		return abc1.Equal(abc2, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 2}})
+	if s := m.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,96 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b. It panics if the lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: dot of len %d and %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean (L2) norm of v.
+func Norm(v []float64) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// SqDist returns the squared Euclidean distance between a and b.
+func SqDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: sqdist of len %d and %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b []float64) float64 { return math.Sqrt(SqDist(a, b)) }
+
+// AddScaled computes dst[i] += s*src[i] in place. It panics if the lengths
+// differ.
+func AddScaled(dst []float64, s float64, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("mat: addscaled of len %d and %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] += s * v
+	}
+}
+
+// ScaleVec multiplies every element of v by s in place.
+func ScaleVec(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// CloneVec returns a copy of v.
+func CloneVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// ArgMax returns the index of the largest element of v, or -1 for an empty
+// slice. Ties resolve to the lowest index.
+func ArgMax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Sum returns the sum of the elements of v.
+func Sum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of v, or 0 for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return Sum(v) / float64(len(v))
+}

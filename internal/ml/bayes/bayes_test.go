@@ -1,0 +1,175 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"trusthmd/internal/mat"
+)
+
+func blobs(rng *rand.Rand, n int, gap float64) (*mat.Matrix, []int) {
+	rows := make([][]float64, n)
+	y := make([]int, n)
+	for i := range rows {
+		cls := i % 2
+		cx := -gap
+		if cls == 1 {
+			cx = gap
+		}
+		rows[i] = []float64{cx + rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = cls
+	}
+	return mat.MustFromRows(rows), y
+}
+
+func TestFitPredictBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := blobs(rng, 400, 3)
+	g := New(Config{})
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < X.Rows(); i++ {
+		if g.Predict(X.Row(i)) == y[i] {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(X.Rows()); frac < 0.95 {
+		t.Fatalf("accuracy %v", frac)
+	}
+	if g.NumClasses() != 2 {
+		t.Fatalf("classes %d", g.NumClasses())
+	}
+}
+
+func TestPredictProbaDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	X, y := blobs(rng, 200, 3)
+	g := New(Config{})
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	p := g.PredictProba([]float64{-3, 0})
+	var sum float64
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("proba %v", p)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("proba sums to %v", sum)
+	}
+	if p[0] < 0.9 {
+		t.Fatalf("deep in class 0 but P(0)=%v", p[0])
+	}
+	// Near the midpoint, the posterior must be uncertain.
+	pm := g.PredictProba([]float64{0, 0})
+	if pm[0] < 0.2 || pm[0] > 0.8 {
+		t.Fatalf("midpoint posterior should be uncertain: %v", pm)
+	}
+}
+
+func TestUnbalancedPriors(t *testing.T) {
+	// 90/10 class imbalance: at the exact midpoint the prior should tilt
+	// the decision toward the majority class.
+	rng := rand.New(rand.NewSource(3))
+	var rows [][]float64
+	var y []int
+	for i := 0; i < 900; i++ {
+		rows = append(rows, []float64{-2 + rng.NormFloat64()})
+		y = append(y, 0)
+	}
+	for i := 0; i < 100; i++ {
+		rows = append(rows, []float64{2 + rng.NormFloat64()})
+		y = append(y, 1)
+	}
+	g := New(Config{})
+	if err := g.Fit(mat.MustFromRows(rows), y); err != nil {
+		t.Fatal(err)
+	}
+	if g.Predict([]float64{0}) != 0 {
+		t.Fatal("prior should break the midpoint tie toward the majority")
+	}
+}
+
+func TestConstantFeatureSmoothing(t *testing.T) {
+	X := mat.MustFromRows([][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}})
+	y := []int{0, 0, 1, 1}
+	g := New(Config{})
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	p := g.PredictProba([]float64{1, 5})
+	for _, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("smoothing failed: %v", p)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	g := New(Config{})
+	if err := g.Fit(mat.New(0, 1), nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if err := g.Fit(mat.New(2, 1), []int{0}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if err := g.Fit(mat.MustFromRows([][]float64{{1}, {2}}), []int{0, -1}); err == nil {
+		t.Fatal("expected label error")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	g := New(Config{})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected unfitted panic")
+			}
+		}()
+		g.Predict([]float64{1})
+	}()
+	rng := rand.New(rand.NewSource(4))
+	X, y := blobs(rng, 50, 3)
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected dimension panic")
+			}
+		}()
+		g.Predict([]float64{1})
+	}()
+}
+
+// Property: posteriors are valid distributions for arbitrary inputs.
+func TestProbaDistributionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X, y := blobs(rng, 100, 2)
+	g := New(Config{})
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		x := []float64{math.Mod(a, 100), math.Mod(b, 100)}
+		p := g.PredictProba(x)
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package forest implements a random forest classifier: bagged CART trees
+// with per-split random feature sub-sampling, trained in parallel. The
+// forest exposes its per-tree votes so the uncertainty estimator can build
+// the vote frequency distribution of the paper's Eq. 4.
+package forest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"trusthmd/internal/mat"
+	"trusthmd/internal/ml/tree"
+)
+
+// Config controls forest training. The zero value is not useful; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// Trees is the number of trees; values < 1 are an error at Fit.
+	Trees int
+	// MaxDepth limits each tree's depth; 0 means unlimited.
+	MaxDepth int
+	// MinLeaf is the per-tree minimum leaf size; values < 1 become 1.
+	MinLeaf int
+	// MaxFeatures is the per-split feature sample size; 0 means
+	// round(sqrt(d)) chosen at fit time (the random-forest default).
+	MaxFeatures int
+	// Criterion is the split impurity measure.
+	Criterion tree.Criterion
+	// Seed drives bootstrap resampling and per-tree feature sampling.
+	Seed int64
+	// Workers caps fit-time parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig returns the configuration used by the paper's experiments:
+// 25 fully grown trees with sqrt(d) feature sampling.
+func DefaultConfig(seed int64) Config {
+	return Config{Trees: 25, Seed: seed}
+}
+
+// Forest is a trained random forest.
+type Forest struct {
+	cfg   Config
+	trees []*tree.Tree
+	dim   int
+}
+
+// ErrNotFitted reports prediction before training.
+var ErrNotFitted = errors.New("forest: not fitted")
+
+// New returns an untrained forest.
+func New(cfg Config) *Forest {
+	return &Forest{cfg: cfg}
+}
+
+// Fit trains the forest on X and y. Each tree sees a bootstrap replicate of
+// the training set (sampling with replacement, n draws) and samples
+// MaxFeatures candidate features at every split.
+func (f *Forest) Fit(X *mat.Matrix, y []int) error {
+	if f.cfg.Trees < 1 {
+		return fmt.Errorf("forest: config needs >=1 tree, got %d", f.cfg.Trees)
+	}
+	if X.Rows() == 0 {
+		return errors.New("forest: empty training set")
+	}
+	if X.Rows() != len(y) {
+		return fmt.Errorf("forest: %d rows but %d labels", X.Rows(), len(y))
+	}
+	f.dim = X.Cols()
+	maxFeatures := f.cfg.MaxFeatures
+	if maxFeatures <= 0 {
+		maxFeatures = int(math.Round(math.Sqrt(float64(X.Cols()))))
+		if maxFeatures < 1 {
+			maxFeatures = 1
+		}
+	}
+
+	f.trees = make([]*tree.Tree, f.cfg.Trees)
+	workers := f.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > f.cfg.Trees {
+		workers = f.cfg.Trees
+	}
+
+	// Pre-draw bootstrap seeds sequentially so that training is
+	// deterministic regardless of goroutine scheduling.
+	seedRng := rand.New(rand.NewSource(f.cfg.Seed))
+	seeds := make([]int64, f.cfg.Trees)
+	for i := range seeds {
+		seeds[i] = seedRng.Int63()
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, f.cfg.Trees)
+	sem := make(chan struct{}, workers)
+	for t := 0; t < f.cfg.Trees; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			rng := rand.New(rand.NewSource(seeds[t]))
+			bootX, bootY := bootstrap(X, y, rng)
+			tr := tree.New(tree.Config{
+				MaxDepth:    f.cfg.MaxDepth,
+				MinLeaf:     f.cfg.MinLeaf,
+				MaxFeatures: maxFeatures,
+				Criterion:   f.cfg.Criterion,
+				Seed:        rng.Int63(),
+			})
+			if err := tr.Fit(bootX, bootY); err != nil {
+				errs[t] = fmt.Errorf("forest: tree %d: %w", t, err)
+				return
+			}
+			f.trees[t] = tr
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			f.trees = nil
+			return err
+		}
+	}
+	return nil
+}
+
+// bootstrap draws a sampling-with-replacement replicate of (X, y).
+func bootstrap(X *mat.Matrix, y []int, rng *rand.Rand) (*mat.Matrix, []int) {
+	n := X.Rows()
+	bx := mat.New(n, X.Cols())
+	by := make([]int, n)
+	for i := 0; i < n; i++ {
+		j := rng.Intn(n)
+		copy(bx.Row(i), X.Row(j))
+		by[i] = y[j]
+	}
+	return bx, by
+}
+
+// Predict returns the majority vote over trees. Ties resolve to the lower
+// class index.
+func (f *Forest) Predict(x []float64) int {
+	votes := f.Votes(x)
+	counts := map[int]int{}
+	best, bestC := 0, -1
+	for _, v := range votes {
+		counts[v]++
+	}
+	for lab := 0; lab <= maxKey(counts); lab++ {
+		if counts[lab] > bestC {
+			best, bestC = lab, counts[lab]
+		}
+	}
+	return best
+}
+
+func maxKey(m map[int]int) int {
+	max := 0
+	for k := range m {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}
+
+// Votes returns one hard prediction per tree — the analogue of iterating
+// sklearn's estimators_ attribute.
+func (f *Forest) Votes(x []float64) []int {
+	if len(f.trees) == 0 {
+		panic(ErrNotFitted)
+	}
+	votes := make([]int, len(f.trees))
+	for i, tr := range f.trees {
+		votes[i] = tr.Predict(x)
+	}
+	return votes
+}
+
+// PredictProba averages per-tree leaf class frequencies (Eq. 3's model
+// average with tree-probability outputs).
+func (f *Forest) PredictProba(x []float64) []float64 {
+	if len(f.trees) == 0 {
+		panic(ErrNotFitted)
+	}
+	var out []float64
+	for _, tr := range f.trees {
+		p := tr.PredictProba(x)
+		if out == nil {
+			out = make([]float64, len(p))
+		}
+		for j, v := range p {
+			out[j] += v
+		}
+	}
+	inv := 1 / float64(len(f.trees))
+	for j := range out {
+		out[j] *= inv
+	}
+	return out
+}
+
+// Trees returns the trained trees (nil before Fit).
+func (f *Forest) Trees() []*tree.Tree { return f.trees }
+
+// NumTrees returns the number of trained trees.
+func (f *Forest) NumTrees() int { return len(f.trees) }

@@ -1,0 +1,207 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"trusthmd/internal/mat"
+)
+
+// twoBlobs generates two well-separated Gaussian blobs.
+func twoBlobs(rng *rand.Rand, n int) (*mat.Matrix, []int) {
+	rows := make([][]float64, n)
+	y := make([]int, n)
+	for i := range rows {
+		cls := i % 2
+		cx := -3.0
+		if cls == 1 {
+			cx = 3
+		}
+		rows[i] = []float64{cx + rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = cls
+	}
+	return mat.MustFromRows(rows), y
+}
+
+func TestFitPredictBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := twoBlobs(rng, 200)
+	f := New(DefaultConfig(1))
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < X.Rows(); i++ {
+		if f.Predict(X.Row(i)) == y[i] {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(X.Rows()); frac < 0.97 {
+		t.Fatalf("train accuracy %v", frac)
+	}
+}
+
+func TestVotesShapeAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	X, y := twoBlobs(rng, 100)
+	f := New(Config{Trees: 7, Seed: 2})
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	votes := f.Votes([]float64{0, 0, 0})
+	if len(votes) != 7 {
+		t.Fatalf("%d votes, want 7", len(votes))
+	}
+	for _, v := range votes {
+		if v != 0 && v != 1 {
+			t.Fatalf("vote %d outside classes", v)
+		}
+	}
+	if f.NumTrees() != 7 || len(f.Trees()) != 7 {
+		t.Fatal("tree accessors")
+	}
+}
+
+func TestPredictProbaDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X, y := twoBlobs(rng, 100)
+	f := New(Config{Trees: 15, Seed: 3})
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	p := f.PredictProba([]float64{-3, 0, 0})
+	var sum float64
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("proba out of range: %v", p)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("proba sums to %v", sum)
+	}
+	if p[0] < 0.8 {
+		t.Fatalf("deep in class-0 blob but P(0)=%v", p[0])
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	f := New(Config{Trees: 0})
+	if err := f.Fit(mat.New(1, 1), []int{0}); err == nil {
+		t.Fatal("expected trees error")
+	}
+	f = New(Config{Trees: 3})
+	if err := f.Fit(mat.New(0, 1), nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if err := f.Fit(mat.New(2, 1), []int{0}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if err := f.Fit(mat.New(2, 1), []int{0, -2}); err == nil {
+		t.Fatal("expected label error propagated from tree")
+	}
+}
+
+func TestUnfittedPanics(t *testing.T) {
+	f := New(Config{Trees: 3})
+	for name, fn := range map[string]func(){
+		"votes":   func() { f.Votes([]float64{1}) },
+		"predict": func() { f.Predict([]float64{1}) },
+		"proba":   func() { f.PredictProba([]float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	X, y := twoBlobs(rng, 120)
+	preds := func(workers int) []int {
+		f := New(Config{Trees: 9, Seed: 99, Workers: workers})
+		if err := f.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int, X.Rows())
+		for i := range out {
+			out[i] = f.Predict(X.Row(i))
+		}
+		return out
+	}
+	serial := preds(1)
+	parallel := preds(4)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatal("forest must be deterministic regardless of worker count")
+		}
+	}
+}
+
+func TestBootstrapDiversity(t *testing.T) {
+	// Trees trained on bootstraps of noisy data should not all be identical:
+	// at least one pair of trees must disagree somewhere on a probe grid.
+	rng := rand.New(rand.NewSource(5))
+	n := 80
+	rows := make([][]float64, n)
+	y := make([]int, n)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		if rows[i][0]+0.5*rng.NormFloat64() > 0 {
+			y[i] = 1
+		}
+	}
+	X := mat.MustFromRows(rows)
+	f := New(Config{Trees: 10, Seed: 5})
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	diverse := false
+	for gx := -2.0; gx <= 2.0 && !diverse; gx += 0.25 {
+		votes := f.Votes([]float64{gx, 0})
+		for _, v := range votes {
+			if v != votes[0] {
+				diverse = true
+				break
+			}
+		}
+	}
+	if !diverse {
+		t.Fatal("bootstrapped trees show no diversity anywhere")
+	}
+}
+
+// Property: majority vote equals the plurality of Votes().
+func TestPredictMatchesVotesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	X, y := twoBlobs(rng, 60)
+	f := New(Config{Trees: 11, Seed: 6})
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b float64) bool {
+		x := []float64{math.Mod(a, 5), math.Mod(b, 5), 0}
+		votes := f.Votes(x)
+		count := map[int]int{}
+		for _, v := range votes {
+			count[v]++
+		}
+		pred := f.Predict(x)
+		for _, c := range count {
+			if c > count[pred] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

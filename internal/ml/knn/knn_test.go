@@ -1,0 +1,178 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"trusthmd/internal/mat"
+)
+
+func blobs(rng *rand.Rand, n int, gap float64) (*mat.Matrix, []int) {
+	rows := make([][]float64, n)
+	y := make([]int, n)
+	for i := range rows {
+		cls := i % 2
+		cx := -gap
+		if cls == 1 {
+			cx = gap
+		}
+		rows[i] = []float64{cx + rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = cls
+	}
+	return mat.MustFromRows(rows), y
+}
+
+func TestFitPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := blobs(rng, 200, 3)
+	k := New(Config{K: 5})
+	if err := k.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < X.Rows(); i++ {
+		if k.Predict(X.Row(i)) == y[i] {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(X.Rows()); frac < 0.95 {
+		t.Fatalf("accuracy %v", frac)
+	}
+	if k.NumClasses() != 2 {
+		t.Fatal("classes")
+	}
+}
+
+func TestK1MemorisesTraining(t *testing.T) {
+	X := mat.MustFromRows([][]float64{{0}, {1}, {2}, {3}})
+	y := []int{0, 1, 0, 1}
+	k := New(Config{K: 1})
+	if err := k.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < X.Rows(); i++ {
+		if k.Predict(X.Row(i)) != y[i] {
+			t.Fatalf("1-NN must memorise training point %d", i)
+		}
+	}
+}
+
+func TestDefaultK(t *testing.T) {
+	k := New(Config{})
+	if k.cfg.K != 5 {
+		t.Fatalf("default K %d", k.cfg.K)
+	}
+}
+
+func TestKLargerThanTrainingSet(t *testing.T) {
+	X := mat.MustFromRows([][]float64{{0}, {1}, {2}})
+	y := []int{0, 0, 1}
+	k := New(Config{K: 50})
+	if err := k.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// With K clamped to n, prediction is the global majority.
+	if k.Predict([]float64{10}) != 0 {
+		t.Fatal("clamped K should vote over the whole training set")
+	}
+}
+
+func TestPredictProba(t *testing.T) {
+	X := mat.MustFromRows([][]float64{{0}, {0.1}, {0.2}, {10}})
+	y := []int{0, 0, 1, 1}
+	k := New(Config{K: 3})
+	if err := k.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	p := k.PredictProba([]float64{0})
+	if math.Abs(p[0]-2.0/3) > 1e-12 || math.Abs(p[1]-1.0/3) > 1e-12 {
+		t.Fatalf("proba %v", p)
+	}
+}
+
+func TestFitDefensiveCopies(t *testing.T) {
+	X := mat.MustFromRows([][]float64{{0}, {1}})
+	y := []int{0, 1}
+	k := New(Config{K: 1})
+	if err := k.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	X.Set(0, 0, 100)
+	y[0] = 1
+	if k.Predict([]float64{0}) != 0 {
+		t.Fatal("Fit must copy the training data")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	k := New(Config{})
+	if err := k.Fit(mat.New(0, 1), nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if err := k.Fit(mat.New(2, 1), []int{0}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if err := k.Fit(mat.MustFromRows([][]float64{{1}, {2}}), []int{0, -1}); err == nil {
+		t.Fatal("expected label error")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	k := New(Config{})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected unfitted panic")
+			}
+		}()
+		k.Predict([]float64{1})
+	}()
+	if err := k.Fit(mat.MustFromRows([][]float64{{1}, {2}}), []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected dimension panic")
+			}
+		}()
+		k.Predict([]float64{1, 2})
+	}()
+}
+
+// Property: PredictProba is a valid distribution and Predict is its argmax
+// (up to tie-breaking toward lower class indices).
+func TestProbaArgmaxProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	X, y := blobs(rng, 60, 2)
+	k := New(Config{K: 7})
+	if err := k.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		x := []float64{math.Mod(a, 10), math.Mod(b, 10)}
+		p := k.PredictProba(x)
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		pred := k.Predict(x)
+		for _, v := range p {
+			if v > p[pred] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

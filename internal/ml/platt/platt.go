@@ -1,0 +1,146 @@
+// Package platt implements Platt scaling [Platt 1999]: fitting a sigmoid
+// P(y=1|s) = 1/(1+exp(A*s+B)) to a classifier's raw decision scores. The
+// paper's related work (Chawla et al. [5]) used Platt scaling to obtain
+// prediction probabilities; the ablation experiment A1 contrasts such
+// calibrated point-estimate confidence with ensemble vote entropy on
+// out-of-distribution inputs.
+package platt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Scaler is a fitted Platt calibration sigmoid.
+type Scaler struct {
+	A, B float64
+}
+
+// ErrNotFitted reports use before Fit.
+var ErrNotFitted = errors.New("platt: not fitted")
+
+// Fit learns A and B from decision scores and binary labels {0,1} by
+// maximising the regularised log-likelihood with Newton iterations,
+// following Platt's original target smoothing (Lin, Lin & Weng 2007
+// formulation). It returns the fitted scaler.
+func Fit(scores []float64, y []int) (*Scaler, error) {
+	if len(scores) == 0 {
+		return nil, errors.New("platt: empty training set")
+	}
+	if len(scores) != len(y) {
+		return nil, fmt.Errorf("platt: %d scores but %d labels", len(scores), len(y))
+	}
+	var nPos, nNeg int
+	for i, lab := range y {
+		switch lab {
+		case 1:
+			nPos++
+		case 0:
+			nNeg++
+		default:
+			return nil, fmt.Errorf("platt: label %d at sample %d is not binary", lab, i)
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return nil, errors.New("platt: need both classes")
+	}
+
+	// Smoothed targets per Platt.
+	hiTarget := (float64(nPos) + 1) / (float64(nPos) + 2)
+	loTarget := 1 / (float64(nNeg) + 2)
+	t := make([]float64, len(y))
+	for i, lab := range y {
+		if lab == 1 {
+			t[i] = hiTarget
+		} else {
+			t[i] = loTarget
+		}
+	}
+
+	a := 0.0
+	b := math.Log((float64(nNeg) + 1) / (float64(nPos) + 1))
+	const (
+		maxIter = 100
+		minStep = 1e-10
+		sigma   = 1e-12
+	)
+	fval := objective(scores, t, a, b)
+	for iter := 0; iter < maxIter; iter++ {
+		// Gradient and Hessian of the negative log-likelihood.
+		var g1, g2, h11, h22, h21 float64
+		h11, h22 = sigma, sigma
+		for i, s := range scores {
+			p := fApB(s, a, b)
+			d1 := t[i] - p // gradient of the NLL w.r.t. z = a*s+b
+			d2 := p * (1 - p)
+			g1 += s * d1
+			g2 += d1
+			h11 += s * s * d2
+			h22 += d2
+			h21 += s * d2
+		}
+		if math.Abs(g1) < 1e-5 && math.Abs(g2) < 1e-5 {
+			break
+		}
+		det := h11*h22 - h21*h21
+		dA := -(h22*g1 - h21*g2) / det
+		dB := -(-h21*g1 + h11*g2) / det
+		gd := g1*dA + g2*dB
+
+		step := 1.0
+		for step >= minStep {
+			newA, newB := a+step*dA, b+step*dB
+			newF := objective(scores, t, newA, newB)
+			if newF < fval+1e-4*step*gd {
+				a, b, fval = newA, newB, newF
+				break
+			}
+			step /= 2
+		}
+		if step < minStep {
+			break // line search failed; accept current point
+		}
+	}
+	return &Scaler{A: a, B: b}, nil
+}
+
+// fApB returns the calibrated probability for score s under (a, b),
+// computed in a numerically stable form.
+func fApB(s, a, b float64) float64 {
+	z := a*s + b
+	if z >= 0 {
+		e := math.Exp(-z)
+		return e / (1 + e)
+	}
+	return 1 / (1 + math.Exp(z))
+}
+
+func objective(scores, t []float64, a, b float64) float64 {
+	var f float64
+	for i, s := range scores {
+		z := a*s + b
+		// Cross-entropy written in a form stable for both signs of z.
+		if z >= 0 {
+			f += t[i]*z + math.Log1p(math.Exp(-z))
+		} else {
+			f += (t[i]-1)*z + math.Log1p(math.Exp(z))
+		}
+	}
+	return f
+}
+
+// Proba maps a raw decision score to a calibrated P(y=1).
+func (s *Scaler) Proba(score float64) float64 {
+	if s == nil {
+		panic(ErrNotFitted)
+	}
+	return fApB(score, s.A, s.B)
+}
+
+// Confidence returns max(p, 1-p): the calibrated confidence of the hard
+// decision implied by the score.
+func (s *Scaler) Confidence(score float64) float64 {
+	p := s.Proba(score)
+	return math.Max(p, 1-p)
+}

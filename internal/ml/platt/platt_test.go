@@ -1,0 +1,139 @@
+package platt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitSeparatedScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var scores []float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			scores = append(scores, 2+rng.NormFloat64())
+			y = append(y, 1)
+		} else {
+			scores = append(scores, -2+rng.NormFloat64())
+			y = append(y, 0)
+		}
+	}
+	s, err := Fit(scores, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := s.Proba(3); p < 0.9 {
+		t.Fatalf("P(y=1|s=3)=%v, want high", p)
+	}
+	if p := s.Proba(-3); p > 0.1 {
+		t.Fatalf("P(y=1|s=-3)=%v, want low", p)
+	}
+	if p := s.Proba(0); p < 0.2 || p > 0.8 {
+		t.Fatalf("P(y=1|s=0)=%v, want uncertain", p)
+	}
+}
+
+func TestFitMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var scores []float64
+	var y []int
+	for i := 0; i < 100; i++ {
+		s := rng.NormFloat64() * 2
+		scores = append(scores, s)
+		if s+rng.NormFloat64() > 0 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	sc, err := Fit(scores, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.A >= 0 {
+		t.Fatalf("A=%v, want negative for positively-oriented scores", sc.A)
+	}
+	f := func(a, b float64) bool {
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return sc.Proba(lo) <= sc.Proba(hi)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbaRangeProperty(t *testing.T) {
+	s := &Scaler{A: -1.3, B: 0.2}
+	f := func(x float64) bool {
+		p := s.Proba(x)
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfidence(t *testing.T) {
+	s := &Scaler{A: -1, B: 0}
+	if c := s.Confidence(0); math.Abs(c-0.5) > 1e-12 {
+		t.Fatalf("confidence at margin %v", c)
+	}
+	if c := s.Confidence(10); c < 0.99 {
+		t.Fatalf("confidence far from margin %v", c)
+	}
+	if c := s.Confidence(-10); c < 0.99 {
+		t.Fatalf("confidence is symmetric: %v", c)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if _, err := Fit([]float64{1}, []int{1, 0}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := Fit([]float64{1, 2}, []int{1, 2}); err == nil {
+		t.Fatal("expected label error")
+	}
+	if _, err := Fit([]float64{1, 2}, []int{1, 1}); err == nil {
+		t.Fatal("expected single-class error")
+	}
+}
+
+func TestNilScalerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var s *Scaler
+	s.Proba(1)
+}
+
+// The key property motivating the paper: Platt scaling remains confident on
+// scores far outside the calibration range (out-of-distribution inputs get
+// high confidence), unlike ensemble vote entropy.
+func TestOverconfidentOnOOD(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var scores []float64
+	var y []int
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			scores = append(scores, 1+0.3*rng.NormFloat64())
+			y = append(y, 1)
+		} else {
+			scores = append(scores, -1+0.3*rng.NormFloat64())
+			y = append(y, 0)
+		}
+	}
+	s, err := Fit(scores, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := s.Confidence(50); c < 0.999 {
+		t.Fatalf("OOD-scale score should look (mis)confident, got %v", c)
+	}
+}

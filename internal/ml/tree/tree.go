@@ -1,0 +1,346 @@
+// Package tree implements CART decision trees for classification: binary
+// axis-aligned splits chosen by Gini impurity or entropy, with depth,
+// minimum-leaf and random feature-subset controls. Trees are the base
+// classifiers of the random-forest ensemble used throughout the paper's
+// evaluation.
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"trusthmd/internal/mat"
+)
+
+// Criterion selects the split-quality measure.
+type Criterion int
+
+const (
+	// Gini selects splits by Gini impurity decrease (CART default).
+	Gini Criterion = iota
+	// Entropy selects splits by information gain.
+	Entropy
+)
+
+// String implements fmt.Stringer.
+func (c Criterion) String() string {
+	switch c {
+	case Gini:
+		return "gini"
+	case Entropy:
+		return "entropy"
+	default:
+		return fmt.Sprintf("criterion(%d)", int(c))
+	}
+}
+
+// Config controls tree induction. The zero value means: unlimited depth,
+// leaves of at least one sample, all features considered at every split,
+// Gini impurity.
+type Config struct {
+	// MaxDepth limits tree depth; 0 means unlimited.
+	MaxDepth int
+	// MinLeaf is the minimum number of samples in a leaf; values < 1 are
+	// treated as 1.
+	MinLeaf int
+	// MaxFeatures is the number of features sampled (without replacement)
+	// as split candidates at each node; 0 means all features and -1 means
+	// round(sqrt(d)) chosen at fit time. Setting it to roughly sqrt(d)
+	// turns bagged trees into a random forest.
+	MaxFeatures int
+	// Criterion is the impurity measure.
+	Criterion Criterion
+	// Seed drives the feature sub-sampling. Trees with MaxFeatures == 0 are
+	// fully deterministic regardless of Seed.
+	Seed int64
+}
+
+// Tree is a trained CART classifier. The zero value is unusable; call Fit.
+type Tree struct {
+	cfg       Config
+	root      *node
+	nFeatures int
+	nClasses  int
+	nodes     int
+}
+
+type node struct {
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+	counts    []int // class histogram at this node (leaf payload)
+}
+
+func (n *node) leaf() bool { return n.left == nil }
+
+// ErrNotFitted reports prediction before training.
+var ErrNotFitted = errors.New("tree: not fitted")
+
+// New returns an untrained tree with the given configuration.
+func New(cfg Config) *Tree {
+	if cfg.MinLeaf < 1 {
+		cfg.MinLeaf = 1
+	}
+	return &Tree{cfg: cfg}
+}
+
+// Fit trains the tree on X (one sample per row) and labels y. Labels must
+// be in [0, k) for some k >= 2 inferred from the data.
+func (t *Tree) Fit(X *mat.Matrix, y []int) error {
+	if X.Rows() == 0 {
+		return errors.New("tree: empty training set")
+	}
+	if X.Rows() != len(y) {
+		return fmt.Errorf("tree: %d rows but %d labels", X.Rows(), len(y))
+	}
+	maxLabel := 0
+	for i, lab := range y {
+		if lab < 0 {
+			return fmt.Errorf("tree: negative label %d at sample %d", lab, i)
+		}
+		if lab > maxLabel {
+			maxLabel = lab
+		}
+	}
+	t.nClasses = maxLabel + 1
+	if t.nClasses < 2 {
+		t.nClasses = 2
+	}
+	t.nFeatures = X.Cols()
+	if t.cfg.MaxFeatures < 0 {
+		t.cfg.MaxFeatures = int(math.Round(math.Sqrt(float64(X.Cols()))))
+		if t.cfg.MaxFeatures < 1 {
+			t.cfg.MaxFeatures = 1
+		}
+	}
+	t.nodes = 0
+
+	idx := make([]int, X.Rows())
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(t.cfg.Seed))
+	b := &builder{t: t, X: X, y: y, rng: rng}
+	t.root = b.build(idx, 0)
+	return nil
+}
+
+type builder struct {
+	t   *Tree
+	X   *mat.Matrix
+	y   []int
+	rng *rand.Rand
+}
+
+func (b *builder) classCounts(idx []int) []int {
+	counts := make([]int, b.t.nClasses)
+	for _, i := range idx {
+		counts[b.y[i]]++
+	}
+	return counts
+}
+
+func (b *builder) build(idx []int, depth int) *node {
+	b.t.nodes++
+	counts := b.classCounts(idx)
+
+	pure := false
+	for _, c := range counts {
+		if c == len(idx) {
+			pure = true
+			break
+		}
+	}
+	if pure || len(idx) < 2*b.t.cfg.MinLeaf ||
+		(b.t.cfg.MaxDepth > 0 && depth >= b.t.cfg.MaxDepth) {
+		return &node{counts: counts}
+	}
+
+	feat, thr, ok := b.bestSplit(idx, counts)
+	if !ok {
+		return &node{counts: counts}
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if b.X.At(i, feat) <= thr {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return &node{counts: counts}
+	}
+	return &node{
+		feature:   feat,
+		threshold: thr,
+		left:      b.build(leftIdx, depth+1),
+		right:     b.build(rightIdx, depth+1),
+	}
+}
+
+// bestSplit searches candidate features for the split with the largest
+// impurity decrease. It returns ok=false when no split satisfies MinLeaf or
+// improves impurity.
+func (b *builder) bestSplit(idx []int, total []int) (feature int, threshold float64, ok bool) {
+	features := b.candidateFeatures()
+	n := float64(len(idx))
+	parentImp := impurity(total, len(idx), b.t.cfg.Criterion)
+
+	// Any valid split is acceptable, even at zero gain (as in sklearn's
+	// CART): datasets like XOR have zero-gain first splits but still
+	// separate perfectly once grown. Node sizes strictly shrink, so
+	// termination is guaranteed.
+	bestGain := math.Inf(-1)
+	sorted := make([]int, len(idx))
+
+	for _, f := range features {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, c int) bool { return b.X.At(sorted[a], f) < b.X.At(sorted[c], f) })
+
+		leftCounts := make([]int, b.t.nClasses)
+		rightCounts := append([]int(nil), total...)
+
+		for pos := 0; pos < len(sorted)-1; pos++ {
+			lab := b.y[sorted[pos]]
+			leftCounts[lab]++
+			rightCounts[lab]--
+
+			v, next := b.X.At(sorted[pos], f), b.X.At(sorted[pos+1], f)
+			if v == next {
+				continue // cannot split between equal values
+			}
+			nl, nr := pos+1, len(sorted)-pos-1
+			if nl < b.t.cfg.MinLeaf || nr < b.t.cfg.MinLeaf {
+				continue
+			}
+			child := (float64(nl)*impurity(leftCounts, nl, b.t.cfg.Criterion) +
+				float64(nr)*impurity(rightCounts, nr, b.t.cfg.Criterion)) / n
+			if gain := parentImp - child; gain > bestGain {
+				bestGain = gain
+				feature = f
+				threshold = v + (next-v)/2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+func (b *builder) candidateFeatures() []int {
+	k := b.t.cfg.MaxFeatures
+	if k <= 0 || k >= b.t.nFeatures {
+		all := make([]int, b.t.nFeatures)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return b.rng.Perm(b.t.nFeatures)[:k]
+}
+
+// impurity computes Gini impurity or entropy (nats scale is irrelevant for
+// split comparison) of a class histogram with n total samples.
+func impurity(counts []int, n int, c Criterion) float64 {
+	if n == 0 {
+		return 0
+	}
+	inv := 1 / float64(n)
+	switch c {
+	case Entropy:
+		var h float64
+		for _, cnt := range counts {
+			if cnt == 0 {
+				continue
+			}
+			p := float64(cnt) * inv
+			h -= p * math.Log2(p)
+		}
+		return h
+	default: // Gini
+		g := 1.0
+		for _, cnt := range counts {
+			p := float64(cnt) * inv
+			g -= p * p
+		}
+		return g
+	}
+}
+
+// Predict returns the majority class of the leaf reached by x.
+func (t *Tree) Predict(x []float64) int {
+	counts := t.leafCounts(x)
+	best, bestC := 0, -1
+	for lab, c := range counts {
+		if c > bestC {
+			best, bestC = lab, c
+		}
+	}
+	return best
+}
+
+// PredictProba returns the class frequencies of the leaf reached by x.
+func (t *Tree) PredictProba(x []float64) []float64 {
+	counts := t.leafCounts(x)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	out := make([]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for lab, c := range counts {
+		out[lab] = float64(c) / float64(total)
+	}
+	return out
+}
+
+func (t *Tree) leafCounts(x []float64) []int {
+	if t.root == nil {
+		panic(ErrNotFitted)
+	}
+	if len(x) != t.nFeatures {
+		panic(fmt.Sprintf("tree: input has %d features, trained on %d", len(x), t.nFeatures))
+	}
+	n := t.root
+	for !n.leaf() {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.counts
+}
+
+// Depth returns the depth of the trained tree (a stump is depth 0), or -1
+// if the tree is unfitted.
+func (t *Tree) Depth() int {
+	if t.root == nil {
+		return -1
+	}
+	return depthOf(t.root)
+}
+
+func depthOf(n *node) int {
+	if n.leaf() {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// NodeCount returns the number of nodes materialised during the last Fit.
+func (t *Tree) NodeCount() int { return t.nodes }
+
+// NumClasses returns the number of classes inferred at fit time.
+func (t *Tree) NumClasses() int { return t.nClasses }

@@ -1,0 +1,290 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"trusthmd/internal/mat"
+)
+
+func xorData() (*mat.Matrix, []int) {
+	X := mat.MustFromRows([][]float64{
+		{0, 0}, {0, 1}, {1, 0}, {1, 1},
+		{0.1, 0.1}, {0.1, 0.9}, {0.9, 0.1}, {0.9, 0.9},
+	})
+	y := []int{0, 1, 1, 0, 0, 1, 1, 0}
+	return X, y
+}
+
+func TestFitPredictXOR(t *testing.T) {
+	X, y := xorData()
+	tr := New(Config{})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < X.Rows(); i++ {
+		if got := tr.Predict(X.Row(i)); got != y[i] {
+			t.Fatalf("sample %d: got %d, want %d", i, got, y[i])
+		}
+	}
+	if tr.Depth() < 2 {
+		t.Fatalf("XOR needs depth >=2, got %d", tr.Depth())
+	}
+}
+
+func TestEntropyCriterion(t *testing.T) {
+	X, y := xorData()
+	tr := New(Config{Criterion: Entropy})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < X.Rows(); i++ {
+		if got := tr.Predict(X.Row(i)); got != y[i] {
+			t.Fatalf("sample %d: got %d, want %d", i, got, y[i])
+		}
+	}
+}
+
+func TestCriterionString(t *testing.T) {
+	if Gini.String() != "gini" || Entropy.String() != "entropy" {
+		t.Fatal("criterion strings")
+	}
+	if Criterion(9).String() == "" {
+		t.Fatal("unknown criterion should still render")
+	}
+}
+
+func TestMaxDepthLimitsTree(t *testing.T) {
+	X, y := xorData()
+	tr := New(Config{MaxDepth: 1})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() > 1 {
+		t.Fatalf("depth %d exceeds max 1", tr.Depth())
+	}
+}
+
+func TestMinLeaf(t *testing.T) {
+	X, y := xorData()
+	tr := New(Config{MinLeaf: 4})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// With MinLeaf=4 on 8 samples, at most one split is possible.
+	if tr.Depth() > 1 {
+		t.Fatalf("depth %d with MinLeaf=4", tr.Depth())
+	}
+}
+
+func TestPureNodeStopsEarly(t *testing.T) {
+	X := mat.MustFromRows([][]float64{{1}, {2}, {3}})
+	y := []int{1, 1, 1}
+	tr := New(Config{})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 0 {
+		t.Fatalf("pure data should make a stump, depth=%d", tr.Depth())
+	}
+	if tr.Predict([]float64{-100}) != 1 {
+		t.Fatal("stump should predict the pure class everywhere")
+	}
+}
+
+func TestConstantFeaturesNoSplit(t *testing.T) {
+	X := mat.MustFromRows([][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}})
+	y := []int{0, 1, 0, 1}
+	tr := New(Config{})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 0 {
+		t.Fatalf("unsplittable data should make a stump, depth=%d", tr.Depth())
+	}
+}
+
+func TestPredictProba(t *testing.T) {
+	X := mat.MustFromRows([][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}})
+	y := []int{0, 1, 0, 0}
+	tr := New(Config{})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	p := tr.PredictProba([]float64{0, 0})
+	if math.Abs(p[0]-0.75) > 1e-12 || math.Abs(p[1]-0.25) > 1e-12 {
+		t.Fatalf("proba %v", p)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	tr := New(Config{})
+	if err := tr.Fit(mat.New(0, 2), nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if err := tr.Fit(mat.New(2, 2), []int{0}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if err := tr.Fit(mat.New(2, 2), []int{0, -1}); err == nil {
+		t.Fatal("expected label error")
+	}
+}
+
+func TestPredictPanics(t *testing.T) {
+	tr := New(Config{})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected unfitted panic")
+			}
+		}()
+		tr.Predict([]float64{1})
+	}()
+	X, y := xorData()
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected dimension panic")
+			}
+		}()
+		tr.Predict([]float64{1})
+	}()
+}
+
+func TestMaxFeaturesSubsampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 200
+	rows := make([][]float64, n)
+	y := make([]int, n)
+	for i := range rows {
+		x0 := rng.NormFloat64()
+		rows[i] = []float64{x0, rng.NormFloat64(), rng.NormFloat64()}
+		if x0 > 0 {
+			y[i] = 1
+		}
+	}
+	X := mat.MustFromRows(rows)
+	tr := New(Config{MaxFeatures: 1, Seed: 7})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		if tr.Predict(X.Row(i)) == y[i] {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(n); frac < 0.9 {
+		t.Fatalf("train accuracy %v too low even with feature sampling", frac)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := make([][]float64, 60)
+	y := make([]int, 60)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if rows[i][2] > 0 {
+			y[i] = 1
+		}
+	}
+	X := mat.MustFromRows(rows)
+	a := New(Config{MaxFeatures: 2, Seed: 11})
+	b := New(Config{MaxFeatures: 2, Seed: 11})
+	if err := a.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.3, -0.2, 0.1, 0.9}
+	for i := 0; i < 50; i++ {
+		probe[0] = float64(i)*0.1 - 2
+		if a.Predict(probe) != b.Predict(probe) {
+			t.Fatal("same seed must give same tree")
+		}
+	}
+}
+
+// Property: a fully grown tree (MinLeaf=1, no depth cap) achieves perfect
+// training accuracy whenever no two identical inputs carry different labels.
+func TestPerfectTrainFitProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		rows := make([][]float64, n)
+		y := make([]int, n)
+		for i := range rows {
+			rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+			y[i] = rng.Intn(2)
+		}
+		X := mat.MustFromRows(rows)
+		tr := New(Config{})
+		if err := tr.Fit(X, y); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if tr.Predict(X.Row(i)) != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: probabilities are a valid distribution.
+func TestProbaDistributionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(30)
+		rows := make([][]float64, n)
+		y := make([]int, n)
+		for i := range rows {
+			rows[i] = []float64{rng.NormFloat64()}
+			y[i] = rng.Intn(2)
+		}
+		X := mat.MustFromRows(rows)
+		tr := New(Config{MaxDepth: 3})
+		if err := tr.Fit(X, y); err != nil {
+			return false
+		}
+		p := tr.PredictProba([]float64{rng.NormFloat64()})
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeCountAndNumClasses(t *testing.T) {
+	X, y := xorData()
+	tr := New(Config{})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NodeCount() < 3 {
+		t.Fatalf("node count %d", tr.NodeCount())
+	}
+	if tr.NumClasses() != 2 {
+		t.Fatalf("classes %d", tr.NumClasses())
+	}
+	if New(Config{}).Depth() != -1 {
+		t.Fatal("unfitted depth should be -1")
+	}
+}

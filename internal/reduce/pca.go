@@ -1,0 +1,119 @@
+// Package reduce implements the dimensionality reduction stages of the HMD
+// pipeline (Fig. 1): PCA for the in-pipeline feature compression, and exact
+// t-SNE for the latent-space visualisations of Fig. 8.
+package reduce
+
+import (
+	"errors"
+	"fmt"
+
+	"trusthmd/internal/mat"
+)
+
+// PCA is a principal component analysis fitted on a training matrix and
+// applied to later inputs with the training-set mean.
+type PCA struct {
+	mean       []float64
+	components *mat.Matrix // d x k, columns are principal axes
+	variances  []float64   // eigenvalues of the kept components
+	totalVar   float64
+}
+
+// ErrNotFitted reports use before FitPCA.
+var ErrNotFitted = errors.New("reduce: not fitted")
+
+// FitPCA learns the top-k principal components of X (one sample per row)
+// via the symmetric eigendecomposition of the sample covariance.
+func FitPCA(X *mat.Matrix, k int) (*PCA, error) {
+	if X.Rows() < 2 {
+		return nil, fmt.Errorf("reduce: pca needs >=2 rows, got %d", X.Rows())
+	}
+	if k < 1 || k > X.Cols() {
+		return nil, fmt.Errorf("reduce: pca k=%d outside [1,%d]", k, X.Cols())
+	}
+	cov, err := X.Covariance()
+	if err != nil {
+		return nil, fmt.Errorf("reduce: pca: %w", err)
+	}
+	eig, err := mat.SymEigen(cov)
+	if err != nil {
+		return nil, fmt.Errorf("reduce: pca: %w", err)
+	}
+	d := X.Cols()
+	comp := mat.New(d, k)
+	for c := 0; c < k; c++ {
+		for r := 0; r < d; r++ {
+			comp.Set(r, c, eig.Vectors.At(r, c))
+		}
+	}
+	var total float64
+	for _, v := range eig.Values {
+		if v > 0 {
+			total += v
+		}
+	}
+	vars := make([]float64, k)
+	copy(vars, eig.Values[:k])
+	return &PCA{
+		mean:       X.ColMeans(),
+		components: comp,
+		variances:  vars,
+		totalVar:   total,
+	}, nil
+}
+
+// K returns the number of retained components.
+func (p *PCA) K() int { return p.components.Cols() }
+
+// ExplainedVarianceRatio returns, per kept component, the fraction of total
+// variance it explains.
+func (p *PCA) ExplainedVarianceRatio() []float64 {
+	out := make([]float64, len(p.variances))
+	if p.totalVar == 0 {
+		return out
+	}
+	for i, v := range p.variances {
+		if v > 0 {
+			out[i] = v / p.totalVar
+		}
+	}
+	return out
+}
+
+// Transform projects X onto the retained components.
+func (p *PCA) Transform(X *mat.Matrix) (*mat.Matrix, error) {
+	if p.components == nil {
+		return nil, ErrNotFitted
+	}
+	if X.Cols() != len(p.mean) {
+		return nil, fmt.Errorf("reduce: pca fitted on %d features, got %d", len(p.mean), X.Cols())
+	}
+	centered := X.Clone()
+	if err := centered.CenterRows(p.mean); err != nil {
+		return nil, err
+	}
+	return centered.Mul(p.components)
+}
+
+// TransformVec projects a single vector.
+func (p *PCA) TransformVec(x []float64) ([]float64, error) {
+	if p.components == nil {
+		return nil, ErrNotFitted
+	}
+	if len(x) != len(p.mean) {
+		return nil, fmt.Errorf("reduce: pca fitted on %d features, got %d", len(p.mean), len(x))
+	}
+	centered := make([]float64, len(x))
+	for j, v := range x {
+		centered[j] = v - p.mean[j]
+	}
+	out := make([]float64, p.K())
+	for c := 0; c < p.K(); c++ {
+		var s float64
+		for r, v := range centered {
+			s += v * p.components.At(r, c)
+		}
+		out[c] = s
+	}
+	return out, nil
+}

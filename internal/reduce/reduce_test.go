@@ -1,0 +1,214 @@
+package reduce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trusthmd/internal/mat"
+	"trusthmd/internal/stats"
+)
+
+func TestPCARecoversDominantAxis(t *testing.T) {
+	// Data varies strongly along (1,1)/sqrt(2) and weakly orthogonally.
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]float64, 300)
+	for i := range rows {
+		a := rng.NormFloat64() * 5
+		b := rng.NormFloat64() * 0.3
+		rows[i] = []float64{a + b, a - b}
+	}
+	X := mat.MustFromRows(rows)
+	p, err := FitPCA(X, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First component should align with (1,1)/sqrt(2) up to sign.
+	c0 := p.components.Col(0)
+	if math.Abs(math.Abs(c0[0])-1/math.Sqrt2) > 0.05 || math.Abs(c0[0]-c0[1]) > 0.05 {
+		t.Fatalf("component %v", c0)
+	}
+	ratio := p.ExplainedVarianceRatio()
+	if ratio[0] < 0.95 {
+		t.Fatalf("explained %v, want > 0.95", ratio[0])
+	}
+	if p.K() != 1 {
+		t.Fatalf("k=%d", p.K())
+	}
+}
+
+func TestPCATransformShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows := make([][]float64, 50)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	X := mat.MustFromRows(rows)
+	p, err := FitPCA(X, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Z, err := p.Transform(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Z.Rows() != 50 || Z.Cols() != 2 {
+		t.Fatalf("Z is %dx%d", Z.Rows(), Z.Cols())
+	}
+	// Projected data is centered.
+	mu := Z.ColMeans()
+	if math.Abs(mu[0]) > 1e-9 || math.Abs(mu[1]) > 1e-9 {
+		t.Fatalf("projection not centered: %v", mu)
+	}
+	// Vector transform agrees with matrix transform.
+	v, err := p.TransformVec(X.Row(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range v {
+		if math.Abs(v[j]-Z.At(7, j)) > 1e-9 {
+			t.Fatalf("vec/matrix transform disagree: %v vs %v", v[j], Z.At(7, j))
+		}
+	}
+}
+
+func TestPCAPreservesPairwiseStructure(t *testing.T) {
+	// Full-rank PCA is a rotation: pairwise distances are preserved.
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]float64, 30)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	X := mat.MustFromRows(rows)
+	p, err := FitPCA(X, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Z, err := p.Transform(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			dX := mat.Dist(X.Row(i), X.Row(j))
+			dZ := mat.Dist(Z.Row(i), Z.Row(j))
+			if math.Abs(dX-dZ) > 1e-6 {
+				t.Fatalf("distance not preserved: %v vs %v", dX, dZ)
+			}
+		}
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	if _, err := FitPCA(mat.New(1, 3), 1); err == nil {
+		t.Fatal("expected rows error")
+	}
+	X := mat.MustFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if _, err := FitPCA(X, 0); err == nil {
+		t.Fatal("expected k error")
+	}
+	if _, err := FitPCA(X, 3); err == nil {
+		t.Fatal("expected k error")
+	}
+	p, err := FitPCA(X, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Transform(mat.New(2, 3)); err == nil {
+		t.Fatal("expected dim error")
+	}
+	if _, err := p.TransformVec([]float64{1}); err == nil {
+		t.Fatal("expected dim error")
+	}
+	var unfitted PCA
+	if _, err := unfitted.Transform(X); err == nil {
+		t.Fatal("expected unfitted error")
+	}
+	if _, err := unfitted.TransformVec([]float64{1, 2}); err == nil {
+		t.Fatal("expected unfitted error")
+	}
+}
+
+// clusters draws k Gaussian clusters of m points each, spaced far apart.
+func clusters(rng *rand.Rand, k, m int, spacing float64) (*mat.Matrix, []int) {
+	var rows [][]float64
+	var labels []int
+	for c := 0; c < k; c++ {
+		cx := float64(c) * spacing
+		for i := 0; i < m; i++ {
+			rows = append(rows, []float64{
+				cx + rng.NormFloat64()*0.3,
+				rng.NormFloat64() * 0.3,
+				rng.NormFloat64() * 0.3,
+			})
+			labels = append(labels, c)
+		}
+	}
+	return mat.MustFromRows(rows), labels
+}
+
+func TestTSNESeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	X, labels := clusters(rng, 3, 25, 20)
+	Y, err := FitTSNE(X, TSNEConfig{Perplexity: 10, Iterations: 600, LearningRate: 50, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Y.Rows() != X.Rows() || Y.Cols() != 2 {
+		t.Fatalf("embedding %dx%d", Y.Rows(), Y.Cols())
+	}
+	pts := make([][]float64, Y.Rows())
+	for i := range pts {
+		pts[i] = Y.Row(i)
+	}
+	sil, err := stats.Silhouette(pts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sil < 0.5 {
+		t.Fatalf("silhouette %v: well-separated clusters must stay separated in the embedding", sil)
+	}
+}
+
+func TestTSNEDefaultsAndErrors(t *testing.T) {
+	if _, err := FitTSNE(mat.New(3, 2), TSNEConfig{}); err == nil {
+		t.Fatal("expected size error")
+	}
+	// Tiny input: perplexity auto-clamped, all defaults exercised.
+	rng := rand.New(rand.NewSource(5))
+	rows := make([][]float64, 12)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	Y, err := FitTSNE(mat.MustFromRows(rows), TSNEConfig{Iterations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < Y.Rows(); i++ {
+		for j := 0; j < Y.Cols(); j++ {
+			if math.IsNaN(Y.At(i, j)) || math.IsInf(Y.At(i, j), 0) {
+				t.Fatalf("non-finite embedding value at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTSNEDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	rows := make([][]float64, 20)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	X := mat.MustFromRows(rows)
+	a, err := FitTSNE(X, TSNEConfig{Iterations: 60, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitTSNE(X, TSNEConfig{Iterations: 60, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b, 1e-12) {
+		t.Fatal("same seed must give same embedding")
+	}
+}

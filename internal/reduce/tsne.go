@@ -1,0 +1,258 @@
+package reduce
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"trusthmd/internal/mat"
+)
+
+// TSNEConfig controls the exact t-SNE embedding (van der Maaten & Hinton
+// 2008) used for the paper's Fig. 8 latent-space plots. Zero values fall
+// back to the documented defaults.
+type TSNEConfig struct {
+	// Perplexity is the effective number of neighbours (default 30). It
+	// must be < (n-1)/3 for the bisection to be well posed; FitTSNE lowers
+	// it automatically for small inputs.
+	Perplexity float64
+	// Iterations is the number of gradient steps (default 500).
+	Iterations int
+	// LearningRate is the gradient step size (default 200).
+	LearningRate float64
+	// EarlyExaggeration multiplies affinities for the first quarter of the
+	// iterations (default 12).
+	EarlyExaggeration float64
+	// OutDims is the embedding dimensionality (default 2).
+	OutDims int
+	// Seed drives the initial layout.
+	Seed int64
+}
+
+// FitTSNE embeds the rows of X into OutDims dimensions. The cost is
+// O(n^2 d + iterations * n^2), suitable for the few-thousand-point
+// visualisation subsets used in Fig. 8.
+func FitTSNE(X *mat.Matrix, cfg TSNEConfig) (*mat.Matrix, error) {
+	n := X.Rows()
+	if n < 4 {
+		return nil, fmt.Errorf("reduce: tsne needs >=4 rows, got %d", n)
+	}
+	if cfg.Perplexity <= 0 {
+		cfg.Perplexity = 30
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 500
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 200
+	}
+	if cfg.EarlyExaggeration <= 0 {
+		cfg.EarlyExaggeration = 12
+	}
+	if cfg.OutDims <= 0 {
+		cfg.OutDims = 2
+	}
+	if max := float64(n-1) / 3; cfg.Perplexity > max {
+		cfg.Perplexity = max
+	}
+
+	P, err := jointAffinities(X, cfg.Perplexity)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	Y := mat.New(n, cfg.OutDims)
+	for i := 0; i < n; i++ {
+		for j := 0; j < cfg.OutDims; j++ {
+			Y.Set(i, j, rng.NormFloat64()*1e-4)
+		}
+	}
+
+	velocity := mat.New(n, cfg.OutDims)
+	gains := mat.New(n, cfg.OutDims)
+	for i := 0; i < n; i++ {
+		for j := 0; j < cfg.OutDims; j++ {
+			gains.Set(i, j, 1)
+		}
+	}
+
+	exaggerationStop := cfg.Iterations / 4
+	grad := mat.New(n, cfg.OutDims)
+	Q := make([]float64, n*n)
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		exag := 1.0
+		if iter < exaggerationStop {
+			exag = cfg.EarlyExaggeration
+		}
+		momentum := 0.5
+		if iter >= exaggerationStop {
+			momentum = 0.8
+		}
+
+		// Student-t affinities in the embedding.
+		var qSum float64
+		for i := 0; i < n; i++ {
+			yi := Y.Row(i)
+			for j := i + 1; j < n; j++ {
+				q := 1 / (1 + mat.SqDist(yi, Y.Row(j)))
+				Q[i*n+j] = q
+				Q[j*n+i] = q
+				qSum += 2 * q
+			}
+		}
+		if qSum < 1e-300 {
+			qSum = 1e-300
+		}
+
+		// Gradient: 4 * sum_j (exag*p_ij - q_ij/qSum) * q_ij * (y_i - y_j).
+		for i := 0; i < n; i++ {
+			gi := grad.Row(i)
+			for j := range gi {
+				gi[j] = 0
+			}
+			yi := Y.Row(i)
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				qij := Q[i*n+j]
+				coeff := 4 * (exag*P.At(i, j) - qij/qSum) * qij
+				yj := Y.Row(j)
+				for k := range gi {
+					gi[k] += coeff * (yi[k] - yj[k])
+				}
+			}
+		}
+
+		// Momentum update with adaptive per-parameter gains.
+		for i := 0; i < n; i++ {
+			for j := 0; j < cfg.OutDims; j++ {
+				g := grad.At(i, j)
+				v := velocity.At(i, j)
+				gain := gains.At(i, j)
+				if (g > 0) == (v > 0) {
+					gain *= 0.8
+				} else {
+					gain += 0.2
+				}
+				if gain < 0.01 {
+					gain = 0.01
+				}
+				gains.Set(i, j, gain)
+				v = momentum*v - cfg.LearningRate*gain*g
+				velocity.Set(i, j, v)
+				Y.Set(i, j, Y.At(i, j)+v)
+			}
+		}
+
+		// Re-centre to remove drift.
+		mu := Y.ColMeans()
+		_ = Y.CenterRows(mu)
+	}
+	return Y, nil
+}
+
+// jointAffinities computes the symmetrised conditional Gaussian affinity
+// matrix P with per-point bandwidths found by bisection on perplexity.
+func jointAffinities(X *mat.Matrix, perplexity float64) (*mat.Matrix, error) {
+	n := X.Rows()
+	targetH := math.Log(perplexity) // entropy target in nats
+
+	D := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		xi := X.Row(i)
+		for j := i + 1; j < n; j++ {
+			d := mat.SqDist(xi, X.Row(j))
+			D[i*n+j] = d
+			D[j*n+i] = d
+		}
+	}
+
+	P := mat.New(n, n)
+	row := make([]float64, n)
+	for i := 0; i < n; i++ {
+		betaMin, betaMax := math.Inf(-1), math.Inf(1)
+		beta := 1.0
+		for iter := 0; iter < 64; iter++ {
+			h, ok := condDistribution(D[i*n:(i+1)*n], i, beta, row)
+			if !ok {
+				return nil, errors.New("reduce: tsne: degenerate distance row (all points identical?)")
+			}
+			diff := h - targetH
+			if math.Abs(diff) < 1e-5 {
+				break
+			}
+			if diff > 0 { // entropy too high -> sharpen
+				betaMin = beta
+				if math.IsInf(betaMax, 1) {
+					beta *= 2
+				} else {
+					beta = (beta + betaMax) / 2
+				}
+			} else {
+				betaMax = beta
+				if math.IsInf(betaMin, -1) {
+					beta /= 2
+				} else {
+					beta = (beta + betaMin) / 2
+				}
+			}
+		}
+		copy(P.Row(i), row)
+	}
+
+	// Symmetrise and normalise: p_ij = (p_j|i + p_i|j) / 2n, floored to
+	// keep gradients alive.
+	out := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := (P.At(i, j) + P.At(j, i)) / (2 * float64(n))
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			out.Set(i, j, v)
+		}
+	}
+	return out, nil
+}
+
+// condDistribution fills row with the conditional distribution p_{j|i} for
+// bandwidth beta and returns its Shannon entropy (nats). ok=false when the
+// distribution degenerates.
+func condDistribution(dists []float64, i int, beta float64, row []float64) (h float64, ok bool) {
+	var sum float64
+	minD := math.Inf(1)
+	for j, d := range dists {
+		if j != i && d < minD {
+			minD = d
+		}
+	}
+	for j, d := range dists {
+		if j == i {
+			row[j] = 0
+			continue
+		}
+		// Subtract the minimum distance for numerical stability.
+		row[j] = math.Exp(-beta * (d - minD))
+		sum += row[j]
+	}
+	if sum <= 0 || math.IsNaN(sum) {
+		return 0, false
+	}
+	var entropy float64
+	for j := range row {
+		if j == i || row[j] == 0 {
+			continue
+		}
+		p := row[j] / sum
+		row[j] = p
+		entropy -= p * math.Log(p)
+	}
+	return entropy, true
+}

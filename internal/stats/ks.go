@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KSResult holds a two-sample Kolmogorov-Smirnov comparison.
+type KSResult struct {
+	// Statistic is the maximum distance between the empirical CDFs.
+	Statistic float64
+	// PValue is the asymptotic significance of the statistic (small values
+	// reject "same distribution").
+	PValue float64
+}
+
+// KSTest runs the two-sample Kolmogorov-Smirnov test. It is used by the
+// online drift monitor to compare the entropy distribution of recent
+// predictions against the training-time baseline: a significant shift in
+// predictive-entropy distribution is the earliest sign that the deployed
+// HMD is seeing workloads it was not trained on.
+func KSTest(a, b []float64) (KSResult, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return KSResult{}, fmt.Errorf("stats: ks test needs two non-empty samples (%d, %d): %w", len(a), len(b), ErrEmpty)
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+
+	// Walk the merged order, consuming whole tie groups on both sides
+	// before comparing the CDFs — evaluating mid-tie would report spurious
+	// gaps for heavily tied samples (e.g. many exact-zero entropies).
+	var d float64
+	i, j := 0, 0
+	for i < len(as) && j < len(bs) {
+		va, vb := as[i], bs[j]
+		v := math.Min(va, vb)
+		for i < len(as) && as[i] == v {
+			i++
+		}
+		for j < len(bs) && bs[j] == v {
+			j++
+		}
+		fa := float64(i) / float64(len(as))
+		fb := float64(j) / float64(len(bs))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+
+	ne := float64(len(as)) * float64(len(bs)) / float64(len(as)+len(bs))
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return KSResult{Statistic: d, PValue: ksProb(lambda)}, nil
+}
+
+// ksProb is the asymptotic Kolmogorov distribution tail Q_KS(lambda)
+// (Numerical Recipes §14.3).
+func ksProb(lambda float64) float64 {
+	if lambda < 1e-12 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for j := 1; j <= 100; j++ {
+		term := sign * 2 * math.Exp(-2*lambda*lambda*float64(j*j))
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	if sum < 0 {
+		return 0
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}

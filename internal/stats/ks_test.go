@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKSTestSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 400)
+	b := make([]float64, 400)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	res, err := KSTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.01 {
+		t.Fatalf("same distribution rejected: p=%v stat=%v", res.PValue, res.Statistic)
+	}
+	if res.Statistic > 0.15 {
+		t.Fatalf("statistic %v too large for identical distributions", res.Statistic)
+	}
+}
+
+func TestKSTestShiftedDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]float64, 300)
+	b := make([]float64, 300)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 1.5
+	}
+	res, err := KSTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-6 {
+		t.Fatalf("shifted distribution not detected: p=%v", res.PValue)
+	}
+	if res.Statistic < 0.4 {
+		t.Fatalf("statistic %v too small for a 1.5-sigma shift", res.Statistic)
+	}
+}
+
+func TestKSTestDisjointSupports(t *testing.T) {
+	a := []float64{0, 1, 2}
+	b := []float64{10, 11, 12}
+	res, err := KSTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic != 1 {
+		t.Fatalf("disjoint supports should give statistic 1, got %v", res.Statistic)
+	}
+}
+
+func TestKSTestErrors(t *testing.T) {
+	if _, err := KSTest(nil, []float64{1}); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if _, err := KSTest([]float64{1}, nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+}
+
+func TestKSStatisticRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 1+rng.Intn(50))
+		b := make([]float64, 1+rng.Intn(50))
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64() * 3
+		}
+		res, err := KSTest(a, b)
+		if err != nil {
+			return false
+		}
+		return res.Statistic >= 0 && res.Statistic <= 1 && res.PValue >= 0 && res.PValue <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKSSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 5+rng.Intn(30))
+		b := make([]float64, 5+rng.Intn(30))
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64() + 0.5
+		}
+		r1, err1 := KSTest(a, b)
+		r2, err2 := KSTest(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r1.Statistic == r2.Statistic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKSTiedSamplesNoSpuriousGap(t *testing.T) {
+	// Heavily tied samples drawn from the same distribution (many exact
+	// zeros) must not produce a large statistic.
+	a := make([]float64, 160)
+	b := make([]float64, 12)
+	for i := 120; i < 160; i++ {
+		a[i] = 0.1 + float64(i-120)*0.01
+	}
+	res, err := KSTest(a, b) // b is all zeros; a is 75% zeros
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic > 0.3 {
+		t.Fatalf("tied-sample statistic %v too large", res.Statistic)
+	}
+	if res.PValue < 0.05 {
+		t.Fatalf("tied same-ish samples rejected: p=%v", res.PValue)
+	}
+}

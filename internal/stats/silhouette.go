@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Silhouette returns the mean silhouette coefficient of the points X (one
+// point per row) under the labelling y. The silhouette of a point is
+// (b-a)/max(a,b) where a is its mean intra-cluster distance and b the mean
+// distance to the nearest other cluster; the mean over all points lies in
+// [-1, 1]. Values near 1 indicate well-separated clusters (the paper's DVFS
+// latent space), values near 0 indicate overlapping clusters (the HPC
+// latent space).
+//
+// Points in singleton clusters contribute 0, following the usual
+// convention. At least two distinct labels are required.
+func Silhouette(X [][]float64, y []int) (float64, error) {
+	if len(X) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(X) != len(y) {
+		return 0, fmt.Errorf("stats: silhouette: %d points but %d labels", len(X), len(y))
+	}
+	clusters := map[int][]int{}
+	for i, lab := range y {
+		clusters[lab] = append(clusters[lab], i)
+	}
+	if len(clusters) < 2 {
+		return 0, fmt.Errorf("stats: silhouette needs >=2 clusters, got %d", len(clusters))
+	}
+
+	dist := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+
+	var total float64
+	for i := range X {
+		own := clusters[y[i]]
+		if len(own) == 1 {
+			continue // silhouette 0 by convention
+		}
+		var a float64
+		for _, j := range own {
+			if j != i {
+				a += dist(X[i], X[j])
+			}
+		}
+		a /= float64(len(own) - 1)
+
+		b := math.Inf(1)
+		for lab, members := range clusters {
+			if lab == y[i] {
+				continue
+			}
+			var d float64
+			for _, j := range members {
+				d += dist(X[i], X[j])
+			}
+			d /= float64(len(members))
+			if d < b {
+				b = d
+			}
+		}
+		if m := math.Max(a, b); m > 0 {
+			total += (b - a) / m
+		}
+	}
+	return total / float64(len(X)), nil
+}

@@ -1,0 +1,267 @@
+// Package stats supplies the statistical primitives used by trusthmd: Shannon
+// entropy, histograms, quantiles and box-plot summaries, running moments,
+// silhouette scores, and autocorrelation. All entropies are reported in bits
+// (log base 2) so that binary vote entropy lies in [0, 1], matching the
+// threshold axes of the paper's Figs. 7 and 9.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty reports an operation on an empty sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Entropy returns the Shannon entropy, in bits, of the probability
+// distribution p. Entries must be non-negative; zero entries contribute
+// nothing. The distribution need not be exactly normalised — it is
+// renormalised internally — but an all-zero distribution is an error.
+func Entropy(p []float64) (float64, error) {
+	var total float64
+	for i, v := range p {
+		if v < 0 || math.IsNaN(v) {
+			return 0, fmt.Errorf("stats: entropy: p[%d]=%v is not a valid probability mass", i, v)
+		}
+		total += v
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("stats: entropy: distribution sums to zero: %w", ErrEmpty)
+	}
+	var h float64
+	for _, v := range p {
+		if v == 0 {
+			continue
+		}
+		q := v / total
+		h -= q * math.Log2(q)
+	}
+	if h < 0 { // guard tiny negative round-off
+		h = 0
+	}
+	return h, nil
+}
+
+// CountEntropy returns the Shannon entropy, in bits, of a frequency
+// distribution given as integer counts (e.g. ensemble votes per class).
+func CountEntropy(counts []int) (float64, error) {
+	p := make([]float64, len(counts))
+	for i, c := range counts {
+		if c < 0 {
+			return 0, fmt.Errorf("stats: count entropy: negative count %d at %d", c, i)
+		}
+		p[i] = float64(c)
+	}
+	return Entropy(p)
+}
+
+// BinaryEntropy returns the entropy, in bits, of a Bernoulli(p)
+// distribution. p outside [0,1] is an error.
+func BinaryEntropy(p float64) (float64, error) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("stats: binary entropy: p=%v outside [0,1]", p)
+	}
+	if p == 0 || p == 1 {
+		return 0, nil
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p), nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (the same scheme as numpy's
+// default). xs is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", q)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// FiveNumber is a box-plot summary: minimum, lower quartile, median, upper
+// quartile and maximum, plus the mean and count for convenience.
+type FiveNumber struct {
+	Min, Q1, Median, Q3, Max float64
+	Mean                     float64
+	N                        int
+}
+
+// Summarize computes the five-number summary of xs.
+func Summarize(xs []float64) (FiveNumber, error) {
+	if len(xs) == 0 {
+		return FiveNumber{}, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	q := func(p float64) float64 {
+		v, _ := Quantile(s, p)
+		return v
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return FiveNumber{
+		Min:    s[0],
+		Q1:     q(0.25),
+		Median: q(0.5),
+		Q3:     q(0.75),
+		Max:    s[len(s)-1],
+		Mean:   sum / float64(len(s)),
+		N:      len(s),
+	}, nil
+}
+
+// String renders the summary in a compact fixed layout used by the
+// experiment harness.
+func (f FiveNumber) String() string {
+	return fmt.Sprintf("n=%d min=%.3f q1=%.3f med=%.3f q3=%.3f max=%.3f mean=%.3f",
+		f.N, f.Min, f.Q1, f.Median, f.Q3, f.Max, f.Mean)
+}
+
+// Moments accumulates running mean and variance via Welford's algorithm.
+// The zero value is ready to use.
+type Moments struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (m *Moments) Add(x float64) {
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// N returns the number of samples folded in.
+func (m *Moments) N() int { return m.n }
+
+// Mean returns the running mean (0 before any samples).
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Variance returns the sample variance (denominator n-1), or 0 with fewer
+// than two samples.
+func (m *Moments) Variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (m *Moments) Std() float64 { return math.Sqrt(m.Variance()) }
+
+// Histogram is a fixed-width binning of scalar observations over [Min, Max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	total    int
+	below    int
+	above    int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over
+// [min, max). Values below min or at/above max are tallied separately in
+// the outermost bins' overflow counters but still count toward Total.
+func NewHistogram(min, max float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs >=1 bin, got %d", bins)
+	}
+	if !(min < max) {
+		return nil, fmt.Errorf("stats: histogram range [%v,%v) is empty", min, max)
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, bins)}, nil
+}
+
+// Observe adds x to the histogram.
+func (h *Histogram) Observe(x float64) {
+	h.total++
+	switch {
+	case x < h.Min:
+		h.below++
+	case x >= h.Max:
+		h.above++
+	default:
+		i := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+		if i >= len(h.Counts) { // float edge case at the upper boundary
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// OutOfRange returns the counts of observations below Min and at/above Max.
+func (h *Histogram) OutOfRange() (below, above int) { return h.below, h.above }
+
+// Normalized returns the in-range bin masses as probabilities summing to
+// (in-range count)/Total. A histogram with no observations returns zeros.
+func (h *Histogram) Normalized() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	inv := 1 / float64(h.total)
+	for i, c := range h.Counts {
+		out[i] = float64(c) * inv
+	}
+	return out
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation of xs for
+// k = 0..maxLag. Constant series yield zeros beyond lag 0 (and 1 at lag 0
+// by convention).
+func Autocorrelation(xs []float64, maxLag int) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	if maxLag < 0 {
+		return nil, fmt.Errorf("stats: negative maxLag %d", maxLag)
+	}
+	if maxLag >= len(xs) {
+		maxLag = len(xs) - 1
+	}
+	var mean float64
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	var denom float64
+	for _, v := range xs {
+		d := v - mean
+		denom += d * d
+	}
+	out := make([]float64, maxLag+1)
+	out[0] = 1
+	if denom == 0 {
+		return out, nil
+	}
+	for k := 1; k <= maxLag; k++ {
+		var num float64
+		for i := 0; i+k < len(xs); i++ {
+			num += (xs[i] - mean) * (xs[i+k] - mean)
+		}
+		out[k] = num / denom
+	}
+	return out, nil
+}
