@@ -1,0 +1,36 @@
+GO      ?= go
+REV     := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
+BENCH   ?= .
+BENCHTIME ?= 1x
+
+.PHONY: all build test test-short vet fmt-check bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# bench runs the figure/table benchmarks plus the component and serving
+# micro-benchmarks at the repository root and records a JSON snapshot
+# (BENCH_<rev>.json) so the performance trajectory is tracked per commit.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . \
+		| tee /dev/stderr \
+		| $(GO) run ./tools/benchjson -out BENCH_$(REV).json
+
+ci: build vet fmt-check test

@@ -15,10 +15,10 @@ import (
 	"trusthmd/internal/ensemble"
 	"trusthmd/internal/exp"
 	"trusthmd/internal/gen"
-	"trusthmd/internal/hmd"
 	"trusthmd/internal/mat"
 	"trusthmd/internal/ml/tree"
 	"trusthmd/internal/reduce"
+	"trusthmd/pkg/detector"
 )
 
 func benchScale() float64 {
@@ -213,7 +213,9 @@ func BenchmarkPipelineTrainRF(b *testing.B) {
 	s := dvfsBenchData(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := hmd.Train(s.Train, hmd.Config{Model: hmd.RandomForest, M: 25, Seed: int64(i)}); err != nil {
+		_, err := detector.New(s.Train,
+			detector.WithModel("rf"), detector.WithEnsembleSize(25), detector.WithSeed(int64(i)))
+		if err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -221,14 +223,64 @@ func BenchmarkPipelineTrainRF(b *testing.B) {
 
 func BenchmarkPipelineAssess(b *testing.B) {
 	s := dvfsBenchData(b)
-	p, err := hmd.Train(s.Train, hmd.Config{Model: hmd.RandomForest, M: 25, Seed: 1})
+	d, err := detector.New(s.Train,
+		detector.WithModel("rf"), detector.WithEnsembleSize(25), detector.WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
 	}
 	x := s.Test.At(0).Features
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.Assess(x); err != nil {
+		if _, err := d.Assess(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// assessBenchSetup trains the paper's 25-member RF detector and returns it
+// with a 1000-sample test batch (the acceptance workload for the batched
+// assessment path).
+func assessBenchSetup(b *testing.B) (*detector.Detector, [][]float64) {
+	b.Helper()
+	s, err := gen.DVFSWithSizes(2, gen.Sizes{Train: 700, Test: 1000, Unknown: 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := detector.New(s.Train,
+		detector.WithModel("rf"), detector.WithEnsembleSize(25), detector.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	X := make([][]float64, s.Test.Len())
+	for i := range X {
+		X[i] = s.Test.At(i).Features
+	}
+	return d, X
+}
+
+// BenchmarkAssessSequential is the old serving loop: one Assess call per
+// sample, re-projecting every vector and walking members serially.
+func BenchmarkAssessSequential(b *testing.B) {
+	d, X := assessBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range X {
+			if _, err := d.Assess(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAssessBatch is the batched serving path: scale+PCA once per
+// batch and a worker pool over member inference. Compare against
+// BenchmarkAssessSequential; at GOMAXPROCS >= 4 it must be >= 2x faster
+// with element-wise identical results (see detector.TestAssessBatchSpeedup).
+func BenchmarkAssessBatch(b *testing.B) {
+	d, X := assessBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.AssessBatch(X); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,11 +1,16 @@
-// Command trusthmd runs the full trusted-HMD demo: it trains the DVFS
-// pipeline, then streams live simulated telemetry from a mix of known
+// Command trusthmd runs the full trusted-HMD demo: it trains (or loads) the
+// DVFS detector, then streams live simulated telemetry from a mix of known
 // applications and zero-day malware through the online detector, printing
 // each decision as it is made (the deployment loop of the paper's Fig. 1).
 //
+// With -save the trained detector is serialized after training; with -load
+// a previously saved detector serves immediately without retraining — the
+// train-once-serve-many workflow of a production deployment.
+//
 // Usage:
 //
-//	trusthmd [-model rf|lr|svm] [-threshold 0.40] [-windows 40] [-seed 1]
+//	trusthmd [-model rf|lr|svm|nb|knn] [-threshold 0.40] [-windows 40]
+//	         [-seed 1] [-save detector.gob] [-load detector.gob]
 package main
 
 import (
@@ -14,65 +19,63 @@ import (
 	"math/rand"
 	"os"
 
-	"trusthmd/internal/core"
 	"trusthmd/internal/dvfs"
 	"trusthmd/internal/gen"
-	"trusthmd/internal/hmd"
 	"trusthmd/internal/workload"
+	"trusthmd/pkg/detector"
 )
 
 func main() {
 	var (
-		model     = flag.String("model", "rf", "base classifier: rf, lr, or svm")
-		threshold = flag.Float64("threshold", 0.40, "entropy rejection threshold")
+		model     = flag.String("model", "rf", "base classifier registry name (see pkg/detector)")
+		threshold = flag.Float64("threshold", detector.DefaultThreshold, "entropy rejection threshold")
 		windows   = flag.Int("windows", 40, "number of telemetry windows to stream")
 		seed      = flag.Int64("seed", 1, "random seed")
+		savePath  = flag.String("save", "", "write the trained detector to this file")
+		loadPath  = flag.String("load", "", "serve a previously saved detector instead of training")
 	)
 	flag.Parse()
-	if err := run(*model, *threshold, *windows, *seed); err != nil {
+	// A saved detector carries its own threshold; only an explicit
+	// -threshold flag overrides it after -load.
+	thresholdSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "threshold" {
+			thresholdSet = true
+		}
+	})
+	if err := run(*model, *threshold, thresholdSet, *windows, *seed, *savePath, *loadPath); err != nil {
 		fmt.Fprintln(os.Stderr, "trusthmd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model string, threshold float64, windows int, seed int64) error {
-	var m hmd.Model
-	switch model {
-	case "rf":
-		m = hmd.RandomForest
-	case "lr":
-		m = hmd.LogisticRegression
-	case "svm":
-		m = hmd.SVM
-	default:
-		return fmt.Errorf("unknown model %q", model)
-	}
-
-	fmt.Println("training trusted HMD on DVFS telemetry...")
-	splits, err := gen.DVFSWithSizes(seed, gen.Sizes{Train: 2100, Test: 700, Unknown: 284})
+func run(model string, threshold float64, thresholdSet bool, windows int, seed int64, savePath, loadPath string) error {
+	det, err := obtainDetector(model, threshold, thresholdSet, seed, loadPath)
 	if err != nil {
 		return err
 	}
-	cfg := hmd.Config{Model: m, M: 25, Seed: seed}
-	if m == hmd.LogisticRegression {
-		cfg.MaxFeatures = 0.45
-	}
-	if m == hmd.SVM {
-		cfg.SVMMaxObjective = 0.3
-	}
-	pipeline, err := hmd.Train(splits.Train, cfg)
-	if err != nil {
-		return err
+	if savePath != "" {
+		f, err := os.Create(savePath)
+		if err != nil {
+			return err
+		}
+		if err := det.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("saved trained detector to %s\n", savePath)
 	}
 
 	sim, err := dvfs.NewSimulator(dvfs.DefaultConfig())
 	if err != nil {
 		return err
 	}
-	online, err := hmd.NewOnline(pipeline, hmd.OnlineConfig{
-		Threshold: threshold,
-		Levels:    sim.Config().Levels,
-		Window:    sim.Config().Steps,
+	online, err := detector.NewOnline(det, detector.StreamConfig{
+		Levels: sim.Config().Levels,
+		Window: sim.Config().Steps,
 	})
 	if err != nil {
 		return err
@@ -85,7 +88,7 @@ func run(model string, threshold float64, windows int, seed int64) error {
 		pool = append(pool, a)
 	}
 	rng := rand.New(rand.NewSource(seed + 99))
-	fmt.Printf("streaming %d windows at threshold %.2f (model %v)\n\n", windows, threshold, m)
+	fmt.Printf("streaming %d windows at threshold %.2f (model %s)\n\n", windows, det.Threshold(), det.Model())
 	correctOrRejected := 0
 	for w := 0; w < windows; w++ {
 		app := pool[rng.Intn(len(pool))]
@@ -94,7 +97,7 @@ func run(model string, threshold float64, windows int, seed int64) error {
 			return err
 		}
 		for _, st := range trace {
-			dec, ok, err := online.Push(st)
+			res, ok, err := online.Push(st)
 			if err != nil {
 				return err
 			}
@@ -103,10 +106,10 @@ func run(model string, threshold float64, windows int, seed int64) error {
 			}
 			status := "OK"
 			switch {
-			case dec.Decision == core.DecideReject:
+			case res.Decision == detector.Reject:
 				status = "-> analyst"
 				correctOrRejected++
-			case int(dec.Decision) == app.Label:
+			case res.Prediction == app.Label:
 				correctOrRejected++
 			default:
 				status = "MISCLASSIFIED"
@@ -116,7 +119,7 @@ func run(model string, threshold float64, windows int, seed int64) error {
 				kind = "ZERO-DAY"
 			}
 			fmt.Printf("window %3d  app=%-14s (%s, truth=%s)  decision=%-7v entropy=%.3f  %s\n",
-				w, app.Name, kind, label(app.Label), dec.Decision, dec.Assessment.Entropy, status)
+				w, app.Name, kind, label(app.Label), res.Decision, res.Entropy, status)
 		}
 	}
 	fmt.Printf("\nstats: %d benign, %d malware, %d rejected (%.1f%% of windows)\n",
@@ -125,6 +128,46 @@ func run(model string, threshold float64, windows int, seed int64) error {
 	fmt.Printf("safe outcomes (correct or routed to analyst): %d/%d\n",
 		correctOrRejected, online.Stats.Total())
 	return nil
+}
+
+// obtainDetector loads a saved detector or trains a fresh one.
+func obtainDetector(model string, threshold float64, thresholdSet bool, seed int64, loadPath string) (*detector.Detector, error) {
+	if loadPath != "" {
+		f, err := os.Open(loadPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		det, err := detector.Load(f)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("loaded trained detector from %s (model %s, %d members)\n",
+			loadPath, det.Model(), det.Members())
+		if thresholdSet {
+			return det.WithOptions(detector.WithThreshold(threshold))
+		}
+		return det, nil
+	}
+
+	fmt.Println("training trusted HMD on DVFS telemetry...")
+	splits, err := gen.DVFSWithSizes(seed, gen.Sizes{Train: 2100, Test: 700, Unknown: 284})
+	if err != nil {
+		return nil, err
+	}
+	opts := []detector.Option{
+		detector.WithModel(model),
+		detector.WithEnsembleSize(25),
+		detector.WithSeed(seed),
+		detector.WithThreshold(threshold),
+	}
+	switch model {
+	case "lr", "nb", "knn":
+		opts = append(opts, detector.WithMaxFeatures(0.45))
+	case "svm":
+		opts = append(opts, detector.WithSVMMaxObjective(0.3))
+	}
+	return detector.New(splits.Train, opts...)
 }
 
 func label(l int) string {

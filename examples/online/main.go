@@ -12,8 +12,8 @@ import (
 
 	"trusthmd/internal/dvfs"
 	"trusthmd/internal/gen"
-	"trusthmd/internal/hmd"
 	"trusthmd/internal/workload"
+	"trusthmd/pkg/detector"
 )
 
 func main() {
@@ -21,7 +21,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pipeline, err := hmd.Train(splits.Train, hmd.Config{Model: hmd.RandomForest, M: 25, Seed: 5})
+	det, err := detector.New(splits.Train,
+		detector.WithModel("rf"), detector.WithEnsembleSize(25),
+		detector.WithSeed(5), detector.WithThreshold(0.40))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,10 +32,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	online, err := hmd.NewOnline(pipeline, hmd.OnlineConfig{
-		Threshold: 0.40,
-		Levels:    sim.Config().Levels,
-		Window:    sim.Config().Steps,
+	online, err := detector.NewOnline(det, detector.StreamConfig{
+		Levels: sim.Config().Levels,
+		Window: sim.Config().Steps,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -70,14 +71,14 @@ func main() {
 				log.Fatal(err)
 			}
 			for _, st := range trace {
-				dec, ok, err := online.Push(st)
+				res, ok, err := online.Push(st)
 				if err != nil {
 					log.Fatal(err)
 				}
 				if !ok {
 					continue
 				}
-				rejected := dec.Decision.String() == "reject"
+				rejected := res.Decision == detector.Reject
 				if rejected {
 					phaseRejects++
 				}

@@ -6,16 +6,14 @@
 package main
 
 import (
-	"errors"
 	"fmt"
 	"log"
 
 	"trusthmd/internal/core"
 	"trusthmd/internal/gen"
-	"trusthmd/internal/hmd"
 	"trusthmd/internal/metrics"
-	"trusthmd/internal/ml/linear"
 	"trusthmd/internal/stats"
+	"trusthmd/pkg/detector"
 )
 
 func main() {
@@ -27,28 +25,34 @@ func main() {
 	}
 
 	// SVM fails to converge on overlapping classes — as in the paper.
-	_, err = hmd.Train(splits.Train, hmd.Config{Model: hmd.SVM, M: 5, Seed: 3, SVMMaxObjective: 0.3})
-	var nc *linear.ErrNoConvergence
-	if errors.As(err, &nc) {
-		fmt.Printf("SVM excluded: %v\n\n", nc)
-	} else if err != nil {
+	_, err = detector.New(splits.Train,
+		detector.WithModel("svm"), detector.WithEnsembleSize(5),
+		detector.WithSeed(3), detector.WithSVMMaxObjective(0.3))
+	switch {
+	case detector.IsNoConvergence(err):
+		fmt.Printf("SVM excluded: %v\n\n", err)
+	case err != nil:
 		log.Fatal(err)
-	} else {
+	default:
 		fmt.Println("warning: SVM unexpectedly converged")
 	}
 
-	pipeline, err := hmd.Train(splits.Train, hmd.Config{Model: hmd.RandomForest, M: 25, Seed: 3})
+	det, err := detector.New(splits.Train,
+		detector.WithModel("rf"), detector.WithEnsembleSize(25), detector.WithSeed(3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	preds, knownEntropies, err := pipeline.AssessDataset(splits.Test)
+	rKnown, err := det.AssessDataset(splits.Test)
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, unknownEntropies, err := pipeline.AssessDataset(splits.Unknown)
+	rUnknown, err := det.AssessDataset(splits.Unknown)
 	if err != nil {
 		log.Fatal(err)
 	}
+	preds := detector.Predictions(rKnown)
+	knownEntropies := detector.Entropies(rKnown)
+	unknownEntropies := detector.Entropies(rUnknown)
 
 	ks, err := stats.Summarize(knownEntropies)
 	if err != nil {

@@ -8,7 +8,7 @@ import (
 	"log"
 
 	"trusthmd/internal/gen"
-	"trusthmd/internal/hmd"
+	"trusthmd/pkg/detector"
 )
 
 func main() {
@@ -19,12 +19,14 @@ func main() {
 	}
 
 	// 2. Train the trusted HMD: scaling -> bagging ensemble of 25 random
-	// forest trees -> vote-entropy uncertainty estimator.
-	pipeline, err := hmd.Train(splits.Train, hmd.Config{
-		Model: hmd.RandomForest,
-		M:     25,
-		Seed:  42,
-	})
+	// forest trees -> vote-entropy uncertainty estimator -> rejector at the
+	// paper's 0.40 operating point.
+	det, err := detector.New(splits.Train,
+		detector.WithModel("rf"),
+		detector.WithEnsembleSize(25),
+		detector.WithSeed(42),
+		detector.WithThreshold(0.40),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,11 +42,11 @@ func main() {
 		{"known workload (" + known.App + ")", known.Features},
 		{"zero-day workload (" + unknown.App + ")", unknown.Features},
 	} {
-		decision, assessment, err := pipeline.Decide(s.features, 0.40)
+		res, err := det.Assess(s.features)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-32s decision=%-7v entropy=%.3f votes=%v\n",
-			s.name, decision, assessment.Entropy, assessment.VoteDist)
+			s.name, res.Decision, res.Entropy, res.VoteDist)
 	}
 }

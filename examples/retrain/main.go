@@ -12,8 +12,8 @@ import (
 
 	"trusthmd/internal/dataset"
 	"trusthmd/internal/gen"
-	"trusthmd/internal/hmd"
 	"trusthmd/internal/mat"
+	"trusthmd/pkg/detector"
 )
 
 func main() {
@@ -21,8 +21,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := hmd.Config{Model: hmd.RandomForest, M: 25, Seed: 8}
-	detector, err := hmd.Train(splits.Train, cfg)
+	opts := []detector.Option{
+		detector.WithModel("rf"),
+		detector.WithEnsembleSize(25),
+		detector.WithSeed(8),
+		detector.WithThreshold(0.40),
+	}
+	det, err := detector.New(splits.Train, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,16 +45,16 @@ func main() {
 	forensic := familySamples[:3*len(familySamples)/4]
 	heldOut := familySamples[3*len(familySamples)/4:]
 
-	report := func(name string, p *hmd.Pipeline, samples []dataset.Sample) (meanH, acc float64) {
+	report := func(name string, d *detector.Detector, samples []dataset.Sample) (meanH, acc float64) {
 		var hs []float64
 		correct := 0
 		for _, s := range samples {
-			a, err := p.Assess(s.Features)
+			r, err := d.Assess(s.Features)
 			if err != nil {
 				log.Fatal(err)
 			}
-			hs = append(hs, a.Entropy)
-			if a.Prediction == s.Label {
+			hs = append(hs, r.Entropy)
+			if r.Prediction == s.Label {
 				correct++
 			}
 		}
@@ -60,21 +65,21 @@ func main() {
 	}
 
 	fmt.Println("== before retraining ==")
-	hFamBefore, accFamBefore := report(family+" (held out)", detector, heldOut)
-	report("other zero-days", detector, otherUnknown)
+	hFamBefore, accFamBefore := report(family+" (held out)", det, heldOut)
+	report("other zero-days", det, otherUnknown)
 
 	// Rejected windows go to the analyst; the analyst labels them.
-	retrainer, err := hmd.NewRetrainer(splits.Train, cfg, 40)
+	retrainer, err := detector.NewRetrainer(splits.Train, 40, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	rejected := 0
 	for _, s := range forensic {
-		decision, _, err := detector.Decide(s.Features, 0.40)
+		res, err := det.Assess(s.Features)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if decision.String() != "reject" {
+		if res.Decision != detector.Reject {
 			continue
 		}
 		rejected++
@@ -88,19 +93,19 @@ func main() {
 		log.Fatalf("forensic quorum not reached (%d pending)", retrainer.Pending())
 	}
 
-	detector, err = retrainer.Retrain()
+	det, err = retrainer.Retrain()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("retrained on %d samples (round %d)\n\n", retrainer.TrainingSize(), retrainer.Rounds())
 
 	fmt.Println("== after retraining ==")
-	hFam, accFam := report(family+" (held out)", detector, heldOut)
-	hOther, _ := report("other zero-days", detector, otherUnknown)
+	hFam, accFam := report(family+" (held out)", det, heldOut)
+	hOther, _ := report("other zero-days", det, otherUnknown)
 
 	fmt.Printf("\nabsorbed family: entropy %.3f -> %.3f (%.0f%% lower), accuracy %.3f -> %.3f\n",
 		hFamBefore, hFam, 100*(1-hFam/hFamBefore), accFamBefore, accFam)
 	fmt.Printf("unrelated zero-days keep mean entropy %.3f: the detector still flags them.\n", hOther)
 	fmt.Println("one forensic round moves the family toward the known set; further")
-	fmt.Println("rounds (and more forensics) continue the shift — see hmd.Retrainer.")
+	fmt.Println("rounds (and more forensics) continue the shift — see detector.Retrainer.")
 }

@@ -11,7 +11,7 @@ import (
 
 	"trusthmd/internal/core"
 	"trusthmd/internal/gen"
-	"trusthmd/internal/hmd"
+	"trusthmd/pkg/detector"
 )
 
 func main() {
@@ -19,19 +19,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pipeline, err := hmd.Train(splits.Train, hmd.Config{Model: hmd.RandomForest, M: 25, Seed: 7})
+	det, err := detector.New(splits.Train,
+		detector.WithModel("rf"), detector.WithEnsembleSize(25), detector.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	_, knownEntropies, err := pipeline.AssessDataset(splits.Test)
+	// One batched pass per split: scaling and PCA amortised, member
+	// inference spread over the worker pool.
+	rKnown, err := det.AssessDataset(splits.Test)
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, unknownEntropies, err := pipeline.AssessDataset(splits.Unknown)
+	rUnknown, err := det.AssessDataset(splits.Unknown)
 	if err != nil {
 		log.Fatal(err)
 	}
+	knownEntropies := detector.Entropies(rKnown)
+	unknownEntropies := detector.Entropies(rUnknown)
 
 	thresholds, err := core.Thresholds(0, 0.75, 0.05)
 	if err != nil {

@@ -1,0 +1,3 @@
+module trusthmd
+
+go 1.24

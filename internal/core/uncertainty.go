@@ -82,6 +82,43 @@ func (e Estimator) voteCounts(votes []int) ([]int, error) {
 	return counts, nil
 }
 
+// VoteSummary is everything the trusted HMD derives from one set of member
+// votes: the plurality prediction, the vote-entropy uncertainty and the
+// normalised vote distribution. It is produced by Estimator.Summarize in a
+// single pass over the votes, where the per-quantity methods (VoteEntropy,
+// VoteDistribution, a caller-side argmax) would each walk them again.
+type VoteSummary struct {
+	// Prediction is the plurality class; ties resolve to the lower index.
+	Prediction int
+	// Entropy is the Shannon entropy of the vote distribution in bits.
+	Entropy float64
+	// Dist is the normalised vote frequency distribution (sums to 1).
+	Dist []float64
+}
+
+// Summarize computes prediction, entropy and vote distribution from one
+// walk over the member votes.
+func (e Estimator) Summarize(votes []int) (VoteSummary, error) {
+	counts, err := e.voteCounts(votes)
+	if err != nil {
+		return VoteSummary{}, err
+	}
+	h, err := stats.CountEntropy(counts)
+	if err != nil {
+		return VoteSummary{}, err
+	}
+	dist := make([]float64, len(counts))
+	inv := 1 / float64(len(votes))
+	best := 0
+	for lab, c := range counts {
+		dist[lab] = float64(c) * inv
+		if c > counts[best] {
+			best = lab
+		}
+	}
+	return VoteSummary{Prediction: best, Entropy: h, Dist: dist}, nil
+}
+
 // Agreement returns the fraction of votes cast for the plurality class —
 // a linear alternative to entropy (1 = unanimous).
 func (e Estimator) Agreement(votes []int) (float64, error) {

@@ -1,0 +1,34 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// scalerGob is the exported wire form of a Scaler.
+type scalerGob struct {
+	Mean, Std []float64
+}
+
+// GobEncode implements gob.GobEncoder for trained-pipeline serialization.
+func (s *Scaler) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(scalerGob{Mean: s.mean, Std: s.std}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *Scaler) GobDecode(b []byte) error {
+	var g scalerGob
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&g); err != nil {
+		return err
+	}
+	if len(g.Mean) != len(g.Std) {
+		return fmt.Errorf("dataset: corrupt scaler gob: %d means, %d stds", len(g.Mean), len(g.Std))
+	}
+	s.mean, s.std = g.Mean, g.Std
+	return nil
+}

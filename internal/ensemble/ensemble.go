@@ -396,6 +396,31 @@ func (b *Bagging) MemberProbas(x []float64) [][]float64 {
 	return out
 }
 
+// MemberOutputs returns every member's hard vote and posterior in a single
+// walk over the members — the one-pass input for an assessment that needs
+// both the vote-entropy estimate and the aleatoric/epistemic decomposition.
+// Posteriors follow the MemberProbas convention: PredictProba when the
+// member supports it, else a one-hot encoding of the hard vote.
+func (b *Bagging) MemberOutputs(x []float64) (votes []int, probas [][]float64) {
+	if b.members == nil {
+		panic(ErrNotFitted)
+	}
+	votes = make([]int, len(b.members))
+	probas = make([][]float64, len(b.members))
+	for i, m := range b.members {
+		xi := b.memberInput(i, x)
+		votes[i] = m.Predict(xi)
+		row := make([]float64, b.classes)
+		if pc, ok := m.(ProbClassifier); ok {
+			copy(row, pc.PredictProba(xi))
+		} else if votes[i] < len(row) {
+			row[votes[i]] = 1
+		}
+		probas[i] = row
+	}
+	return votes, probas
+}
+
 // Truncated returns a view of the ensemble restricted to its first m
 // members (used by the Fig. 9a ensemble-size sweep so one 100-member fit
 // serves every prefix). It shares trained members with the receiver.

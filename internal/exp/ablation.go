@@ -3,12 +3,12 @@ package exp
 import (
 	"fmt"
 
+	"trusthmd/internal/core"
 	"trusthmd/internal/dataset"
-	"trusthmd/internal/ensemble"
-	"trusthmd/internal/hmd"
 	"trusthmd/internal/mat"
 	"trusthmd/internal/ml/linear"
 	"trusthmd/internal/ml/platt"
+	"trusthmd/pkg/detector"
 )
 
 // PlattResult is ablation A1: Platt-scaled single-model confidence versus
@@ -33,7 +33,8 @@ func AblationPlatt(cfg Config) (*PlattResult, error) {
 		return nil, fmt.Errorf("exp: ablation platt: %w", err)
 	}
 
-	// Single logistic model + Platt scaling on held-out scores.
+	// The single-model baseline stays deliberately outside the detector
+	// pipeline: one logistic model plus Platt scaling on held-out scores.
 	X := data.Train.X()
 	scaler, err := dataset.FitScaler(X)
 	if err != nil {
@@ -81,20 +82,20 @@ func AblationPlatt(cfg Config) (*PlattResult, error) {
 	}
 
 	// LR ensemble vote entropy for the same inputs.
-	p, err := hmd.Train(data.Train, cfg.pipelineConfig(hmd.LogisticRegression))
+	d, err := cfg.train(data.Train, "lr")
 	if err != nil {
 		return nil, err
 	}
-	_, hKnown, err := p.AssessDataset(data.Test)
+	rKnown, err := d.AssessDataset(data.Test)
 	if err != nil {
 		return nil, err
 	}
-	_, hUnknown, err := p.AssessDataset(data.Unknown)
+	rUnknown, err := d.AssessDataset(data.Unknown)
 	if err != nil {
 		return nil, err
 	}
-	res.MeanEntropyKnown = mat.Mean(hKnown)
-	res.MeanEntropyUnknown = mat.Mean(hUnknown)
+	res.MeanEntropyKnown = mat.Mean(detector.Entropies(rKnown))
+	res.MeanEntropyUnknown = mat.Mean(detector.Entropies(rUnknown))
 	return res, nil
 }
 
@@ -109,7 +110,7 @@ func (r *PlattResult) Render() string {
 
 // PosteriorRow is one model's A2 comparison.
 type PosteriorRow struct {
-	Model                            hmd.Model
+	Model                            string
 	VoteKnown, VoteUnknown           float64
 	PosteriorKnown, PosteriorUnknown float64
 }
@@ -131,30 +132,29 @@ func AblationPosterior(cfg Config) (*PosteriorResult, error) {
 		return nil, fmt.Errorf("exp: ablation posterior: %w", err)
 	}
 	res := &PosteriorResult{}
-	for _, model := range []hmd.Model{hmd.RandomForest, hmd.LogisticRegression} {
-		p, err := hmd.Train(data.Train, cfg.pipelineConfig(model))
+	for _, model := range []string{"rf", "lr"} {
+		d, err := cfg.train(data.Train, model)
 		if err != nil {
 			return nil, err
 		}
-		eval := func(d *dataset.Dataset) (vote, post float64, err error) {
-			for i := 0; i < d.Len(); i++ {
-				x := d.At(i).Features
-				a, err := p.Assess(x)
+		eval := func(ds *dataset.Dataset) (vote, post float64, err error) {
+			rs, err := d.AssessDataset(ds)
+			if err != nil {
+				return 0, 0, err
+			}
+			for i, r := range rs {
+				vote += r.Entropy
+				pp, err := d.Posterior(ds.At(i).Features)
 				if err != nil {
 					return 0, 0, err
 				}
-				vote += a.Entropy
-				pp, err := p.Posterior(x)
-				if err != nil {
-					return 0, 0, err
-				}
-				h, err := pp.Entropy()
+				h, err := core.Posterior(pp).Entropy()
 				if err != nil {
 					return 0, 0, err
 				}
 				post += h
 			}
-			n := float64(d.Len())
+			n := float64(ds.Len())
 			return vote / n, post / n, nil
 		}
 		row := PosteriorRow{Model: model}
@@ -173,10 +173,10 @@ func AblationPosterior(cfg Config) (*PosteriorResult, error) {
 func (r *PosteriorResult) Render() string {
 	out := "Ablation A2 (DVFS): vote entropy vs averaged-posterior entropy\n"
 	for _, row := range r.Rows {
-		out += fmt.Sprintf("  %v vote entropy:      known %.3f, unknown %.3f (gap %.3f)\n",
-			row.Model, row.VoteKnown, row.VoteUnknown, row.VoteUnknown-row.VoteKnown)
-		out += fmt.Sprintf("  %v posterior entropy: known %.3f, unknown %.3f (gap %.3f)\n",
-			row.Model, row.PosteriorKnown, row.PosteriorUnknown, row.PosteriorUnknown-row.PosteriorKnown)
+		out += fmt.Sprintf("  %s vote entropy:      known %.3f, unknown %.3f (gap %.3f)\n",
+			displayModel(row.Model), row.VoteKnown, row.VoteUnknown, row.VoteUnknown-row.VoteKnown)
+		out += fmt.Sprintf("  %s posterior entropy: known %.3f, unknown %.3f (gap %.3f)\n",
+			displayModel(row.Model), row.PosteriorKnown, row.PosteriorUnknown, row.PosteriorUnknown-row.PosteriorKnown)
 	}
 	return out
 }
@@ -196,25 +196,25 @@ func AblationDiversity(cfg Config) (*DiversityResult, error) {
 		return nil, fmt.Errorf("exp: ablation diversity: %w", err)
 	}
 	res := &DiversityResult{}
-	for _, mode := range []ensemble.Diversity{ensemble.Bootstrap, ensemble.RandomInit} {
-		pc := cfg.pipelineConfig(hmd.LogisticRegression)
-		pc.Diversity = mode
-		p, err := hmd.Train(data.Train, pc)
+	for _, mode := range []string{"bootstrap", "random-init"} {
+		d, err := cfg.train(data.Train, "lr", detector.WithDiversity(mode))
 		if err != nil {
 			return nil, err
 		}
-		_, hKnown, err := p.AssessDataset(data.Test)
+		rKnown, err := d.AssessDataset(data.Test)
 		if err != nil {
 			return nil, err
 		}
-		_, hUnknown, err := p.AssessDataset(data.Unknown)
+		rUnknown, err := d.AssessDataset(data.Unknown)
 		if err != nil {
 			return nil, err
 		}
-		if mode == ensemble.Bootstrap {
-			res.BaggingKnown, res.BaggingUnknown = mat.Mean(hKnown), mat.Mean(hUnknown)
+		hKnown := mat.Mean(detector.Entropies(rKnown))
+		hUnknown := mat.Mean(detector.Entropies(rUnknown))
+		if mode == "bootstrap" {
+			res.BaggingKnown, res.BaggingUnknown = hKnown, hUnknown
 		} else {
-			res.RandomInitKnown, res.RandomInitUnknown = mat.Mean(hKnown), mat.Mean(hUnknown)
+			res.RandomInitKnown, res.RandomInitUnknown = hKnown, hUnknown
 		}
 	}
 	return res, nil

@@ -1,19 +1,17 @@
 package exp
 
 import (
-	"errors"
 	"fmt"
 
 	"trusthmd/internal/gen"
-	"trusthmd/internal/hmd"
-	"trusthmd/internal/ml/linear"
 	"trusthmd/internal/stats"
+	"trusthmd/pkg/detector"
 )
 
 // EntropySummary is one box of Figs. 4/5: the distribution of estimated
 // entropies for one (model, split) pair.
 type EntropySummary struct {
-	Model   hmd.Model
+	Model   string
 	Split   string // "known" or "unknown"
 	Summary stats.FiveNumber
 }
@@ -25,7 +23,7 @@ type BoxplotResult struct {
 	// Excluded records models that could not be trained, with the reason —
 	// the paper excludes SVM from Fig. 5 because it "failed to converge
 	// using the bootstrapped dataset".
-	Excluded map[hmd.Model]string
+	Excluded map[string]string
 }
 
 // Fig4 computes the entropy box plots of the paper's Fig. 4: DVFS dataset,
@@ -53,32 +51,31 @@ func Fig5(cfg Config) (*BoxplotResult, error) {
 }
 
 func entropyBoxes(cfg Config, name string, data gen.Splits) (*BoxplotResult, error) {
-	res := &BoxplotResult{Dataset: name, Excluded: map[hmd.Model]string{}}
+	res := &BoxplotResult{Dataset: name, Excluded: map[string]string{}}
 	for _, model := range Models {
-		p, err := hmd.Train(data.Train, cfg.pipelineConfig(model))
+		d, err := cfg.train(data.Train, model)
 		if err != nil {
-			var nc *linear.ErrNoConvergence
-			if errors.As(err, &nc) {
-				res.Excluded[model] = nc.Error()
+			if detector.IsNoConvergence(err) {
+				res.Excluded[model] = err.Error()
 				continue
 			}
-			return nil, fmt.Errorf("exp: %s %v: %w", name, model, err)
+			return nil, fmt.Errorf("exp: %s %s: %w", name, model, err)
 		}
-		_, hKnown, err := p.AssessDataset(data.Test)
+		rKnown, err := d.AssessDataset(data.Test)
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s %v known: %w", name, model, err)
+			return nil, fmt.Errorf("exp: %s %s known: %w", name, model, err)
 		}
-		_, hUnknown, err := p.AssessDataset(data.Unknown)
+		rUnknown, err := d.AssessDataset(data.Unknown)
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s %v unknown: %w", name, model, err)
+			return nil, fmt.Errorf("exp: %s %s unknown: %w", name, model, err)
 		}
 		for _, e := range []struct {
 			split string
 			h     []float64
-		}{{"known", hKnown}, {"unknown", hUnknown}} {
+		}{{"known", detector.Entropies(rKnown)}, {"unknown", detector.Entropies(rUnknown)}} {
 			s, err := stats.Summarize(e.h)
 			if err != nil {
-				return nil, fmt.Errorf("exp: %s %v %s: %w", name, model, e.split, err)
+				return nil, fmt.Errorf("exp: %s %s %s: %w", name, model, e.split, err)
 			}
 			res.Boxes = append(res.Boxes, EntropySummary{Model: model, Split: e.split, Summary: s})
 		}
@@ -95,7 +92,7 @@ func (r *BoxplotResult) Render() string {
 	rows := make([][]string, 0, len(r.Boxes))
 	for _, b := range r.Boxes {
 		rows = append(rows, []string{
-			b.Model.String(), b.Split,
+			displayModel(b.Model), b.Split,
 			fmt.Sprintf("%.3f", b.Summary.Min),
 			fmt.Sprintf("%.3f", b.Summary.Q1),
 			fmt.Sprintf("%.3f", b.Summary.Median),
@@ -107,7 +104,7 @@ func (r *BoxplotResult) Render() string {
 	out := figure + ": estimated entropies, " + r.Dataset + " dataset\n" +
 		table([]string{"Model", "Split", "Min", "Q1", "Median", "Q3", "Max", "Mean"}, rows)
 	for model, reason := range r.Excluded {
-		out += fmt.Sprintf("excluded %v: %s\n", model, reason)
+		out += fmt.Sprintf("excluded %s: %s\n", displayModel(model), reason)
 	}
 	return out
 }

@@ -1,19 +1,17 @@
 package exp
 
 import (
-	"errors"
 	"fmt"
 
 	"trusthmd/internal/core"
 	"trusthmd/internal/gen"
-	"trusthmd/internal/hmd"
-	"trusthmd/internal/ml/linear"
+	"trusthmd/pkg/detector"
 )
 
 // RejectionSeries is one curve of Fig. 7a / Fig. 9b: rejected percentage
 // versus entropy threshold for one (model, split) pair.
 type RejectionSeries struct {
-	Model  hmd.Model
+	Model  string
 	Split  string // "known" or "unknown"
 	Points []core.SweepPoint
 }
@@ -22,7 +20,7 @@ type RejectionSeries struct {
 type CurvesResult struct {
 	Dataset  string
 	Series   []RejectionSeries
-	Excluded map[hmd.Model]string
+	Excluded map[string]string
 }
 
 // Fig7a sweeps the entropy threshold from 0.00 to 0.75 in steps of 0.05 on
@@ -53,29 +51,28 @@ func rejectionCurves(cfg Config, name string, data gen.Splits, maxThr float64) (
 	if err != nil {
 		return nil, err
 	}
-	res := &CurvesResult{Dataset: name, Excluded: map[hmd.Model]string{}}
+	res := &CurvesResult{Dataset: name, Excluded: map[string]string{}}
 	for _, model := range Models {
-		p, err := hmd.Train(data.Train, cfg.pipelineConfig(model))
+		d, err := cfg.train(data.Train, model)
 		if err != nil {
-			var nc *linear.ErrNoConvergence
-			if errors.As(err, &nc) {
-				res.Excluded[model] = nc.Error()
+			if detector.IsNoConvergence(err) {
+				res.Excluded[model] = err.Error()
 				continue
 			}
-			return nil, fmt.Errorf("exp: %s %v: %w", name, model, err)
+			return nil, fmt.Errorf("exp: %s %s: %w", name, model, err)
 		}
-		_, hKnown, err := p.AssessDataset(data.Test)
+		rKnown, err := d.AssessDataset(data.Test)
 		if err != nil {
 			return nil, err
 		}
-		_, hUnknown, err := p.AssessDataset(data.Unknown)
+		rUnknown, err := d.AssessDataset(data.Unknown)
 		if err != nil {
 			return nil, err
 		}
 		for _, e := range []struct {
 			split string
 			h     []float64
-		}{{"known", hKnown}, {"unknown", hUnknown}} {
+		}{{"known", detector.Entropies(rKnown)}, {"unknown", detector.Entropies(rUnknown)}} {
 			pts, err := core.RejectionCurve(e.h, thresholds)
 			if err != nil {
 				return nil, err
@@ -98,7 +95,7 @@ func (r *CurvesResult) Render() string {
 	}
 	header := []string{"Threshold"}
 	for _, s := range r.Series {
-		header = append(header, fmt.Sprintf("%v-%s", s.Model, s.Split))
+		header = append(header, fmt.Sprintf("%s-%s", displayModel(s.Model), s.Split))
 	}
 	var rows [][]string
 	for i, pt := range r.Series[0].Points {
@@ -111,14 +108,14 @@ func (r *CurvesResult) Render() string {
 	out := figure + ": rejected inputs vs entropy threshold, " + r.Dataset + " dataset\n" +
 		table(header, rows)
 	for model, reason := range r.Excluded {
-		out += fmt.Sprintf("excluded %v: %s\n", model, reason)
+		out += fmt.Sprintf("excluded %s: %s\n", displayModel(model), reason)
 	}
 	return out
 }
 
 // F1Series is one curve of Fig. 7b: rejection-aware F1 versus threshold.
 type F1Series struct {
-	Model   hmd.Model
+	Model   string
 	Dataset string
 	Points  []core.F1Point
 }
@@ -149,19 +146,19 @@ func Fig7b(cfg Config) (*F1CurvesResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("exp: fig7b %s: %w", d.name, err)
 		}
-		p, err := hmd.Train(data.Train, cfg.pipelineConfig(hmd.RandomForest))
+		det, err := cfg.train(data.Train, "rf")
 		if err != nil {
 			return nil, fmt.Errorf("exp: fig7b %s: %w", d.name, err)
 		}
-		preds, entropies, err := p.AssessDataset(data.Test)
+		rs, err := det.AssessDataset(data.Test)
 		if err != nil {
 			return nil, err
 		}
-		pts, err := core.F1Curve(data.Test.Y(), preds, entropies, thresholds)
+		pts, err := core.F1Curve(data.Test.Y(), detector.Predictions(rs), detector.Entropies(rs), thresholds)
 		if err != nil {
 			return nil, err
 		}
-		res.Series = append(res.Series, F1Series{Model: hmd.RandomForest, Dataset: d.name, Points: pts})
+		res.Series = append(res.Series, F1Series{Model: "rf", Dataset: d.name, Points: pts})
 	}
 	return res, nil
 }
@@ -173,7 +170,7 @@ func (r *F1CurvesResult) Render() string {
 	}
 	header := []string{"Threshold"}
 	for _, s := range r.Series {
-		name := fmt.Sprintf("%v-%s", s.Model, s.Dataset)
+		name := fmt.Sprintf("%s-%s", displayModel(s.Model), s.Dataset)
 		header = append(header, name+"-f1", name+"-rej")
 	}
 	var rows [][]string

@@ -5,7 +5,7 @@ import (
 
 	"trusthmd/internal/dataset"
 	"trusthmd/internal/gen"
-	"trusthmd/internal/hmd"
+	"trusthmd/pkg/detector"
 )
 
 // SourceRow is one (dataset, split) cell of the A5 source-separation study:
@@ -37,7 +37,8 @@ type SourcesResult struct {
 // (mixed leaf = aleatoric) as well as *collectively divided* (scattered
 // thresholds = epistemic). Fully grown forests would register everything
 // as epistemic; fully converged linear members register boundary ambiguity
-// as aleatoric.
+// as aleatoric. The decomposition rides along on the batched assessment
+// (WithDecomposition), sharing its single pass over member outputs.
 func AblationSources(cfg Config) (*SourcesResult, error) {
 	cfg = cfg.normalized()
 	res := &SourcesResult{}
@@ -52,9 +53,8 @@ func AblationSources(cfg Config) (*SourcesResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("exp: ablation sources %s: %w", d.name, err)
 		}
-		pc := cfg.pipelineConfig(hmd.RandomForest)
-		pc.TreeMinLeaf = 25
-		p, err := hmd.Train(data.Train, pc)
+		det, err := cfg.train(data.Train, "rf",
+			detector.WithTreeLimits(0, 25), detector.WithDecomposition(true))
 		if err != nil {
 			return nil, fmt.Errorf("exp: ablation sources %s: %w", d.name, err)
 		}
@@ -62,17 +62,17 @@ func AblationSources(cfg Config) (*SourcesResult, error) {
 			split string
 			set   *dataset.Dataset
 		}{{"known", data.Test}, {"unknown", data.Unknown}} {
-			row := SourceRow{Dataset: d.name, Split: e.split}
-			for i := 0; i < e.set.Len(); i++ {
-				dec, err := p.DecomposeUncertainty(e.set.At(i).Features)
-				if err != nil {
-					return nil, err
-				}
-				row.Total += dec.Total
-				row.Aleatoric += dec.Aleatoric
-				row.Epistemic += dec.Epistemic
+			rs, err := det.AssessDataset(e.set)
+			if err != nil {
+				return nil, err
 			}
-			n := float64(e.set.Len())
+			row := SourceRow{Dataset: d.name, Split: e.split}
+			for _, r := range rs {
+				row.Total += r.Decomposition.Total
+				row.Aleatoric += r.Decomposition.Aleatoric
+				row.Epistemic += r.Decomposition.Epistemic
+			}
+			n := float64(len(rs))
 			row.Total /= n
 			row.Aleatoric /= n
 			row.Epistemic /= n

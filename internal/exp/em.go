@@ -5,14 +5,14 @@ import (
 
 	"trusthmd/internal/core"
 	"trusthmd/internal/gen"
-	"trusthmd/internal/hmd"
 	"trusthmd/internal/mat"
 	"trusthmd/internal/metrics"
+	"trusthmd/pkg/detector"
 )
 
 // EMRow is one model row of the E1 sensor-generalisation study.
 type EMRow struct {
-	Model          hmd.Model
+	Model          string
 	Accuracy       float64
 	KnownEntropy   float64
 	UnknownEntropy float64
@@ -37,20 +37,22 @@ func EMGeneralization(cfg Config) (*EMResult, error) {
 		return nil, fmt.Errorf("exp: em generalization: %w", err)
 	}
 	res := &EMResult{}
-	for _, model := range []hmd.Model{hmd.RandomForest, hmd.LogisticRegression} {
-		p, err := hmd.Train(data.Train, cfg.pipelineConfig(model))
+	for _, model := range []string{"rf", "lr"} {
+		d, err := cfg.train(data.Train, model)
 		if err != nil {
-			return nil, fmt.Errorf("exp: em generalization %v: %w", model, err)
+			return nil, fmt.Errorf("exp: em generalization %s: %w", model, err)
 		}
-		preds, hKnown, err := p.AssessDataset(data.Test)
-		if err != nil {
-			return nil, err
-		}
-		_, hUnknown, err := p.AssessDataset(data.Unknown)
+		rKnown, err := d.AssessDataset(data.Test)
 		if err != nil {
 			return nil, err
 		}
-		rep, err := metrics.Score(data.Test.Y(), preds)
+		rUnknown, err := d.AssessDataset(data.Unknown)
+		if err != nil {
+			return nil, err
+		}
+		hKnown := detector.Entropies(rKnown)
+		hUnknown := detector.Entropies(rUnknown)
+		rep, err := metrics.Score(data.Test.Y(), detector.Predictions(rKnown))
 		if err != nil {
 			return nil, err
 		}
@@ -74,7 +76,7 @@ func (r *EMResult) Render() string {
 	rows := make([][]string, 0, len(r.Rows))
 	for _, row := range r.Rows {
 		rows = append(rows, []string{
-			row.Model.String(),
+			displayModel(row.Model),
 			fmt.Sprintf("%.3f", row.Accuracy),
 			fmt.Sprintf("%.3f", row.KnownEntropy),
 			fmt.Sprintf("%.3f", row.UnknownEntropy),

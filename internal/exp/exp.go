@@ -11,8 +11,9 @@ import (
 	"math"
 	"strings"
 
+	"trusthmd/internal/dataset"
 	"trusthmd/internal/gen"
-	"trusthmd/internal/hmd"
+	"trusthmd/pkg/detector"
 )
 
 // Config controls an experiment run.
@@ -65,29 +66,50 @@ func (c Config) hpcData() (gen.Splits, error) {
 	return gen.HPCWithSizes(c.Seed+1, c.scaled(gen.TableIHPC))
 }
 
-// pipelineConfig returns the per-model training configuration used across
-// all experiments. These mirror the calibration recorded in DESIGN.md:
-// random forests diversify through per-split feature sampling; logistic
-// ensembles additionally use random feature subspaces (sklearn
-// BaggingClassifier's max_features) because fully-converged linear members
-// are otherwise nearly identical; SVMs train on plain bootstraps with a
-// convergence check that trips on the overlapping HPC data.
-func (c Config) pipelineConfig(model hmd.Model) hmd.Config {
-	cfg := hmd.Config{Model: model, M: c.M, Seed: c.Seed + 1000*int64(model), Workers: c.Workers}
-	switch model {
-	case hmd.LogisticRegression:
-		cfg.MaxFeatures = 0.45
-	case hmd.SVM:
-		cfg.SVMMaxObjective = 0.3
+// modelSeedIndex preserves the historical per-family seed offsets (the
+// seed formula used to be Seed + 1000*enumOrdinal), so the migration to
+// registry names reproduces the exact ensembles of earlier runs.
+var modelSeedIndex = map[string]int64{"rf": 0, "lr": 1, "svm": 2, "nb": 3, "knn": 4}
+
+// detectorOpts returns the per-model training options used across all
+// experiments. These mirror the calibration recorded in DESIGN.md: random
+// forests diversify through per-split feature sampling; logistic ensembles
+// additionally use random feature subspaces (sklearn BaggingClassifier's
+// max_features) because fully-converged linear members are otherwise
+// nearly identical; SVMs train on plain bootstraps with a convergence
+// check that trips on the overlapping HPC data.
+func (c Config) detectorOpts(model string) []detector.Option {
+	opts := []detector.Option{
+		detector.WithModel(model),
+		detector.WithEnsembleSize(c.M),
+		detector.WithSeed(c.Seed + 1000*modelSeedIndex[model]),
+		detector.WithWorkers(c.Workers),
+		detector.WithThreshold(HeadlineThreshold),
 	}
-	return cfg
+	switch model {
+	case "lr":
+		opts = append(opts, detector.WithMaxFeatures(0.45))
+	case "svm":
+		opts = append(opts, detector.WithSVMMaxObjective(0.3))
+	}
+	return opts
+}
+
+// train builds a detector for one base-classifier family with the shared
+// experiment calibration plus any experiment-specific extra options.
+func (c Config) train(train *dataset.Dataset, model string, extra ...detector.Option) (*detector.Detector, error) {
+	return detector.New(train, append(c.detectorOpts(model), extra...)...)
 }
 
 // TableSizesForTest exposes the DVFS Table I sizes for white-box tests.
 func TableSizesForTest() gen.Sizes { return gen.TableIDVFS }
 
-// Models lists the base classifier families the paper evaluates.
-var Models = []hmd.Model{hmd.RandomForest, hmd.LogisticRegression, hmd.SVM}
+// Models lists the base classifier families the paper evaluates, by their
+// detector registry names.
+var Models = []string{"rf", "lr", "svm"}
+
+// displayModel renders a registry name the way the paper's tables do.
+func displayModel(name string) string { return strings.ToUpper(name) }
 
 // table renders rows as fixed-width columns.
 func table(header []string, rows [][]string) string {

@@ -3,8 +3,6 @@ package exp
 import (
 	"strings"
 	"testing"
-
-	"trusthmd/internal/hmd"
 )
 
 // quickCfg is a scaled-down configuration for fast shape checks. The full
@@ -52,7 +50,7 @@ func TestTableIFullMatchesPaper(t *testing.T) {
 	}
 }
 
-func boxFor(t *testing.T, res *BoxplotResult, model hmd.Model, split string) EntropySummary {
+func boxFor(t *testing.T, res *BoxplotResult, model string, split string) EntropySummary {
 	t.Helper()
 	for _, b := range res.Boxes {
 		if b.Model == model && b.Split == split {
@@ -73,17 +71,17 @@ func TestFig4Shape(t *testing.T) {
 	}
 	// The paper's core DVFS finding: unknown entropies exceed known for RF
 	// (and LR), while SVM's gap is poor.
-	for _, model := range []hmd.Model{hmd.RandomForest, hmd.LogisticRegression} {
+	for _, model := range []string{"rf", "lr"} {
 		k := boxFor(t, res, model, "known")
 		u := boxFor(t, res, model, "unknown")
 		if u.Summary.Mean <= k.Summary.Mean {
 			t.Fatalf("%v: unknown mean %.3f must exceed known %.3f", model, u.Summary.Mean, k.Summary.Mean)
 		}
 	}
-	rfGap := boxFor(t, res, hmd.RandomForest, "unknown").Summary.Mean -
-		boxFor(t, res, hmd.RandomForest, "known").Summary.Mean
-	svmGap := boxFor(t, res, hmd.SVM, "unknown").Summary.Mean -
-		boxFor(t, res, hmd.SVM, "known").Summary.Mean
+	rfGap := boxFor(t, res, "rf", "unknown").Summary.Mean -
+		boxFor(t, res, "rf", "known").Summary.Mean
+	svmGap := boxFor(t, res, "svm", "unknown").Summary.Mean -
+		boxFor(t, res, "svm", "known").Summary.Mean
 	if svmGap >= rfGap {
 		t.Fatalf("SVM gap %.3f should be poorer than RF gap %.3f", svmGap, rfGap)
 	}
@@ -98,13 +96,13 @@ func TestFig5Shape(t *testing.T) {
 		t.Fatal(err)
 	}
 	// SVM must be excluded for non-convergence, as in the paper.
-	if _, ok := res.Excluded[hmd.SVM]; !ok {
+	if _, ok := res.Excluded["svm"]; !ok {
 		t.Fatal("SVM should fail to converge on the HPC dataset")
 	}
 	// Known entropy is as high as unknown (within 35%): the class-overlap
 	// signature of the HPC dataset.
-	k := boxFor(t, res, hmd.RandomForest, "known")
-	u := boxFor(t, res, hmd.RandomForest, "unknown")
+	k := boxFor(t, res, "rf", "known")
+	u := boxFor(t, res, "rf", "unknown")
 	if k.Summary.Mean < 0.3 {
 		t.Fatalf("HPC known entropy %.3f should be high", k.Summary.Mean)
 	}
@@ -137,7 +135,7 @@ func TestFig7aShape(t *testing.T) {
 	// RF-unknown dominates RF-known at the paper's operating threshold.
 	var rfKnown, rfUnknown RejectionSeries
 	for _, s := range res.Series {
-		if s.Model == hmd.RandomForest {
+		if s.Model == "rf" {
 			if s.Split == "known" {
 				rfKnown = s
 			} else {
@@ -238,14 +236,14 @@ func TestFig9bShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := res.Excluded[hmd.SVM]; !ok {
+	if _, ok := res.Excluded["svm"]; !ok {
 		t.Fatal("SVM should be excluded on HPC")
 	}
 	// Known and unknown curves track each other (the paper: rejected "in
 	// the same fashion"). Compare RF curves at mid threshold.
 	var rfKnown, rfUnknown RejectionSeries
 	for _, s := range res.Series {
-		if s.Model == hmd.RandomForest {
+		if s.Model == "rf" {
 			if s.Split == "known" {
 				rfKnown = s
 			} else {
@@ -376,9 +374,9 @@ func TestAblationFamilies(t *testing.T) {
 			t.Fatalf("%v: OOD AUC %.3f below chance", row.Model, row.OODAUC)
 		}
 		switch row.Model {
-		case hmd.RandomForest:
+		case "rf":
 			rf = row
-		case hmd.SVM:
+		case "svm":
 			svm = row
 		}
 	}

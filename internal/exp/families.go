@@ -3,9 +3,9 @@ package exp
 import (
 	"fmt"
 
-	"trusthmd/internal/hmd"
 	"trusthmd/internal/mat"
 	"trusthmd/internal/metrics"
+	"trusthmd/pkg/detector"
 )
 
 // FamilyRow summarises the uncertainty quality of one base-classifier
@@ -15,7 +15,7 @@ import (
 // traffic; near 0.5 means the family's ensemble uncertainty is useless for
 // screening — the axis on which the paper ranks RF > LR > SVM.
 type FamilyRow struct {
-	Model          hmd.Model
+	Model          string
 	Accuracy       float64
 	KnownEntropy   float64
 	UnknownEntropy float64
@@ -29,10 +29,8 @@ type FamiliesResult struct {
 	Rows []FamilyRow
 }
 
-// A4Models is the family list of ablation A4.
-var A4Models = []hmd.Model{
-	hmd.RandomForest, hmd.LogisticRegression, hmd.SVM, hmd.NaiveBayes, hmd.KNN,
-}
+// A4Models is the family list of ablation A4, by detector registry name.
+var A4Models = []string{"rf", "lr", "svm", "nb", "knn"}
 
 // AblationFamilies runs A4 on the DVFS dataset.
 func AblationFamilies(cfg Config) (*FamiliesResult, error) {
@@ -43,25 +41,27 @@ func AblationFamilies(cfg Config) (*FamiliesResult, error) {
 	}
 	res := &FamiliesResult{}
 	for _, model := range A4Models {
-		pc := cfg.pipelineConfig(model)
-		if model == hmd.NaiveBayes || model == hmd.KNN {
+		var extra []detector.Option
+		if model == "nb" || model == "knn" {
 			// NB and kNN members are stable like SVMs; give them the same
 			// random-subspace diversification as the linear ensemble.
-			pc.MaxFeatures = 0.45
+			extra = append(extra, detector.WithMaxFeatures(0.45))
 		}
-		p, err := hmd.Train(data.Train, pc)
+		d, err := cfg.train(data.Train, model, extra...)
 		if err != nil {
-			return nil, fmt.Errorf("exp: ablation families %v: %w", model, err)
+			return nil, fmt.Errorf("exp: ablation families %s: %w", model, err)
 		}
-		preds, hKnown, err := p.AssessDataset(data.Test)
-		if err != nil {
-			return nil, err
-		}
-		_, hUnknown, err := p.AssessDataset(data.Unknown)
+		rKnown, err := d.AssessDataset(data.Test)
 		if err != nil {
 			return nil, err
 		}
-		rep, err := metrics.Score(data.Test.Y(), preds)
+		rUnknown, err := d.AssessDataset(data.Unknown)
+		if err != nil {
+			return nil, err
+		}
+		hKnown := detector.Entropies(rKnown)
+		hUnknown := detector.Entropies(rUnknown)
+		rep, err := metrics.Score(data.Test.Y(), detector.Predictions(rKnown))
 		if err != nil {
 			return nil, err
 		}
@@ -97,7 +97,7 @@ func (r *FamiliesResult) Render() string {
 	rows := make([][]string, 0, len(r.Rows))
 	for _, row := range r.Rows {
 		rows = append(rows, []string{
-			row.Model.String(),
+			displayModel(row.Model),
 			fmt.Sprintf("%.3f", row.Accuracy),
 			fmt.Sprintf("%.3f", row.KnownEntropy),
 			fmt.Sprintf("%.3f", row.UnknownEntropy),

@@ -3,8 +3,9 @@ package exp
 import (
 	"fmt"
 
-	"trusthmd/internal/hmd"
+	"trusthmd/internal/dataset"
 	"trusthmd/internal/mat"
+	"trusthmd/pkg/detector"
 )
 
 // SizePoint is one x-position of Fig. 9a: mean entropy at a given ensemble
@@ -28,43 +29,47 @@ type SizeSweepResult struct {
 var Fig9aSizes = []int{1, 2, 5, 10, 15, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 
 // Fig9a trains a single 100-member RF ensemble and evaluates entropy with
-// truncated prefixes, which is statistically identical to training each
-// size separately under bagging (members are exchangeable) and far cheaper.
+// truncated detector views, which is statistically identical to training
+// each size separately under bagging (members are exchangeable) and far
+// cheaper.
 func Fig9a(cfg Config) (*SizeSweepResult, error) {
 	cfg = cfg.normalized()
 	data, err := cfg.dvfsData()
 	if err != nil {
 		return nil, fmt.Errorf("exp: fig9a: %w", err)
 	}
-	pc := cfg.pipelineConfig(hmd.RandomForest)
-	pc.M = Fig9aSizes[len(Fig9aSizes)-1]
-	p, err := hmd.Train(data.Train, pc)
+	d, err := cfg.train(data.Train, "rf",
+		detector.WithEnsembleSize(Fig9aSizes[len(Fig9aSizes)-1]))
 	if err != nil {
 		return nil, fmt.Errorf("exp: fig9a: %w", err)
 	}
 
+	meanEntropy := func(td *detector.Detector, ds *dataset.Dataset) (float64, error) {
+		rs, err := td.AssessDataset(ds)
+		if err != nil {
+			return 0, err
+		}
+		return mat.Mean(detector.Entropies(rs)), nil
+	}
+
 	res := &SizeSweepResult{}
 	for _, m := range Fig9aSizes {
-		known := make([]float64, data.Test.Len())
-		for i := 0; i < data.Test.Len(); i++ {
-			a, err := p.TruncatedAssess(data.Test.At(i).Features, m)
-			if err != nil {
-				return nil, err
-			}
-			known[i] = a.Entropy
+		td, err := d.Truncated(m)
+		if err != nil {
+			return nil, err
 		}
-		unknown := make([]float64, data.Unknown.Len())
-		for i := 0; i < data.Unknown.Len(); i++ {
-			a, err := p.TruncatedAssess(data.Unknown.At(i).Features, m)
-			if err != nil {
-				return nil, err
-			}
-			unknown[i] = a.Entropy
+		known, err := meanEntropy(td, data.Test)
+		if err != nil {
+			return nil, err
+		}
+		unknown, err := meanEntropy(td, data.Unknown)
+		if err != nil {
+			return nil, err
 		}
 		res.Points = append(res.Points, SizePoint{
 			Members:        m,
-			KnownEntropy:   mat.Mean(known),
-			UnknownEntropy: mat.Mean(unknown),
+			KnownEntropy:   known,
+			UnknownEntropy: unknown,
 		})
 	}
 	return res, nil

@@ -9,10 +9,10 @@ import (
 	"trusthmd/internal/dvfs"
 	"trusthmd/internal/feature"
 	"trusthmd/internal/gen"
-	"trusthmd/internal/hmd"
 	"trusthmd/internal/mat"
 	"trusthmd/internal/metrics"
 	"trusthmd/internal/workload"
+	"trusthmd/pkg/detector"
 )
 
 // GovernorRow is one policy row of the E2 sensitivity study.
@@ -48,19 +48,21 @@ func GovernorSensitivity(cfg Config) (*GovernorResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("exp: governor %v: %w", policy, err)
 		}
-		p, err := hmd.Train(splits.train, cfg.pipelineConfig(hmd.RandomForest))
+		d, err := cfg.train(splits.train, "rf")
 		if err != nil {
 			return nil, fmt.Errorf("exp: governor %v: %w", policy, err)
 		}
-		preds, hKnown, err := p.AssessDataset(splits.test)
+		rKnown, err := d.AssessDataset(splits.test)
 		if err != nil {
 			return nil, err
 		}
-		_, hUnknown, err := p.AssessDataset(splits.unknown)
+		rUnknown, err := d.AssessDataset(splits.unknown)
 		if err != nil {
 			return nil, err
 		}
-		rep, err := metrics.Score(splits.test.Y(), preds)
+		hKnown := detector.Entropies(rKnown)
+		hUnknown := detector.Entropies(rUnknown)
+		rep, err := metrics.Score(splits.test.Y(), detector.Predictions(rKnown))
 		if err != nil {
 			return nil, err
 		}

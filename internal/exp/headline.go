@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"trusthmd/internal/core"
-	"trusthmd/internal/hmd"
 	"trusthmd/internal/metrics"
+	"trusthmd/pkg/detector"
 )
 
 // HeadlineResult holds the paper's two quantitative headline claims.
@@ -33,19 +33,20 @@ func Headlines(cfg Config) (*HeadlineResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exp: headlines: %w", err)
 	}
-	pd, err := hmd.Train(dvfs.Train, cfg.pipelineConfig(hmd.RandomForest))
+	pd, err := cfg.train(dvfs.Train, "rf")
 	if err != nil {
 		return nil, fmt.Errorf("exp: headlines dvfs: %w", err)
 	}
-	_, hKnown, err := pd.AssessDataset(dvfs.Test)
+	rKnown, err := pd.AssessDataset(dvfs.Test)
 	if err != nil {
 		return nil, err
 	}
-	_, hUnknown, err := pd.AssessDataset(dvfs.Unknown)
+	rUnknown, err := pd.AssessDataset(dvfs.Unknown)
 	if err != nil {
 		return nil, err
 	}
-	res.DVFSOperatingPoint, err = core.At(HeadlineThreshold, hKnown, hUnknown)
+	res.DVFSOperatingPoint, err = core.At(HeadlineThreshold,
+		detector.Entropies(rKnown), detector.Entropies(rUnknown))
 	if err != nil {
 		return nil, err
 	}
@@ -55,14 +56,15 @@ func Headlines(cfg Config) (*HeadlineResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exp: headlines: %w", err)
 	}
-	ph, err := hmd.Train(hpc.Train, cfg.pipelineConfig(hmd.RandomForest))
+	ph, err := cfg.train(hpc.Train, "rf")
 	if err != nil {
 		return nil, fmt.Errorf("exp: headlines hpc: %w", err)
 	}
-	preds, entropies, err := ph.AssessDataset(hpc.Test)
+	rTest, err := ph.AssessDataset(hpc.Test)
 	if err != nil {
 		return nil, err
 	}
+	preds, entropies := detector.Predictions(rTest), detector.Entropies(rTest)
 	yTrue := hpc.Test.Y()
 	res.HPCBaseline, err = metrics.Score(yTrue, preds)
 	if err != nil {

@@ -1,10 +1,9 @@
-// Package hmd assembles the full detector pipelines of the paper's Fig. 1.
-//
-// The untrusted (conventional) pipeline is feature scaling → PCA → bagging
-// ensemble → majority-vote label. The trusted pipeline adds the
-// uncertainty estimator of package core: every prediction carries the
-// entropy of the ensemble's vote distribution, and a Rejector turns
-// (label, entropy) into Benign / Malware / Reject decisions.
+// Package hmd is the implementation core of the trusted HMD pipelines of
+// the paper's Fig. 1: feature scaling → PCA → bagging ensemble →
+// vote-entropy uncertainty. It is deliberately thin and mechanism-only —
+// model families plug in through the Factory hook, and policy (rejection
+// thresholds, model registry, serving concerns, serialization format) lives
+// in the public pkg/detector API that wraps this package.
 package hmd
 
 import (
@@ -14,55 +13,20 @@ import (
 	"trusthmd/internal/core"
 	"trusthmd/internal/dataset"
 	"trusthmd/internal/ensemble"
-	"trusthmd/internal/ml/bayes"
-	"trusthmd/internal/ml/knn"
-	"trusthmd/internal/ml/linear"
-	"trusthmd/internal/ml/tree"
+	"trusthmd/internal/mat"
 	"trusthmd/internal/reduce"
 )
 
-// Model selects the base classifier family of the bagging ensemble.
-type Model int
-
-const (
-	// RandomForest bags fully grown CART trees with sqrt(d) feature
-	// sampling — the paper's best performer.
-	RandomForest Model = iota
-	// LogisticRegression bags SGD-trained logistic regressions.
-	LogisticRegression
-	// SVM bags Pegasos-trained linear SVMs. On heavily overlapping data
-	// the hinge objective stays high and training reports
-	// *linear.ErrNoConvergence, reproducing the paper's HPC observation.
-	SVM
-	// NaiveBayes bags Gaussian Naive Bayes models (extension: one of the
-	// families in the Zhou et al. HPC study; used by ablation A4).
-	NaiveBayes
-	// KNN bags k-nearest-neighbour models (extension, ablation A4).
-	KNN
-)
-
-// String implements fmt.Stringer.
-func (m Model) String() string {
-	switch m {
-	case RandomForest:
-		return "RF"
-	case LogisticRegression:
-		return "LR"
-	case SVM:
-		return "SVM"
-	case NaiveBayes:
-		return "NB"
-	case KNN:
-		return "KNN"
-	default:
-		return fmt.Sprintf("model(%d)", int(m))
-	}
-}
+// Factory constructs one untrained ensemble member from a seed. The open
+// model registry in pkg/detector maps model names to factories; this
+// package never enumerates classifier families.
+type Factory = func(seed int64) ensemble.Classifier
 
 // Config controls pipeline training.
 type Config struct {
-	// Model is the base classifier family.
-	Model Model
+	// NewMember constructs an untrained base classifier from a seed.
+	// Required.
+	NewMember Factory
 	// M is the ensemble size (the paper settles on ~20-25; default 25).
 	M int
 	// PCAComponents is the dimensionality after PCA; 0 skips PCA.
@@ -77,20 +41,12 @@ type Config struct {
 	// experiments use random feature subspaces for the linear ensembles,
 	// whose members are otherwise nearly identical under full bootstraps.
 	MaxFeatures float64
-	// SVMMaxObjective propagates to linear.SVMConfig.MaxObjective when
-	// Model == SVM (0 disables the convergence check).
-	SVMMaxObjective float64
-	// TreeMaxDepth / TreeMinLeaf propagate to the CART members when Model
-	// == RandomForest (0 keeps the defaults: unlimited depth, leaf size 1).
-	// Limited trees emit soft leaf posteriors, which the uncertainty
-	// decomposition (DecomposeUncertainty) needs to observe aleatoric mass.
-	TreeMaxDepth int
-	TreeMinLeaf  int
 	// Workers caps training parallelism; 0 means GOMAXPROCS.
 	Workers int
 }
 
-// Pipeline is a trained trusted HMD.
+// Pipeline is a trained trusted HMD. Its inference methods are safe for
+// concurrent use: a fitted pipeline is immutable.
 type Pipeline struct {
 	cfg    Config
 	scaler *dataset.Scaler
@@ -111,6 +67,9 @@ type Assessment struct {
 func Train(train *dataset.Dataset, cfg Config) (*Pipeline, error) {
 	if train == nil || train.Len() == 0 {
 		return nil, errors.New("hmd: empty training set")
+	}
+	if cfg.NewMember == nil {
+		return nil, errors.New("hmd: config needs a NewMember factory")
 	}
 	if cfg.M <= 0 {
 		cfg.M = 25
@@ -137,13 +96,9 @@ func Train(train *dataset.Dataset, cfg Config) (*Pipeline, error) {
 		}
 	}
 
-	factory, err := factoryFor(cfg)
-	if err != nil {
-		return nil, err
-	}
 	ens := ensemble.New(ensemble.Config{
 		M:           cfg.M,
-		New:         factory,
+		New:         cfg.NewMember,
 		Diversity:   cfg.Diversity,
 		MaxSamples:  cfg.MaxSamples,
 		MaxFeatures: cfg.MaxFeatures,
@@ -162,41 +117,9 @@ func Train(train *dataset.Dataset, cfg Config) (*Pipeline, error) {
 	}, nil
 }
 
-func factoryFor(cfg Config) (func(int64) ensemble.Classifier, error) {
-	switch cfg.Model {
-	case RandomForest:
-		return func(seed int64) ensemble.Classifier {
-			// MaxFeatures -1 resolves to sqrt(d) at fit time.
-			return tree.New(tree.Config{
-				MaxFeatures: -1,
-				MaxDepth:    cfg.TreeMaxDepth,
-				MinLeaf:     cfg.TreeMinLeaf,
-				Seed:        seed,
-			})
-		}, nil
-	case LogisticRegression:
-		return func(seed int64) ensemble.Classifier {
-			return linear.NewLogistic(linear.LogisticConfig{Seed: seed, Epochs: 20, Batch: 16})
-		}, nil
-	case SVM:
-		return func(seed int64) ensemble.Classifier {
-			return linear.NewSVM(linear.SVMConfig{Seed: seed, Epochs: 100, MaxObjective: cfg.SVMMaxObjective})
-		}, nil
-	case NaiveBayes:
-		return func(seed int64) ensemble.Classifier {
-			return bayes.New(bayes.Config{})
-		}, nil
-	case KNN:
-		return func(seed int64) ensemble.Classifier {
-			return knn.New(knn.Config{K: 5})
-		}, nil
-	default:
-		return nil, fmt.Errorf("hmd: unknown model %d", int(cfg.Model))
-	}
-}
-
-// project applies scaling and PCA to one raw feature vector.
-func (p *Pipeline) project(x []float64) ([]float64, error) {
+// Project applies scaling and PCA to one raw feature vector, yielding the
+// representation the ensemble members consume.
+func (p *Pipeline) Project(x []float64) ([]float64, error) {
 	z, err := p.scaler.TransformVec(x)
 	if err != nil {
 		return nil, err
@@ -210,67 +133,75 @@ func (p *Pipeline) project(x []float64) ([]float64, error) {
 	return z, nil
 }
 
+// ProjectBatch applies scaling and PCA to a whole matrix of raw feature
+// vectors (one sample per row) with matrix-level operations — once per
+// batch instead of once per vector. Row i of the result is numerically
+// identical to Project of row i of X.
+func (p *Pipeline) ProjectBatch(X *mat.Matrix) (*mat.Matrix, error) {
+	Z, err := p.scaler.Transform(X)
+	if err != nil {
+		return nil, err
+	}
+	if p.pca != nil {
+		Z, err = p.pca.Transform(Z)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return Z, nil
+}
+
+// AssessProjected assesses an already-projected vector: one walk over the
+// member votes yields prediction, entropy and vote distribution together.
+func (p *Pipeline) AssessProjected(z []float64) (Assessment, error) {
+	s, err := p.est.Summarize(p.ens.Votes(z))
+	if err != nil {
+		return Assessment{}, err
+	}
+	return Assessment{Prediction: s.Prediction, Entropy: s.Entropy, VoteDist: s.Dist}, nil
+}
+
+// AssessDecomposeProjected assesses an already-projected vector and also
+// decomposes its uncertainty into aleatoric and epistemic components, with
+// a single walk over the ensemble members producing both the votes and the
+// member posteriors.
+func (p *Pipeline) AssessDecomposeProjected(z []float64) (Assessment, core.Decomposition, error) {
+	votes, probas := p.ens.MemberOutputs(z)
+	s, err := p.est.Summarize(votes)
+	if err != nil {
+		return Assessment{}, core.Decomposition{}, err
+	}
+	dec, err := core.Decompose(probas)
+	if err != nil {
+		return Assessment{}, core.Decomposition{}, err
+	}
+	return Assessment{Prediction: s.Prediction, Entropy: s.Entropy, VoteDist: s.Dist}, dec, nil
+}
+
+// Assess runs the trusted path on a raw feature vector: label plus
+// vote-entropy uncertainty.
+func (p *Pipeline) Assess(x []float64) (Assessment, error) {
+	z, err := p.Project(x)
+	if err != nil {
+		return Assessment{}, err
+	}
+	return p.AssessProjected(z)
+}
+
 // Predict runs the untrusted path: the plain majority-vote label.
 func (p *Pipeline) Predict(x []float64) (int, error) {
-	z, err := p.project(x)
+	z, err := p.Project(x)
 	if err != nil {
 		return 0, err
 	}
 	return p.ens.Predict(z), nil
 }
 
-// Assess runs the trusted path: label plus vote-entropy uncertainty.
-func (p *Pipeline) Assess(x []float64) (Assessment, error) {
-	z, err := p.project(x)
-	if err != nil {
-		return Assessment{}, err
-	}
-	votes := p.ens.Votes(z)
-	h, err := p.est.VoteEntropy(votes)
-	if err != nil {
-		return Assessment{}, err
-	}
-	dist, err := p.est.VoteDistribution(votes)
-	if err != nil {
-		return Assessment{}, err
-	}
-	counts := make([]int, len(dist))
-	best := 0
-	for _, v := range votes {
-		counts[v]++
-	}
-	for lab, c := range counts {
-		if c > counts[best] {
-			best = lab
-		}
-	}
-	return Assessment{Prediction: best, Entropy: h, VoteDist: dist}, nil
-}
-
-// AssessDataset assesses every sample of d, returning parallel slices of
-// predictions and entropies (the form the experiment harness consumes).
-func (p *Pipeline) AssessDataset(d *dataset.Dataset) (preds []int, entropies []float64, err error) {
-	if d == nil || d.Len() == 0 {
-		return nil, nil, errors.New("hmd: empty dataset")
-	}
-	preds = make([]int, d.Len())
-	entropies = make([]float64, d.Len())
-	for i := 0; i < d.Len(); i++ {
-		a, err := p.Assess(d.At(i).Features)
-		if err != nil {
-			return nil, nil, fmt.Errorf("hmd: sample %d: %w", i, err)
-		}
-		preds[i] = a.Prediction
-		entropies[i] = a.Entropy
-	}
-	return preds, entropies, nil
-}
-
 // Posterior returns the averaged member posterior (Eq. 3) for x: mean of
 // members' probability outputs, falling back to vote frequencies for
 // members without probability support.
 func (p *Pipeline) Posterior(x []float64) (core.Posterior, error) {
-	z, err := p.project(x)
+	z, err := p.Project(x)
 	if err != nil {
 		return nil, err
 	}
@@ -281,61 +212,29 @@ func (p *Pipeline) Posterior(x []float64) (core.Posterior, error) {
 // aleatoric and epistemic components (core.Decompose over the members'
 // posteriors). With fully grown trees the members vote one-hot and all
 // uncertainty registers as epistemic; soft members (LR, NB, kNN) yield a
-// non-trivial split. This implements the source separation the paper's
-// conclusion lists as future work.
+// non-trivial split.
 func (p *Pipeline) DecomposeUncertainty(x []float64) (core.Decomposition, error) {
-	z, err := p.project(x)
+	z, err := p.Project(x)
 	if err != nil {
 		return core.Decomposition{}, err
 	}
 	return core.Decompose(p.ens.MemberProbas(z))
 }
 
-// Decide runs the full trusted decision at a rejection threshold.
-func (p *Pipeline) Decide(x []float64, threshold float64) (core.Decision, Assessment, error) {
-	a, err := p.Assess(x)
-	if err != nil {
-		return core.DecideReject, Assessment{}, err
-	}
-	d, err := core.Rejector{Threshold: threshold}.Decide(a.Prediction, a.Entropy)
-	if err != nil {
-		return core.DecideReject, a, err
-	}
-	return d, a, nil
-}
-
 // Ensemble exposes the trained ensemble (for the Fig. 9a size sweep).
 func (p *Pipeline) Ensemble() *ensemble.Bagging { return p.ens }
 
-// TruncatedAssess assesses x with only the first m ensemble members —
-// used by the Fig. 9a entropy-vs-ensemble-size sweep.
-func (p *Pipeline) TruncatedAssess(x []float64, m int) (Assessment, error) {
-	z, err := p.project(x)
-	if err != nil {
-		return Assessment{}, err
-	}
+// Members returns the number of trained ensemble members.
+func (p *Pipeline) Members() int { return p.ens.Size() }
+
+// Truncated returns a pipeline view restricted to the first m ensemble
+// members, sharing the fitted scaler, PCA and members with the receiver —
+// the Fig. 9a entropy-vs-ensemble-size sweep assesses through these views
+// so one large fit serves every prefix.
+func (p *Pipeline) Truncated(m int) (*Pipeline, error) {
 	tr, err := p.ens.Truncated(m)
 	if err != nil {
-		return Assessment{}, err
+		return nil, err
 	}
-	votes := tr.Votes(z)
-	h, err := p.est.VoteEntropy(votes)
-	if err != nil {
-		return Assessment{}, err
-	}
-	dist, err := p.est.VoteDistribution(votes)
-	if err != nil {
-		return Assessment{}, err
-	}
-	pred := 0
-	counts := make([]int, len(dist))
-	for _, v := range votes {
-		counts[v]++
-	}
-	for lab, c := range counts {
-		if c > counts[pred] {
-			pred = lab
-		}
-	}
-	return Assessment{Prediction: pred, Entropy: h, VoteDist: dist}, nil
+	return &Pipeline{cfg: p.cfg, scaler: p.scaler, pca: p.pca, ens: tr, est: p.est}, nil
 }

@@ -6,11 +6,11 @@ import (
 	"math/rand"
 	"testing"
 
-	"trusthmd/internal/core"
 	"trusthmd/internal/dataset"
 	"trusthmd/internal/ensemble"
 	"trusthmd/internal/gen"
 	"trusthmd/internal/ml/linear"
+	"trusthmd/internal/ml/tree"
 )
 
 func dvfsSplits(t *testing.T) gen.Splits {
@@ -22,18 +22,17 @@ func dvfsSplits(t *testing.T) gen.Splits {
 	return s
 }
 
-func TestModelString(t *testing.T) {
-	if RandomForest.String() != "RF" || LogisticRegression.String() != "LR" || SVM.String() != "SVM" {
-		t.Fatal("model strings")
-	}
-	if Model(9).String() == "" {
-		t.Fatal("unknown model should render")
-	}
+func rfFactory(seed int64) ensemble.Classifier {
+	return tree.New(tree.Config{MaxFeatures: -1, Seed: seed})
+}
+
+func lrFactory(seed int64) ensemble.Classifier {
+	return linear.NewLogistic(linear.LogisticConfig{Seed: seed, Epochs: 20, Batch: 16})
 }
 
 func TestTrainPredictAssess(t *testing.T) {
 	s := dvfsSplits(t)
-	p, err := Train(s.Train, Config{Model: RandomForest, M: 11, Seed: 1})
+	p, err := Train(s.Train, Config{NewMember: rfFactory, M: 11, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +71,7 @@ func TestTrainPredictAssess(t *testing.T) {
 
 func TestTrainWithPCA(t *testing.T) {
 	s := dvfsSplits(t)
-	p, err := Train(s.Train, Config{Model: RandomForest, M: 7, Seed: 2, PCAComponents: 5})
+	p, err := Train(s.Train, Config{NewMember: rfFactory, M: 7, Seed: 2, PCAComponents: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,74 +83,87 @@ func TestTrainWithPCA(t *testing.T) {
 		t.Fatal("bad entropy")
 	}
 	// PCA with too many components errors.
-	if _, err := Train(s.Train, Config{Model: RandomForest, M: 3, PCAComponents: 1000}); err == nil {
+	if _, err := Train(s.Train, Config{NewMember: rfFactory, M: 3, PCAComponents: 1000}); err == nil {
 		t.Fatal("expected pca error")
 	}
 }
 
 func TestTrainErrors(t *testing.T) {
-	if _, err := Train(nil, Config{}); err == nil {
+	if _, err := Train(nil, Config{NewMember: rfFactory}); err == nil {
 		t.Fatal("expected nil dataset error")
 	}
-	if _, err := Train(dataset.New(2), Config{}); err == nil {
+	if _, err := Train(dataset.New(2), Config{NewMember: rfFactory}); err == nil {
 		t.Fatal("expected empty dataset error")
 	}
 	s := dvfsSplits(t)
-	if _, err := Train(s.Train, Config{Model: Model(42)}); err == nil {
-		t.Fatal("expected unknown model error")
+	if _, err := Train(s.Train, Config{}); err == nil {
+		t.Fatal("expected missing factory error")
 	}
 }
 
-func TestAssessDataset(t *testing.T) {
+func TestProjectBatchMatchesProject(t *testing.T) {
 	s := dvfsSplits(t)
-	p, err := Train(s.Train, Config{Model: LogisticRegression, M: 9, Seed: 3, MaxFeatures: 0.5})
-	if err != nil {
-		t.Fatal(err)
-	}
-	preds, entropies, err := p.AssessDataset(s.Test)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(preds) != s.Test.Len() || len(entropies) != s.Test.Len() {
-		t.Fatal("length mismatch")
-	}
-	if _, _, err := p.AssessDataset(nil); err == nil {
-		t.Fatal("expected empty error")
-	}
-	if _, _, err := p.AssessDataset(dataset.New(2)); err == nil {
-		t.Fatal("expected empty error")
+	for _, pcaK := range []int{0, 5} {
+		p, err := Train(s.Train, Config{NewMember: rfFactory, M: 3, Seed: 3, PCAComponents: pcaK})
+		if err != nil {
+			t.Fatal(err)
+		}
+		Z, err := p.ProjectBatch(s.Test.X())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < s.Test.Len(); i++ {
+			z, err := p.Project(s.Test.At(i).Features)
+			if err != nil {
+				t.Fatal(err)
+			}
+			row := Z.Row(i)
+			if len(row) != len(z) {
+				t.Fatalf("pca=%d sample %d: dim %d vs %d", pcaK, i, len(row), len(z))
+			}
+			for j := range z {
+				if z[j] != row[j] {
+					t.Fatalf("pca=%d sample %d feature %d: batch %v vs vec %v", pcaK, i, j, row[j], z[j])
+				}
+			}
+		}
 	}
 }
 
-func TestDecide(t *testing.T) {
+func TestAssessDecomposeProjected(t *testing.T) {
 	s := dvfsSplits(t)
-	p, err := Train(s.Train, Config{Model: RandomForest, M: 9, Seed: 4})
+	p, err := Train(s.Train, Config{NewMember: lrFactory, M: 9, Seed: 3, MaxFeatures: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	x := s.Test.At(0).Features
-	d, a, err := p.Decide(x, 1.0) // threshold 1.0 accepts everything
+	x := s.Unknown.At(0).Features
+	z, err := p.Project(x)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d == core.DecideReject {
-		t.Fatal("threshold 1.0 must accept")
-	}
-	if a.Prediction != 0 && a.Prediction != 1 {
-		t.Fatal("bad prediction")
-	}
-	d, _, err = p.Decide(x, -0.001) // impossible threshold rejects all
+	a, dec, err := p.AssessDecomposeProjected(z)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d != core.DecideReject {
-		t.Fatal("negative threshold must reject")
+	plain, err := p.AssessProjected(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Prediction != plain.Prediction || a.Entropy != plain.Entropy {
+		t.Fatal("decomposing assessment must not change the assessment")
+	}
+	want, err := p.DecomposeUncertainty(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dec.Total-want.Total) > 1e-12 || math.Abs(dec.Aleatoric-want.Aleatoric) > 1e-12 {
+		t.Fatalf("one-pass decomposition %+v diverged from reference %+v", dec, want)
 	}
 }
 
 func TestPosterior(t *testing.T) {
 	s := dvfsSplits(t)
-	p, err := Train(s.Train, Config{Model: RandomForest, M: 9, Seed: 5})
+	p, err := Train(s.Train, Config{NewMember: rfFactory, M: 9, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,18 +180,26 @@ func TestPosterior(t *testing.T) {
 	}
 }
 
-func TestTruncatedAssess(t *testing.T) {
+func TestTruncated(t *testing.T) {
 	s := dvfsSplits(t)
-	p, err := Train(s.Train, Config{Model: RandomForest, M: 20, Seed: 6})
+	p, err := Train(s.Train, Config{NewMember: rfFactory, M: 20, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
 	x := s.Unknown.At(0).Features
-	a5, err := p.TruncatedAssess(x, 5)
+	t5, err := p.Truncated(5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	aFull, err := p.TruncatedAssess(x, 20)
+	a5, err := t5.Assess(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tFull, err := p.Truncated(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aFull, err := tFull.Assess(x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,17 +213,17 @@ func TestTruncatedAssess(t *testing.T) {
 	if a5.Entropy < 0 || a5.Entropy > 1 {
 		t.Fatal("bad truncated entropy")
 	}
-	if _, err := p.TruncatedAssess(x, 0); err == nil {
+	if _, err := p.Truncated(0); err == nil {
 		t.Fatal("expected range error")
 	}
-	if _, err := p.TruncatedAssess(x, 21); err == nil {
+	if _, err := p.Truncated(21); err == nil {
 		t.Fatal("expected range error")
 	}
 }
 
 func TestDimensionMismatch(t *testing.T) {
 	s := dvfsSplits(t)
-	p, err := Train(s.Train, Config{Model: RandomForest, M: 5, Seed: 7})
+	p, err := Train(s.Train, Config{NewMember: rfFactory, M: 5, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +251,10 @@ func TestSVMNonConvergencePropagates(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	_, err := Train(d, Config{Model: SVM, M: 3, Seed: 8, SVMMaxObjective: 0.2})
+	svm := func(seed int64) ensemble.Classifier {
+		return linear.NewSVM(linear.SVMConfig{Seed: seed, Epochs: 100, MaxObjective: 0.2})
+	}
+	_, err := Train(d, Config{NewMember: svm, M: 3, Seed: 8})
 	if err == nil {
 		t.Fatal("expected non-convergence")
 	}
@@ -243,11 +266,11 @@ func TestSVMNonConvergencePropagates(t *testing.T) {
 
 func TestEnsembleAccessor(t *testing.T) {
 	s := dvfsSplits(t)
-	p, err := Train(s.Train, Config{Model: RandomForest, M: 5, Seed: 9})
+	p, err := Train(s.Train, Config{NewMember: rfFactory, M: 5, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.Ensemble().Size() != 5 {
+	if p.Ensemble().Size() != 5 || p.Members() != 5 {
 		t.Fatal("ensemble accessor")
 	}
 }
@@ -255,12 +278,45 @@ func TestEnsembleAccessor(t *testing.T) {
 func TestDiversityModes(t *testing.T) {
 	s := dvfsSplits(t)
 	for _, mode := range []ensemble.Diversity{ensemble.Bootstrap, ensemble.RandomInit} {
-		p, err := Train(s.Train, Config{Model: LogisticRegression, M: 5, Seed: 10, Diversity: mode})
+		p, err := Train(s.Train, Config{NewMember: lrFactory, M: 5, Seed: 10, Diversity: mode})
 		if err != nil {
 			t.Fatalf("%v: %v", mode, err)
 		}
 		if _, err := p.Predict(s.Test.At(0).Features); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestPipelineGobRoundTrip(t *testing.T) {
+	s := dvfsSplits(t)
+	p, err := Train(s.Train, Config{NewMember: rfFactory, M: 7, Seed: 11, PCAComponents: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := p.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Pipeline
+	if err := back.GobDecode(blob); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Test.Len(); i++ {
+		x := s.Test.At(i).Features
+		a, err := p.Assess(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := back.Assess(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Prediction != b.Prediction || a.Entropy != b.Entropy {
+			t.Fatalf("sample %d: decoded pipeline diverged", i)
+		}
+	}
+	if back.Members() != p.Members() {
+		t.Fatal("member count lost in round trip")
 	}
 }

@@ -16,11 +16,11 @@ import (
 	"trusthmd/internal/ensemble"
 	"trusthmd/internal/feature"
 	"trusthmd/internal/gen"
-	"trusthmd/internal/hmd"
 	"trusthmd/internal/metrics"
 	"trusthmd/internal/ml/forest"
 	"trusthmd/internal/ml/tree"
 	"trusthmd/internal/workload"
+	"trusthmd/pkg/detector"
 )
 
 // TestEndToEndZeroDayScreening runs the paper's core scenario on a reduced
@@ -32,18 +32,22 @@ func TestEndToEndZeroDayScreening(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := hmd.Train(splits.Train, hmd.Config{Model: hmd.RandomForest, M: 25, Seed: 1})
+	d, err := detector.New(splits.Train,
+		detector.WithModel("rf"), detector.WithEnsembleSize(25), detector.WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	preds, hKnown, err := p.AssessDataset(splits.Test)
+	rKnown, err := d.AssessDataset(splits.Test)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, hUnknown, err := p.AssessDataset(splits.Unknown)
+	rUnknown, err := d.AssessDataset(splits.Unknown)
 	if err != nil {
 		t.Fatal(err)
 	}
+	preds := detector.Predictions(rKnown)
+	hKnown := detector.Entropies(rKnown)
+	hUnknown := detector.Entropies(rUnknown)
 	op, err := core.At(0.40, hKnown, hUnknown)
 	if err != nil {
 		t.Fatal(err)
@@ -84,11 +88,13 @@ func TestCSVRoundTripPreservesPipelineBehaviour(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pa, err := hmd.Train(splits.Train, hmd.Config{Model: hmd.RandomForest, M: 9, Seed: 9})
+	rfOpts := []detector.Option{
+		detector.WithModel("rf"), detector.WithEnsembleSize(9), detector.WithSeed(9)}
+	pa, err := detector.New(splits.Train, rfOpts...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pb, err := hmd.Train(back, hmd.Config{Model: hmd.RandomForest, M: 9, Seed: 9})
+	pb, err := detector.New(back, rfOpts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +122,9 @@ func TestOnlineDetectorWithDriftMonitor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := hmd.Train(splits.Train, hmd.Config{Model: hmd.RandomForest, M: 15, Seed: 3})
+	d, err := detector.New(splits.Train,
+		detector.WithModel("rf"), detector.WithEnsembleSize(15),
+		detector.WithSeed(3), detector.WithThreshold(0.40))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,10 +133,9 @@ func TestOnlineDetectorWithDriftMonitor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	online, err := hmd.NewOnline(p, hmd.OnlineConfig{
-		Threshold: 0.40,
-		Levels:    sim.Config().Levels,
-		Window:    sim.Config().Steps,
+	online, err := detector.NewOnline(d, detector.StreamConfig{
+		Levels: sim.Config().Levels,
+		Window: sim.Config().Steps,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -141,7 +148,7 @@ func TestOnlineDetectorWithDriftMonitor(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	benignMix := []string{"idle_launcher", "video_stream", "music_player", "ebook_reader"}
 
-	var monitor *hmd.DriftMonitor
+	var monitor *detector.DriftMonitor
 	stream := func(names []string, windows int) (alarms int) {
 		for w := 0; w < windows; w++ {
 			app := apps[names[rng.Intn(len(names))]]
@@ -150,7 +157,7 @@ func TestOnlineDetectorWithDriftMonitor(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, st := range trace {
-				dec, ok, err := online.Push(st)
+				res, ok, err := online.Push(st)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -160,7 +167,7 @@ func TestOnlineDetectorWithDriftMonitor(t *testing.T) {
 				if monitor == nil {
 					continue // baseline collection phase
 				}
-				status, err := monitor.Observe(dec.Assessment.Entropy)
+				status, err := monitor.Observe(res.Entropy)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -181,13 +188,13 @@ func TestOnlineDetectorWithDriftMonitor(t *testing.T) {
 		if s.Label != 0 {
 			continue
 		}
-		a, err := p.Assess(s.Features)
+		r, err := d.Assess(s.Features)
 		if err != nil {
 			t.Fatal(err)
 		}
-		baseline = append(baseline, a.Entropy)
+		baseline = append(baseline, r.Entropy)
 	}
-	monitor, err = hmd.NewDriftMonitor(baseline, hmd.DriftConfig{Threshold: 0.40, Window: 12, Alpha: 0.001})
+	monitor, err = detector.NewDriftMonitor(baseline, detector.DriftConfig{Threshold: 0.40, Window: 12, Alpha: 0.001})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,17 +253,26 @@ func TestHPCPipelineOverlapBehaviour(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := hmd.Train(splits.Train, hmd.Config{Model: hmd.SVM, M: 3, Seed: 5, SVMMaxObjective: 0.3}); err == nil {
+	_, err = detector.New(splits.Train,
+		detector.WithModel("svm"), detector.WithEnsembleSize(3),
+		detector.WithSeed(5), detector.WithSVMMaxObjective(0.3))
+	if err == nil {
 		t.Fatal("SVM should fail to converge on HPC data")
 	}
-	p, err := hmd.Train(splits.Train, hmd.Config{Model: hmd.RandomForest, M: 15, Seed: 5})
+	if !detector.IsNoConvergence(err) {
+		t.Fatalf("error %v should be non-convergence", err)
+	}
+	d, err := detector.New(splits.Train,
+		detector.WithModel("rf"), detector.WithEnsembleSize(15), detector.WithSeed(5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	preds, hKnown, err := p.AssessDataset(splits.Test)
+	rKnown, err := d.AssessDataset(splits.Test)
 	if err != nil {
 		t.Fatal(err)
 	}
+	preds := detector.Predictions(rKnown)
+	hKnown := detector.Entropies(rKnown)
 	rep, err := metrics.Score(splits.Test.Y(), preds)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,39 @@
+package mat
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// matrixGob is the exported wire form of a Matrix.
+type matrixGob struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// GobEncode implements gob.GobEncoder so trained pipelines that embed
+// matrices (PCA components, kNN training sets) can be serialized.
+func (m *Matrix) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(matrixGob{Rows: m.rows, Cols: m.cols, Data: m.data}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Matrix) GobDecode(b []byte) error {
+	var g matrixGob
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&g); err != nil {
+		return err
+	}
+	if g.Rows < 0 || g.Cols < 0 || len(g.Data) != g.Rows*g.Cols {
+		return fmt.Errorf("mat: corrupt gob: %dx%d with %d values", g.Rows, g.Cols, len(g.Data))
+	}
+	m.rows, m.cols, m.data = g.Rows, g.Cols, g.Data
+	if m.data == nil {
+		m.data = []float64{}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package bayes
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+func init() {
+	// Self-register so NB members survive gob encoding behind the
+	// ensemble.Classifier interface.
+	gob.Register(&Gaussian{})
+}
+
+// gaussianGob is the exported wire form of a trained Gaussian NB.
+type gaussianGob struct {
+	Cfg     Config
+	Classes int
+	Prior   []float64
+	Mean    [][]float64
+	Vari    [][]float64
+}
+
+// GobEncode implements gob.GobEncoder for trained-pipeline serialization.
+func (g *Gaussian) GobEncode() ([]byte, error) {
+	if g.mean == nil {
+		return nil, ErrNotFitted
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(gaussianGob{
+		Cfg: g.cfg, Classes: g.classes, Prior: g.prior, Mean: g.mean, Vari: g.vari,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (g *Gaussian) GobDecode(b []byte) error {
+	var w gaussianGob
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	g.cfg, g.classes, g.prior, g.mean, g.vari = w.Cfg, w.Classes, w.Prior, w.Mean, w.Vari
+	return nil
+}

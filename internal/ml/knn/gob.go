@@ -1,0 +1,44 @@
+package knn
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"trusthmd/internal/mat"
+)
+
+func init() {
+	// Self-register so kNN members survive gob encoding behind the
+	// ensemble.Classifier interface.
+	gob.Register(&KNN{})
+}
+
+// knnGob is the exported wire form of a fitted KNN.
+type knnGob struct {
+	Cfg     Config
+	X       *mat.Matrix
+	Y       []int
+	Classes int
+}
+
+// GobEncode implements gob.GobEncoder for trained-pipeline serialization.
+func (k *KNN) GobEncode() ([]byte, error) {
+	if k.X == nil {
+		return nil, ErrNotFitted
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(knnGob{Cfg: k.cfg, X: k.X, Y: k.y, Classes: k.classes}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (k *KNN) GobDecode(b []byte) error {
+	var g knnGob
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&g); err != nil {
+		return err
+	}
+	k.cfg, k.X, k.y, k.classes = g.Cfg, g.X, g.Y, g.Classes
+	return nil
+}

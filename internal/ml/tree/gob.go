@@ -1,0 +1,87 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+func init() {
+	// Self-register so trees survive gob encoding behind the
+	// ensemble.Classifier interface.
+	gob.Register(&Tree{})
+}
+
+// nodeGob is one flattened tree node: Left/Right index into the node slice,
+// -1 marks a leaf.
+type nodeGob struct {
+	Feature     int
+	Threshold   float64
+	Left, Right int
+	Counts      []int
+}
+
+// treeGob is the exported wire form of a trained Tree, with the node
+// pointers flattened into a preorder slice.
+type treeGob struct {
+	Cfg       Config
+	NFeatures int
+	NClasses  int
+	NodeTally int
+	Nodes     []nodeGob
+}
+
+func flatten(n *node, out *[]nodeGob) int {
+	idx := len(*out)
+	*out = append(*out, nodeGob{Feature: n.feature, Threshold: n.threshold, Left: -1, Right: -1, Counts: n.counts})
+	if !n.leaf() {
+		(*out)[idx].Left = flatten(n.left, out)
+		(*out)[idx].Right = flatten(n.right, out)
+	}
+	return idx
+}
+
+// GobEncode implements gob.GobEncoder for trained-pipeline serialization.
+func (t *Tree) GobEncode() ([]byte, error) {
+	if t.root == nil {
+		return nil, ErrNotFitted
+	}
+	g := treeGob{Cfg: t.cfg, NFeatures: t.nFeatures, NClasses: t.nClasses, NodeTally: t.nodes}
+	flatten(t.root, &g.Nodes)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (t *Tree) GobDecode(b []byte) error {
+	var g treeGob
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&g); err != nil {
+		return err
+	}
+	if len(g.Nodes) == 0 {
+		return fmt.Errorf("tree: corrupt gob: no nodes")
+	}
+	nodes := make([]node, len(g.Nodes))
+	for i, ng := range g.Nodes {
+		nodes[i] = node{feature: ng.Feature, threshold: ng.Threshold, counts: ng.Counts}
+		if ng.Left >= 0 || ng.Right >= 0 {
+			// flatten emits children at strictly greater preorder indices;
+			// anything else (including back-references, which would make
+			// Predict loop forever) is corruption.
+			if ng.Left <= i || ng.Left >= len(nodes) || ng.Right <= i || ng.Right >= len(nodes) {
+				return fmt.Errorf("tree: corrupt gob: node %d children %d/%d", i, ng.Left, ng.Right)
+			}
+			nodes[i].left = &nodes[ng.Left]
+			nodes[i].right = &nodes[ng.Right]
+		}
+	}
+	t.cfg = g.Cfg
+	t.nFeatures = g.NFeatures
+	t.nClasses = g.NClasses
+	t.nodes = g.NodeTally
+	t.root = &nodes[0]
+	return nil
+}

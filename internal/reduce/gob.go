@@ -1,0 +1,48 @@
+package reduce
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+
+	"trusthmd/internal/mat"
+)
+
+// pcaGob is the exported wire form of a fitted PCA.
+type pcaGob struct {
+	Mean       []float64
+	Components *mat.Matrix
+	Variances  []float64
+	TotalVar   float64
+}
+
+// GobEncode implements gob.GobEncoder for trained-pipeline serialization.
+func (p *PCA) GobEncode() ([]byte, error) {
+	if p.components == nil {
+		return nil, ErrNotFitted
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(pcaGob{
+		Mean:       p.mean,
+		Components: p.components,
+		Variances:  p.variances,
+		TotalVar:   p.totalVar,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (p *PCA) GobDecode(b []byte) error {
+	var g pcaGob
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&g); err != nil {
+		return err
+	}
+	if g.Components == nil || g.Components.Rows() != len(g.Mean) {
+		return errors.New("reduce: corrupt pca gob")
+	}
+	p.mean, p.components, p.variances, p.totalVar = g.Mean, g.Components, g.Variances, g.TotalVar
+	return nil
+}

@@ -1,0 +1,48 @@
+package detector
+
+import (
+	"trusthmd/internal/ensemble"
+	"trusthmd/internal/hmd"
+	"trusthmd/internal/ml/bayes"
+	"trusthmd/internal/ml/knn"
+	"trusthmd/internal/ml/linear"
+	"trusthmd/internal/ml/tree"
+)
+
+// The built-in base-classifier families: the paper's three (random forest,
+// logistic regression, SVM) plus the Gaussian NB and kNN extensions from
+// the Zhou et al. candidate list. Their concrete types gob-self-register in
+// the internal/ml packages, so Save/Load works without prototypes here.
+func init() {
+	Register("rf", func(p Params) hmd.Factory {
+		return func(seed int64) ensemble.Classifier {
+			// MaxFeatures -1 resolves to sqrt(d) at fit time.
+			return tree.New(tree.Config{
+				MaxFeatures: -1,
+				MaxDepth:    p.TreeMaxDepth,
+				MinLeaf:     p.TreeMinLeaf,
+				Seed:        seed,
+			})
+		}
+	})
+	Register("lr", func(Params) hmd.Factory {
+		return func(seed int64) ensemble.Classifier {
+			return linear.NewLogistic(linear.LogisticConfig{Seed: seed, Epochs: 20, Batch: 16})
+		}
+	})
+	Register("svm", func(p Params) hmd.Factory {
+		return func(seed int64) ensemble.Classifier {
+			return linear.NewSVM(linear.SVMConfig{Seed: seed, Epochs: 100, MaxObjective: p.SVMMaxObjective})
+		}
+	})
+	Register("nb", func(Params) hmd.Factory {
+		return func(int64) ensemble.Classifier {
+			return bayes.New(bayes.Config{})
+		}
+	})
+	Register("knn", func(Params) hmd.Factory {
+		return func(int64) ensemble.Classifier {
+			return knn.New(knn.Config{K: 5})
+		}
+	})
+}

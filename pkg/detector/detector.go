@@ -1,0 +1,307 @@
+// Package detector is the public, serving-oriented front door to the
+// trusted hardware-based malware detector (HMD) of the source paper. It
+// wraps the implementation core in internal/hmd behind one coherent API:
+//
+//   - New builds a Detector from a training split with functional options
+//     (WithModel, WithPCA, WithThreshold, WithWorkers, ...).
+//   - Assess produces a Result — prediction, vote-entropy uncertainty, vote
+//     distribution, Benign/Malware/Reject decision and (optionally) the
+//     aleatoric/epistemic decomposition — in one pass over member outputs.
+//   - AssessBatch / AssessDataset amortise feature scaling and PCA across
+//     a whole batch (one matrix projection instead of n vector
+//     projections) and fan member inference out over a worker pool.
+//   - Register plugs new base-classifier families into the open model
+//     registry without touching internal/hmd.
+//   - Save / Load serialize trained pipelines so a service can train once
+//     and serve many.
+//   - Online, Retrainer and DriftMonitor provide the deployment loop of
+//     the paper's Fig. 1: streaming decisions, forensic retraining and
+//     drift alarms.
+//
+// A trained Detector is immutable and safe for concurrent use.
+package detector
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"trusthmd/internal/core"
+	"trusthmd/internal/dataset"
+	"trusthmd/internal/hmd"
+	"trusthmd/internal/mat"
+	"trusthmd/internal/ml/linear"
+)
+
+// Decision is a trusted-HMD verdict: accept the prediction as Benign or
+// Malware, or Reject and route the input to an analyst.
+type Decision = core.Decision
+
+// The three trusted decisions.
+const (
+	Benign  = core.DecideBenign
+	Malware = core.DecideMalware
+	Reject  = core.DecideReject
+)
+
+// Decomposition splits a prediction's total uncertainty into aleatoric
+// (data noise) and epistemic (model disagreement) components.
+type Decomposition = core.Decomposition
+
+// Result is the detector's per-input output.
+type Result struct {
+	// Prediction is the ensemble's plurality label (0 benign, 1 malware).
+	Prediction int
+	// Entropy is the vote-entropy uncertainty in bits.
+	Entropy float64
+	// VoteDist is the normalised member-vote distribution.
+	VoteDist []float64
+	// Decision applies the detector's rejection threshold to the
+	// prediction: Benign, Malware, or Reject.
+	Decision Decision
+	// Decomposition is the aleatoric/epistemic split of the uncertainty;
+	// nil unless the detector was built WithDecomposition(true).
+	Decomposition *Decomposition
+}
+
+// Detector is a trained trusted HMD ready to serve traffic.
+type Detector struct {
+	cfg  config
+	pipe *hmd.Pipeline
+}
+
+// New trains a detector on the training split. Options default to the
+// paper's deployment configuration: a 25-member random forest, no PCA,
+// rejection threshold 0.40.
+func New(train *dataset.Dataset, opts ...Option) (*Detector, error) {
+	cfg, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	builder, err := builderFor(cfg.model)
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := hmd.Train(train, hmd.Config{
+		NewMember:     builder(cfg.params),
+		M:             cfg.m,
+		PCAComponents: cfg.pca,
+		Seed:          cfg.seed,
+		Diversity:     cfg.diversity,
+		MaxSamples:    cfg.maxSamples,
+		MaxFeatures:   cfg.maxFeatures,
+		Workers:       cfg.workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("detector: train %s: %w", cfg.model, err)
+	}
+	return &Detector{cfg: cfg, pipe: pipe}, nil
+}
+
+// Model returns the registry name of the detector's base-classifier family.
+func (d *Detector) Model() string { return d.cfg.model }
+
+// Threshold returns the entropy rejection threshold in use.
+func (d *Detector) Threshold() float64 { return d.cfg.threshold }
+
+// Members returns the number of trained ensemble members.
+func (d *Detector) Members() int { return d.pipe.Members() }
+
+// WithOptions returns a detector sharing this one's trained pipeline but
+// with decision-time options (threshold, workers, decomposition) replaced.
+// Training-time options are ignored: the pipeline is not refitted and the
+// trained configuration (model, ensemble shape, seeds) is kept as-is.
+func (d *Detector) WithOptions(opts ...Option) (*Detector, error) {
+	cfg := d.cfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	// Training-time fields cannot change without refitting; restore them so
+	// the returned detector never misreports (or mis-saves) its pipeline.
+	cfg.model, cfg.m, cfg.pca, cfg.seed = d.cfg.model, d.cfg.m, d.cfg.pca, d.cfg.seed
+	cfg.diversity, cfg.maxSamples, cfg.maxFeatures = d.cfg.diversity, d.cfg.maxSamples, d.cfg.maxFeatures
+	cfg.params = d.cfg.params
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{cfg: cfg, pipe: d.pipe}, nil
+}
+
+// Assess runs the trusted path on one raw feature vector.
+func (d *Detector) Assess(x []float64) (Result, error) {
+	z, err := d.pipe.Project(x)
+	if err != nil {
+		return Result{}, fmt.Errorf("detector: %w", err)
+	}
+	return d.assessProjected(z)
+}
+
+// Predict runs the untrusted path: the plain majority-vote label without
+// uncertainty bookkeeping.
+func (d *Detector) Predict(x []float64) (int, error) {
+	p, err := d.pipe.Predict(x)
+	if err != nil {
+		return 0, fmt.Errorf("detector: %w", err)
+	}
+	return p, nil
+}
+
+// Posterior returns the averaged member posterior (the paper's Eq. 3).
+func (d *Detector) Posterior(x []float64) ([]float64, error) {
+	p, err := d.pipe.Posterior(x)
+	if err != nil {
+		return nil, fmt.Errorf("detector: %w", err)
+	}
+	return p, nil
+}
+
+// AssessBatch assesses a batch of raw feature vectors. Scaling and PCA run
+// once over the whole batch as matrix operations, and member inference fans
+// out over the detector's worker pool; results are element-wise identical
+// to calling Assess on each vector.
+func (d *Detector) AssessBatch(X [][]float64) ([]Result, error) {
+	if len(X) == 0 {
+		return nil, errors.New("detector: empty batch")
+	}
+	M, err := mat.FromRows(X)
+	if err != nil {
+		return nil, fmt.Errorf("detector: %w", err)
+	}
+	return d.assessMatrix(M)
+}
+
+// AssessDataset assesses every sample of a dataset through the batched
+// path.
+func (d *Detector) AssessDataset(ds *dataset.Dataset) ([]Result, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, errors.New("detector: empty dataset")
+	}
+	return d.assessMatrix(ds.X())
+}
+
+func (d *Detector) assessMatrix(M *mat.Matrix) ([]Result, error) {
+	Z, err := d.pipe.ProjectBatch(M)
+	if err != nil {
+		return nil, fmt.Errorf("detector: %w", err)
+	}
+	n := Z.Rows()
+	out := make([]Result, n)
+	workers := d.cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if out[i], err = d.assessProjected(Z.Row(i)); err != nil {
+				return nil, fmt.Errorf("detector: sample %d: %w", i, err)
+			}
+		}
+		return out, nil
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+		errs = make([]error, workers)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				r, err := d.assessProjected(Z.Row(i))
+				if err != nil {
+					errs[w] = fmt.Errorf("detector: sample %d: %w", i, err)
+					return
+				}
+				out[i] = r
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return out, nil
+}
+
+// assessProjected builds a full Result from an already-projected vector in
+// one pass over the ensemble's member outputs.
+func (d *Detector) assessProjected(z []float64) (Result, error) {
+	var (
+		a   hmd.Assessment
+		dec *Decomposition
+		err error
+	)
+	if d.cfg.decompose {
+		var dc core.Decomposition
+		a, dc, err = d.pipe.AssessDecomposeProjected(z)
+		dec = &dc
+	} else {
+		a, err = d.pipe.AssessProjected(z)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	decision, err := core.Rejector{Threshold: d.cfg.threshold}.Decide(a.Prediction, a.Entropy)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Prediction:    a.Prediction,
+		Entropy:       a.Entropy,
+		VoteDist:      a.VoteDist,
+		Decision:      decision,
+		Decomposition: dec,
+	}, nil
+}
+
+// Truncated returns a detector view restricted to the first m ensemble
+// members, sharing the trained pipeline stages with the receiver. It powers
+// entropy-vs-ensemble-size sweeps (the paper's Fig. 9a) without refitting.
+func (d *Detector) Truncated(m int) (*Detector, error) {
+	pipe, err := d.pipe.Truncated(m)
+	if err != nil {
+		return nil, fmt.Errorf("detector: %w", err)
+	}
+	return &Detector{cfg: d.cfg, pipe: pipe}, nil
+}
+
+// Predictions extracts the per-sample predictions from a batch of results.
+func Predictions(rs []Result) []int {
+	out := make([]int, len(rs))
+	for i, r := range rs {
+		out[i] = r.Prediction
+	}
+	return out
+}
+
+// Entropies extracts the per-sample entropies from a batch of results.
+func Entropies(rs []Result) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Entropy
+	}
+	return out
+}
+
+// IsNoConvergence reports whether err stems from an ensemble member that
+// failed to converge during training (the paper's SVM-on-HPC observation).
+// Experiment harnesses use it to exclude a family rather than abort.
+func IsNoConvergence(err error) bool {
+	var nc *linear.ErrNoConvergence
+	return errors.As(err, &nc)
+}

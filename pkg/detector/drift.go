@@ -1,4 +1,4 @@
-package hmd
+package detector
 
 import (
 	"fmt"
@@ -11,7 +11,7 @@ import (
 // entropy distribution departs from the known-data baseline. This closes
 // the loop the paper's introduction sketches: uncertain predictions are
 // not just rejected one by one — a sustained shift triggers forensic
-// collection and retraining.
+// collection and retraining (see Retrainer).
 //
 // Two detectors run side by side:
 //
@@ -51,10 +51,10 @@ type DriftConfig struct {
 // (in-distribution) validation data.
 func NewDriftMonitor(baselineEntropies []float64, cfg DriftConfig) (*DriftMonitor, error) {
 	if len(baselineEntropies) < 10 {
-		return nil, fmt.Errorf("hmd: drift monitor needs >=10 baseline entropies, got %d", len(baselineEntropies))
+		return nil, fmt.Errorf("detector: drift monitor needs >=10 baseline entropies, got %d", len(baselineEntropies))
 	}
 	if cfg.Threshold < 0 {
-		return nil, fmt.Errorf("hmd: negative threshold %v", cfg.Threshold)
+		return nil, fmt.Errorf("detector: negative threshold %v", cfg.Threshold)
 	}
 	if cfg.Window <= 0 {
 		cfg.Window = 50
@@ -99,7 +99,7 @@ type DriftStatus struct {
 // returns the current status. Detectors stay quiet until the window fills.
 func (m *DriftMonitor) Observe(entropy float64) (DriftStatus, error) {
 	if entropy < 0 {
-		return DriftStatus{}, fmt.Errorf("hmd: negative entropy %v", entropy)
+		return DriftStatus{}, fmt.Errorf("detector: negative entropy %v", entropy)
 	}
 	m.recent = append(m.recent, entropy)
 	if len(m.recent) > m.window {

@@ -1,4 +1,4 @@
-package hmd
+package detector
 
 import (
 	"math/rand"

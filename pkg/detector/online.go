@@ -1,22 +1,21 @@
-package hmd
+package detector
 
 import (
 	"fmt"
 
-	"trusthmd/internal/core"
 	"trusthmd/internal/feature"
 )
 
 // Online is the streaming trusted detector: it consumes DVFS states one
 // sample at a time, maintains a sliding window, and every Stride samples
 // extracts features and produces a trusted decision — the deployment mode
-// the paper's title refers to ("online uncertainty estimation").
+// the paper's title refers to ("online uncertainty estimation"). Decisions
+// use the wrapped detector's rejection threshold.
 //
 // Online is not safe for concurrent use; give each telemetry stream its own
-// instance.
+// instance (the shared Detector underneath is safe to reuse).
 type Online struct {
-	pipeline  *Pipeline
-	threshold float64
+	det       *Detector
 	levels    int
 	window    []int
 	stride    int
@@ -44,11 +43,8 @@ func (s OnlineStats) RejectedFraction() float64 {
 	return float64(s.Rejected) / float64(s.Total())
 }
 
-// OnlineConfig parameterises the streaming detector.
-type OnlineConfig struct {
-	// Threshold is the entropy rejection threshold (the paper's DVFS
-	// operating point is 0.40).
-	Threshold float64
+// StreamConfig parameterises the streaming detector.
+type StreamConfig struct {
 	// Levels is the DVFS ladder size of the telemetry source.
 	Levels int
 	// Window is the number of states per assessment window.
@@ -58,44 +54,34 @@ type OnlineConfig struct {
 	Stride int
 }
 
-// NewOnline wraps a trained pipeline into a streaming detector.
-func NewOnline(p *Pipeline, cfg OnlineConfig) (*Online, error) {
-	if p == nil {
-		return nil, fmt.Errorf("hmd: online needs a trained pipeline")
+// NewOnline wraps a trained detector into a streaming detector.
+func NewOnline(d *Detector, cfg StreamConfig) (*Online, error) {
+	if d == nil {
+		return nil, fmt.Errorf("detector: online needs a trained detector")
 	}
 	if cfg.Levels < 2 {
-		return nil, fmt.Errorf("hmd: online needs >=2 levels, got %d", cfg.Levels)
+		return nil, fmt.Errorf("detector: online needs >=2 levels, got %d", cfg.Levels)
 	}
 	if cfg.Window < 2 {
-		return nil, fmt.Errorf("hmd: online needs window >=2, got %d", cfg.Window)
-	}
-	if cfg.Threshold < 0 {
-		return nil, fmt.Errorf("hmd: negative threshold %v", cfg.Threshold)
+		return nil, fmt.Errorf("detector: online needs window >=2, got %d", cfg.Window)
 	}
 	stride := cfg.Stride
 	if stride <= 0 {
 		stride = cfg.Window
 	}
 	return &Online{
-		pipeline:  p,
-		threshold: cfg.Threshold,
-		levels:    cfg.Levels,
-		window:    make([]int, 0, cfg.Window),
-		stride:    stride,
+		det:    d,
+		levels: cfg.Levels,
+		window: make([]int, 0, cfg.Window),
+		stride: stride,
 	}, nil
-}
-
-// OnlineDecision is one emitted decision with its provenance.
-type OnlineDecision struct {
-	Decision   core.Decision
-	Assessment Assessment
 }
 
 // Push feeds one DVFS state sample. When a full window is available and the
 // stride has elapsed, it returns a decision; otherwise ok is false.
-func (o *Online) Push(state int) (dec OnlineDecision, ok bool, err error) {
+func (o *Online) Push(state int) (res Result, ok bool, err error) {
 	if state < 0 || state >= o.levels {
-		return OnlineDecision{}, false, fmt.Errorf("hmd: state %d outside [0,%d)", state, o.levels)
+		return Result{}, false, fmt.Errorf("detector: state %d outside [0,%d)", state, o.levels)
 	}
 	if len(o.window) == cap(o.window) {
 		copy(o.window, o.window[1:])
@@ -104,26 +90,26 @@ func (o *Online) Push(state int) (dec OnlineDecision, ok bool, err error) {
 	o.window = append(o.window, state)
 	o.sinceLast++
 	if len(o.window) < cap(o.window) || o.sinceLast < o.stride {
-		return OnlineDecision{}, false, nil
+		return Result{}, false, nil
 	}
 	o.sinceLast = 0
 
 	feats, err := feature.DVFSVector(o.window, o.levels)
 	if err != nil {
-		return OnlineDecision{}, false, fmt.Errorf("hmd: online features: %w", err)
+		return Result{}, false, fmt.Errorf("detector: online features: %w", err)
 	}
-	d, a, err := o.pipeline.Decide(feats, o.threshold)
+	res, err = o.det.Assess(feats)
 	if err != nil {
-		return OnlineDecision{}, false, err
+		return Result{}, false, err
 	}
 	o.Stats.Windows++
-	switch d {
-	case core.DecideBenign:
+	switch res.Decision {
+	case Benign:
 		o.Stats.Benign++
-	case core.DecideMalware:
+	case Malware:
 		o.Stats.Malware++
 	default:
 		o.Stats.Rejected++
 	}
-	return OnlineDecision{Decision: d, Assessment: a}, true, nil
+	return res, true, nil
 }

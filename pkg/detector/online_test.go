@@ -1,44 +1,42 @@
-package hmd
+package detector
 
 import (
 	"math/rand"
 	"testing"
 
-	"trusthmd/internal/core"
 	"trusthmd/internal/dvfs"
 	"trusthmd/internal/workload"
 )
 
-func onlinePipeline(t *testing.T) *Pipeline {
+func onlineDetector(t *testing.T) *Detector {
 	t.Helper()
 	s := dvfsSplits(t)
-	p, err := Train(s.Train, Config{Model: RandomForest, M: 11, Seed: 20})
+	d, err := New(s.Train, WithModel("rf"), WithEnsembleSize(11), WithSeed(20))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return p
+	return d
 }
 
 func TestNewOnlineValidation(t *testing.T) {
-	p := onlinePipeline(t)
-	cases := map[string]OnlineConfig{
-		"levels":    {Threshold: 0.4, Levels: 1, Window: 16},
-		"window":    {Threshold: 0.4, Levels: 8, Window: 1},
-		"threshold": {Threshold: -1, Levels: 8, Window: 16},
+	d := onlineDetector(t)
+	cases := map[string]StreamConfig{
+		"levels": {Levels: 1, Window: 16},
+		"window": {Levels: 8, Window: 1},
 	}
 	for name, cfg := range cases {
-		if _, err := NewOnline(p, cfg); err == nil {
+		if _, err := NewOnline(d, cfg); err == nil {
 			t.Fatalf("%s: expected error", name)
 		}
 	}
-	if _, err := NewOnline(nil, OnlineConfig{Threshold: 0.4, Levels: 8, Window: 16}); err == nil {
-		t.Fatal("expected nil pipeline error")
+	if _, err := NewOnline(nil, StreamConfig{Levels: 8, Window: 16}); err == nil {
+		t.Fatal("expected nil detector error")
 	}
 }
 
 func TestOnlineStream(t *testing.T) {
-	p := onlinePipeline(t)
-	o, err := NewOnline(p, OnlineConfig{Threshold: 0.4, Levels: 8, Window: 256, Stride: 128})
+	d := onlineDetector(t)
+	o, err := NewOnline(d, StreamConfig{Levels: 8, Window: 256, Stride: 128})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,13 +61,13 @@ func TestOnlineStream(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, st := range trace {
-			dec, ok, err := o.Push(st)
+			res, ok, err := o.Push(st)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if ok {
 				decisions++
-				if dec.Decision == core.DecideMalware {
+				if res.Decision == Malware {
 					malware++
 				}
 			}
@@ -87,8 +85,8 @@ func TestOnlineStream(t *testing.T) {
 }
 
 func TestOnlineStrideControlsRate(t *testing.T) {
-	p := onlinePipeline(t)
-	o, err := NewOnline(p, OnlineConfig{Threshold: 0.4, Levels: 8, Window: 64, Stride: 16})
+	d := onlineDetector(t)
+	o, err := NewOnline(d, StreamConfig{Levels: 8, Window: 64, Stride: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,8 +108,8 @@ func TestOnlineStrideControlsRate(t *testing.T) {
 }
 
 func TestOnlineRejectsBadState(t *testing.T) {
-	p := onlinePipeline(t)
-	o, err := NewOnline(p, OnlineConfig{Threshold: 0.4, Levels: 8, Window: 16})
+	d := onlineDetector(t)
+	o, err := NewOnline(d, StreamConfig{Levels: 8, Window: 16})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,98 @@
+package detector
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"trusthmd/internal/hmd"
+)
+
+// Params carries the model-specific tuning knobs a Builder may consult.
+// Families ignore knobs that do not apply to them.
+type Params struct {
+	// SVMMaxObjective is the non-convergence ceiling for hinge-loss
+	// training (0 disables the check).
+	SVMMaxObjective float64
+	// TreeMaxDepth / TreeMinLeaf bound decision-tree members (0 keeps the
+	// defaults: unlimited depth, leaf size 1).
+	TreeMaxDepth int
+	TreeMinLeaf  int
+}
+
+// Builder produces a member factory for one base-classifier family, given
+// the detector's tuning parameters. The returned factory is called once per
+// ensemble member with that member's seed.
+type Builder func(p Params) hmd.Factory
+
+var registry = struct {
+	sync.RWMutex
+	builders map[string]Builder
+}{builders: map[string]Builder{}}
+
+// Register adds a base-classifier family to the model registry under the
+// given name (case-insensitive), replacing any previous registration. The
+// optional prototypes are gob-registered so trained ensembles containing
+// members of those concrete types survive Save/Load; the built-in families
+// self-register their types instead.
+//
+// Register makes new families available to WithModel without any change to
+// internal/hmd:
+//
+//	detector.Register("stump", func(p detector.Params) hmd.Factory {
+//	    return func(seed int64) ensemble.Classifier { ... }
+//	}, &Stump{})
+//
+// Note: Builder's signature currently references internal types (the
+// hmd.Factory / ensemble.Classifier contract), so registration is open to
+// packages inside this module only. Exporting the classifier contract (and
+// the matrix type it consumes) is the planned follow-up that makes the
+// registry usable from other modules — see ROADMAP.md.
+func Register(name string, b Builder, prototypes ...any) {
+	if name = canonical(name); name == "" {
+		panic("detector: Register with empty model name")
+	}
+	if b == nil {
+		panic("detector: Register with nil builder")
+	}
+	for _, p := range prototypes {
+		gob.Register(p)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	registry.builders[name] = b
+}
+
+// Models lists the registered family names in sorted order.
+func Models() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.builders))
+	for name := range registry.builders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func builderFor(name string) (Builder, error) {
+	registry.RLock()
+	defer registry.RUnlock()
+	b, ok := registry.builders[canonical(name)]
+	if !ok {
+		known := make([]string, 0, len(registry.builders))
+		for n := range registry.builders {
+			known = append(known, n)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("detector: unknown model %q (registered: %s)",
+			name, strings.Join(known, ", "))
+	}
+	return b, nil
+}
+
+func canonical(name string) string {
+	return strings.ToLower(strings.TrimSpace(name))
+}

@@ -1,4 +1,4 @@
-package hmd
+package detector
 
 import (
 	"errors"
@@ -17,28 +17,39 @@ import (
 //
 // Retrainer is not safe for concurrent use.
 type Retrainer struct {
-	base    *dataset.Dataset
-	cfg     Config
-	quorum  int
-	pending *dataset.Dataset
-	rounds  int
+	base     *dataset.Dataset
+	opts     []Option
+	baseSeed int64
+	quorum   int
+	pending  *dataset.Dataset
+	rounds   int
 }
 
-// NewRetrainer wraps the original training set and pipeline configuration.
-// quorum is the number of labelled forensic samples required before
-// ShouldRetrain reports true (minimum 1).
-func NewRetrainer(train *dataset.Dataset, cfg Config, quorum int) (*Retrainer, error) {
+// NewRetrainer wraps the original training set and the detector options
+// used for (re)training. quorum is the number of labelled forensic samples
+// required before ShouldRetrain reports true (minimum 1). The options are
+// resolved eagerly so misconfiguration surfaces here, not at the first
+// retraining round.
+func NewRetrainer(train *dataset.Dataset, quorum int, opts ...Option) (*Retrainer, error) {
 	if train == nil || train.Len() == 0 {
-		return nil, errors.New("hmd: retrainer needs a non-empty training set")
+		return nil, errors.New("detector: retrainer needs a non-empty training set")
 	}
 	if quorum < 1 {
-		return nil, fmt.Errorf("hmd: retrainer quorum %d must be >=1", quorum)
+		return nil, fmt.Errorf("detector: retrainer quorum %d must be >=1", quorum)
+	}
+	cfg, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := builderFor(cfg.model); err != nil {
+		return nil, err
 	}
 	return &Retrainer{
-		base:    train,
-		cfg:     cfg,
-		quorum:  quorum,
-		pending: dataset.New(train.Dim()),
+		base:     train,
+		opts:     append([]Option(nil), opts...),
+		baseSeed: cfg.seed,
+		quorum:   quorum,
+		pending:  dataset.New(train.Dim()),
 	}, nil
 }
 
@@ -51,7 +62,7 @@ func (r *Retrainer) ReportRejection(features []float64, analystLabel int, app st
 		Label:    analystLabel,
 		App:      app,
 	}); err != nil {
-		return fmt.Errorf("hmd: report rejection: %w", err)
+		return fmt.Errorf("detector: report rejection: %w", err)
 	}
 	return nil
 }
@@ -67,27 +78,26 @@ func (r *Retrainer) Rounds() int { return r.rounds }
 func (r *Retrainer) ShouldRetrain() bool { return r.pending.Len() >= r.quorum }
 
 // Retrain merges the forensic samples into the training set and trains a
-// fresh pipeline. The forensic buffer is drained into the base set, so
-// subsequent rounds build on all evidence gathered so far. The pipeline
+// fresh detector. The forensic buffer is drained into the base set, so
+// subsequent rounds build on all evidence gathered so far. The training
 // seed is advanced every round so retrained ensembles are independent.
-func (r *Retrainer) Retrain() (*Pipeline, error) {
+func (r *Retrainer) Retrain() (*Detector, error) {
 	if r.pending.Len() == 0 {
-		return nil, errors.New("hmd: no forensic samples to retrain on")
+		return nil, errors.New("detector: no forensic samples to retrain on")
 	}
 	merged, err := r.base.Merge(r.pending)
 	if err != nil {
-		return nil, fmt.Errorf("hmd: retrain merge: %w", err)
+		return nil, fmt.Errorf("detector: retrain merge: %w", err)
 	}
-	cfg := r.cfg
-	cfg.Seed += int64(r.rounds + 1)
-	p, err := Train(merged, cfg)
+	opts := append(append([]Option(nil), r.opts...), WithSeed(r.baseSeed+int64(r.rounds+1)))
+	d, err := New(merged, opts...)
 	if err != nil {
-		return nil, fmt.Errorf("hmd: retrain: %w", err)
+		return nil, fmt.Errorf("detector: retrain: %w", err)
 	}
 	r.base = merged
 	r.pending = dataset.New(merged.Dim())
 	r.rounds++
-	return p, nil
+	return d, nil
 }
 
 // TrainingSize returns the current size of the (augmented) training set.

@@ -1,4 +1,4 @@
-package hmd
+package detector
 
 import (
 	"testing"
@@ -9,22 +9,24 @@ import (
 )
 
 func TestNewRetrainerValidation(t *testing.T) {
-	if _, err := NewRetrainer(nil, Config{}, 5); err == nil {
+	if _, err := NewRetrainer(nil, 5); err == nil {
 		t.Fatal("expected nil training set error")
 	}
-	if _, err := NewRetrainer(dataset.New(3), Config{}, 5); err == nil {
+	if _, err := NewRetrainer(dataset.New(3), 5); err == nil {
 		t.Fatal("expected empty training set error")
 	}
 	s := dvfsSplits(t)
-	if _, err := NewRetrainer(s.Train, Config{}, 0); err == nil {
+	if _, err := NewRetrainer(s.Train, 0); err == nil {
 		t.Fatal("expected quorum error")
+	}
+	if _, err := NewRetrainer(s.Train, 5, WithModel("bogus")); err == nil {
+		t.Fatal("expected unknown model error")
 	}
 }
 
 func TestRetrainerLifecycle(t *testing.T) {
 	s := dvfsSplits(t)
-	cfg := Config{Model: RandomForest, M: 15, Seed: 30}
-	r, err := NewRetrainer(s.Train, cfg, 10)
+	r, err := NewRetrainer(s.Train, 10, WithModel("rf"), WithEnsembleSize(15), WithSeed(30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,12 +47,12 @@ func TestRetrainerLifecycle(t *testing.T) {
 	if !r.ShouldRetrain() {
 		t.Fatal("quorum reached but ShouldRetrain false")
 	}
-	p, err := r.Retrain()
+	d, err := r.Retrain()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p == nil {
-		t.Fatal("nil pipeline")
+	if d == nil {
+		t.Fatal("nil detector")
 	}
 	if r.Pending() != 0 || r.Rounds() != 1 {
 		t.Fatalf("post-retrain state: pending %d rounds %d", r.Pending(), r.Rounds())
@@ -62,7 +64,7 @@ func TestRetrainerLifecycle(t *testing.T) {
 
 func TestRetrainerReportValidation(t *testing.T) {
 	s := dvfsSplits(t)
-	r, err := NewRetrainer(s.Train, Config{Model: RandomForest, M: 5, Seed: 31}, 5)
+	r, err := NewRetrainer(s.Train, 5, WithModel("rf"), WithEnsembleSize(5), WithSeed(31))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,8 +84,8 @@ func TestRetrainingAbsorbsZeroDay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := Config{Model: RandomForest, M: 25, Seed: 32}
-	before, err := Train(splits.Train, cfg)
+	opts := []Option{WithModel("rf"), WithEnsembleSize(25), WithSeed(32)}
+	before, err := New(splits.Train, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,16 +110,16 @@ func TestRetrainingAbsorbsZeroDay(t *testing.T) {
 		t.Fatalf("not enough cryptojack samples: %d/%d", len(forensic), len(heldOut))
 	}
 
-	entropyAndAcc := func(p *Pipeline) (float64, float64) {
+	entropyAndAcc := func(d *Detector) (float64, float64) {
 		var hs []float64
 		correct := 0
 		for _, smp := range heldOut {
-			a, err := p.Assess(smp.Features)
+			r, err := d.Assess(smp.Features)
 			if err != nil {
 				t.Fatal(err)
 			}
-			hs = append(hs, a.Entropy)
-			if a.Prediction == smp.Label {
+			hs = append(hs, r.Entropy)
+			if r.Prediction == smp.Label {
 				correct++
 			}
 		}
@@ -126,7 +128,7 @@ func TestRetrainingAbsorbsZeroDay(t *testing.T) {
 
 	hBefore, _ := entropyAndAcc(before)
 
-	r, err := NewRetrainer(splits.Train, cfg, len(forensic))
+	r, err := NewRetrainer(splits.Train, len(forensic), opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,11 +160,11 @@ func TestRetrainingAbsorbsZeroDay(t *testing.T) {
 		if smp.App == "cryptojack_v2" {
 			continue
 		}
-		a, err := after.Assess(smp.Features)
+		r, err := after.Assess(smp.Features)
 		if err != nil {
 			t.Fatal(err)
 		}
-		otherHs = append(otherHs, a.Entropy)
+		otherHs = append(otherHs, r.Entropy)
 	}
 	if mat.Mean(otherHs) < 0.25 {
 		t.Fatalf("other unknown families lost their entropy: %.3f", mat.Mean(otherHs))

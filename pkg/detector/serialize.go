@@ -1,0 +1,79 @@
+package detector
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"trusthmd/internal/ensemble"
+	"trusthmd/internal/hmd"
+)
+
+// serialVersion guards the wire format of Save/Load.
+const serialVersion = 1
+
+// savedDetector is the exported wire form of a trained Detector.
+type savedDetector struct {
+	Version   int
+	Model     string
+	Threshold float64
+	Workers   int
+	Decompose bool
+	Diversity ensemble.Diversity
+	Params    Params
+	Pipeline  *hmd.Pipeline
+}
+
+// Save serializes the trained detector to w (gob encoding) so a service
+// can train once and serve many. Everything needed for inference — fitted
+// scaler, PCA basis, every trained ensemble member, threshold and model
+// name — is included; Load restores a detector with identical decisions.
+func (d *Detector) Save(w io.Writer) error {
+	if d.pipe == nil {
+		return errors.New("detector: cannot save an untrained detector")
+	}
+	err := gob.NewEncoder(w).Encode(savedDetector{
+		Version:   serialVersion,
+		Model:     d.cfg.model,
+		Threshold: d.cfg.threshold,
+		Workers:   d.cfg.workers,
+		Decompose: d.cfg.decompose,
+		Diversity: d.cfg.diversity,
+		Params:    d.cfg.params,
+		Pipeline:  d.pipe,
+	})
+	if err != nil {
+		return fmt.Errorf("detector: save: %w", err)
+	}
+	return nil
+}
+
+// Load deserializes a detector previously written by Save. The loaded
+// detector serves assessments immediately; custom (non-built-in) member
+// types must have been registered — via Register's prototypes or a gob
+// registration — before Load.
+func Load(r io.Reader) (*Detector, error) {
+	var g savedDetector
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("detector: load: %w", err)
+	}
+	if g.Version != serialVersion {
+		return nil, fmt.Errorf("detector: load: unsupported format version %d", g.Version)
+	}
+	if g.Pipeline == nil {
+		return nil, errors.New("detector: load: no pipeline in stream")
+	}
+	cfg := defaults()
+	cfg.model = canonical(g.Model)
+	cfg.threshold = g.Threshold
+	cfg.workers = g.Workers
+	cfg.decompose = g.Decompose
+	cfg.diversity = g.Diversity
+	cfg.params = g.Params
+	cfg.m = g.Pipeline.Members()
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("detector: load: %w", err)
+	}
+	return &Detector{cfg: cfg, pipe: g.Pipeline}, nil
+}

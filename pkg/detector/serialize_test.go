@@ -1,0 +1,92 @@
+package detector
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSaveLoadRoundTrip trains each built-in family that converges on the
+// DVFS data, serializes it, loads it back and requires identical decisions
+// on the whole test split — the train-once-serve-many contract.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := dvfsSplits(t)
+	cases := map[string][]Option{
+		"rf":      {WithModel("rf"), WithPCA(6)},
+		"lr":      {WithModel("lr"), WithMaxFeatures(0.45)},
+		"svm":     {WithModel("svm"), WithSVMMaxObjective(0.3)},
+		"nb":      {WithModel("nb"), WithMaxFeatures(0.45)},
+		"knn":     {WithModel("knn"), WithMaxFeatures(0.45)},
+		"rf-deco": {WithModel("rf"), WithTreeLimits(0, 10), WithDecomposition(true)},
+	}
+	for name, opts := range cases {
+		t.Run(name, func(t *testing.T) {
+			d, err := New(s.Train, append([]Option{WithEnsembleSize(7), WithSeed(6), WithThreshold(0.35)}, opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := d.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := Load(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Model() != d.Model() || back.Threshold() != d.Threshold() || back.Members() != d.Members() {
+				t.Fatalf("metadata lost: %s/%v/%d vs %s/%v/%d",
+					back.Model(), back.Threshold(), back.Members(),
+					d.Model(), d.Threshold(), d.Members())
+			}
+			want, err := d.AssessDataset(s.Test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := back.AssessDataset(s.Test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if want[i].Prediction != got[i].Prediction ||
+					want[i].Entropy != got[i].Entropy ||
+					want[i].Decision != got[i].Decision {
+					t.Fatalf("sample %d: loaded detector diverged: %+v vs %+v", i, got[i], want[i])
+				}
+				if want[i].Decomposition != nil &&
+					(got[i].Decomposition == nil || *got[i].Decomposition != *want[i].Decomposition) {
+					t.Fatalf("sample %d: decomposition lost in round trip", i)
+				}
+			}
+		})
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a detector"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestSavedDetectorIsRetrainable(t *testing.T) {
+	// A loaded detector carries its model name, so the registry can train
+	// successors (the forensic feedback loop keeps working after a restart).
+	d, s := trainRF(t)
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRetrainer(s.Train, 1, WithModel(back.Model()), WithEnsembleSize(5), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp := s.Unknown.At(0)
+	if err := r.ReportRejection(smp.Features, smp.Label, smp.App); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+}
