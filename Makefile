@@ -3,7 +3,7 @@ REV     := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 BENCH   ?= .
 BENCHTIME ?= 1x
 
-.PHONY: all build test test-short vet fmt-check bench ci
+.PHONY: all build test test-short race vet fmt-check bench ci
 
 all: build
 
@@ -15,6 +15,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# race runs the concurrency-heavy packages (batched assessment, request
+# coalescing) under the race detector.
+race:
+	$(GO) test -race ./pkg/detector/ ./pkg/serve/ ./cmd/trusthmdd/
 
 vet:
 	$(GO) vet ./...
@@ -29,7 +34,7 @@ fmt-check:
 # micro-benchmarks at the repository root and records a JSON snapshot
 # (BENCH_<rev>.json) so the performance trajectory is tracked per commit.
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . \
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . ./pkg/serve/ \
 		| tee /dev/stderr \
 		| $(GO) run ./tools/benchjson -out BENCH_$(REV).json
 

@@ -286,6 +286,36 @@ func BenchmarkAssessBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkOnlinePush measures the per-sample cost of the streaming
+// window at the paper's window=256 operating point, with assessments
+// strided out of the way so only the window maintenance is visible. The
+// ring buffer makes this O(1); the previous copy-based slide paid
+// O(window) per sample.
+func BenchmarkOnlinePush(b *testing.B) {
+	s, err := gen.DVFSWithSizes(3, gen.Sizes{Train: 280, Test: 40, Unknown: 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := detector.New(s.Train,
+		detector.WithModel("rf"), detector.WithEnsembleSize(11), detector.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := detector.NewOnline(d, detector.StreamConfig{
+		Levels: 8, Window: 256, Stride: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := o.Push(i & 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkTreeFit(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	n, d := 2000, 17

@@ -5,12 +5,16 @@
 //
 // With -save the trained detector is serialized after training; with -load
 // a previously saved detector serves immediately without retraining — the
-// train-once-serve-many workflow of a production deployment.
+// train-once-serve-many workflow of a production deployment. A -save
+// snapshot is also the handoff to the serving daemon: `trusthmdd -load
+// detector.gob` (cmd/trusthmdd) serves the same detector over HTTP with
+// request coalescing.
 //
 // Usage:
 //
 //	trusthmd [-model rf|lr|svm|nb|knn] [-threshold 0.40] [-windows 40]
 //	         [-seed 1] [-save detector.gob] [-load detector.gob]
+//	trusthmdd -load detector.gob             # then serve it over HTTP
 package main
 
 import (
@@ -66,7 +70,7 @@ func run(model string, threshold float64, thresholdSet bool, windows int, seed i
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("saved trained detector to %s\n", savePath)
+		fmt.Printf("saved trained detector to %s (serve it: trusthmdd -load %s)\n", savePath, savePath)
 	}
 
 	sim, err := dvfs.NewSimulator(dvfs.DefaultConfig())

@@ -1,0 +1,188 @@
+// Command trusthmdd is the trusted-HMD serving daemon: it loads one or
+// more gob-saved detectors (train them with `trusthmd -save` or the
+// pkg/detector Save API) and serves assessment requests over HTTP with
+// per-shard request coalescing — concurrent single-sample requests are
+// aggregated into AssessBatch calls, so heavy independent traffic rides
+// the batched projection + pooled member inference path while every
+// response stays element-wise identical to a direct Assess.
+//
+// Endpoints: POST /v1/assess, POST /v1/assess/batch, GET /v1/models,
+// GET /healthz, GET /stats.
+//
+// Usage:
+//
+//	trusthmd -save det.gob                          # train once
+//	trusthmdd -load det.gob                         # serve it as "default"
+//	trusthmdd -model dvfs=det.gob -model alt=b.gob  # named shard fleet
+//	         [-addr :8080] [-default dvfs]
+//	         [-max-batch 32] [-max-wait 2ms] [-queue 1024]
+//	         [-workers 0] [-threshold -1]
+//
+//	curl -s localhost:8080/v1/assess -d '{"features":[...]}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"trusthmd/pkg/detector"
+	"trusthmd/pkg/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		loadPath  = flag.String("load", "", "serve a single saved detector under the name \"default\"")
+		defName   = flag.String("default", "", "shard serving requests that omit \"model\"")
+		maxBatch  = flag.Int("max-batch", 32, "coalescer flush size")
+		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "coalescer max latency before a partial batch flushes")
+		queue     = flag.Int("queue", 1024, "per-shard pending-request buffer; beyond it requests are shed with 503")
+		maxBody   = flag.Int64("max-body", 8<<20, "request body size cap in bytes")
+		maxBatchN = flag.Int("max-batch-samples", 4096, "largest accepted client-side batch")
+		workers   = flag.Int("workers", 0, "override assessment parallelism on every shard (0 keeps each model's saved setting)")
+		threshold = flag.Float64("threshold", -1, "override the rejection threshold on every shard (<0 keeps each model's saved threshold)")
+		timeout   = flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+	)
+	var specs modelFlags
+	flag.Var(&specs, "model", "name=path of a saved detector shard (repeatable)")
+	flag.Parse()
+
+	if err := run(*addr, *loadPath, specs, serve.Config{
+		MaxBatch:        *maxBatch,
+		MaxWait:         *maxWait,
+		QueueSize:       *queue,
+		MaxBodyBytes:    *maxBody,
+		MaxBatchSamples: *maxBatchN,
+		DefaultModel:    *defName,
+	}, *workers, *threshold, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "trusthmdd:", err)
+		os.Exit(1)
+	}
+}
+
+// modelFlags collects repeated -model name=path specs.
+type modelFlags []modelSpec
+
+type modelSpec struct{ name, path string }
+
+func (m *modelFlags) String() string {
+	parts := make([]string, len(*m))
+	for i, s := range *m {
+		parts[i] = s.name + "=" + s.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m *modelFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	for _, s := range *m {
+		if s.name == name {
+			return fmt.Errorf("duplicate model name %q", name)
+		}
+	}
+	*m = append(*m, modelSpec{name: name, path: path})
+	return nil
+}
+
+// loadModels opens every shard, applying the optional fleet-wide
+// serving-time overrides.
+func loadModels(loadPath string, specs modelFlags, workers int, threshold float64) (map[string]*detector.Detector, error) {
+	if loadPath != "" {
+		specs = append(modelFlags{{name: "default", path: loadPath}}, specs...)
+	}
+	if len(specs) == 0 {
+		return nil, errors.New("no models: train one with `trusthmd -save det.gob`, then pass -load det.gob or -model name=det.gob")
+	}
+	out := make(map[string]*detector.Detector, len(specs))
+	for _, s := range specs {
+		f, err := os.Open(s.path)
+		if err != nil {
+			return nil, err
+		}
+		det, err := detector.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("model %s: %w", s.name, err)
+		}
+		var opts []detector.Option
+		if workers > 0 {
+			opts = append(opts, detector.WithWorkers(workers))
+		}
+		if threshold >= 0 {
+			opts = append(opts, detector.WithThreshold(threshold))
+		}
+		if len(opts) > 0 {
+			if det, err = det.WithOptions(opts...); err != nil {
+				return nil, fmt.Errorf("model %s: %w", s.name, err)
+			}
+		}
+		if _, dup := out[s.name]; dup {
+			return nil, fmt.Errorf("duplicate model name %q", s.name)
+		}
+		out[s.name] = det
+		info := det.Info()
+		fmt.Printf("loaded shard %-12s %s (%d members, %d features, threshold %.2f)\n",
+			s.name, info.Model, info.Members, info.InputDim, info.Threshold)
+	}
+	return out, nil
+}
+
+func run(addr, loadPath string, specs modelFlags, cfg serve.Config, workers int, threshold float64, shutdownTimeout time.Duration) error {
+	models, err := loadModels(loadPath, specs, workers, threshold)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(models, cfg)
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("trusthmdd listening on %s (%d shard(s), max-batch %d, max-wait %v)\n",
+			addr, len(models), cfg.MaxBatch, cfg.MaxWait)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections and let in-flight
+	// requests finish, then drain the coalescer queues.
+	fmt.Println("\nshutting down...")
+	shCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(shCtx)
+	srv.Close()
+	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+		return shutdownErr
+	}
+	for _, st := range srv.Stats() {
+		fmt.Printf("shard %-12s %d requests in %d batches (mean %.1f), %d batch requests, %d shed, rejection rate %.1f%%\n",
+			st.Model, st.Requests, st.Batches, st.MeanBatchSize, st.BatchRequests, st.Shed, 100*st.RejectionRate)
+	}
+	return nil
+}

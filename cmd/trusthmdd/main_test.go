@@ -1,0 +1,92 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"trusthmd/internal/gen"
+	"trusthmd/pkg/detector"
+	"trusthmd/pkg/serve"
+)
+
+func TestModelFlagsParsing(t *testing.T) {
+	var m modelFlags
+	if err := m.Set("dvfs=det.gob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("alt=other.gob"); err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "dvfs=det.gob,alt=other.gob" {
+		t.Fatalf("String: %q", m.String())
+	}
+	for _, bad := range []string{"", "noequals", "=path", "name=", "dvfs=dup.gob"} {
+		if err := m.Set(bad); err == nil {
+			t.Fatalf("Set(%q): expected error", bad)
+		}
+	}
+}
+
+func TestLoadModelsErrors(t *testing.T) {
+	if _, err := loadModels("", nil, 0, -1); err == nil {
+		t.Fatal("expected no-models error")
+	}
+	if _, err := loadModels("/does/not/exist.gob", nil, 0, -1); err == nil {
+		t.Fatal("expected open error")
+	}
+}
+
+// TestDaemonHandoff exercises the documented workflow: save a trained
+// detector (the `trusthmd -save` side), load it through the daemon's
+// loader with serving-time overrides, and answer a request.
+func TestDaemonHandoff(t *testing.T) {
+	s, err := gen.DVFSWithSizes(3, gen.Sizes{Train: 280, Test: 40, Unknown: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := detector.New(s.Train, detector.WithModel("rf"), detector.WithEnsembleSize(7), detector.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "det.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	models, err := loadModels(path, modelFlags{{name: "named", path: path}}, 2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 || models["default"] == nil || models["named"] == nil {
+		t.Fatalf("models: %v", models)
+	}
+	if got := models["default"].Threshold(); got != 0.25 {
+		t.Fatalf("threshold override lost: %v", got)
+	}
+
+	srv, err := serve.New(models, serve.Config{DefaultModel: "default"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+}

@@ -227,6 +227,10 @@ func (p *Pipeline) Ensemble() *ensemble.Bagging { return p.ens }
 // Members returns the number of trained ensemble members.
 func (p *Pipeline) Members() int { return p.ens.Size() }
 
+// InputDim returns the raw feature dimensionality the pipeline was fitted
+// on (the scaler's input width, before any PCA reduction).
+func (p *Pipeline) InputDim() int { return p.scaler.Dim() }
+
 // Truncated returns a pipeline view restricted to the first m ensemble
 // members, sharing the fitted scaler, PCA and members with the receiver —
 // the Fig. 9a entropy-vs-ensemble-size sweep assesses through these views

@@ -109,6 +109,57 @@ func (d *Detector) Threshold() float64 { return d.cfg.threshold }
 // Members returns the number of trained ensemble members.
 func (d *Detector) Members() int { return d.pipe.Members() }
 
+// InputDim returns the raw feature dimensionality the pipeline was fitted
+// on — the length Assess expects of its input vectors. Serving layers use
+// it to reject malformed requests before they reach the pipeline.
+func (d *Detector) InputDim() int { return d.pipe.InputDim() }
+
+// Info is an exported snapshot of a detector's configuration: everything a
+// serving layer needs to describe a loaded model, and everything Save
+// persists about how the pipeline was trained.
+type Info struct {
+	// Model is the registry name of the base-classifier family.
+	Model string `json:"model"`
+	// Members is the trained ensemble size.
+	Members int `json:"members"`
+	// InputDim is the raw feature dimensionality Assess expects.
+	InputDim int `json:"input_dim"`
+	// PCA is the number of principal components (0 = no PCA stage).
+	PCA int `json:"pca,omitempty"`
+	// Seed fixed the training-time randomness.
+	Seed int64 `json:"seed"`
+	// Threshold is the entropy rejection threshold in bits.
+	Threshold float64 `json:"threshold"`
+	// Workers caps assessment parallelism (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Diversity names the member-diversification scheme.
+	Diversity string `json:"diversity"`
+	// MaxSamples / MaxFeatures are the bagging subsample fractions
+	// (0 = full size / all features).
+	MaxSamples  float64 `json:"max_samples,omitempty"`
+	MaxFeatures float64 `json:"max_features,omitempty"`
+	// Decompose reports whether results carry the aleatoric/epistemic
+	// uncertainty split.
+	Decompose bool `json:"decompose,omitempty"`
+}
+
+// Info returns the detector's configuration snapshot.
+func (d *Detector) Info() Info {
+	return Info{
+		Model:       d.cfg.model,
+		Members:     d.pipe.Members(),
+		InputDim:    d.pipe.InputDim(),
+		PCA:         d.cfg.pca,
+		Seed:        d.cfg.seed,
+		Threshold:   d.cfg.threshold,
+		Workers:     d.cfg.workers,
+		Diversity:   d.cfg.diversity.String(),
+		MaxSamples:  d.cfg.maxSamples,
+		MaxFeatures: d.cfg.maxFeatures,
+		Decompose:   d.cfg.decompose,
+	}
+}
+
 // WithOptions returns a detector sharing this one's trained pipeline but
 // with decision-time options (threshold, workers, decomposition) replaced.
 // Training-time options are ignored: the pipeline is not refitted and the

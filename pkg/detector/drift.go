@@ -30,7 +30,15 @@ type DriftMonitor struct {
 	tolerance    float64
 	alpha        float64
 
+	// recent is a fixed-capacity ring of the last window entropies: head is
+	// the next write position and count the number of valid entries, so a
+	// long-running monitor stops re-allocating (the append/reslice form
+	// grew a fresh backing array on every observation once full). The
+	// detectors are order-insensitive (a rate and a KS statistic), so they
+	// read the ring without linearising it.
 	recent []float64
+	head   int
+	count  int
 }
 
 // DriftConfig parameterises a DriftMonitor.
@@ -101,12 +109,19 @@ func (m *DriftMonitor) Observe(entropy float64) (DriftStatus, error) {
 	if entropy < 0 {
 		return DriftStatus{}, fmt.Errorf("detector: negative entropy %v", entropy)
 	}
-	m.recent = append(m.recent, entropy)
-	if len(m.recent) > m.window {
-		m.recent = m.recent[1:]
+	if m.recent == nil {
+		m.recent = make([]float64, m.window)
+	}
+	m.recent[m.head] = entropy
+	m.head++
+	if m.head == m.window {
+		m.head = 0
+	}
+	if m.count < m.window {
+		m.count++
 	}
 	st := DriftStatus{KSPValue: 1}
-	if len(m.recent) < m.window {
+	if m.count < m.window {
 		return st, nil
 	}
 
@@ -137,5 +152,6 @@ func (m *DriftMonitor) Observe(entropy float64) (DriftStatus, error) {
 // BaselineRejectRate returns the rejection rate measured on the baseline.
 func (m *DriftMonitor) BaselineRejectRate() float64 { return m.baselineRate }
 
-// Reset clears the recent window (e.g. after retraining).
-func (m *DriftMonitor) Reset() { m.recent = m.recent[:0] }
+// Reset clears the recent window (e.g. after retraining) and releases the
+// backing array; the next Observe reallocates it.
+func (m *DriftMonitor) Reset() { m.recent, m.head, m.count = nil, 0, 0 }

@@ -149,6 +149,58 @@ func TestDriftReset(t *testing.T) {
 	}
 }
 
+func TestDriftResetReleasesWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m, err := NewDriftMonitor(baselineEntropies(rng, 100), DriftConfig{Threshold: 0.4, Window: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		if _, err := m.Observe(0.99); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Reset()
+	if m.recent != nil || m.head != 0 || m.count != 0 {
+		t.Fatalf("Reset kept the stale backing array: recent=%v head=%d count=%d", m.recent, m.head, m.count)
+	}
+	// The monitor refills and alarms again after a reset.
+	var st DriftStatus
+	for i := 0; i < 10; i++ {
+		if st, err = m.Observe(0.99); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !st.Alarm {
+		t.Fatal("monitor dead after Reset")
+	}
+}
+
+// TestDriftObserveSteadyStateAllocs pins the bugfix: the ring must not
+// re-allocate once the window has filled (the append/reslice form grew a
+// fresh backing array on every observation).
+func TestDriftObserveSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m, err := NewDriftMonitor(baselineEntropies(rng, 50), DriftConfig{Threshold: 0.4, Window: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := m.Observe(0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := m.recent
+	for i := 0; i < 100; i++ {
+		if _, err := m.Observe(0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if &before[0] != &m.recent[0] || len(m.recent) != 10 {
+		t.Fatal("ring re-allocated in steady state")
+	}
+}
+
 func TestDriftObserveRejectsNegative(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	m, err := NewDriftMonitor(baselineEntropies(rng, 100), DriftConfig{Threshold: 0.4})

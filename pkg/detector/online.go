@@ -15,9 +15,19 @@ import (
 // Online is not safe for concurrent use; give each telemetry stream its own
 // instance (the shared Detector underneath is safe to reuse).
 type Online struct {
-	det       *Detector
-	levels    int
-	window    []int
+	det    *Detector
+	levels int
+
+	// ring is the fixed-capacity sample window: head is the next write
+	// position and filled counts valid samples, so Push costs O(1) instead
+	// of the O(window) slide a copy-based window would pay per sample.
+	ring   []int
+	head   int
+	filled int
+	// scratch linearises the ring (oldest first) for feature extraction,
+	// reused across windows so the steady state allocates nothing extra.
+	scratch []int
+
 	stride    int
 	sinceLast int
 
@@ -29,6 +39,20 @@ type Online struct {
 type OnlineStats struct {
 	Benign, Malware, Rejected int
 	Windows                   int
+}
+
+// Observe folds one decision into the tally. Serving layers reuse it to
+// keep per-shard rejection-rate counters.
+func (s *OnlineStats) Observe(d Decision) {
+	s.Windows++
+	switch d {
+	case Benign:
+		s.Benign++
+	case Malware:
+		s.Malware++
+	default:
+		s.Rejected++
+	}
 }
 
 // Total returns the number of decisions made.
@@ -70,31 +94,43 @@ func NewOnline(d *Detector, cfg StreamConfig) (*Online, error) {
 		stride = cfg.Window
 	}
 	return &Online{
-		det:    d,
-		levels: cfg.Levels,
-		window: make([]int, 0, cfg.Window),
-		stride: stride,
+		det:     d,
+		levels:  cfg.Levels,
+		ring:    make([]int, cfg.Window),
+		scratch: make([]int, cfg.Window),
+		stride:  stride,
 	}, nil
 }
 
 // Push feeds one DVFS state sample. When a full window is available and the
 // stride has elapsed, it returns a decision; otherwise ok is false.
+//
+// A failed assessment leaves the window and stride state exactly as they
+// were: the sample is retained, and the decision is retried on the next
+// Push rather than silently skipped until the next stride boundary.
 func (o *Online) Push(state int) (res Result, ok bool, err error) {
 	if state < 0 || state >= o.levels {
 		return Result{}, false, fmt.Errorf("detector: state %d outside [0,%d)", state, o.levels)
 	}
-	if len(o.window) == cap(o.window) {
-		copy(o.window, o.window[1:])
-		o.window = o.window[:len(o.window)-1]
+	o.ring[o.head] = state
+	o.head++
+	if o.head == len(o.ring) {
+		o.head = 0
 	}
-	o.window = append(o.window, state)
+	if o.filled < len(o.ring) {
+		o.filled++
+	}
 	o.sinceLast++
-	if len(o.window) < cap(o.window) || o.sinceLast < o.stride {
+	if o.filled < len(o.ring) || o.sinceLast < o.stride {
 		return Result{}, false, nil
 	}
-	o.sinceLast = 0
 
-	feats, err := feature.DVFSVector(o.window, o.levels)
+	// Linearise oldest-first: the oldest sample sits at head once the ring
+	// is full. Order matters — transition and autocorrelation features are
+	// sequence-sensitive.
+	n := copy(o.scratch, o.ring[o.head:])
+	copy(o.scratch[n:], o.ring[:o.head])
+	feats, err := feature.DVFSVector(o.scratch, o.levels)
 	if err != nil {
 		return Result{}, false, fmt.Errorf("detector: online features: %w", err)
 	}
@@ -102,14 +138,7 @@ func (o *Online) Push(state int) (res Result, ok bool, err error) {
 	if err != nil {
 		return Result{}, false, err
 	}
-	o.Stats.Windows++
-	switch res.Decision {
-	case Benign:
-		o.Stats.Benign++
-	case Malware:
-		o.Stats.Malware++
-	default:
-		o.Stats.Rejected++
-	}
+	o.sinceLast = 0
+	o.Stats.Observe(res.Decision)
 	return res, true, nil
 }

@@ -11,9 +11,18 @@ import (
 )
 
 // serialVersion guards the wire format of Save/Load.
-const serialVersion = 1
+//
+// Version history:
+//
+//	1 — model, threshold, workers, decompose, diversity, params, pipeline.
+//	2 — adds the remaining training-time configuration (PCA components,
+//	    seed, maxSamples, maxFeatures) so a Load→Save round trip and
+//	    WithOptions on a loaded detector report the pipeline faithfully.
+const serialVersion = 2
 
-// savedDetector is the exported wire form of a trained Detector.
+// savedDetector is the exported wire form of a trained Detector. Gob
+// matches struct fields by name, so version-1 streams (which lack the
+// training-time fields) decode into it with those fields left zero.
 type savedDetector struct {
 	Version   int
 	Model     string
@@ -23,25 +32,36 @@ type savedDetector struct {
 	Diversity ensemble.Diversity
 	Params    Params
 	Pipeline  *hmd.Pipeline
+
+	// Training-time configuration, persisted since version 2.
+	PCA         int
+	Seed        int64
+	MaxSamples  float64
+	MaxFeatures float64
 }
 
 // Save serializes the trained detector to w (gob encoding) so a service
 // can train once and serve many. Everything needed for inference — fitted
 // scaler, PCA basis, every trained ensemble member, threshold and model
-// name — is included; Load restores a detector with identical decisions.
+// name — is included, along with the training-time configuration, so Load
+// restores a detector with identical decisions and an identical Info.
 func (d *Detector) Save(w io.Writer) error {
 	if d.pipe == nil {
 		return errors.New("detector: cannot save an untrained detector")
 	}
 	err := gob.NewEncoder(w).Encode(savedDetector{
-		Version:   serialVersion,
-		Model:     d.cfg.model,
-		Threshold: d.cfg.threshold,
-		Workers:   d.cfg.workers,
-		Decompose: d.cfg.decompose,
-		Diversity: d.cfg.diversity,
-		Params:    d.cfg.params,
-		Pipeline:  d.pipe,
+		Version:     serialVersion,
+		Model:       d.cfg.model,
+		Threshold:   d.cfg.threshold,
+		Workers:     d.cfg.workers,
+		Decompose:   d.cfg.decompose,
+		Diversity:   d.cfg.diversity,
+		Params:      d.cfg.params,
+		Pipeline:    d.pipe,
+		PCA:         d.cfg.pca,
+		Seed:        d.cfg.seed,
+		MaxSamples:  d.cfg.maxSamples,
+		MaxFeatures: d.cfg.maxFeatures,
 	})
 	if err != nil {
 		return fmt.Errorf("detector: save: %w", err)
@@ -53,12 +73,17 @@ func (d *Detector) Save(w io.Writer) error {
 // detector serves assessments immediately; custom (non-built-in) member
 // types must have been registered — via Register's prototypes or a gob
 // registration — before Load.
+//
+// Version-1 streams still load: they predate the persisted training-time
+// configuration, so the loaded detector's Info reports default PCA, seed
+// and subsample fractions (inference is unaffected — the fitted pipeline
+// stages themselves were always serialized).
 func Load(r io.Reader) (*Detector, error) {
 	var g savedDetector
 	if err := gob.NewDecoder(r).Decode(&g); err != nil {
 		return nil, fmt.Errorf("detector: load: %w", err)
 	}
-	if g.Version != serialVersion {
+	if g.Version < 1 || g.Version > serialVersion {
 		return nil, fmt.Errorf("detector: load: unsupported format version %d", g.Version)
 	}
 	if g.Pipeline == nil {
@@ -72,6 +97,10 @@ func Load(r io.Reader) (*Detector, error) {
 	cfg.diversity = g.Diversity
 	cfg.params = g.Params
 	cfg.m = g.Pipeline.Members()
+	cfg.pca = g.PCA
+	cfg.seed = g.Seed
+	cfg.maxSamples = g.MaxSamples
+	cfg.maxFeatures = g.MaxFeatures
 	if err := cfg.validate(); err != nil {
 		return nil, fmt.Errorf("detector: load: %w", err)
 	}

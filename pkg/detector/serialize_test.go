@@ -2,7 +2,11 @@ package detector
 
 import (
 	"bytes"
+	"encoding/gob"
 	"testing"
+
+	"trusthmd/internal/ensemble"
+	"trusthmd/internal/hmd"
 )
 
 // TestSaveLoadRoundTrip trains each built-in family that converges on the
@@ -57,6 +61,124 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestRoundTripPreservesConfig requires Save→Load→Save to carry the full
+// training-time configuration: before version 2 a loaded detector's PCA,
+// seed and subsample fractions silently reverted to defaults, so a second
+// Save (or WithOptions) misreported the pipeline.
+func TestRoundTripPreservesConfig(t *testing.T) {
+	s := dvfsSplits(t)
+	d, err := New(s.Train,
+		WithModel("rf"), WithEnsembleSize(7), WithSeed(42), WithPCA(6),
+		WithMaxSamples(0.8), WithMaxFeatures(0.5), WithThreshold(0.33), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.Info(), d.Info(); got != want {
+		t.Fatalf("config lost in round trip:\n got %+v\nwant %+v", got, want)
+	}
+	// A second round trip must be a fixed point.
+	var buf2 bytes.Buffer
+	if err := back.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Load(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := again.Info(), d.Info(); got != want {
+		t.Fatalf("config drifted on second round trip:\n got %+v\nwant %+v", got, want)
+	}
+	// WithOptions on a loaded detector must keep reporting the trained
+	// pipeline, not defaults.
+	tuned, err := back.WithOptions(WithThreshold(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := tuned.Info(); info.PCA != 6 || info.Seed != 42 || info.MaxSamples != 0.8 || info.MaxFeatures != 0.5 {
+		t.Fatalf("WithOptions on loaded detector misreports training config: %+v", info)
+	}
+}
+
+// savedDetectorV1 is the version-1 wire struct, frozen here so the
+// back-compat path keeps being exercised after the format moves on.
+type savedDetectorV1 struct {
+	Version   int
+	Model     string
+	Threshold float64
+	Workers   int
+	Decompose bool
+	Diversity ensemble.Diversity
+	Params    Params
+	Pipeline  *hmd.Pipeline
+}
+
+// TestLoadVersion1 writes a version-1 stream (no training-time config
+// fields) and requires Load to accept it with identical decisions.
+func TestLoadVersion1(t *testing.T) {
+	d, s := trainRF(t, WithPCA(6))
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(savedDetectorV1{
+		Version:   1,
+		Model:     d.Model(),
+		Threshold: d.Threshold(),
+		Diversity: d.cfg.diversity,
+		Params:    d.cfg.params,
+		Pipeline:  d.pipe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("version-1 blob no longer loads: %v", err)
+	}
+	if back.Model() != d.Model() || back.Threshold() != d.Threshold() || back.Members() != d.Members() {
+		t.Fatalf("version-1 metadata lost: %+v", back.Info())
+	}
+	// Version 1 never carried the training-time config; the loaded Info
+	// reports defaults for those fields, but inference is identical.
+	if back.Info().PCA != 0 {
+		t.Fatalf("version-1 load invented a PCA config: %+v", back.Info())
+	}
+	want, err := d.AssessDataset(s.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.AssessDataset(s.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i].Prediction != got[i].Prediction || want[i].Entropy != got[i].Entropy {
+			t.Fatalf("sample %d: version-1 detector diverged", i)
+		}
+	}
+}
+
+func TestLoadRejectsFutureVersion(t *testing.T) {
+	d, _ := trainRF(t)
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(savedDetector{
+		Version:  serialVersion + 1,
+		Model:    d.Model(),
+		Pipeline: d.pipe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("expected unsupported-version error")
 	}
 }
 

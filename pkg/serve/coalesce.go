@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"trusthmd/pkg/detector"
+)
+
+// Coalescing turns the daemon's dominant request shape — millions of
+// independent single-sample assessments — into the detector's fastest
+// path: concurrent /v1/assess requests queue into a bounded buffer, and a
+// single flusher goroutine per shard drains them into one AssessBatch call
+// whenever the batch fills or the oldest queued request has waited MaxWait.
+// AssessBatch amortises scaling+PCA across the batch as one matrix
+// projection and fans member inference out over the worker pool, so the
+// aggregate throughput is the batched curve, not the one-at-a-time curve,
+// while results stay element-wise identical to direct Assess.
+
+// ErrQueueFull is returned when the coalescer's bounded buffer is at
+// capacity — the daemon sheds load instead of queueing unboundedly.
+var ErrQueueFull = errors.New("serve: assessment queue full")
+
+// ErrClosed is returned for requests submitted after shutdown began.
+var ErrClosed = errors.New("serve: server is shutting down")
+
+// pending is one queued single-sample request.
+type pending struct {
+	x []float64
+	// out is buffered (capacity 1) so the flusher never blocks on a caller
+	// that gave up (context cancellation, client disconnect).
+	out chan outcome
+}
+
+type outcome struct {
+	res detector.Result
+	err error
+}
+
+// coalescer batches concurrent single-sample requests for one shard.
+type coalescer struct {
+	det      *detector.Detector
+	maxBatch int
+	maxWait  time.Duration
+	stats    *shardStats
+
+	queue chan pending
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex // guards queue close vs concurrent submit
+	closed bool
+}
+
+// newCoalescer starts the shard's flusher goroutine.
+func newCoalescer(det *detector.Detector, maxBatch, queueSize int, maxWait time.Duration, stats *shardStats) *coalescer {
+	c := &coalescer{
+		det:      det,
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		stats:    stats,
+		queue:    make(chan pending, queueSize),
+	}
+	c.wg.Add(1)
+	go c.loop()
+	return c
+}
+
+// submit enqueues one feature vector and blocks until its coalesced batch
+// is assessed, the context is cancelled, or the queue rejects it.
+func (c *coalescer) submit(ctx context.Context, x []float64) (detector.Result, error) {
+	p := pending{x: x, out: make(chan outcome, 1)}
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return detector.Result{}, ErrClosed
+	}
+	select {
+	case c.queue <- p:
+		c.mu.RUnlock()
+	default:
+		c.mu.RUnlock()
+		c.stats.shed.Add(1)
+		return detector.Result{}, ErrQueueFull
+	}
+	c.stats.requests.Add(1)
+	select {
+	case o := <-p.out:
+		return o.res, o.err
+	case <-ctx.Done():
+		// The flusher still assesses the sample; the buffered channel
+		// absorbs the result nobody is waiting for.
+		return detector.Result{}, ctx.Err()
+	}
+}
+
+// close stops accepting work, waits for the flusher to drain everything
+// already queued, and returns. Safe to call more than once.
+func (c *coalescer) close() {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.queue)
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// loop is the shard's flusher: collect one batch, assess, repeat. The
+// max-latency timer starts when the first request of a batch arrives, so
+// an idle shard adds no latency and a busy one flushes every MaxWait at
+// the latest.
+func (c *coalescer) loop() {
+	defer c.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	batch := make([]pending, 0, c.maxBatch)
+	for {
+		p, ok := <-c.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], p)
+		timer.Reset(c.maxWait)
+		open := true
+	collect:
+		for open && len(batch) < c.maxBatch {
+			select {
+			case p, ok := <-c.queue:
+				if !ok {
+					open = false
+					break collect
+				}
+				batch = append(batch, p)
+			case <-timer.C:
+				break collect
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		c.flush(batch)
+		if !open {
+			return
+		}
+	}
+}
+
+// flush assesses one coalesced batch and fans the results back out.
+func (c *coalescer) flush(batch []pending) {
+	c.stats.batches.Add(1)
+	if len(batch) == 1 {
+		r, err := c.det.Assess(batch[0].x)
+		c.settle(batch[:1], []detector.Result{r}, err)
+		return
+	}
+	X := make([][]float64, len(batch))
+	for i, p := range batch {
+		X[i] = p.x
+	}
+	rs, err := c.det.AssessBatch(X)
+	c.settle(batch, rs, err)
+}
+
+// settle delivers per-request outcomes and updates the decision tally.
+func (c *coalescer) settle(batch []pending, rs []detector.Result, err error) {
+	if err != nil {
+		c.stats.errors.Add(int64(len(batch)))
+		for _, p := range batch {
+			p.out <- outcome{err: err}
+		}
+		return
+	}
+	c.stats.observe(rs)
+	for i, p := range batch {
+		p.out <- outcome{res: rs[i]}
+	}
+}

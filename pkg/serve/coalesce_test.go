@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCoalescerFlushOnBatchSize: with an effectively infinite MaxWait, the
+// only way n == maxBatch concurrent submits can all return is a size-
+// triggered flush into one batch.
+func TestCoalescerFlushOnBatchSize(t *testing.T) {
+	d, X := testDetector(t)
+	st := &shardStats{}
+	c := newCoalescer(d, 4, 64, time.Hour, st)
+	defer c.close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.submit(context.Background(), X[i]); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("size-triggered flush never happened")
+	}
+	if got := st.batches.Load(); got != 1 {
+		t.Fatalf("expected exactly 1 coalesced batch, got %d", got)
+	}
+	if got := st.requests.Load(); got != 4 {
+		t.Fatalf("requests %d, want 4", got)
+	}
+}
+
+// TestCoalescerFlushOnLatency: a lone request must not wait for a full
+// batch — the MaxWait timer flushes it.
+func TestCoalescerFlushOnLatency(t *testing.T) {
+	d, X := testDetector(t)
+	st := &shardStats{}
+	c := newCoalescer(d, 1<<20, 64, 5*time.Millisecond, st)
+	defer c.close()
+
+	res, err := c.submit(context.Background(), X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.Assess(X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prediction != want.Prediction || res.Entropy != want.Entropy {
+		t.Fatalf("lone coalesced result diverged: %+v vs %+v", res, want)
+	}
+	if st.batches.Load() != 1 {
+		t.Fatalf("batches %d, want 1", st.batches.Load())
+	}
+}
+
+// TestCoalescerQueueFull exercises the shed path against a stalled flusher
+// (the coalescer here has no loop goroutine, so the queue never drains).
+func TestCoalescerQueueFull(t *testing.T) {
+	d, X := testDetector(t)
+	st := &shardStats{}
+	c := &coalescer{det: d, maxBatch: 8, maxWait: time.Hour, stats: st, queue: make(chan pending, 1)}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Enqueues, then gives up immediately on the dead context — the sample
+	// stays in the queue.
+	if _, err := c.submit(cancelled, X[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := c.submit(context.Background(), X[1]); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if st.shed.Load() != 1 {
+		t.Fatalf("shed %d, want 1", st.shed.Load())
+	}
+}
+
+func TestCoalescerClosedRejects(t *testing.T) {
+	d, X := testDetector(t)
+	st := &shardStats{}
+	c := newCoalescer(d, 8, 8, time.Millisecond, st)
+	c.close()
+	c.close() // idempotent
+	if _, err := c.submit(context.Background(), X[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestCoalescerCloseDrains: requests already queued at shutdown are still
+// assessed, not dropped.
+func TestCoalescerCloseDrains(t *testing.T) {
+	d, X := testDetector(t)
+	st := &shardStats{}
+	c := newCoalescer(d, 16, 64, 50*time.Millisecond, st)
+
+	const n = 8
+	results := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, results[i] = c.submit(context.Background(), X[i])
+		}(i)
+	}
+	// Give the submits a moment to enqueue, then shut down mid-wait.
+	time.Sleep(5 * time.Millisecond)
+	c.close()
+	wg.Wait()
+	for i, err := range results {
+		if err != nil {
+			t.Fatalf("queued request %d dropped at shutdown: %v", i, err)
+		}
+	}
+}
+
+// TestCoalescerPropagatesAssessError: a failing batch fails every caller
+// in it with the error, and counts it.
+func TestCoalescerPropagatesAssessError(t *testing.T) {
+	d, _ := testDetector(t)
+	st := &shardStats{}
+	c := newCoalescer(d, 8, 8, time.Millisecond, st)
+	defer c.close()
+	// Wrong dimensionality reaches the pipeline only because this bypasses
+	// the server's validation.
+	if _, err := c.submit(context.Background(), []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected projection error")
+	}
+	if st.errors.Load() == 0 {
+		t.Fatal("error not counted")
+	}
+}
+
+// BenchmarkCoalescer measures aggregate throughput of concurrent
+// single-sample submits through the coalescer (the daemon's hot path).
+// Compare with BenchmarkUncoalescedAssess: the coalescer turns the same
+// request stream into batched projections plus pooled member inference.
+func BenchmarkCoalescer(b *testing.B) {
+	d, X := testDetector(b)
+	st := &shardStats{}
+	c := newCoalescer(d, 32, 4096, 2*time.Millisecond, st)
+	defer c.close()
+	b.ReportAllocs()
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := c.submit(context.Background(), X[i%len(X)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	if b.N > 1 && st.batches.Load() > 0 {
+		b.ReportMetric(float64(st.requests.Load())/float64(st.batches.Load()), "reqs/batch")
+	}
+}
+
+// BenchmarkUncoalescedAssess is the baseline: the same concurrent request
+// stream served by direct per-request Assess calls.
+func BenchmarkUncoalescedAssess(b *testing.B) {
+	d, X := testDetector(b)
+	b.ReportAllocs()
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := d.Assess(X[i%len(X)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// detectorInfoSanity guards the Info surface the daemon's /v1/models
+// endpoint depends on.
+func TestDetectorInfoSurface(t *testing.T) {
+	d, X := testDetector(t)
+	info := d.Info()
+	if info.Model != "rf" || info.Members != 11 || info.InputDim != len(X[0]) {
+		t.Fatalf("info: %+v", info)
+	}
+	if info.Diversity != "bootstrap" {
+		t.Fatalf("diversity: %q", info.Diversity)
+	}
+}

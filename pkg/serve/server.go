@@ -1,0 +1,313 @@
+// Package serve is the HTTP serving layer of the trusted HMD: it loads
+// trained detectors (one or more named shards) and exposes them as a small
+// JSON API with per-shard request coalescing.
+//
+// Endpoints:
+//
+//	POST /v1/assess        one feature vector  -> one trusted verdict
+//	POST /v1/assess/batch  pre-batched vectors -> verdicts, one AssessBatch
+//	GET  /v1/models        loaded shards and their configurations
+//	GET  /healthz          liveness
+//	GET  /stats            per-shard serving counters
+//
+// Concurrent /v1/assess requests are coalesced: each shard owns a bounded
+// queue and a flusher goroutine that drains waiting requests into a single
+// AssessBatch call when the batch fills or the oldest request has waited
+// Config.MaxWait. Results are element-wise identical to direct Assess —
+// batching changes latency and throughput, never decisions.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"trusthmd/pkg/detector"
+)
+
+// Config tunes the serving layer; the zero value gets sane defaults.
+type Config struct {
+	// MaxBatch is the coalescer flush size (default 32). Larger batches
+	// amortise projection further but add queueing latency under load.
+	MaxBatch int
+	// MaxWait is the max time the first request of a batch waits for
+	// company before the batch flushes anyway (default 2ms).
+	MaxWait time.Duration
+	// QueueSize bounds each shard's pending-request buffer (default 1024);
+	// requests beyond it are shed with 503.
+	QueueSize int
+	// MaxBatchSamples caps the size of a client-supplied /v1/assess/batch
+	// body (default 4096 vectors).
+	MaxBatchSamples int
+	// MaxBodyBytes caps request body size (default 8 MiB).
+	MaxBodyBytes int64
+	// DefaultModel names the shard serving requests that omit "model";
+	// defaults to the only shard when exactly one is loaded.
+	DefaultModel string
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 1024
+	}
+	if c.MaxBatchSamples <= 0 {
+		c.MaxBatchSamples = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// shard is one named detector with its coalescer and counters.
+type shard struct {
+	name  string
+	det   *detector.Detector
+	co    *coalescer
+	stats *shardStats
+}
+
+// Server routes assessment traffic to model shards. Create it with New,
+// mount it as an http.Handler, and Close it on shutdown to drain the
+// coalescers.
+type Server struct {
+	cfg         Config
+	shards      map[string]*shard
+	names       []string // sorted shard names
+	defaultName string
+	mux         *http.ServeMux
+}
+
+// New builds a server over the given named detectors. Every detector must
+// be trained; with more than one shard, Config.DefaultModel (if set) must
+// name one of them.
+func New(models map[string]*detector.Detector, cfg Config) (*Server, error) {
+	if len(models) == 0 {
+		return nil, errors.New("serve: no models to serve")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		shards: make(map[string]*shard, len(models)),
+		mux:    http.NewServeMux(),
+	}
+	for name, det := range models {
+		if name == "" {
+			return nil, errors.New("serve: empty model name")
+		}
+		if det == nil {
+			return nil, fmt.Errorf("serve: model %q is nil", name)
+		}
+		st := &shardStats{}
+		s.shards[name] = &shard{
+			name:  name,
+			det:   det,
+			co:    newCoalescer(det, cfg.MaxBatch, cfg.QueueSize, cfg.MaxWait, st),
+			stats: st,
+		}
+		s.names = append(s.names, name)
+	}
+	sort.Strings(s.names)
+	switch {
+	case cfg.DefaultModel != "":
+		if _, ok := s.shards[cfg.DefaultModel]; !ok {
+			s.Close()
+			return nil, fmt.Errorf("serve: default model %q not among loaded models", cfg.DefaultModel)
+		}
+		s.defaultName = cfg.DefaultModel
+	case len(s.names) == 1:
+		s.defaultName = s.names[0]
+	}
+	s.mux.HandleFunc("/v1/assess", s.handleAssess)
+	s.mux.HandleFunc("/v1/assess/batch", s.handleAssessBatch)
+	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the shard coalescers after draining queued requests. The
+// HTTP listener should be shut down first so no new requests arrive.
+func (s *Server) Close() {
+	for _, sh := range s.shards {
+		sh.co.close()
+	}
+}
+
+// Stats snapshots every shard's serving counters, sorted by shard name.
+func (s *Server) Stats() []ShardStats {
+	out := make([]ShardStats, 0, len(s.names))
+	for _, name := range s.names {
+		out = append(out, s.shards[name].stats.snapshot(name))
+	}
+	return out
+}
+
+// resolve picks the shard for a request's model field.
+func (s *Server) resolve(model string) (*shard, error) {
+	if model == "" {
+		if s.defaultName == "" {
+			return nil, fmt.Errorf("request must name a model (loaded: %v)", s.names)
+		}
+		model = s.defaultName
+	}
+	sh, ok := s.shards[model]
+	if !ok {
+		return nil, fmt.Errorf("unknown model %q (loaded: %v)", model, s.names)
+	}
+	return sh, nil
+}
+
+func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
+	var req AssessRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	sh, err := s.resolve(req.Model)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if err := validateFeatures(req.Features, sh.det.InputDim()); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := sh.co.submit(r.Context(), req.Features)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, toResponse(sh.name, res))
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client is gone; the status code is a formality.
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Server) handleAssessBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	sh, err := s.resolve(req.Model)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if len(req.Batch) == 0 {
+		writeError(w, http.StatusBadRequest, "batch missing or empty")
+		return
+	}
+	if len(req.Batch) > s.cfg.MaxBatchSamples {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Batch), s.cfg.MaxBatchSamples))
+		return
+	}
+	dim := sh.det.InputDim()
+	for i, x := range req.Batch {
+		if err := validateFeatures(x, dim); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("batch[%d]: %v", i, err))
+			return
+		}
+	}
+	// The client already aggregated; go straight to the batched path.
+	rs, err := sh.det.AssessBatch(req.Batch)
+	if err != nil {
+		sh.stats.errors.Add(int64(len(req.Batch)))
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	sh.stats.batchRequests.Add(1)
+	sh.stats.batchSamples.Add(int64(len(rs)))
+	sh.stats.observe(rs)
+	resp := BatchResponse{Model: sh.name, Results: make([]AssessResponse, len(rs))}
+	for i, r := range rs {
+		resp.Results[i] = toResponse(sh.name, r)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	resp := ModelsResponse{Models: make([]ModelInfo, 0, len(s.names))}
+	for _, name := range s.names {
+		resp.Models = append(resp.Models, ModelInfo{
+			Name:    name,
+			Default: name == s.defaultName,
+			Info:    s.shards[name].det.Info(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": len(s.shards)})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"shards": s.Stats()})
+}
+
+// decodeJSON enforces POST, bounds the body, and decodes strictly.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if !requireMethod(w, r, http.MethodPost) {
+		return false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("use %s", method))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg})
+}

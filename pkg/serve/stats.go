@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"trusthmd/pkg/detector"
+)
+
+// ShardStats is the serving snapshot of one model shard, exposed by
+// GET /stats. Counters cover both the coalesced single-assess path and the
+// client-batched path.
+type ShardStats struct {
+	Model string `json:"model"`
+
+	// Requests counts accepted /v1/assess requests (queue-full shedding
+	// excluded, see Shed).
+	Requests int64 `json:"requests"`
+	// BatchRequests / BatchSamples count /v1/assess/batch traffic.
+	BatchRequests int64 `json:"batch_requests"`
+	BatchSamples  int64 `json:"batch_samples"`
+	// Batches is the number of coalesced AssessBatch flushes; MeanBatchSize
+	// is Requests/Batches — above 1 means coalescing is doing its job.
+	Batches       int64   `json:"batches"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+	// Shed counts requests rejected because the coalescer queue was full
+	// (the daemon's overload valve); Errors counts failed assessments.
+	Shed   int64 `json:"shed"`
+	Errors int64 `json:"errors"`
+
+	// Benign/Malware/Rejected tally served verdicts (an OnlineStats-style
+	// decision count); RejectionRate is the share of decisions the detector
+	// refused to trust.
+	Benign        int     `json:"benign"`
+	Malware       int     `json:"malware"`
+	Rejected      int     `json:"rejected"`
+	RejectionRate float64 `json:"rejection_rate"`
+}
+
+// shardStats is the live counter set behind a ShardStats snapshot. The
+// request-path counters are atomics (hit concurrently by every handler);
+// the decision tally reuses detector.OnlineStats under a mutex, updated
+// once per flush rather than once per request.
+type shardStats struct {
+	requests      atomic.Int64
+	batchRequests atomic.Int64
+	batchSamples  atomic.Int64
+	batches       atomic.Int64
+	shed          atomic.Int64
+	errors        atomic.Int64
+
+	mu        sync.Mutex
+	decisions detector.OnlineStats
+}
+
+// observe folds one served result set into the decision tally.
+func (s *shardStats) observe(rs []detector.Result) {
+	s.mu.Lock()
+	for _, r := range rs {
+		s.decisions.Observe(r.Decision)
+	}
+	s.mu.Unlock()
+}
+
+// snapshot freezes the counters into the wire form.
+func (s *shardStats) snapshot(model string) ShardStats {
+	s.mu.Lock()
+	dec := s.decisions
+	s.mu.Unlock()
+	out := ShardStats{
+		Model:         model,
+		Requests:      s.requests.Load(),
+		BatchRequests: s.batchRequests.Load(),
+		BatchSamples:  s.batchSamples.Load(),
+		Batches:       s.batches.Load(),
+		Shed:          s.shed.Load(),
+		Errors:        s.errors.Load(),
+		Benign:        dec.Benign,
+		Malware:       dec.Malware,
+		Rejected:      dec.Rejected,
+	}
+	if out.Batches > 0 {
+		out.MeanBatchSize = float64(out.Requests) / float64(out.Batches)
+	}
+	out.RejectionRate = dec.RejectedFraction()
+	return out
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"trusthmd/pkg/detector"
+)
+
+// AssessRequest is the JSON body of POST /v1/assess: one raw feature
+// vector, optionally routed to a named model shard.
+type AssessRequest struct {
+	// Model selects the shard; empty means the server's default model.
+	Model string `json:"model,omitempty"`
+	// Features is the raw feature vector (length must match the model's
+	// input dimensionality, see /v1/models).
+	Features []float64 `json:"features"`
+}
+
+// BatchRequest is the JSON body of POST /v1/assess/batch: a pre-batched
+// set of feature vectors assessed in one AssessBatch call, bypassing the
+// coalescer (the client already did the aggregation).
+type BatchRequest struct {
+	Model string      `json:"model,omitempty"`
+	Batch [][]float64 `json:"batch"`
+}
+
+// Decomposition is the JSON form of the aleatoric/epistemic uncertainty
+// split (present only for models trained WithDecomposition).
+type Decomposition struct {
+	Total     float64 `json:"total"`
+	Aleatoric float64 `json:"aleatoric"`
+	Epistemic float64 `json:"epistemic"`
+}
+
+// AssessResponse is one trusted verdict.
+type AssessResponse struct {
+	// Model is the shard that served the request.
+	Model string `json:"model"`
+	// Prediction is the ensemble's plurality label (0 benign, 1 malware).
+	Prediction int `json:"prediction"`
+	// Entropy is the vote-entropy uncertainty in bits.
+	Entropy float64 `json:"entropy"`
+	// VoteDist is the normalised member-vote distribution.
+	VoteDist []float64 `json:"vote_dist"`
+	// Decision is "benign", "malware" or "reject" — rejected inputs should
+	// be routed to an analyst, not trusted.
+	Decision string `json:"decision"`
+	// Decomposition splits the uncertainty when the model provides it.
+	Decomposition *Decomposition `json:"decomposition,omitempty"`
+}
+
+// BatchResponse is the JSON body answering POST /v1/assess/batch.
+type BatchResponse struct {
+	Model   string           `json:"model"`
+	Results []AssessResponse `json:"results"`
+}
+
+// ModelInfo describes one loaded shard for GET /v1/models.
+type ModelInfo struct {
+	// Name is the routing key used in request bodies.
+	Name string `json:"name"`
+	// Default marks the shard used when requests omit "model".
+	Default bool `json:"default,omitempty"`
+	detector.Info
+}
+
+// ModelsResponse is the JSON body answering GET /v1/models.
+type ModelsResponse struct {
+	Models []ModelInfo `json:"models"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// toResponse converts a detector result into its wire form.
+func toResponse(model string, r detector.Result) AssessResponse {
+	out := AssessResponse{
+		Model:      model,
+		Prediction: r.Prediction,
+		Entropy:    r.Entropy,
+		VoteDist:   r.VoteDist,
+		Decision:   r.Decision.String(),
+	}
+	if r.Decomposition != nil {
+		out.Decomposition = &Decomposition{
+			Total:     r.Decomposition.Total,
+			Aleatoric: r.Decomposition.Aleatoric,
+			Epistemic: r.Decomposition.Epistemic,
+		}
+	}
+	return out
+}
+
+// validateFeatures rejects malformed inputs before they reach a coalesced
+// batch, so one bad request can never fail a flush that carries innocent
+// neighbours: the vector must be non-empty, finite, and match the shard's
+// trained input dimensionality.
+func validateFeatures(x []float64, dim int) error {
+	if len(x) == 0 {
+		return fmt.Errorf("features missing or empty")
+	}
+	if len(x) != dim {
+		return fmt.Errorf("feature vector has %d values, model expects %d", len(x), dim)
+	}
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("feature %d is not finite", i)
+		}
+	}
+	return nil
+}

@@ -15,9 +15,13 @@ import (
 	"strings"
 )
 
-// Benchmark is one parsed benchmark result line.
+// Benchmark is one parsed benchmark result line. Pkg is the package the
+// benchmark ran in — the bench target spans multiple packages, so the
+// attribution is per-benchmark (same-named benchmarks in different
+// packages must not collide across snapshots).
 type Benchmark struct {
 	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg,omitempty"`
 	Procs       int     `json:"procs,omitempty"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -29,7 +33,6 @@ type Benchmark struct {
 type Snapshot struct {
 	Goos       string      `json:"goos,omitempty"`
 	Goarch     string      `json:"goarch,omitempty"`
-	Pkg        string      `json:"pkg,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
@@ -39,6 +42,7 @@ func main() {
 	flag.Parse()
 
 	snap := Snapshot{Benchmarks: []Benchmark{}}
+	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -49,11 +53,12 @@ func main() {
 		case strings.HasPrefix(line, "goarch:"):
 			snap.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 		case strings.HasPrefix(line, "pkg:"):
-			snap.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
 		case strings.HasPrefix(line, "cpu:"):
 			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):
 			if b, ok := parseLine(line); ok {
+				b.Pkg = pkg
 				snap.Benchmarks = append(snap.Benchmarks, b)
 			}
 		}
