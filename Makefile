@@ -3,7 +3,7 @@ REV     := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 BENCH   ?= .
 BENCHTIME ?= 1x
 
-.PHONY: all build test test-short race vet fmt-check bench ci
+.PHONY: all build test test-short race vet fmt-check bench benchcmp ci
 
 all: build
 
@@ -37,5 +37,11 @@ bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . ./pkg/serve/ \
 		| tee /dev/stderr \
 		| $(GO) run ./tools/benchjson -out BENCH_$(REV).json
+
+# benchcmp gates the performance trajectory: the snapshot `make bench` just
+# wrote is compared against the latest committed BENCH_<rev>.json reachable
+# from HEAD, and any benchmark more than 25% slower fails the target.
+benchcmp:
+	$(GO) run ./tools/benchcmp -new BENCH_$(REV).json
 
 ci: build vet fmt-check test

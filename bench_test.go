@@ -15,10 +15,10 @@ import (
 	"trusthmd/internal/ensemble"
 	"trusthmd/internal/exp"
 	"trusthmd/internal/gen"
-	"trusthmd/internal/mat"
 	"trusthmd/internal/ml/tree"
 	"trusthmd/internal/reduce"
 	"trusthmd/pkg/detector"
+	"trusthmd/pkg/linalg"
 )
 
 func benchScale() float64 {
@@ -316,10 +316,65 @@ func BenchmarkOnlinePush(b *testing.B) {
 	}
 }
 
+// onlineBench builds a streaming detector and pre-fills its window.
+func onlineBench(b *testing.B, fill func(i int) int) *detector.Online {
+	b.Helper()
+	s, err := gen.DVFSWithSizes(3, gen.Sizes{Train: 280, Test: 40, Unknown: 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := detector.New(s.Train,
+		detector.WithModel("rf"), detector.WithEnsembleSize(11), detector.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := detector.NewOnline(d, detector.StreamConfig{Levels: 8, Window: 256, Stride: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		if _, _, err := o.Push(fill(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return o
+}
+
+// BenchmarkOnlineAssessBursty streams a steady telemetry phase: every
+// window repeats the previous one exactly, so each decision is served from
+// the projected-vector memo (feature extraction, scaling and PCA skipped).
+func BenchmarkOnlineAssessBursty(b *testing.B) {
+	o := onlineBench(b, func(int) int { return 3 })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := o.Push(3); err != nil || !ok {
+			b.Fatalf("push %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if o.Stats.CacheHits < b.N {
+		b.Fatalf("bursty stream expected %d cache hits, got %d", b.N, o.Stats.CacheHits)
+	}
+}
+
+// BenchmarkOnlineAssessVaried streams windows that never repeat, paying
+// the full feature-extraction + projection path on every decision — the
+// baseline the bursty benchmark's memo is measured against.
+func BenchmarkOnlineAssessVaried(b *testing.B) {
+	o := onlineBench(b, func(i int) int { return i & 7 })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := o.Push(i & 7); err != nil || !ok {
+			b.Fatalf("push %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
 func BenchmarkTreeFit(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	n, d := 2000, 17
-	X := mat.New(n, d)
+	X := linalg.New(n, d)
 	y := make([]int, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < d; j++ {
@@ -386,7 +441,7 @@ func BenchmarkPCA(b *testing.B) {
 
 func BenchmarkTSNE(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
-	X := mat.New(120, 10)
+	X := linalg.New(120, 10)
 	for i := 0; i < X.Rows(); i++ {
 		for j := 0; j < X.Cols(); j++ {
 			X.Set(i, j, rng.NormFloat64())

@@ -14,8 +14,8 @@ import (
 	"os"
 	"path/filepath"
 
-	"trusthmd/internal/dataset"
 	"trusthmd/internal/gen"
+	"trusthmd/pkg/dataset"
 )
 
 func main() {

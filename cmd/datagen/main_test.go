@@ -5,7 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
-	"trusthmd/internal/dataset"
+	"trusthmd/pkg/dataset"
 )
 
 func TestRunWritesAllSplits(t *testing.T) {

@@ -27,6 +27,10 @@ import (
 	"trusthmd/internal/gen"
 	"trusthmd/internal/workload"
 	"trusthmd/pkg/detector"
+
+	// Registers the gradient-boosted-stumps family so -model gbm trains and
+	// -save writes blobs that trusthmdd (which blank-imports it too) serves.
+	_ "trusthmd/pkg/model/gbm"
 )
 
 func main() {

@@ -35,6 +35,13 @@ import (
 
 	"trusthmd/pkg/detector"
 	"trusthmd/pkg/serve"
+
+	// Classifier families beyond the pkg/detector built-ins are enabled by
+	// blank import: their init registers the family and its gob prototypes,
+	// which Load needs before it can decode saved ensembles of that family.
+	// Out-of-tree modules plug their own families into a custom daemon the
+	// same way.
+	_ "trusthmd/pkg/model/gbm"
 )
 
 func main() {

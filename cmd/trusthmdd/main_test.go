@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -88,5 +90,78 @@ func TestDaemonHandoff(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+}
+
+// TestGBMShardServes proves the exported classifier contract end to end:
+// the gradient-boosted-stumps family — implemented in pkg/model/gbm against
+// only exported packages and enabled here by blank import — trains through
+// the registry, round-trips through Save/Load, and answers daemon requests
+// like any built-in.
+func TestGBMShardServes(t *testing.T) {
+	s, err := gen.DVFSWithSizes(3, gen.Sizes{Train: 280, Test: 40, Unknown: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := detector.New(s.Train, detector.WithModel("gbm"), detector.WithEnsembleSize(7), detector.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "gbm.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	models, err := loadModels(path, nil, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(models, serve.Config{DefaultModel: "default"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	correct := 0
+	for i := 0; i < s.Test.Len(); i++ {
+		smp := s.Test.At(i)
+		body, err := json.Marshal(serve.AssessRequest{Features: smp.Features})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/assess", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got serve.AssessResponse
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("assess: %d", resp.StatusCode)
+		}
+		want, err := d.Assess(smp.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Prediction != want.Prediction || got.Decision != want.Decision.String() {
+			t.Fatalf("sample %d: served %+v, direct %+v", i, got, want)
+		}
+		if got.Prediction == smp.Label {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(s.Test.Len()); acc < 0.9 {
+		t.Fatalf("served gbm accuracy %v", acc)
 	}
 }

@@ -10,10 +10,10 @@ import (
 	"fmt"
 	"log"
 
-	"trusthmd/internal/dataset"
 	"trusthmd/internal/gen"
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/dataset"
 	"trusthmd/pkg/detector"
+	"trusthmd/pkg/linalg"
 )
 
 func main() {
@@ -58,7 +58,7 @@ func main() {
 				correct++
 			}
 		}
-		meanH = mat.Mean(hs)
+		meanH = linalg.Mean(hs)
 		acc = float64(correct) / float64(len(samples))
 		fmt.Printf("%-34s meanEntropy=%.3f accuracy=%.3f\n", name, meanH, acc)
 		return meanH, acc

@@ -4,8 +4,8 @@ import (
 	"math/rand"
 	"testing"
 
-	"trusthmd/internal/dataset"
 	"trusthmd/internal/workload"
+	"trusthmd/pkg/dataset"
 )
 
 func TestDefaultConfigValid(t *testing.T) {

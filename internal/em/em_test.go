@@ -5,7 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/linalg"
 )
 
 func TestDefaultConfigValid(t *testing.T) {
@@ -131,7 +131,7 @@ func TestSpectralPeakLocation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best := mat.ArgMax(bands)
+	best := linalg.ArgMax(bands)
 	wantBand := 16 // band containing 0.5 of 32
 	if best < wantBand-1 || best > wantBand+1 {
 		t.Fatalf("peak in band %d, want near %d", best, wantBand)

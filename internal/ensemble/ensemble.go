@@ -18,24 +18,20 @@ import (
 	"runtime"
 	"sync"
 
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/linalg"
+	"trusthmd/pkg/model"
 )
 
-// Classifier is the minimal contract a base model must satisfy.
-type Classifier interface {
-	// Fit trains on X (one sample per row) and integer labels y.
-	Fit(X *mat.Matrix, y []int) error
-	// Predict returns the hard class label for one input.
-	Predict(x []float64) int
-}
+// Classifier is the minimal contract a base model must satisfy. It is an
+// alias of the exported pkg/model contract, so in-module implementations
+// and externally registered families are the same type.
+type Classifier = model.Classifier
 
 // ProbClassifier is optionally implemented by base models that can emit a
 // class-probability distribution; the ensemble then supports averaged
-// posteriors (Eq. 3) in addition to hard votes.
-type ProbClassifier interface {
-	Classifier
-	PredictProba(x []float64) []float64
-}
+// posteriors (Eq. 3) in addition to hard votes. Alias of pkg/model's
+// contract.
+type ProbClassifier = model.ProbClassifier
 
 // Diversity selects how ensemble members are diversified.
 type Diversity int
@@ -113,7 +109,7 @@ func New(cfg Config) *Bagging {
 // n-sample resample-with-replacement of (X, y); with RandomInit each member
 // sees the full data and only its seed differs. Training runs in parallel
 // but is deterministic for a fixed Config.Seed.
-func (b *Bagging) Fit(X *mat.Matrix, y []int) error {
+func (b *Bagging) Fit(X *linalg.Matrix, y []int) error {
 	if b.cfg.M < 1 {
 		return fmt.Errorf("ensemble: config needs M>=1, got %d", b.cfg.M)
 	}
@@ -241,8 +237,8 @@ func sortInts(a []int) {
 }
 
 // selectColumns builds a matrix restricted to the given columns.
-func selectColumns(X *mat.Matrix, cols []int) *mat.Matrix {
-	out := mat.New(X.Rows(), len(cols))
+func selectColumns(X *linalg.Matrix, cols []int) *linalg.Matrix {
+	out := linalg.New(X.Rows(), len(cols))
 	for i := 0; i < X.Rows(); i++ {
 		src := X.Row(i)
 		dst := out.Row(i)
@@ -268,15 +264,15 @@ func (b *Bagging) memberInput(m int, x []float64) []float64 {
 }
 
 // Resample draws an n-sample bootstrap replicate of (X, y).
-func Resample(X *mat.Matrix, y []int, rng *rand.Rand) (*mat.Matrix, []int) {
+func Resample(X *linalg.Matrix, y []int, rng *rand.Rand) (*linalg.Matrix, []int) {
 	return ResampleN(X, y, X.Rows(), rng)
 }
 
 // ResampleN draws a size-sample bootstrap replicate of (X, y), sampling
 // with replacement.
-func ResampleN(X *mat.Matrix, y []int, size int, rng *rand.Rand) (*mat.Matrix, []int) {
+func ResampleN(X *linalg.Matrix, y []int, size int, rng *rand.Rand) (*linalg.Matrix, []int) {
 	n := X.Rows()
-	bx := mat.New(size, X.Cols())
+	bx := linalg.New(size, X.Cols())
 	by := make([]int, size)
 	for i := 0; i < size; i++ {
 		j := rng.Intn(n)

@@ -7,12 +7,12 @@ import (
 	"testing"
 	"testing/quick"
 
-	"trusthmd/internal/mat"
 	"trusthmd/internal/ml/linear"
 	"trusthmd/internal/ml/tree"
+	"trusthmd/pkg/linalg"
 )
 
-func blobs(rng *rand.Rand, n int, gap float64) (*mat.Matrix, []int) {
+func blobs(rng *rand.Rand, n int, gap float64) (*linalg.Matrix, []int) {
 	rows := make([][]float64, n)
 	y := make([]int, n)
 	for i := range rows {
@@ -24,7 +24,7 @@ func blobs(rng *rand.Rand, n int, gap float64) (*mat.Matrix, []int) {
 		rows[i] = []float64{cx + rng.NormFloat64()*0.7, rng.NormFloat64() * 0.7}
 		y[i] = cls
 	}
-	return mat.MustFromRows(rows), y
+	return linalg.MustFromRows(rows), y
 }
 
 func treeFactory(seed int64) Classifier {
@@ -139,7 +139,7 @@ func TestRandomInitDiversity(t *testing.T) {
 }
 
 func TestConfigErrors(t *testing.T) {
-	X := mat.MustFromRows([][]float64{{1}, {2}})
+	X := linalg.MustFromRows([][]float64{{1}, {2}})
 	y := []int{0, 1}
 	if err := New(Config{M: 0, New: treeFactory}).Fit(X, y); err == nil {
 		t.Fatal("expected M error")
@@ -147,7 +147,7 @@ func TestConfigErrors(t *testing.T) {
 	if err := New(Config{M: 3}).Fit(X, y); err == nil {
 		t.Fatal("expected factory error")
 	}
-	if err := New(Config{M: 3, New: treeFactory}).Fit(mat.New(0, 1), nil); err == nil {
+	if err := New(Config{M: 3, New: treeFactory}).Fit(linalg.New(0, 1), nil); err == nil {
 		t.Fatal("expected empty error")
 	}
 	if err := New(Config{M: 3, New: treeFactory}).Fit(X, []int{0}); err == nil {
@@ -157,7 +157,7 @@ func TestConfigErrors(t *testing.T) {
 
 type failingClassifier struct{ fail bool }
 
-func (f *failingClassifier) Fit(X *mat.Matrix, y []int) error {
+func (f *failingClassifier) Fit(X *linalg.Matrix, y []int) error {
 	if f.fail {
 		return errors.New("boom")
 	}
@@ -166,7 +166,7 @@ func (f *failingClassifier) Fit(X *mat.Matrix, y []int) error {
 func (f *failingClassifier) Predict(x []float64) int { return 0 }
 
 func TestMemberFitErrorAborts(t *testing.T) {
-	X := mat.MustFromRows([][]float64{{1}, {2}})
+	X := linalg.MustFromRows([][]float64{{1}, {2}})
 	y := []int{0, 1}
 	b := New(Config{M: 3, New: func(seed int64) Classifier {
 		return &failingClassifier{fail: seed%2 == 0 || true}
@@ -177,7 +177,7 @@ func TestMemberFitErrorAborts(t *testing.T) {
 }
 
 func TestKeepFitErrorsDropsFailures(t *testing.T) {
-	X := mat.MustFromRows([][]float64{{1}, {2}})
+	X := linalg.MustFromRows([][]float64{{1}, {2}})
 	y := []int{0, 1}
 	i := 0
 	b := New(Config{M: 4, KeepFitErrors: true, Workers: 1, New: func(seed int64) Classifier {
@@ -193,7 +193,7 @@ func TestKeepFitErrorsDropsFailures(t *testing.T) {
 }
 
 func TestAllMembersFail(t *testing.T) {
-	X := mat.MustFromRows([][]float64{{1}, {2}})
+	X := linalg.MustFromRows([][]float64{{1}, {2}})
 	y := []int{0, 1}
 	b := New(Config{M: 2, KeepFitErrors: true, New: func(seed int64) Classifier {
 		return &failingClassifier{fail: true}
@@ -275,7 +275,7 @@ func TestDeterminismAcrossWorkers(t *testing.T) {
 }
 
 func TestResample(t *testing.T) {
-	X := mat.MustFromRows([][]float64{{1}, {2}, {3}, {4}})
+	X := linalg.MustFromRows([][]float64{{1}, {2}, {3}, {4}})
 	y := []int{0, 0, 1, 1}
 	rng := rand.New(rand.NewSource(1))
 	bx, by := Resample(X, y, rng)
@@ -330,7 +330,7 @@ func TestVoteInvariantsProperty(t *testing.T) {
 }
 
 func TestMaxSamplesValidation(t *testing.T) {
-	X := mat.MustFromRows([][]float64{{1}, {2}})
+	X := linalg.MustFromRows([][]float64{{1}, {2}})
 	y := []int{0, 1}
 	if err := New(Config{M: 2, New: treeFactory, MaxSamples: -0.5}).Fit(X, y); err == nil {
 		t.Fatal("expected max samples error")

@@ -4,11 +4,11 @@ import (
 	"fmt"
 
 	"trusthmd/internal/core"
-	"trusthmd/internal/dataset"
-	"trusthmd/internal/mat"
 	"trusthmd/internal/ml/linear"
 	"trusthmd/internal/ml/platt"
+	"trusthmd/pkg/dataset"
 	"trusthmd/pkg/detector"
+	"trusthmd/pkg/linalg"
 )
 
 // PlattResult is ablation A1: Platt-scaled single-model confidence versus
@@ -94,8 +94,8 @@ func AblationPlatt(cfg Config) (*PlattResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.MeanEntropyKnown = mat.Mean(detector.Entropies(rKnown))
-	res.MeanEntropyUnknown = mat.Mean(detector.Entropies(rUnknown))
+	res.MeanEntropyKnown = linalg.Mean(detector.Entropies(rKnown))
+	res.MeanEntropyUnknown = linalg.Mean(detector.Entropies(rUnknown))
 	return res, nil
 }
 
@@ -209,8 +209,8 @@ func AblationDiversity(cfg Config) (*DiversityResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		hKnown := mat.Mean(detector.Entropies(rKnown))
-		hUnknown := mat.Mean(detector.Entropies(rUnknown))
+		hKnown := linalg.Mean(detector.Entropies(rKnown))
+		hUnknown := linalg.Mean(detector.Entropies(rUnknown))
 		if mode == "bootstrap" {
 			res.BaggingKnown, res.BaggingUnknown = hKnown, hUnknown
 		} else {

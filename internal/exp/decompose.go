@@ -3,8 +3,8 @@ package exp
 import (
 	"fmt"
 
-	"trusthmd/internal/dataset"
 	"trusthmd/internal/gen"
+	"trusthmd/pkg/dataset"
 	"trusthmd/pkg/detector"
 )
 

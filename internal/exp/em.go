@@ -5,9 +5,9 @@ import (
 
 	"trusthmd/internal/core"
 	"trusthmd/internal/gen"
-	"trusthmd/internal/mat"
 	"trusthmd/internal/metrics"
 	"trusthmd/pkg/detector"
+	"trusthmd/pkg/linalg"
 )
 
 // EMRow is one model row of the E1 sensor-generalisation study.
@@ -63,8 +63,8 @@ func EMGeneralization(cfg Config) (*EMResult, error) {
 		res.Rows = append(res.Rows, EMRow{
 			Model:          model,
 			Accuracy:       rep.Accuracy,
-			KnownEntropy:   mat.Mean(hKnown),
-			UnknownEntropy: mat.Mean(hUnknown),
+			KnownEntropy:   linalg.Mean(hKnown),
+			UnknownEntropy: linalg.Mean(hUnknown),
 			OperatingPoint: op,
 		})
 	}

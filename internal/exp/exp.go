@@ -11,8 +11,8 @@ import (
 	"math"
 	"strings"
 
-	"trusthmd/internal/dataset"
 	"trusthmd/internal/gen"
+	"trusthmd/pkg/dataset"
 	"trusthmd/pkg/detector"
 )
 

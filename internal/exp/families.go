@@ -3,9 +3,9 @@ package exp
 import (
 	"fmt"
 
-	"trusthmd/internal/mat"
 	"trusthmd/internal/metrics"
 	"trusthmd/pkg/detector"
+	"trusthmd/pkg/linalg"
 )
 
 // FamilyRow summarises the uncertainty quality of one base-classifier
@@ -84,8 +84,8 @@ func AblationFamilies(cfg Config) (*FamiliesResult, error) {
 		res.Rows = append(res.Rows, FamilyRow{
 			Model:          model,
 			Accuracy:       rep.Accuracy,
-			KnownEntropy:   mat.Mean(hKnown),
-			UnknownEntropy: mat.Mean(hUnknown),
+			KnownEntropy:   linalg.Mean(hKnown),
+			UnknownEntropy: linalg.Mean(hUnknown),
 			OODAUC:         auc,
 		})
 	}

@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"math/rand"
 
-	"trusthmd/internal/dataset"
 	"trusthmd/internal/gen"
-	"trusthmd/internal/mat"
 	"trusthmd/internal/reduce"
 	"trusthmd/internal/stats"
+	"trusthmd/pkg/dataset"
+	"trusthmd/pkg/linalg"
 )
 
 // TSNEPoint is one embedded sample of Fig. 8.
@@ -169,5 +169,5 @@ func (r *TSNEResult) Render() string {
 // Dist2D is a convenience for tests: squared distance between two embedded
 // points.
 func Dist2D(a, b TSNEPoint) float64 {
-	return mat.SqDist([]float64{a.X, a.Y}, []float64{b.X, b.Y})
+	return linalg.SqDist([]float64{a.X, a.Y}, []float64{b.X, b.Y})
 }

@@ -3,9 +3,9 @@ package exp
 import (
 	"fmt"
 
-	"trusthmd/internal/dataset"
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/dataset"
 	"trusthmd/pkg/detector"
+	"trusthmd/pkg/linalg"
 )
 
 // SizePoint is one x-position of Fig. 9a: mean entropy at a given ensemble
@@ -49,7 +49,7 @@ func Fig9a(cfg Config) (*SizeSweepResult, error) {
 		if err != nil {
 			return 0, err
 		}
-		return mat.Mean(detector.Entropies(rs)), nil
+		return linalg.Mean(detector.Entropies(rs)), nil
 	}
 
 	res := &SizeSweepResult{}

@@ -5,14 +5,14 @@ import (
 	"math/rand"
 
 	"trusthmd/internal/core"
-	"trusthmd/internal/dataset"
 	"trusthmd/internal/dvfs"
 	"trusthmd/internal/feature"
 	"trusthmd/internal/gen"
-	"trusthmd/internal/mat"
 	"trusthmd/internal/metrics"
 	"trusthmd/internal/workload"
+	"trusthmd/pkg/dataset"
 	"trusthmd/pkg/detector"
+	"trusthmd/pkg/linalg"
 )
 
 // GovernorRow is one policy row of the E2 sensitivity study.
@@ -73,8 +73,8 @@ func GovernorSensitivity(cfg Config) (*GovernorResult, error) {
 		res.Rows = append(res.Rows, GovernorRow{
 			Policy:         policy,
 			Accuracy:       rep.Accuracy,
-			KnownEntropy:   mat.Mean(hKnown),
-			UnknownEntropy: mat.Mean(hUnknown),
+			KnownEntropy:   linalg.Mean(hKnown),
+			UnknownEntropy: linalg.Mean(hUnknown),
 			OperatingPoint: op,
 		})
 	}

@@ -3,8 +3,8 @@ package exp
 import (
 	"fmt"
 
-	"trusthmd/internal/dataset"
 	"trusthmd/internal/gen"
+	"trusthmd/pkg/dataset"
 )
 
 // TableIResult reproduces the paper's Table I: the dataset taxonomy.

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"math/rand"
 
-	"trusthmd/internal/dataset"
 	"trusthmd/internal/em"
 	"trusthmd/internal/feature"
 	"trusthmd/internal/workload"
+	"trusthmd/pkg/dataset"
 )
 
 // EMSizes are the default split sizes for the EM generalisation experiment

@@ -15,11 +15,11 @@ import (
 	"fmt"
 	"math/rand"
 
-	"trusthmd/internal/dataset"
 	"trusthmd/internal/dvfs"
 	"trusthmd/internal/feature"
 	"trusthmd/internal/hpc"
 	"trusthmd/internal/workload"
+	"trusthmd/pkg/dataset"
 )
 
 // Splits bundles the three datasets of the paper's Fig. 6 breakdown.

@@ -3,9 +3,9 @@ package gen
 import (
 	"testing"
 
-	"trusthmd/internal/dataset"
 	"trusthmd/internal/feature"
 	"trusthmd/internal/hpc"
+	"trusthmd/pkg/dataset"
 )
 
 func TestDVFSTableISizes(t *testing.T) {

@@ -6,9 +6,9 @@ import (
 	"errors"
 
 	"trusthmd/internal/core"
-	"trusthmd/internal/dataset"
 	"trusthmd/internal/ensemble"
 	"trusthmd/internal/reduce"
+	"trusthmd/pkg/dataset"
 )
 
 // pipelineGob is the exported wire form of a trained Pipeline. The member

@@ -11,16 +11,18 @@ import (
 	"fmt"
 
 	"trusthmd/internal/core"
-	"trusthmd/internal/dataset"
 	"trusthmd/internal/ensemble"
-	"trusthmd/internal/mat"
 	"trusthmd/internal/reduce"
+	"trusthmd/pkg/dataset"
+	"trusthmd/pkg/linalg"
+	"trusthmd/pkg/model"
 )
 
 // Factory constructs one untrained ensemble member from a seed. The open
 // model registry in pkg/detector maps model names to factories; this
-// package never enumerates classifier families.
-type Factory = func(seed int64) ensemble.Classifier
+// package never enumerates classifier families. Alias of the exported
+// pkg/model contract.
+type Factory = model.Factory
 
 // Config controls pipeline training.
 type Config struct {
@@ -137,7 +139,7 @@ func (p *Pipeline) Project(x []float64) ([]float64, error) {
 // vectors (one sample per row) with matrix-level operations — once per
 // batch instead of once per vector. Row i of the result is numerically
 // identical to Project of row i of X.
-func (p *Pipeline) ProjectBatch(X *mat.Matrix) (*mat.Matrix, error) {
+func (p *Pipeline) ProjectBatch(X *linalg.Matrix) (*linalg.Matrix, error) {
 	Z, err := p.scaler.Transform(X)
 	if err != nil {
 		return nil, err

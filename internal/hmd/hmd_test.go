@@ -6,11 +6,11 @@ import (
 	"math/rand"
 	"testing"
 
-	"trusthmd/internal/dataset"
 	"trusthmd/internal/ensemble"
 	"trusthmd/internal/gen"
 	"trusthmd/internal/ml/linear"
 	"trusthmd/internal/ml/tree"
+	"trusthmd/pkg/dataset"
 )
 
 func dvfsSplits(t *testing.T) gen.Splits {

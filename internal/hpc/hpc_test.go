@@ -5,8 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
-	"trusthmd/internal/dataset"
 	"trusthmd/internal/workload"
+	"trusthmd/pkg/dataset"
 )
 
 func TestComponentsShape(t *testing.T) {

@@ -11,7 +11,6 @@ import (
 	"testing"
 
 	"trusthmd/internal/core"
-	"trusthmd/internal/dataset"
 	"trusthmd/internal/dvfs"
 	"trusthmd/internal/ensemble"
 	"trusthmd/internal/feature"
@@ -20,6 +19,7 @@ import (
 	"trusthmd/internal/ml/forest"
 	"trusthmd/internal/ml/tree"
 	"trusthmd/internal/workload"
+	"trusthmd/pkg/dataset"
 	"trusthmd/pkg/detector"
 )
 

@@ -8,7 +8,7 @@ import (
 	"fmt"
 	"math"
 
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/linalg"
 )
 
 // Config controls Gaussian NB training.
@@ -35,7 +35,7 @@ var ErrNotFitted = errors.New("bayes: not fitted")
 func New(cfg Config) *Gaussian { return &Gaussian{cfg: cfg} }
 
 // Fit estimates per-class feature means, variances and priors.
-func (g *Gaussian) Fit(X *mat.Matrix, y []int) error {
+func (g *Gaussian) Fit(X *linalg.Matrix, y []int) error {
 	if X.Rows() == 0 {
 		return errors.New("bayes: empty training set")
 	}
@@ -149,13 +149,13 @@ func (g *Gaussian) logJoint(x []float64) []float64 {
 
 // Predict returns the maximum a-posteriori class.
 func (g *Gaussian) Predict(x []float64) int {
-	return mat.ArgMax(g.logJoint(x))
+	return linalg.ArgMax(g.logJoint(x))
 }
 
 // PredictProba returns the normalised posterior over classes.
 func (g *Gaussian) PredictProba(x []float64) []float64 {
 	lj := g.logJoint(x)
-	maxLJ := lj[mat.ArgMax(lj)]
+	maxLJ := lj[linalg.ArgMax(lj)]
 	out := make([]float64, len(lj))
 	var sum float64
 	for c, v := range lj {

@@ -6,10 +6,10 @@ import (
 	"testing"
 	"testing/quick"
 
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/linalg"
 )
 
-func blobs(rng *rand.Rand, n int, gap float64) (*mat.Matrix, []int) {
+func blobs(rng *rand.Rand, n int, gap float64) (*linalg.Matrix, []int) {
 	rows := make([][]float64, n)
 	y := make([]int, n)
 	for i := range rows {
@@ -21,7 +21,7 @@ func blobs(rng *rand.Rand, n int, gap float64) (*mat.Matrix, []int) {
 		rows[i] = []float64{cx + rng.NormFloat64(), rng.NormFloat64()}
 		y[i] = cls
 	}
-	return mat.MustFromRows(rows), y
+	return linalg.MustFromRows(rows), y
 }
 
 func TestFitPredictBlobs(t *testing.T) {
@@ -88,7 +88,7 @@ func TestUnbalancedPriors(t *testing.T) {
 		y = append(y, 1)
 	}
 	g := New(Config{})
-	if err := g.Fit(mat.MustFromRows(rows), y); err != nil {
+	if err := g.Fit(linalg.MustFromRows(rows), y); err != nil {
 		t.Fatal(err)
 	}
 	if g.Predict([]float64{0}) != 0 {
@@ -97,7 +97,7 @@ func TestUnbalancedPriors(t *testing.T) {
 }
 
 func TestConstantFeatureSmoothing(t *testing.T) {
-	X := mat.MustFromRows([][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}})
+	X := linalg.MustFromRows([][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}})
 	y := []int{0, 0, 1, 1}
 	g := New(Config{})
 	if err := g.Fit(X, y); err != nil {
@@ -113,13 +113,13 @@ func TestConstantFeatureSmoothing(t *testing.T) {
 
 func TestFitErrors(t *testing.T) {
 	g := New(Config{})
-	if err := g.Fit(mat.New(0, 1), nil); err == nil {
+	if err := g.Fit(linalg.New(0, 1), nil); err == nil {
 		t.Fatal("expected empty error")
 	}
-	if err := g.Fit(mat.New(2, 1), []int{0}); err == nil {
+	if err := g.Fit(linalg.New(2, 1), []int{0}); err == nil {
 		t.Fatal("expected length error")
 	}
-	if err := g.Fit(mat.MustFromRows([][]float64{{1}, {2}}), []int{0, -1}); err == nil {
+	if err := g.Fit(linalg.MustFromRows([][]float64{{1}, {2}}), []int{0, -1}); err == nil {
 		t.Fatal("expected label error")
 	}
 }

@@ -12,8 +12,8 @@ import (
 	"runtime"
 	"sync"
 
-	"trusthmd/internal/mat"
 	"trusthmd/internal/ml/tree"
+	"trusthmd/pkg/linalg"
 )
 
 // Config controls forest training. The zero value is not useful; use
@@ -60,7 +60,7 @@ func New(cfg Config) *Forest {
 // Fit trains the forest on X and y. Each tree sees a bootstrap replicate of
 // the training set (sampling with replacement, n draws) and samples
 // MaxFeatures candidate features at every split.
-func (f *Forest) Fit(X *mat.Matrix, y []int) error {
+func (f *Forest) Fit(X *linalg.Matrix, y []int) error {
 	if f.cfg.Trees < 1 {
 		return fmt.Errorf("forest: config needs >=1 tree, got %d", f.cfg.Trees)
 	}
@@ -133,9 +133,9 @@ func (f *Forest) Fit(X *mat.Matrix, y []int) error {
 }
 
 // bootstrap draws a sampling-with-replacement replicate of (X, y).
-func bootstrap(X *mat.Matrix, y []int, rng *rand.Rand) (*mat.Matrix, []int) {
+func bootstrap(X *linalg.Matrix, y []int, rng *rand.Rand) (*linalg.Matrix, []int) {
 	n := X.Rows()
-	bx := mat.New(n, X.Cols())
+	bx := linalg.New(n, X.Cols())
 	by := make([]int, n)
 	for i := 0; i < n; i++ {
 		j := rng.Intn(n)

@@ -6,11 +6,11 @@ import (
 	"testing"
 	"testing/quick"
 
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/linalg"
 )
 
 // twoBlobs generates two well-separated Gaussian blobs.
-func twoBlobs(rng *rand.Rand, n int) (*mat.Matrix, []int) {
+func twoBlobs(rng *rand.Rand, n int) (*linalg.Matrix, []int) {
 	rows := make([][]float64, n)
 	y := make([]int, n)
 	for i := range rows {
@@ -22,7 +22,7 @@ func twoBlobs(rng *rand.Rand, n int) (*mat.Matrix, []int) {
 		rows[i] = []float64{cx + rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
 		y[i] = cls
 	}
-	return mat.MustFromRows(rows), y
+	return linalg.MustFromRows(rows), y
 }
 
 func TestFitPredictBlobs(t *testing.T) {
@@ -89,17 +89,17 @@ func TestPredictProbaDistribution(t *testing.T) {
 
 func TestFitErrors(t *testing.T) {
 	f := New(Config{Trees: 0})
-	if err := f.Fit(mat.New(1, 1), []int{0}); err == nil {
+	if err := f.Fit(linalg.New(1, 1), []int{0}); err == nil {
 		t.Fatal("expected trees error")
 	}
 	f = New(Config{Trees: 3})
-	if err := f.Fit(mat.New(0, 1), nil); err == nil {
+	if err := f.Fit(linalg.New(0, 1), nil); err == nil {
 		t.Fatal("expected empty error")
 	}
-	if err := f.Fit(mat.New(2, 1), []int{0}); err == nil {
+	if err := f.Fit(linalg.New(2, 1), []int{0}); err == nil {
 		t.Fatal("expected length error")
 	}
-	if err := f.Fit(mat.New(2, 1), []int{0, -2}); err == nil {
+	if err := f.Fit(linalg.New(2, 1), []int{0, -2}); err == nil {
 		t.Fatal("expected label error propagated from tree")
 	}
 }
@@ -158,7 +158,7 @@ func TestBootstrapDiversity(t *testing.T) {
 			y[i] = 1
 		}
 	}
-	X := mat.MustFromRows(rows)
+	X := linalg.MustFromRows(rows)
 	f := New(Config{Trees: 10, Seed: 5})
 	if err := f.Fit(X, y); err != nil {
 		t.Fatal(err)

@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/linalg"
 )
 
 func init() {
@@ -16,7 +16,7 @@ func init() {
 // knnGob is the exported wire form of a fitted KNN.
 type knnGob struct {
 	Cfg     Config
-	X       *mat.Matrix
+	X       *linalg.Matrix
 	Y       []int
 	Classes int
 }

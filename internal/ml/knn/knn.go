@@ -10,7 +10,7 @@ import (
 	"fmt"
 	"sort"
 
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/linalg"
 )
 
 // Config controls kNN classification.
@@ -24,7 +24,7 @@ type Config struct {
 // training set).
 type KNN struct {
 	cfg     Config
-	X       *mat.Matrix
+	X       *linalg.Matrix
 	y       []int
 	classes int
 }
@@ -41,7 +41,7 @@ func New(cfg Config) *KNN {
 }
 
 // Fit memorises the training set.
-func (k *KNN) Fit(X *mat.Matrix, y []int) error {
+func (k *KNN) Fit(X *linalg.Matrix, y []int) error {
 	if X.Rows() == 0 {
 		return errors.New("knn: empty training set")
 	}
@@ -81,7 +81,7 @@ func (k *KNN) neighbours(x []float64) []int {
 	}
 	cands := make([]cand, n)
 	for i := 0; i < n; i++ {
-		cands[i] = cand{dist: mat.SqDist(x, k.X.Row(i)), label: k.y[i]}
+		cands[i] = cand{dist: linalg.SqDist(x, k.X.Row(i)), label: k.y[i]}
 	}
 	kk := k.cfg.K
 	if kk > n {

@@ -6,10 +6,10 @@ import (
 	"testing"
 	"testing/quick"
 
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/linalg"
 )
 
-func blobs(rng *rand.Rand, n int, gap float64) (*mat.Matrix, []int) {
+func blobs(rng *rand.Rand, n int, gap float64) (*linalg.Matrix, []int) {
 	rows := make([][]float64, n)
 	y := make([]int, n)
 	for i := range rows {
@@ -21,7 +21,7 @@ func blobs(rng *rand.Rand, n int, gap float64) (*mat.Matrix, []int) {
 		rows[i] = []float64{cx + rng.NormFloat64(), rng.NormFloat64()}
 		y[i] = cls
 	}
-	return mat.MustFromRows(rows), y
+	return linalg.MustFromRows(rows), y
 }
 
 func TestFitPredict(t *testing.T) {
@@ -46,7 +46,7 @@ func TestFitPredict(t *testing.T) {
 }
 
 func TestK1MemorisesTraining(t *testing.T) {
-	X := mat.MustFromRows([][]float64{{0}, {1}, {2}, {3}})
+	X := linalg.MustFromRows([][]float64{{0}, {1}, {2}, {3}})
 	y := []int{0, 1, 0, 1}
 	k := New(Config{K: 1})
 	if err := k.Fit(X, y); err != nil {
@@ -67,7 +67,7 @@ func TestDefaultK(t *testing.T) {
 }
 
 func TestKLargerThanTrainingSet(t *testing.T) {
-	X := mat.MustFromRows([][]float64{{0}, {1}, {2}})
+	X := linalg.MustFromRows([][]float64{{0}, {1}, {2}})
 	y := []int{0, 0, 1}
 	k := New(Config{K: 50})
 	if err := k.Fit(X, y); err != nil {
@@ -80,7 +80,7 @@ func TestKLargerThanTrainingSet(t *testing.T) {
 }
 
 func TestPredictProba(t *testing.T) {
-	X := mat.MustFromRows([][]float64{{0}, {0.1}, {0.2}, {10}})
+	X := linalg.MustFromRows([][]float64{{0}, {0.1}, {0.2}, {10}})
 	y := []int{0, 0, 1, 1}
 	k := New(Config{K: 3})
 	if err := k.Fit(X, y); err != nil {
@@ -93,7 +93,7 @@ func TestPredictProba(t *testing.T) {
 }
 
 func TestFitDefensiveCopies(t *testing.T) {
-	X := mat.MustFromRows([][]float64{{0}, {1}})
+	X := linalg.MustFromRows([][]float64{{0}, {1}})
 	y := []int{0, 1}
 	k := New(Config{K: 1})
 	if err := k.Fit(X, y); err != nil {
@@ -108,13 +108,13 @@ func TestFitDefensiveCopies(t *testing.T) {
 
 func TestFitErrors(t *testing.T) {
 	k := New(Config{})
-	if err := k.Fit(mat.New(0, 1), nil); err == nil {
+	if err := k.Fit(linalg.New(0, 1), nil); err == nil {
 		t.Fatal("expected empty error")
 	}
-	if err := k.Fit(mat.New(2, 1), []int{0}); err == nil {
+	if err := k.Fit(linalg.New(2, 1), []int{0}); err == nil {
 		t.Fatal("expected length error")
 	}
-	if err := k.Fit(mat.MustFromRows([][]float64{{1}, {2}}), []int{0, -1}); err == nil {
+	if err := k.Fit(linalg.MustFromRows([][]float64{{1}, {2}}), []int{0, -1}); err == nil {
 		t.Fatal("expected label error")
 	}
 }
@@ -129,7 +129,7 @@ func TestPanics(t *testing.T) {
 		}()
 		k.Predict([]float64{1})
 	}()
-	if err := k.Fit(mat.MustFromRows([][]float64{{1}, {2}}), []int{0, 1}); err != nil {
+	if err := k.Fit(linalg.MustFromRows([][]float64{{1}, {2}}), []int{0, 1}); err != nil {
 		t.Fatal(err)
 	}
 	func() {

@@ -7,11 +7,11 @@ import (
 	"testing"
 	"testing/quick"
 
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/linalg"
 )
 
 // separable builds two linearly separable Gaussian blobs along x0.
-func separable(rng *rand.Rand, n int, gap float64) (*mat.Matrix, []int) {
+func separable(rng *rand.Rand, n int, gap float64) (*linalg.Matrix, []int) {
 	rows := make([][]float64, n)
 	y := make([]int, n)
 	for i := range rows {
@@ -23,10 +23,10 @@ func separable(rng *rand.Rand, n int, gap float64) (*mat.Matrix, []int) {
 		rows[i] = []float64{cx + rng.NormFloat64()*0.5, rng.NormFloat64() * 0.5}
 		y[i] = cls
 	}
-	return mat.MustFromRows(rows), y
+	return linalg.MustFromRows(rows), y
 }
 
-func trainAccuracy(predict func([]float64) int, X *mat.Matrix, y []int) float64 {
+func trainAccuracy(predict func([]float64) int, X *linalg.Matrix, y []int) float64 {
 	correct := 0
 	for i := 0; i < X.Rows(); i++ {
 		if predict(X.Row(i)) == y[i] {
@@ -109,7 +109,7 @@ func TestLogisticRandomInitDiversity(t *testing.T) {
 	}
 }
 
-func fitLR(t *testing.T, X *mat.Matrix, y []int, cfg LogisticConfig) ([]float64, float64) {
+func fitLR(t *testing.T, X *linalg.Matrix, y []int, cfg LogisticConfig) ([]float64, float64) {
 	t.Helper()
 	l := NewLogistic(cfg)
 	if err := l.Fit(X, y); err != nil {
@@ -120,16 +120,16 @@ func fitLR(t *testing.T, X *mat.Matrix, y []int, cfg LogisticConfig) ([]float64,
 
 func TestLogisticFitErrors(t *testing.T) {
 	l := NewLogistic(LogisticConfig{})
-	if err := l.Fit(mat.New(0, 1), nil); err == nil {
+	if err := l.Fit(linalg.New(0, 1), nil); err == nil {
 		t.Fatal("expected empty error")
 	}
-	if err := l.Fit(mat.New(2, 1), []int{0}); err == nil {
+	if err := l.Fit(linalg.New(2, 1), []int{0}); err == nil {
 		t.Fatal("expected length error")
 	}
-	if err := l.Fit(mat.MustFromRows([][]float64{{1}, {2}}), []int{0, 2}); err == nil {
+	if err := l.Fit(linalg.MustFromRows([][]float64{{1}, {2}}), []int{0, 2}); err == nil {
 		t.Fatal("expected label error")
 	}
-	if err := l.Fit(mat.MustFromRows([][]float64{{1}, {2}}), []int{0, 0}); err == nil {
+	if err := l.Fit(linalg.MustFromRows([][]float64{{1}, {2}}), []int{0, 0}); err == nil {
 		t.Fatal("expected single-class error")
 	}
 }
@@ -189,7 +189,7 @@ func TestSVMNonConvergenceOnOverlap(t *testing.T) {
 		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
 		y[i] = i % 2 // labels independent of features
 	}
-	X := mat.MustFromRows(rows)
+	X := linalg.MustFromRows(rows)
 	s := NewSVM(SVMConfig{Seed: 7, MaxObjective: 0.2, Epochs: 30})
 	err := s.Fit(X, y)
 	var nc *ErrNoConvergence
@@ -252,10 +252,10 @@ func TestSVMStability(t *testing.T) {
 
 func TestSVMFitErrors(t *testing.T) {
 	s := NewSVM(SVMConfig{})
-	if err := s.Fit(mat.New(0, 1), nil); err == nil {
+	if err := s.Fit(linalg.New(0, 1), nil); err == nil {
 		t.Fatal("expected empty error")
 	}
-	if err := s.Fit(mat.MustFromRows([][]float64{{1}, {2}}), []int{1, 1}); err == nil {
+	if err := s.Fit(linalg.MustFromRows([][]float64{{1}, {2}}), []int{1, 1}); err == nil {
 		t.Fatal("expected single-class error")
 	}
 }

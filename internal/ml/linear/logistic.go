@@ -11,7 +11,7 @@ import (
 	"math"
 	"math/rand"
 
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/linalg"
 )
 
 // ErrNotFitted reports prediction before training.
@@ -77,7 +77,7 @@ func sigmoid(z float64) float64 {
 }
 
 // Fit trains on X (one sample per row) with binary labels y in {0, 1}.
-func (l *Logistic) Fit(X *mat.Matrix, y []int) error {
+func (l *Logistic) Fit(X *linalg.Matrix, y []int) error {
 	if err := checkBinary(X, y); err != nil {
 		return fmt.Errorf("logistic: %w", err)
 	}
@@ -112,9 +112,9 @@ func (l *Logistic) Fit(X *mat.Matrix, y []int) error {
 			var gradB float64
 			for _, i := range idx[start:end] {
 				row := X.Row(i)
-				p := sigmoid(mat.Dot(l.w, row) + l.bias)
+				p := sigmoid(linalg.Dot(l.w, row) + l.bias)
 				err := p - float64(y[i])
-				mat.AddScaled(grad, err, row)
+				linalg.AddScaled(grad, err, row)
 				gradB += err
 			}
 			scale := l.cfg.LearningRate / float64(end-start)
@@ -141,7 +141,7 @@ func (l *Logistic) Score(x []float64) float64 {
 	if len(x) != len(l.w) {
 		panic(fmt.Sprintf("logistic: input has %d features, trained on %d", len(x), len(l.w)))
 	}
-	return mat.Dot(l.w, x) + l.bias
+	return linalg.Dot(l.w, x) + l.bias
 }
 
 // Proba returns P(y=1|x) through the logistic link.
@@ -168,10 +168,10 @@ func (l *Logistic) Weights() ([]float64, float64) {
 	if l.w == nil {
 		return nil, 0
 	}
-	return mat.CloneVec(l.w), l.bias
+	return linalg.CloneVec(l.w), l.bias
 }
 
-func checkBinary(X *mat.Matrix, y []int) error {
+func checkBinary(X *linalg.Matrix, y []int) error {
 	if X.Rows() == 0 {
 		return errors.New("empty training set")
 	}

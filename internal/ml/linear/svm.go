@@ -5,7 +5,7 @@ import (
 	"math"
 	"math/rand"
 
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/linalg"
 )
 
 // SVMConfig controls linear-SVM training with the Pegasos sub-gradient
@@ -70,7 +70,7 @@ func NewSVM(cfg SVMConfig) *SVM {
 // Fit trains on X with binary labels y in {0, 1}. It returns
 // *ErrNoConvergence when MaxObjective is set and not reached; the model is
 // still usable for prediction in that case, and Converged() reports false.
-func (s *SVM) Fit(X *mat.Matrix, y []int) error {
+func (s *SVM) Fit(X *linalg.Matrix, y []int) error {
 	if err := checkBinary(X, y); err != nil {
 		return fmt.Errorf("svm: %w", err)
 	}
@@ -105,16 +105,16 @@ func (s *SVM) Fit(X *mat.Matrix, y []int) error {
 			i := rng.Intn(n)
 			copy(row[:d], X.Row(i))
 			eta := 1 / (s.cfg.Lambda * float64(t))
-			margin := signed[i] * mat.Dot(waug, row)
+			margin := signed[i] * linalg.Dot(waug, row)
 
-			mat.ScaleVec(waug, 1-eta*s.cfg.Lambda)
+			linalg.ScaleVec(waug, 1-eta*s.cfg.Lambda)
 			if margin < 1 {
-				mat.AddScaled(waug, eta*signed[i], row)
+				linalg.AddScaled(waug, eta*signed[i], row)
 			}
 			// Project onto the ball of radius 1/sqrt(lambda) — the Pegasos
 			// projection step, which bounds the iterates.
-			if nrm := mat.Norm(waug); nrm > maxNorm {
-				mat.ScaleVec(waug, maxNorm/nrm)
+			if nrm := linalg.Norm(waug); nrm > maxNorm {
+				linalg.ScaleVec(waug, maxNorm/nrm)
 			}
 			// Averaged Pegasos: running mean of the iterates.
 			for j := range wavg {
@@ -147,15 +147,15 @@ func (s *SVM) Fit(X *mat.Matrix, y []int) error {
 
 // objectiveOn evaluates the regularised hinge objective
 // lambda/2 ||w||^2 + mean(hinge).
-func (s *SVM) objectiveOn(X *mat.Matrix, signed []float64) float64 {
+func (s *SVM) objectiveOn(X *linalg.Matrix, signed []float64) float64 {
 	var hinge float64
 	for i := 0; i < X.Rows(); i++ {
-		m := signed[i] * (mat.Dot(s.w, X.Row(i)) + s.bias)
+		m := signed[i] * (linalg.Dot(s.w, X.Row(i)) + s.bias)
 		if m < 1 {
 			hinge += 1 - m
 		}
 	}
-	return 0.5*s.cfg.Lambda*mat.Dot(s.w, s.w) + hinge/float64(X.Rows())
+	return 0.5*s.cfg.Lambda*linalg.Dot(s.w, s.w) + hinge/float64(X.Rows())
 }
 
 // Score returns the signed distance proxy w·x + b.
@@ -166,7 +166,7 @@ func (s *SVM) Score(x []float64) float64 {
 	if len(x) != len(s.w) {
 		panic(fmt.Sprintf("svm: input has %d features, trained on %d", len(x), len(s.w)))
 	}
-	return mat.Dot(s.w, x) + s.bias
+	return linalg.Dot(s.w, x) + s.bias
 }
 
 // Predict returns 1 when the score is non-negative, else 0.
@@ -192,5 +192,5 @@ func (s *SVM) Weights() ([]float64, float64) {
 	if s.w == nil {
 		return nil, 0
 	}
-	return mat.CloneVec(s.w), s.bias
+	return linalg.CloneVec(s.w), s.bias
 }

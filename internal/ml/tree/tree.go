@@ -12,7 +12,7 @@ import (
 	"math/rand"
 	"sort"
 
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/linalg"
 )
 
 // Criterion selects the split-quality measure.
@@ -90,7 +90,7 @@ func New(cfg Config) *Tree {
 
 // Fit trains the tree on X (one sample per row) and labels y. Labels must
 // be in [0, k) for some k >= 2 inferred from the data.
-func (t *Tree) Fit(X *mat.Matrix, y []int) error {
+func (t *Tree) Fit(X *linalg.Matrix, y []int) error {
 	if X.Rows() == 0 {
 		return errors.New("tree: empty training set")
 	}
@@ -131,7 +131,7 @@ func (t *Tree) Fit(X *mat.Matrix, y []int) error {
 
 type builder struct {
 	t   *Tree
-	X   *mat.Matrix
+	X   *linalg.Matrix
 	y   []int
 	rng *rand.Rand
 }

@@ -6,11 +6,11 @@ import (
 	"testing"
 	"testing/quick"
 
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/linalg"
 )
 
-func xorData() (*mat.Matrix, []int) {
-	X := mat.MustFromRows([][]float64{
+func xorData() (*linalg.Matrix, []int) {
+	X := linalg.MustFromRows([][]float64{
 		{0, 0}, {0, 1}, {1, 0}, {1, 1},
 		{0.1, 0.1}, {0.1, 0.9}, {0.9, 0.1}, {0.9, 0.9},
 	})
@@ -80,7 +80,7 @@ func TestMinLeaf(t *testing.T) {
 }
 
 func TestPureNodeStopsEarly(t *testing.T) {
-	X := mat.MustFromRows([][]float64{{1}, {2}, {3}})
+	X := linalg.MustFromRows([][]float64{{1}, {2}, {3}})
 	y := []int{1, 1, 1}
 	tr := New(Config{})
 	if err := tr.Fit(X, y); err != nil {
@@ -95,7 +95,7 @@ func TestPureNodeStopsEarly(t *testing.T) {
 }
 
 func TestConstantFeaturesNoSplit(t *testing.T) {
-	X := mat.MustFromRows([][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}})
+	X := linalg.MustFromRows([][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}})
 	y := []int{0, 1, 0, 1}
 	tr := New(Config{})
 	if err := tr.Fit(X, y); err != nil {
@@ -107,7 +107,7 @@ func TestConstantFeaturesNoSplit(t *testing.T) {
 }
 
 func TestPredictProba(t *testing.T) {
-	X := mat.MustFromRows([][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}})
+	X := linalg.MustFromRows([][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}})
 	y := []int{0, 1, 0, 0}
 	tr := New(Config{})
 	if err := tr.Fit(X, y); err != nil {
@@ -121,13 +121,13 @@ func TestPredictProba(t *testing.T) {
 
 func TestFitErrors(t *testing.T) {
 	tr := New(Config{})
-	if err := tr.Fit(mat.New(0, 2), nil); err == nil {
+	if err := tr.Fit(linalg.New(0, 2), nil); err == nil {
 		t.Fatal("expected empty error")
 	}
-	if err := tr.Fit(mat.New(2, 2), []int{0}); err == nil {
+	if err := tr.Fit(linalg.New(2, 2), []int{0}); err == nil {
 		t.Fatal("expected length error")
 	}
-	if err := tr.Fit(mat.New(2, 2), []int{0, -1}); err == nil {
+	if err := tr.Fit(linalg.New(2, 2), []int{0, -1}); err == nil {
 		t.Fatal("expected label error")
 	}
 }
@@ -168,7 +168,7 @@ func TestMaxFeaturesSubsampling(t *testing.T) {
 			y[i] = 1
 		}
 	}
-	X := mat.MustFromRows(rows)
+	X := linalg.MustFromRows(rows)
 	tr := New(Config{MaxFeatures: 1, Seed: 7})
 	if err := tr.Fit(X, y); err != nil {
 		t.Fatal(err)
@@ -194,7 +194,7 @@ func TestSeedDeterminism(t *testing.T) {
 			y[i] = 1
 		}
 	}
-	X := mat.MustFromRows(rows)
+	X := linalg.MustFromRows(rows)
 	a := New(Config{MaxFeatures: 2, Seed: 11})
 	b := New(Config{MaxFeatures: 2, Seed: 11})
 	if err := a.Fit(X, y); err != nil {
@@ -224,7 +224,7 @@ func TestPerfectTrainFitProperty(t *testing.T) {
 			rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
 			y[i] = rng.Intn(2)
 		}
-		X := mat.MustFromRows(rows)
+		X := linalg.MustFromRows(rows)
 		tr := New(Config{})
 		if err := tr.Fit(X, y); err != nil {
 			return false
@@ -252,7 +252,7 @@ func TestProbaDistributionProperty(t *testing.T) {
 			rows[i] = []float64{rng.NormFloat64()}
 			y[i] = rng.Intn(2)
 		}
-		X := mat.MustFromRows(rows)
+		X := linalg.MustFromRows(rows)
 		tr := New(Config{MaxDepth: 3})
 		if err := tr.Fit(X, y); err != nil {
 			return false

@@ -5,13 +5,13 @@ import (
 	"encoding/gob"
 	"errors"
 
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/linalg"
 )
 
 // pcaGob is the exported wire form of a fitted PCA.
 type pcaGob struct {
 	Mean       []float64
-	Components *mat.Matrix
+	Components *linalg.Matrix
 	Variances  []float64
 	TotalVar   float64
 }

@@ -7,15 +7,15 @@ import (
 	"errors"
 	"fmt"
 
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/linalg"
 )
 
 // PCA is a principal component analysis fitted on a training matrix and
 // applied to later inputs with the training-set mean.
 type PCA struct {
 	mean       []float64
-	components *mat.Matrix // d x k, columns are principal axes
-	variances  []float64   // eigenvalues of the kept components
+	components *linalg.Matrix // d x k, columns are principal axes
+	variances  []float64      // eigenvalues of the kept components
 	totalVar   float64
 }
 
@@ -24,7 +24,7 @@ var ErrNotFitted = errors.New("reduce: not fitted")
 
 // FitPCA learns the top-k principal components of X (one sample per row)
 // via the symmetric eigendecomposition of the sample covariance.
-func FitPCA(X *mat.Matrix, k int) (*PCA, error) {
+func FitPCA(X *linalg.Matrix, k int) (*PCA, error) {
 	if X.Rows() < 2 {
 		return nil, fmt.Errorf("reduce: pca needs >=2 rows, got %d", X.Rows())
 	}
@@ -35,12 +35,12 @@ func FitPCA(X *mat.Matrix, k int) (*PCA, error) {
 	if err != nil {
 		return nil, fmt.Errorf("reduce: pca: %w", err)
 	}
-	eig, err := mat.SymEigen(cov)
+	eig, err := linalg.SymEigen(cov)
 	if err != nil {
 		return nil, fmt.Errorf("reduce: pca: %w", err)
 	}
 	d := X.Cols()
-	comp := mat.New(d, k)
+	comp := linalg.New(d, k)
 	for c := 0; c < k; c++ {
 		for r := 0; r < d; r++ {
 			comp.Set(r, c, eig.Vectors.At(r, c))
@@ -81,7 +81,7 @@ func (p *PCA) ExplainedVarianceRatio() []float64 {
 }
 
 // Transform projects X onto the retained components.
-func (p *PCA) Transform(X *mat.Matrix) (*mat.Matrix, error) {
+func (p *PCA) Transform(X *linalg.Matrix) (*linalg.Matrix, error) {
 	if p.components == nil {
 		return nil, ErrNotFitted
 	}

@@ -5,8 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
-	"trusthmd/internal/mat"
 	"trusthmd/internal/stats"
+	"trusthmd/pkg/linalg"
 )
 
 func TestPCARecoversDominantAxis(t *testing.T) {
@@ -18,7 +18,7 @@ func TestPCARecoversDominantAxis(t *testing.T) {
 		b := rng.NormFloat64() * 0.3
 		rows[i] = []float64{a + b, a - b}
 	}
-	X := mat.MustFromRows(rows)
+	X := linalg.MustFromRows(rows)
 	p, err := FitPCA(X, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -43,7 +43,7 @@ func TestPCATransformShapes(t *testing.T) {
 	for i := range rows {
 		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
 	}
-	X := mat.MustFromRows(rows)
+	X := linalg.MustFromRows(rows)
 	p, err := FitPCA(X, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -79,7 +79,7 @@ func TestPCAPreservesPairwiseStructure(t *testing.T) {
 	for i := range rows {
 		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
 	}
-	X := mat.MustFromRows(rows)
+	X := linalg.MustFromRows(rows)
 	p, err := FitPCA(X, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -90,8 +90,8 @@ func TestPCAPreservesPairwiseStructure(t *testing.T) {
 	}
 	for i := 0; i < 10; i++ {
 		for j := i + 1; j < 10; j++ {
-			dX := mat.Dist(X.Row(i), X.Row(j))
-			dZ := mat.Dist(Z.Row(i), Z.Row(j))
+			dX := linalg.Dist(X.Row(i), X.Row(j))
+			dZ := linalg.Dist(Z.Row(i), Z.Row(j))
 			if math.Abs(dX-dZ) > 1e-6 {
 				t.Fatalf("distance not preserved: %v vs %v", dX, dZ)
 			}
@@ -100,10 +100,10 @@ func TestPCAPreservesPairwiseStructure(t *testing.T) {
 }
 
 func TestPCAErrors(t *testing.T) {
-	if _, err := FitPCA(mat.New(1, 3), 1); err == nil {
+	if _, err := FitPCA(linalg.New(1, 3), 1); err == nil {
 		t.Fatal("expected rows error")
 	}
-	X := mat.MustFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	X := linalg.MustFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
 	if _, err := FitPCA(X, 0); err == nil {
 		t.Fatal("expected k error")
 	}
@@ -114,7 +114,7 @@ func TestPCAErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Transform(mat.New(2, 3)); err == nil {
+	if _, err := p.Transform(linalg.New(2, 3)); err == nil {
 		t.Fatal("expected dim error")
 	}
 	if _, err := p.TransformVec([]float64{1}); err == nil {
@@ -130,7 +130,7 @@ func TestPCAErrors(t *testing.T) {
 }
 
 // clusters draws k Gaussian clusters of m points each, spaced far apart.
-func clusters(rng *rand.Rand, k, m int, spacing float64) (*mat.Matrix, []int) {
+func clusters(rng *rand.Rand, k, m int, spacing float64) (*linalg.Matrix, []int) {
 	var rows [][]float64
 	var labels []int
 	for c := 0; c < k; c++ {
@@ -144,7 +144,7 @@ func clusters(rng *rand.Rand, k, m int, spacing float64) (*mat.Matrix, []int) {
 			labels = append(labels, c)
 		}
 	}
-	return mat.MustFromRows(rows), labels
+	return linalg.MustFromRows(rows), labels
 }
 
 func TestTSNESeparatesClusters(t *testing.T) {
@@ -171,7 +171,7 @@ func TestTSNESeparatesClusters(t *testing.T) {
 }
 
 func TestTSNEDefaultsAndErrors(t *testing.T) {
-	if _, err := FitTSNE(mat.New(3, 2), TSNEConfig{}); err == nil {
+	if _, err := FitTSNE(linalg.New(3, 2), TSNEConfig{}); err == nil {
 		t.Fatal("expected size error")
 	}
 	// Tiny input: perplexity auto-clamped, all defaults exercised.
@@ -180,7 +180,7 @@ func TestTSNEDefaultsAndErrors(t *testing.T) {
 	for i := range rows {
 		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
 	}
-	Y, err := FitTSNE(mat.MustFromRows(rows), TSNEConfig{Iterations: 50})
+	Y, err := FitTSNE(linalg.MustFromRows(rows), TSNEConfig{Iterations: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestTSNEDeterministic(t *testing.T) {
 	for i := range rows {
 		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
 	}
-	X := mat.MustFromRows(rows)
+	X := linalg.MustFromRows(rows)
 	a, err := FitTSNE(X, TSNEConfig{Iterations: 60, Seed: 9})
 	if err != nil {
 		t.Fatal(err)

@@ -6,7 +6,7 @@ import (
 	"math"
 	"math/rand"
 
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/linalg"
 )
 
 // TSNEConfig controls the exact t-SNE embedding (van der Maaten & Hinton
@@ -33,7 +33,7 @@ type TSNEConfig struct {
 // FitTSNE embeds the rows of X into OutDims dimensions. The cost is
 // O(n^2 d + iterations * n^2), suitable for the few-thousand-point
 // visualisation subsets used in Fig. 8.
-func FitTSNE(X *mat.Matrix, cfg TSNEConfig) (*mat.Matrix, error) {
+func FitTSNE(X *linalg.Matrix, cfg TSNEConfig) (*linalg.Matrix, error) {
 	n := X.Rows()
 	if n < 4 {
 		return nil, fmt.Errorf("reduce: tsne needs >=4 rows, got %d", n)
@@ -63,15 +63,15 @@ func FitTSNE(X *mat.Matrix, cfg TSNEConfig) (*mat.Matrix, error) {
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	Y := mat.New(n, cfg.OutDims)
+	Y := linalg.New(n, cfg.OutDims)
 	for i := 0; i < n; i++ {
 		for j := 0; j < cfg.OutDims; j++ {
 			Y.Set(i, j, rng.NormFloat64()*1e-4)
 		}
 	}
 
-	velocity := mat.New(n, cfg.OutDims)
-	gains := mat.New(n, cfg.OutDims)
+	velocity := linalg.New(n, cfg.OutDims)
+	gains := linalg.New(n, cfg.OutDims)
 	for i := 0; i < n; i++ {
 		for j := 0; j < cfg.OutDims; j++ {
 			gains.Set(i, j, 1)
@@ -79,7 +79,7 @@ func FitTSNE(X *mat.Matrix, cfg TSNEConfig) (*mat.Matrix, error) {
 	}
 
 	exaggerationStop := cfg.Iterations / 4
-	grad := mat.New(n, cfg.OutDims)
+	grad := linalg.New(n, cfg.OutDims)
 	Q := make([]float64, n*n)
 
 	for iter := 0; iter < cfg.Iterations; iter++ {
@@ -97,7 +97,7 @@ func FitTSNE(X *mat.Matrix, cfg TSNEConfig) (*mat.Matrix, error) {
 		for i := 0; i < n; i++ {
 			yi := Y.Row(i)
 			for j := i + 1; j < n; j++ {
-				q := 1 / (1 + mat.SqDist(yi, Y.Row(j)))
+				q := 1 / (1 + linalg.SqDist(yi, Y.Row(j)))
 				Q[i*n+j] = q
 				Q[j*n+i] = q
 				qSum += 2 * q
@@ -157,7 +157,7 @@ func FitTSNE(X *mat.Matrix, cfg TSNEConfig) (*mat.Matrix, error) {
 
 // jointAffinities computes the symmetrised conditional Gaussian affinity
 // matrix P with per-point bandwidths found by bisection on perplexity.
-func jointAffinities(X *mat.Matrix, perplexity float64) (*mat.Matrix, error) {
+func jointAffinities(X *linalg.Matrix, perplexity float64) (*linalg.Matrix, error) {
 	n := X.Rows()
 	targetH := math.Log(perplexity) // entropy target in nats
 
@@ -165,13 +165,13 @@ func jointAffinities(X *mat.Matrix, perplexity float64) (*mat.Matrix, error) {
 	for i := 0; i < n; i++ {
 		xi := X.Row(i)
 		for j := i + 1; j < n; j++ {
-			d := mat.SqDist(xi, X.Row(j))
+			d := linalg.SqDist(xi, X.Row(j))
 			D[i*n+j] = d
 			D[j*n+i] = d
 		}
 	}
 
-	P := mat.New(n, n)
+	P := linalg.New(n, n)
 	row := make([]float64, n)
 	for i := 0; i < n; i++ {
 		betaMin, betaMax := math.Inf(-1), math.Inf(1)
@@ -206,7 +206,7 @@ func jointAffinities(X *mat.Matrix, perplexity float64) (*mat.Matrix, error) {
 
 	// Symmetrise and normalise: p_ij = (p_j|i + p_i|j) / 2n, floored to
 	// keep gradients alive.
-	out := mat.New(n, n)
+	out := linalg.New(n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i == j {

@@ -14,7 +14,7 @@ package workload
 import (
 	"fmt"
 
-	"trusthmd/internal/dataset"
+	"trusthmd/pkg/dataset"
 )
 
 // App identifies one application or malware family.

@@ -4,7 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"trusthmd/internal/dataset"
+	"trusthmd/pkg/dataset"
 )
 
 func TestDVFSCatalogueValid(t *testing.T) {

@@ -12,7 +12,7 @@ import (
 	"math/rand"
 	"sort"
 
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/linalg"
 )
 
 // Class labels used across trusthmd.
@@ -74,8 +74,8 @@ func (d *Dataset) At(i int) Sample { return d.samples[i] }
 
 // X returns the feature matrix (copying the features). An empty dataset
 // yields a 0 x dim matrix.
-func (d *Dataset) X() *mat.Matrix {
-	m := mat.New(len(d.samples), d.dim)
+func (d *Dataset) X() *linalg.Matrix {
+	m := linalg.New(len(d.samples), d.dim)
 	for i, s := range d.samples {
 		copy(m.Row(i), s.Features)
 	}

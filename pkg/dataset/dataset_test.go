@@ -9,7 +9,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/linalg"
 )
 
 func sample(app string, label int, feats ...float64) Sample {
@@ -219,7 +219,7 @@ func TestShuffleDeterministic(t *testing.T) {
 }
 
 func TestScaler(t *testing.T) {
-	X := mat.MustFromRows([][]float64{{1, 5}, {3, 5}, {5, 5}})
+	X := linalg.MustFromRows([][]float64{{1, 5}, {3, 5}, {5, 5}})
 	s, err := FitScaler(X)
 	if err != nil {
 		t.Fatal(err)
@@ -253,12 +253,12 @@ func TestScaler(t *testing.T) {
 }
 
 func TestScalerErrors(t *testing.T) {
-	if _, err := FitScaler(mat.New(0, 2)); err == nil {
+	if _, err := FitScaler(linalg.New(0, 2)); err == nil {
 		t.Fatal("expected empty error")
 	}
-	X := mat.MustFromRows([][]float64{{1, 2}, {3, 4}})
+	X := linalg.MustFromRows([][]float64{{1, 2}, {3, 4}})
 	s, _ := FitScaler(X)
-	if _, err := s.Transform(mat.New(1, 3)); err == nil {
+	if _, err := s.Transform(linalg.New(1, 3)); err == nil {
 		t.Fatal("expected dim error")
 	}
 	if _, err := s.TransformVec([]float64{1}); err == nil {

@@ -3,7 +3,7 @@ package dataset
 import (
 	"fmt"
 
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/linalg"
 )
 
 // Scaler standardises features to zero mean and unit variance using
@@ -17,7 +17,7 @@ type Scaler struct {
 
 // FitScaler learns per-column mean and standard deviation from X. Columns
 // with zero variance get std 1 so that scaling is a no-op for them.
-func FitScaler(X *mat.Matrix) (*Scaler, error) {
+func FitScaler(X *linalg.Matrix) (*Scaler, error) {
 	if X.Rows() == 0 {
 		return nil, ErrEmpty
 	}
@@ -34,7 +34,7 @@ func FitScaler(X *mat.Matrix) (*Scaler, error) {
 func (s *Scaler) Dim() int { return len(s.mean) }
 
 // Transform standardises X into a new matrix.
-func (s *Scaler) Transform(X *mat.Matrix) (*mat.Matrix, error) {
+func (s *Scaler) Transform(X *linalg.Matrix) (*linalg.Matrix, error) {
 	if X.Cols() != len(s.mean) {
 		return nil, fmt.Errorf("dataset: scaler fitted on %d features, got %d", len(s.mean), X.Cols())
 	}

@@ -1,12 +1,11 @@
 package detector
 
 import (
-	"trusthmd/internal/ensemble"
-	"trusthmd/internal/hmd"
 	"trusthmd/internal/ml/bayes"
 	"trusthmd/internal/ml/knn"
 	"trusthmd/internal/ml/linear"
 	"trusthmd/internal/ml/tree"
+	"trusthmd/pkg/model"
 )
 
 // The built-in base-classifier families: the paper's three (random forest,
@@ -14,8 +13,8 @@ import (
 // the Zhou et al. candidate list. Their concrete types gob-self-register in
 // the internal/ml packages, so Save/Load works without prototypes here.
 func init() {
-	Register("rf", func(p Params) hmd.Factory {
-		return func(seed int64) ensemble.Classifier {
+	Register("rf", func(p Params) model.Factory {
+		return func(seed int64) model.Classifier {
 			// MaxFeatures -1 resolves to sqrt(d) at fit time.
 			return tree.New(tree.Config{
 				MaxFeatures: -1,
@@ -25,23 +24,23 @@ func init() {
 			})
 		}
 	})
-	Register("lr", func(Params) hmd.Factory {
-		return func(seed int64) ensemble.Classifier {
+	Register("lr", func(Params) model.Factory {
+		return func(seed int64) model.Classifier {
 			return linear.NewLogistic(linear.LogisticConfig{Seed: seed, Epochs: 20, Batch: 16})
 		}
 	})
-	Register("svm", func(p Params) hmd.Factory {
-		return func(seed int64) ensemble.Classifier {
+	Register("svm", func(p Params) model.Factory {
+		return func(seed int64) model.Classifier {
 			return linear.NewSVM(linear.SVMConfig{Seed: seed, Epochs: 100, MaxObjective: p.SVMMaxObjective})
 		}
 	})
-	Register("nb", func(Params) hmd.Factory {
-		return func(int64) ensemble.Classifier {
+	Register("nb", func(Params) model.Factory {
+		return func(int64) model.Classifier {
 			return bayes.New(bayes.Config{})
 		}
 	})
-	Register("knn", func(Params) hmd.Factory {
-		return func(int64) ensemble.Classifier {
+	Register("knn", func(Params) model.Factory {
+		return func(int64) model.Classifier {
 			return knn.New(knn.Config{K: 5})
 		}
 	})

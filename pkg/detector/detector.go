@@ -29,26 +29,56 @@ import (
 	"sync/atomic"
 
 	"trusthmd/internal/core"
-	"trusthmd/internal/dataset"
 	"trusthmd/internal/hmd"
-	"trusthmd/internal/mat"
 	"trusthmd/internal/ml/linear"
+	"trusthmd/pkg/dataset"
+	"trusthmd/pkg/linalg"
 )
 
 // Decision is a trusted-HMD verdict: accept the prediction as Benign or
 // Malware, or Reject and route the input to an analyst.
-type Decision = core.Decision
+type Decision int
 
-// The three trusted decisions.
+// The three trusted decisions. Values mirror internal/core's decision
+// encoding (asserted by a package test) so Save/Load and the serving wire
+// formats are unaffected by the exported type.
 const (
-	Benign  = core.DecideBenign
-	Malware = core.DecideMalware
-	Reject  = core.DecideReject
+	Benign Decision = iota
+	Malware
+	Reject
 )
 
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case Benign:
+		return "benign"
+	case Malware:
+		return "malware"
+	case Reject:
+		return "reject"
+	default:
+		return fmt.Sprintf("decision(%d)", int(d))
+	}
+}
+
 // Decomposition splits a prediction's total uncertainty into aleatoric
-// (data noise) and epistemic (model disagreement) components.
-type Decomposition = core.Decomposition
+// (data noise) and epistemic (model disagreement) components. All values
+// are in bits; Total = Aleatoric + Epistemic.
+type Decomposition struct {
+	Total     float64
+	Aleatoric float64
+	Epistemic float64
+}
+
+// DominantSource names the larger component of the decomposition:
+// "epistemic" for out-of-distribution-style uncertainty (actionable by
+// collecting data and retraining), "aleatoric" for class overlap
+// (actionable only by changing sensors/features), or "none" when the
+// prediction is confident (total below the given floor).
+func (d Decomposition) DominantSource(confidentBelow float64) string {
+	return core.Decomposition(d).DominantSource(confidentBelow)
+}
 
 // Result is the detector's per-input output.
 type Result struct {
@@ -219,7 +249,7 @@ func (d *Detector) AssessBatch(X [][]float64) ([]Result, error) {
 	if len(X) == 0 {
 		return nil, errors.New("detector: empty batch")
 	}
-	M, err := mat.FromRows(X)
+	M, err := linalg.FromRows(X)
 	if err != nil {
 		return nil, fmt.Errorf("detector: %w", err)
 	}
@@ -235,7 +265,7 @@ func (d *Detector) AssessDataset(ds *dataset.Dataset) ([]Result, error) {
 	return d.assessMatrix(ds.X())
 }
 
-func (d *Detector) assessMatrix(M *mat.Matrix) ([]Result, error) {
+func (d *Detector) assessMatrix(M *linalg.Matrix) ([]Result, error) {
 	Z, err := d.pipe.ProjectBatch(M)
 	if err != nil {
 		return nil, fmt.Errorf("detector: %w", err)
@@ -300,7 +330,8 @@ func (d *Detector) assessProjected(z []float64) (Result, error) {
 	if d.cfg.decompose {
 		var dc core.Decomposition
 		a, dc, err = d.pipe.AssessDecomposeProjected(z)
-		dec = &dc
+		dec = new(Decomposition)
+		*dec = Decomposition(dc)
 	} else {
 		a, err = d.pipe.AssessProjected(z)
 	}
@@ -315,7 +346,7 @@ func (d *Detector) assessProjected(z []float64) (Result, error) {
 		Prediction:    a.Prediction,
 		Entropy:       a.Entropy,
 		VoteDist:      a.VoteDist,
-		Decision:      decision,
+		Decision:      Decision(decision),
 		Decomposition: dec,
 	}, nil
 }

@@ -2,12 +2,12 @@ package detector
 
 import (
 	"math"
+	"strings"
 	"testing"
 
-	"trusthmd/internal/ensemble"
 	"trusthmd/internal/gen"
-	"trusthmd/internal/hmd"
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/linalg"
+	"trusthmd/pkg/model"
 )
 
 func dvfsSplits(t testing.TB) gen.Splits {
@@ -90,11 +90,16 @@ func TestOptionValidation(t *testing.T) {
 }
 
 func TestRegistryExtension(t *testing.T) {
-	// A new family plugs in without touching internal/hmd: a majority-class
-	// stump, registered under a fresh name.
-	Register("test-stump", func(Params) hmd.Factory {
-		return func(int64) ensemble.Classifier { return &stump{} }
+	// A new family plugs in through exported types only: a majority-class
+	// stump, registered under a fresh name. TryRegister (tolerating the
+	// leftover from an earlier -count run — the registry is package-global)
+	// rather than Register, so the suite stays idempotent.
+	err := TryRegister("test-stump", func(Params) model.Factory {
+		return func(int64) model.Classifier { return &stump{} }
 	}, &stump{})
+	if err != nil && !strings.Contains(err.Error(), "already registered") {
+		t.Fatal(err)
+	}
 	found := false
 	for _, m := range Models() {
 		if m == "test-stump" {
@@ -121,7 +126,7 @@ func TestRegistryExtension(t *testing.T) {
 // stump predicts the majority class of its training labels.
 type stump struct{ Class int }
 
-func (s *stump) Fit(X *mat.Matrix, y []int) error {
+func (s *stump) Fit(X *linalg.Matrix, y []int) error {
 	ones := 0
 	for _, lab := range y {
 		if lab == 1 {

@@ -2,6 +2,7 @@ package detector
 
 import (
 	"fmt"
+	"slices"
 
 	"trusthmd/internal/feature"
 )
@@ -31,6 +32,15 @@ type Online struct {
 	stride    int
 	sinceLast int
 
+	// lastWin/lastZ memoise the most recent window's projected feature
+	// vector. DVFS telemetry is bursty — steady phases repeat one state
+	// pattern for many strides — so when the linearised window matches the
+	// previous one, Push skips feature extraction, scaling and PCA and goes
+	// straight to member inference on the cached projection.
+	lastWin []int
+	lastZ   []float64
+	hasMemo bool
+
 	// Stats accumulates decision counts for monitoring dashboards.
 	Stats OnlineStats
 }
@@ -39,6 +49,9 @@ type Online struct {
 type OnlineStats struct {
 	Benign, Malware, Rejected int
 	Windows                   int
+	// CacheHits counts windows served from the projected-vector memo
+	// (identical to their predecessor, so scale+PCA were skipped).
+	CacheHits int
 }
 
 // Observe folds one decision into the tally. Serving layers reuse it to
@@ -130,13 +143,34 @@ func (o *Online) Push(state int) (res Result, ok bool, err error) {
 	// sequence-sensitive.
 	n := copy(o.scratch, o.ring[o.head:])
 	copy(o.scratch[n:], o.ring[:o.head])
-	feats, err := feature.DVFSVector(o.scratch, o.levels)
-	if err != nil {
-		return Result{}, false, fmt.Errorf("detector: online features: %w", err)
-	}
-	res, err = o.det.Assess(feats)
-	if err != nil {
-		return Result{}, false, err
+
+	if o.hasMemo && slices.Equal(o.scratch, o.lastWin) {
+		res, err = o.det.assessProjected(o.lastZ)
+		if err != nil {
+			return Result{}, false, err
+		}
+		o.Stats.CacheHits++
+	} else {
+		feats, ferr := feature.DVFSVector(o.scratch, o.levels)
+		if ferr != nil {
+			return Result{}, false, fmt.Errorf("detector: online features: %w", ferr)
+		}
+		z, perr := o.det.pipe.Project(feats)
+		if perr != nil {
+			return Result{}, false, fmt.Errorf("detector: %w", perr)
+		}
+		// Memoise before assessing: a failed assessment is retried on the
+		// next Push with the same window, and then it hits the cache.
+		if o.lastWin == nil {
+			o.lastWin = make([]int, len(o.scratch))
+		}
+		copy(o.lastWin, o.scratch)
+		o.lastZ = z
+		o.hasMemo = true
+		res, err = o.det.assessProjected(z)
+		if err != nil {
+			return Result{}, false, err
+		}
 	}
 	o.sinceLast = 0
 	o.Stats.Observe(res.Decision)

@@ -238,6 +238,70 @@ func TestOnlineRejectsBadState(t *testing.T) {
 	}
 }
 
+// TestOnlinePushMemoisation streams windows that repeat exactly (a steady
+// telemetry phase) interleaved with changing ones, and checks that repeats
+// are served from the projected-vector memo with decisions identical to
+// the unmemoised path.
+func TestOnlinePushMemoisation(t *testing.T) {
+	d := onlineDetector(t)
+	const levels, window, stride = 8, 64, 16
+	o, err := NewOnline(d, StreamConfig{Levels: levels, Window: window, Stride: stride})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pattern with period 8: every stride of 16 slides the window onto an
+	// identical copy of itself, so all decisions after the first are hits.
+	decisions := 0
+	for i := 0; i < 4*window; i++ {
+		res, ok, err := o.Push(i % levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		decisions++
+		// Every decision must match the naive unmemoised assessment.
+		win := make([]int, window)
+		for j := range win {
+			j0 := i - window + 1 + j
+			win[j] = j0 % levels
+		}
+		feats, err := feature.DVFSVector(win, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := d.Assess(feats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Prediction != want.Prediction || res.Entropy != want.Entropy || res.Decision != want.Decision {
+			t.Fatalf("push %d: memoised decision %+v != naive %+v", i, res, want)
+		}
+	}
+	if decisions < 2 {
+		t.Fatalf("only %d decisions emitted", decisions)
+	}
+	if want := decisions - 1; o.Stats.CacheHits != want {
+		t.Fatalf("cache hits %d, want %d (every repeat after the first window)", o.Stats.CacheHits, want)
+	}
+
+	// A genuinely new window must miss the cache and still be correct.
+	hits := o.Stats.CacheHits
+	for i := 0; ; i++ {
+		_, ok, err := o.Push((i / 2) % levels) // different pattern
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			break
+		}
+	}
+	if o.Stats.CacheHits != hits {
+		t.Fatal("changed window wrongly served from cache")
+	}
+}
+
 func TestOnlineStatsZero(t *testing.T) {
 	var s OnlineStats
 	if s.RejectedFraction() != 0 || s.Total() != 0 {

@@ -7,25 +7,22 @@ import (
 	"strings"
 	"sync"
 
-	"trusthmd/internal/hmd"
+	"trusthmd/pkg/model"
 )
 
 // Params carries the model-specific tuning knobs a Builder may consult.
-// Families ignore knobs that do not apply to them.
-type Params struct {
-	// SVMMaxObjective is the non-convergence ceiling for hinge-loss
-	// training (0 disables the check).
-	SVMMaxObjective float64
-	// TreeMaxDepth / TreeMinLeaf bound decision-tree members (0 keeps the
-	// defaults: unlimited depth, leaf size 1).
-	TreeMaxDepth int
-	TreeMinLeaf  int
-}
+// Families ignore knobs that do not apply to them. Alias of the exported
+// pkg/model type.
+type Params = model.Params
 
 // Builder produces a member factory for one base-classifier family, given
 // the detector's tuning parameters. The returned factory is called once per
 // ensemble member with that member's seed.
-type Builder func(p Params) hmd.Factory
+//
+// Builder speaks only exported types (pkg/model, and through it
+// pkg/linalg), so families implemented in other modules register on equal
+// footing with the built-ins.
+type Builder func(p Params) model.Factory
 
 var registry = struct {
 	sync.RWMutex
@@ -33,36 +30,49 @@ var registry = struct {
 }{builders: map[string]Builder{}}
 
 // Register adds a base-classifier family to the model registry under the
-// given name (case-insensitive), replacing any previous registration. The
-// optional prototypes are gob-registered so trained ensembles containing
-// members of those concrete types survive Save/Load; the built-in families
-// self-register their types instead.
+// given name (case-insensitive). The optional prototypes are gob-registered
+// so trained ensembles containing members of those concrete types survive
+// Save/Load; the built-in families self-register their types instead.
 //
 // Register makes new families available to WithModel without any change to
-// internal/hmd:
+// the training pipeline:
 //
-//	detector.Register("stump", func(p detector.Params) hmd.Factory {
-//	    return func(seed int64) ensemble.Classifier { ... }
+//	detector.Register("stump", func(p detector.Params) model.Factory {
+//	    return func(seed int64) model.Classifier { ... }
 //	}, &Stump{})
 //
-// Note: Builder's signature currently references internal types (the
-// hmd.Factory / ensemble.Classifier contract), so registration is open to
-// packages inside this module only. Exporting the classifier contract (and
-// the matrix type it consumes) is the planned follow-up that makes the
-// registry usable from other modules — see ROADMAP.md.
+// Register panics if the name is empty, the builder is nil, or the name is
+// already taken — a duplicate registration is a wiring bug (two packages
+// claiming one family name), and silently replacing the earlier family
+// would change which concrete types existing saved models decode into. Use
+// TryRegister to handle the collision as an error instead.
 func Register(name string, b Builder, prototypes ...any) {
-	if name = canonical(name); name == "" {
-		panic("detector: Register with empty model name")
+	if err := TryRegister(name, b, prototypes...); err != nil {
+		panic(err)
+	}
+}
+
+// TryRegister is Register returning an error instead of panicking: it
+// reports an empty name, a nil builder, or a name already registered,
+// leaving the existing registration untouched in every error case.
+func TryRegister(name string, b Builder, prototypes ...any) error {
+	canon := canonical(name)
+	if canon == "" {
+		return fmt.Errorf("detector: register with empty model name %q", name)
 	}
 	if b == nil {
-		panic("detector: Register with nil builder")
+		return fmt.Errorf("detector: register %q with nil builder", canon)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, exists := registry.builders[canon]; exists {
+		return fmt.Errorf("detector: model %q already registered", canon)
 	}
 	for _, p := range prototypes {
 		gob.Register(p)
 	}
-	registry.Lock()
-	defer registry.Unlock()
-	registry.builders[name] = b
+	registry.builders[canon] = b
+	return nil
 }
 
 // Models lists the registered family names in sorted order.

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 
-	"trusthmd/internal/dataset"
+	"trusthmd/pkg/dataset"
 )
 
 // Retrainer implements the feedback loop sketched in the paper's

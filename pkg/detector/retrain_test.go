@@ -3,9 +3,9 @@ package detector
 import (
 	"testing"
 
-	"trusthmd/internal/dataset"
 	"trusthmd/internal/gen"
-	"trusthmd/internal/mat"
+	"trusthmd/pkg/dataset"
+	"trusthmd/pkg/linalg"
 )
 
 func TestNewRetrainerValidation(t *testing.T) {
@@ -123,7 +123,7 @@ func TestRetrainingAbsorbsZeroDay(t *testing.T) {
 				correct++
 			}
 		}
-		return mat.Mean(hs), float64(correct) / float64(len(heldOut))
+		return linalg.Mean(hs), float64(correct) / float64(len(heldOut))
 	}
 
 	hBefore, _ := entropyAndAcc(before)
@@ -166,7 +166,7 @@ func TestRetrainingAbsorbsZeroDay(t *testing.T) {
 		}
 		otherHs = append(otherHs, r.Entropy)
 	}
-	if mat.Mean(otherHs) < 0.25 {
-		t.Fatalf("other unknown families lost their entropy: %.3f", mat.Mean(otherHs))
+	if linalg.Mean(otherHs) < 0.25 {
+		t.Fatalf("other unknown families lost their entropy: %.3f", linalg.Mean(otherHs))
 	}
 }

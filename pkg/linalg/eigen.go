@@ -1,4 +1,4 @@
-package mat
+package linalg
 
 import (
 	"fmt"
@@ -24,7 +24,7 @@ type Eigen struct {
 func SymEigen(a *Matrix) (*Eigen, error) {
 	n := a.Rows()
 	if n == 0 || a.Cols() != n {
-		return nil, fmt.Errorf("mat: symeigen of %dx%d: %w", a.Rows(), a.Cols(), ErrShape)
+		return nil, fmt.Errorf("linalg: symeigen of %dx%d: %w", a.Rows(), a.Cols(), ErrShape)
 	}
 	var scale float64
 	for i := 0; i < n; i++ {
@@ -36,7 +36,7 @@ func SymEigen(a *Matrix) (*Eigen, error) {
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if math.Abs(a.At(i, j)-a.At(j, i)) > symTol {
-				return nil, fmt.Errorf("mat: symeigen: matrix not symmetric at (%d,%d): %g vs %g", i, j, a.At(i, j), a.At(j, i))
+				return nil, fmt.Errorf("linalg: symeigen: matrix not symmetric at (%d,%d): %g vs %g", i, j, a.At(i, j), a.At(j, i))
 			}
 		}
 	}
@@ -65,7 +65,7 @@ func SymEigen(a *Matrix) (*Eigen, error) {
 		// downstream PCA ordering.
 		return sortEigen(w, v), nil
 	}
-	return nil, fmt.Errorf("mat: symeigen: no convergence after %d sweeps (off-diagonal %.3g)", maxSweeps, offDiagNorm(w))
+	return nil, fmt.Errorf("linalg: symeigen: no convergence after %d sweeps (off-diagonal %.3g)", maxSweeps, offDiagNorm(w))
 }
 
 // Identity returns the n x n identity matrix.

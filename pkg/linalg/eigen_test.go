@@ -1,4 +1,4 @@
-package mat
+package linalg
 
 import (
 	"math"

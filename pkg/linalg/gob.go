@@ -1,4 +1,4 @@
-package mat
+package linalg
 
 import (
 	"bytes"
@@ -29,7 +29,7 @@ func (m *Matrix) GobDecode(b []byte) error {
 		return err
 	}
 	if g.Rows < 0 || g.Cols < 0 || len(g.Data) != g.Rows*g.Cols {
-		return fmt.Errorf("mat: corrupt gob: %dx%d with %d values", g.Rows, g.Cols, len(g.Data))
+		return fmt.Errorf("linalg: corrupt gob: %dx%d with %d values", g.Rows, g.Cols, len(g.Data))
 	}
 	m.rows, m.cols, m.data = g.Rows, g.Cols, g.Data
 	if m.data == nil {

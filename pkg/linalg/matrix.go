@@ -3,7 +3,7 @@
 // symmetric eigendecomposition. It is deliberately small — just enough for
 // PCA, t-SNE and the linear classifiers — and depends only on the standard
 // library.
-package mat
+package linalg
 
 import (
 	"errors"
@@ -21,13 +21,13 @@ type Matrix struct {
 }
 
 // ErrShape reports incompatible matrix dimensions.
-var ErrShape = errors.New("mat: incompatible shapes")
+var ErrShape = errors.New("linalg: incompatible shapes")
 
 // New returns a zeroed rows x cols matrix.
 // It panics if either dimension is negative.
 func New(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
-		panic(fmt.Sprintf("mat: negative dimension %dx%d", rows, cols))
+		panic(fmt.Sprintf("linalg: negative dimension %dx%d", rows, cols))
 	}
 	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
 }
@@ -42,7 +42,7 @@ func FromRows(rows [][]float64) (*Matrix, error) {
 	m := New(len(rows), c)
 	for i, r := range rows {
 		if len(r) != c {
-			return nil, fmt.Errorf("mat: ragged row %d: got %d values, want %d: %w", i, len(r), c, ErrShape)
+			return nil, fmt.Errorf("linalg: ragged row %d: got %d values, want %d: %w", i, len(r), c, ErrShape)
 		}
 		copy(m.data[i*c:(i+1)*c], r)
 	}
@@ -79,7 +79,7 @@ func (m *Matrix) Set(i, j int, v float64) {
 
 func (m *Matrix) check(i, j int) {
 	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
-		panic(fmt.Sprintf("mat: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+		panic(fmt.Sprintf("linalg: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
 	}
 }
 
@@ -87,7 +87,7 @@ func (m *Matrix) check(i, j int) {
 // Mutating the returned slice mutates the matrix.
 func (m *Matrix) Row(i int) []float64 {
 	if i < 0 || i >= m.rows {
-		panic(fmt.Sprintf("mat: row %d out of range %d", i, m.rows))
+		panic(fmt.Sprintf("linalg: row %d out of range %d", i, m.rows))
 	}
 	return m.data[i*m.cols : (i+1)*m.cols]
 }
@@ -102,7 +102,7 @@ func (m *Matrix) RowCopy(i int) []float64 {
 // Col returns a copy of the j-th column.
 func (m *Matrix) Col(j int) []float64 {
 	if j < 0 || j >= m.cols {
-		panic(fmt.Sprintf("mat: col %d out of range %d", j, m.cols))
+		panic(fmt.Sprintf("linalg: col %d out of range %d", j, m.cols))
 	}
 	out := make([]float64, m.rows)
 	for i := 0; i < m.rows; i++ {
@@ -132,7 +132,7 @@ func (m *Matrix) T() *Matrix {
 // Mul returns the matrix product m * b.
 func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 	if m.cols != b.rows {
-		return nil, fmt.Errorf("mat: mul %dx%d by %dx%d: %w", m.rows, m.cols, b.rows, b.cols, ErrShape)
+		return nil, fmt.Errorf("linalg: mul %dx%d by %dx%d: %w", m.rows, m.cols, b.rows, b.cols, ErrShape)
 	}
 	out := New(m.rows, b.cols)
 	for i := 0; i < m.rows; i++ {
@@ -154,7 +154,7 @@ func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 // MulVec returns the matrix-vector product m * x.
 func (m *Matrix) MulVec(x []float64) ([]float64, error) {
 	if m.cols != len(x) {
-		return nil, fmt.Errorf("mat: mulvec %dx%d by len %d: %w", m.rows, m.cols, len(x), ErrShape)
+		return nil, fmt.Errorf("linalg: mulvec %dx%d by len %d: %w", m.rows, m.cols, len(x), ErrShape)
 	}
 	out := make([]float64, m.rows)
 	for i := 0; i < m.rows; i++ {
@@ -174,7 +174,7 @@ func (m *Matrix) Scale(s float64) *Matrix {
 // Add adds b to m in place and returns m.
 func (m *Matrix) Add(b *Matrix) (*Matrix, error) {
 	if m.rows != b.rows || m.cols != b.cols {
-		return nil, fmt.Errorf("mat: add %dx%d and %dx%d: %w", m.rows, m.cols, b.rows, b.cols, ErrShape)
+		return nil, fmt.Errorf("linalg: add %dx%d and %dx%d: %w", m.rows, m.cols, b.rows, b.cols, ErrShape)
 	}
 	for i := range m.data {
 		m.data[i] += b.data[i]
@@ -185,7 +185,7 @@ func (m *Matrix) Add(b *Matrix) (*Matrix, error) {
 // Sub subtracts b from m in place and returns m.
 func (m *Matrix) Sub(b *Matrix) (*Matrix, error) {
 	if m.rows != b.rows || m.cols != b.cols {
-		return nil, fmt.Errorf("mat: sub %dx%d and %dx%d: %w", m.rows, m.cols, b.rows, b.cols, ErrShape)
+		return nil, fmt.Errorf("linalg: sub %dx%d and %dx%d: %w", m.rows, m.cols, b.rows, b.cols, ErrShape)
 	}
 	for i := range m.data {
 		m.data[i] -= b.data[i]
@@ -268,7 +268,7 @@ func (m *Matrix) ColStds() []float64 {
 // CenterRows subtracts mu from every row of m in place.
 func (m *Matrix) CenterRows(mu []float64) error {
 	if len(mu) != m.cols {
-		return fmt.Errorf("mat: center %dx%d with len %d mean: %w", m.rows, m.cols, len(mu), ErrShape)
+		return fmt.Errorf("linalg: center %dx%d with len %d mean: %w", m.rows, m.cols, len(mu), ErrShape)
 	}
 	for i := 0; i < m.rows; i++ {
 		row := m.Row(i)
@@ -283,7 +283,7 @@ func (m *Matrix) CenterRows(mu []float64) error {
 // (denominator n-1). It requires at least two rows.
 func (m *Matrix) Covariance() (*Matrix, error) {
 	if m.rows < 2 {
-		return nil, fmt.Errorf("mat: covariance needs >=2 rows, got %d", m.rows)
+		return nil, fmt.Errorf("linalg: covariance needs >=2 rows, got %d", m.rows)
 	}
 	mu := m.ColMeans()
 	cov := New(m.cols, m.cols)

@@ -1,4 +1,4 @@
-package mat
+package linalg
 
 import (
 	"fmt"
@@ -8,7 +8,7 @@ import (
 // Dot returns the inner product of a and b. It panics if the lengths differ.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("mat: dot of len %d and %d", len(a), len(b)))
+		panic(fmt.Sprintf("linalg: dot of len %d and %d", len(a), len(b)))
 	}
 	var s float64
 	for i, v := range a {
@@ -25,7 +25,7 @@ func Norm(v []float64) float64 {
 // SqDist returns the squared Euclidean distance between a and b.
 func SqDist(a, b []float64) float64 {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("mat: sqdist of len %d and %d", len(a), len(b)))
+		panic(fmt.Sprintf("linalg: sqdist of len %d and %d", len(a), len(b)))
 	}
 	var s float64
 	for i, v := range a {
@@ -42,7 +42,7 @@ func Dist(a, b []float64) float64 { return math.Sqrt(SqDist(a, b)) }
 // differ.
 func AddScaled(dst []float64, s float64, src []float64) {
 	if len(dst) != len(src) {
-		panic(fmt.Sprintf("mat: addscaled of len %d and %d", len(dst), len(src)))
+		panic(fmt.Sprintf("linalg: addscaled of len %d and %d", len(dst), len(src)))
 	}
 	for i, v := range src {
 		dst[i] += s * v

@@ -1,0 +1,200 @@
+package model_test
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// The exported-contract packages: everything a client (or an out-of-tree
+// classifier family) needs must be expressible through these, so their
+// exported signatures may not mention any trusthmd/internal type.
+var auditedPackages = []string{
+	"trusthmd/pkg/linalg",
+	"trusthmd/pkg/model",
+	"trusthmd/pkg/model/gbm",
+	"trusthmd/pkg/dataset",
+	"trusthmd/pkg/detector",
+	"trusthmd/pkg/serve",
+}
+
+// contractOnlyPackages must not depend on trusthmd/internal at all, even
+// transitively — they are the pure contract surface.
+var contractOnlyPackages = []string{
+	"trusthmd/pkg/linalg",
+	"trusthmd/pkg/model",
+	"trusthmd/pkg/dataset",
+}
+
+// outOfTreePackages may not *directly* import trusthmd/internal — the same
+// constraint the compiler enforces on modules outside this one, which is
+// what makes pkg/model/gbm a faithful stand-in for an external family.
+// (Its exported-package imports still pull internal code transitively,
+// exactly as they would for a real external module; Go's internal rule
+// restricts naming, not linking.)
+var outOfTreePackages = []string{
+	"trusthmd/pkg/model/gbm",
+}
+
+// TestExportedAPIReferencesNoInternalTypes typechecks the public packages
+// and walks every exported declaration — constants, variables, functions,
+// types, their exported methods and exported struct fields — rejecting any
+// named type that lives under trusthmd/internal. This is the machine check
+// behind the registry's promise: external modules can implement and
+// register classifier families using exported packages alone.
+func TestExportedAPIReferencesNoInternalTypes(t *testing.T) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	for _, path := range auditedPackages {
+		pkg, err := imp.Import(path)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", path, err)
+		}
+		w := &apiWalker{origin: path, seen: map[types.Type]bool{}}
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			obj := scope.Lookup(name)
+			if !obj.Exported() {
+				continue
+			}
+			w.at = fmt.Sprintf("%s.%s", path, name)
+			w.check(obj.Type())
+			if tn, ok := obj.(*types.TypeName); ok && !tn.IsAlias() {
+				if named, ok := tn.Type().(*types.Named); ok {
+					for i := 0; i < named.NumMethods(); i++ {
+						m := named.Method(i)
+						if !m.Exported() {
+							continue
+						}
+						w.at = fmt.Sprintf("%s.%s.%s", path, name, m.Name())
+						w.check(m.Type())
+					}
+				}
+			}
+		}
+		for _, v := range w.violations {
+			t.Errorf("%s", v)
+		}
+	}
+}
+
+// TestContractPackagesImportNoInternal pins the import graph itself: the
+// packages an external family builds against depend on no internal code,
+// directly or otherwise.
+func TestContractPackagesImportNoInternal(t *testing.T) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	for _, path := range contractOnlyPackages {
+		pkg, err := imp.Import(path)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", path, err)
+		}
+		seen := map[string]bool{}
+		var visit func(p *types.Package)
+		visit = func(p *types.Package) {
+			if seen[p.Path()] {
+				return
+			}
+			seen[p.Path()] = true
+			if strings.HasPrefix(p.Path(), "trusthmd/internal") {
+				t.Errorf("%s transitively imports %s", path, p.Path())
+				return
+			}
+			for _, dep := range p.Imports() {
+				if strings.HasPrefix(dep.Path(), "trusthmd/") {
+					visit(dep)
+				}
+			}
+		}
+		visit(pkg)
+	}
+	for _, path := range outOfTreePackages {
+		pkg, err := imp.Import(path)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", path, err)
+		}
+		for _, dep := range pkg.Imports() {
+			if strings.HasPrefix(dep.Path(), "trusthmd/internal") {
+				t.Errorf("%s directly imports %s; out-of-tree families cannot", path, dep.Path())
+			}
+		}
+	}
+}
+
+// apiWalker recursively visits the types reachable from one exported
+// declaration. It descends into the structure of anonymous types and of
+// exported named types declared in the audited package set; a named type
+// from any other package is checked by package path and treated as opaque
+// (clients cannot reach further without importing it themselves).
+type apiWalker struct {
+	origin     string
+	at         string
+	seen       map[types.Type]bool
+	violations []string
+}
+
+func (w *apiWalker) check(t types.Type) {
+	if t == nil || w.seen[t] {
+		return
+	}
+	w.seen[t] = true
+	switch tt := t.(type) {
+	case *types.Named:
+		obj := tt.Obj()
+		if p := obj.Pkg(); p != nil {
+			if strings.HasPrefix(p.Path(), "trusthmd/internal") {
+				w.violations = append(w.violations,
+					fmt.Sprintf("%s references internal type %s.%s", w.at, p.Path(), obj.Name()))
+				return
+			}
+			if !w.audited(p.Path()) || !obj.Exported() {
+				return // opaque to clients of the audited packages
+			}
+		}
+		w.check(tt.Underlying())
+	case *types.Alias:
+		w.check(types.Unalias(tt))
+	case *types.Pointer:
+		w.check(tt.Elem())
+	case *types.Slice:
+		w.check(tt.Elem())
+	case *types.Array:
+		w.check(tt.Elem())
+	case *types.Map:
+		w.check(tt.Key())
+		w.check(tt.Elem())
+	case *types.Chan:
+		w.check(tt.Elem())
+	case *types.Signature:
+		w.check(tt.Params())
+		w.check(tt.Results())
+	case *types.Tuple:
+		for i := 0; i < tt.Len(); i++ {
+			w.check(tt.At(i).Type())
+		}
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if f := tt.Field(i); f.Exported() {
+				w.check(f.Type())
+			}
+		}
+	case *types.Interface:
+		for i := 0; i < tt.NumMethods(); i++ {
+			if m := tt.Method(i); m.Exported() {
+				w.check(m.Type())
+			}
+		}
+	}
+}
+
+func (w *apiWalker) audited(path string) bool {
+	for _, p := range auditedPackages {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,51 @@
+package gbm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// gbmGob is the exported wire form of a trained GBM. The concrete *GBM
+// type itself is gob-registered by the detector.Register prototype in this
+// package's init, which is what lets saved ensembles decode members behind
+// the model.Classifier interface.
+type gbmGob struct {
+	Cfg       Config
+	Bias      float64
+	Stumps    []stump
+	NFeatures int
+}
+
+// GobEncode implements gob.GobEncoder for trained-pipeline serialization.
+func (g *GBM) GobEncode() ([]byte, error) {
+	if g.nFeatures == 0 {
+		return nil, ErrNotFitted
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(gbmGob{
+		Cfg: g.cfg, Bias: g.bias, Stumps: g.stumps, NFeatures: g.nFeatures,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (g *GBM) GobDecode(b []byte) error {
+	var w gbmGob
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	if w.NFeatures <= 0 {
+		return fmt.Errorf("gbm: corrupt gob: %d features", w.NFeatures)
+	}
+	for i, st := range w.Stumps {
+		if st.Feature < 0 || st.Feature >= w.NFeatures {
+			return fmt.Errorf("gbm: corrupt gob: stump %d splits feature %d of %d", i, st.Feature, w.NFeatures)
+		}
+	}
+	g.cfg, g.bias, g.stumps, g.nFeatures = w.Cfg, w.Bias, w.Stumps, w.NFeatures
+	return nil
+}

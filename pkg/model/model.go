@@ -1,0 +1,78 @@
+// Package model exports the base-classifier contract of the trusted HMD
+// ensemble: the interfaces a classifier family must satisfy, the Factory
+// hook the ensemble trains through, and the tuning Params the model
+// registry hands to family builders.
+//
+// This is the plug-in boundary of the system. The bagging framework
+// (internal/ensemble), the training pipeline (internal/hmd) and the public
+// pkg/detector registry all speak these types, so a family implemented in a
+// separate module — importing only pkg/model, pkg/linalg and pkg/detector —
+// participates on equal footing with the built-ins:
+//
+//	detector.Register("stump", func(p model.Params) model.Factory {
+//	    return func(seed int64) model.Classifier { return NewStump(seed) }
+//	}, &Stump{})
+//
+// # Serialization contract
+//
+// Trained ensembles are persisted with encoding/gob (detector.Save /
+// detector.Load), and members are encoded behind the Classifier interface.
+// A family that should survive a save/load round trip must therefore:
+//
+//   - encode and decode every field needed for Predict — either via
+//     exported fields or, for unexported state, by implementing
+//     gob.GobEncoder and gob.GobDecoder on the concrete type;
+//   - register its concrete type with the gob stream, most conveniently by
+//     passing prototype values to detector.Register (shown above), which
+//     gob-registers them;
+//   - keep the registered concrete type's package path and name stable
+//     across versions: gob identifies interface implementations by that
+//     name, so moving or renaming the type orphans previously saved blobs.
+//
+// A decoded member must be ready to Predict; it is never re-Fit (retraining
+// goes back through the registry with a fresh Factory).
+package model
+
+import "trusthmd/pkg/linalg"
+
+// Classifier is the minimal contract a base model must satisfy to join the
+// ensemble.
+type Classifier interface {
+	// Fit trains on X (one sample per row) and integer class labels y.
+	// Implementations must treat X as read-only: the ensemble shares row
+	// storage between members and batches.
+	Fit(X *linalg.Matrix, y []int) error
+	// Predict returns the hard class label for one input.
+	Predict(x []float64) int
+}
+
+// ProbClassifier is optionally implemented by base models that can emit a
+// class-probability distribution. The ensemble then supports averaged
+// posteriors (the paper's Eq. 3) and a non-trivial aleatoric/epistemic
+// uncertainty split; hard-vote-only members degrade gracefully to one-hot
+// distributions.
+type ProbClassifier interface {
+	Classifier
+	// PredictProba returns P(class | x); entries are non-negative and sum
+	// to 1 over the classes seen at fit time.
+	PredictProba(x []float64) []float64
+}
+
+// Factory constructs one untrained ensemble member from a seed. The
+// ensemble calls it once per member with that member's own seed;
+// deterministic families may ignore the seed (bootstrap resampling still
+// diversifies them).
+type Factory = func(seed int64) Classifier
+
+// Params carries the model-specific tuning knobs a registry builder may
+// consult. Families ignore knobs that do not apply to them, so one Params
+// value configures a heterogeneous set of family builders.
+type Params struct {
+	// SVMMaxObjective is the non-convergence ceiling for hinge-loss
+	// training (0 disables the check).
+	SVMMaxObjective float64
+	// TreeMaxDepth / TreeMinLeaf bound decision-tree members (0 keeps the
+	// defaults: unlimited depth, leaf size 1).
+	TreeMaxDepth int
+	TreeMinLeaf  int
+}

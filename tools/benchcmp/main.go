@@ -1,0 +1,227 @@
+// Command benchcmp compares two BENCH_<rev>.json snapshots (written by
+// tools/benchjson via `make bench`) and exits non-zero when any benchmark
+// regressed beyond the tolerance — the CI gate on the repository's
+// performance trajectory.
+//
+//	go run ./tools/benchcmp -new BENCH_abc1234.json            # old auto-detected
+//	go run ./tools/benchcmp -old BENCH_prev.json -new BENCH_cur.json
+//
+// With -old omitted, the baseline is the committed snapshot whose revision
+// is the nearest ancestor of HEAD (resolved through `git rev-list`), so a
+// CI run on any branch compares against the latest snapshot merged before
+// it. Benchmarks are matched by (package, name); ones present on only one
+// side are reported but never fail the run, and neither do benchmarks
+// faster than -min-ns (single-iteration timings of micro-benchmarks are
+// dominated by scheduler noise).
+//
+// Absolute ns/op only transfers between runs on the same hardware, so when
+// the two snapshots record different CPUs the comparison is reported but
+// regressions only warn (exit 0) unless -strict forces the gate. The gate
+// therefore hardens automatically once a baseline produced on the CI
+// runner hardware is committed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Benchmark mirrors tools/benchjson's wire form.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot mirrors tools/benchjson's wire form.
+type Snapshot struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Delta is one compared benchmark.
+type Delta struct {
+	Key      string
+	OldNs    float64
+	NewNs    float64
+	Ratio    float64 // new/old - 1; positive = slower
+	Violates bool
+}
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "baseline snapshot (default: latest committed BENCH_<rev>.json ancestor of HEAD)")
+		newPath   = flag.String("new", "", "snapshot under test (required)")
+		tolerance = flag.Float64("tolerance", 0.25, "max allowed slowdown fraction before failing")
+		minNs     = flag.Float64("min-ns", 1e6, "ignore benchmarks faster than this many ns/op (noise floor)")
+		strict    = flag.Bool("strict", false, "fail on regressions even when the snapshots were recorded on different CPUs")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -new is required")
+		os.Exit(2)
+	}
+	if *oldPath == "" {
+		p, err := latestCommittedSnapshot(*newPath)
+		if err != nil {
+			// A repo with no prior snapshot has no trajectory to guard yet.
+			fmt.Printf("benchcmp: no baseline snapshot found (%v); nothing to compare\n", err)
+			return
+		}
+		*oldPath = p
+	}
+	oldSnap, err := readSnapshot(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	newSnap, err := readSnapshot(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	deltas, onlyOld, onlyNew := Compare(oldSnap, newSnap, *tolerance, *minNs)
+	fmt.Printf("benchcmp: %s -> %s (tolerance %.0f%%, noise floor %s)\n",
+		*oldPath, *newPath, *tolerance*100, fmtNs(*minNs))
+	violations := 0
+	for _, d := range deltas {
+		mark := " "
+		if d.Violates {
+			mark = "!"
+			violations++
+		}
+		fmt.Printf("%s %-55s %12s -> %12s  %+6.1f%%\n", mark, d.Key, fmtNs(d.OldNs), fmtNs(d.NewNs), d.Ratio*100)
+	}
+	for _, k := range onlyOld {
+		fmt.Printf("- %-55s removed\n", k)
+	}
+	for _, k := range onlyNew {
+		fmt.Printf("+ %-55s new\n", k)
+	}
+	if violations > 0 {
+		crossEnv := oldSnap.CPU != "" && newSnap.CPU != "" && oldSnap.CPU != newSnap.CPU
+		if crossEnv && !*strict {
+			fmt.Printf("benchcmp: %d benchmark(s) regressed more than %.0f%%, but the baseline was recorded on\n"+
+				"different hardware (%q vs %q) — warning only; commit a snapshot from this\n"+
+				"environment to arm the gate, or pass -strict to fail anyway\n",
+				violations, *tolerance*100, oldSnap.CPU, newSnap.CPU)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "benchcmp: %d benchmark(s) regressed more than %.0f%%\n", violations, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchcmp: no regression beyond tolerance")
+}
+
+// Compare matches benchmarks by (pkg, name) and flags regressions beyond
+// tolerance. Benchmarks below the minNs noise floor in BOTH snapshots are
+// compared but never flagged.
+func Compare(oldSnap, newSnap Snapshot, tolerance, minNs float64) (deltas []Delta, onlyOld, onlyNew []string) {
+	key := func(b Benchmark) string {
+		if b.Pkg == "" {
+			return b.Name
+		}
+		return b.Pkg + "." + b.Name
+	}
+	olds := map[string]Benchmark{}
+	for _, b := range oldSnap.Benchmarks {
+		olds[key(b)] = b
+	}
+	seen := map[string]bool{}
+	for _, nb := range newSnap.Benchmarks {
+		k := key(nb)
+		seen[k] = true
+		ob, ok := olds[k]
+		if !ok {
+			onlyNew = append(onlyNew, k)
+			continue
+		}
+		d := Delta{Key: k, OldNs: ob.NsPerOp, NewNs: nb.NsPerOp}
+		if ob.NsPerOp > 0 {
+			d.Ratio = nb.NsPerOp/ob.NsPerOp - 1
+		}
+		d.Violates = d.Ratio > tolerance && (ob.NsPerOp >= minNs || nb.NsPerOp >= minNs)
+		deltas = append(deltas, d)
+	}
+	for k := range olds {
+		if !seen[k] {
+			onlyOld = append(onlyOld, k)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Ratio > deltas[j].Ratio })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return deltas, onlyOld, onlyNew
+}
+
+func readSnapshot(path string) (Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// latestCommittedSnapshot picks, among the BENCH_<rev>.json files in the
+// working tree other than exclude, the one whose revision is most recent
+// in `git rev-list HEAD` — i.e. the newest snapshot from the current
+// branch's history.
+func latestCommittedSnapshot(exclude string) (string, error) {
+	files, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return "", err
+	}
+	out, err := exec.Command("git", "rev-list", "HEAD").Output()
+	if err != nil {
+		return "", fmt.Errorf("git rev-list: %w", err)
+	}
+	revs := strings.Fields(string(out))
+	best, bestPos := "", len(revs)
+	for _, f := range files {
+		if filepath.Base(f) == filepath.Base(exclude) {
+			continue
+		}
+		rev := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(f), "BENCH_"), ".json")
+		for pos, full := range revs {
+			if strings.HasPrefix(full, rev) {
+				if pos < bestPos {
+					best, bestPos = f, pos
+				}
+				break
+			}
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no committed BENCH_<rev>.json matches an ancestor of HEAD")
+	}
+	return best, nil
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

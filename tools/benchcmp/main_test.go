@@ -1,0 +1,60 @@
+package main
+
+import "testing"
+
+func snap(bs ...Benchmark) Snapshot { return Snapshot{Benchmarks: bs} }
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	oldS := snap(
+		Benchmark{Name: "BenchmarkA", Pkg: "p", NsPerOp: 10e6},
+		Benchmark{Name: "BenchmarkB", Pkg: "p", NsPerOp: 10e6},
+		Benchmark{Name: "BenchmarkGone", Pkg: "p", NsPerOp: 5e6},
+	)
+	newS := snap(
+		Benchmark{Name: "BenchmarkA", Pkg: "p", NsPerOp: 14e6}, // +40%: violation
+		Benchmark{Name: "BenchmarkB", Pkg: "p", NsPerOp: 11e6}, // +10%: fine
+		Benchmark{Name: "BenchmarkNew", Pkg: "p", NsPerOp: 1e6},
+	)
+	deltas, onlyOld, onlyNew := Compare(oldS, newS, 0.25, 1e6)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas: %+v", deltas)
+	}
+	// Sorted worst-first.
+	if deltas[0].Key != "p.BenchmarkA" || !deltas[0].Violates {
+		t.Fatalf("worst delta: %+v", deltas[0])
+	}
+	if deltas[1].Key != "p.BenchmarkB" || deltas[1].Violates {
+		t.Fatalf("tolerated delta: %+v", deltas[1])
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "p.BenchmarkGone" {
+		t.Fatalf("onlyOld: %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "p.BenchmarkNew" {
+		t.Fatalf("onlyNew: %v", onlyNew)
+	}
+}
+
+func TestCompareNoiseFloor(t *testing.T) {
+	// A 3x slowdown below the noise floor on both sides is not a violation.
+	oldS := snap(Benchmark{Name: "BenchmarkTiny", NsPerOp: 100})
+	newS := snap(Benchmark{Name: "BenchmarkTiny", NsPerOp: 300})
+	deltas, _, _ := Compare(oldS, newS, 0.25, 1e6)
+	if len(deltas) != 1 || deltas[0].Violates {
+		t.Fatalf("noise-floor delta flagged: %+v", deltas)
+	}
+	// ...but crossing the floor on the new side is.
+	newS = snap(Benchmark{Name: "BenchmarkTiny", NsPerOp: 2e6})
+	deltas, _, _ = Compare(oldS, newS, 0.25, 1e6)
+	if !deltas[0].Violates {
+		t.Fatalf("floor-crossing regression not flagged: %+v", deltas)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	oldS := snap(Benchmark{Name: "BenchmarkZ", NsPerOp: 0})
+	newS := snap(Benchmark{Name: "BenchmarkZ", NsPerOp: 5e6})
+	deltas, _, _ := Compare(oldS, newS, 0.25, 1e6)
+	if len(deltas) != 1 || deltas[0].Violates || deltas[0].Ratio != 0 {
+		t.Fatalf("zero baseline mishandled: %+v", deltas)
+	}
+}
