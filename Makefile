@@ -3,7 +3,7 @@ REV     := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 BENCH   ?= .
 BENCHTIME ?= 1x
 
-.PHONY: all build test test-short race vet fmt-check bench benchcmp ci
+.PHONY: all build test test-short test-allocs race vet fmt-check bench benchcmp serve-stats ci
 
 all: build
 
@@ -15,6 +15,14 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# test-allocs re-runs the zero-allocation contract of the inference hot
+# path (testing.AllocsPerRun assertions) uncached, race-free — the race
+# detector's instrumentation would make the counts meaningless. The bench
+# CI job runs this next to benchcmp so an allocation regression fails the
+# build even when it is too small to move ns/op.
+test-allocs:
+	$(GO) test -run TestAllocs -count=1 ./...
 
 # race runs the concurrency-heavy packages (batched assessment, request
 # coalescing) under the race detector.
@@ -40,8 +48,16 @@ bench:
 
 # benchcmp gates the performance trajectory: the snapshot `make bench` just
 # wrote is compared against the latest committed BENCH_<rev>.json reachable
-# from HEAD, and any benchmark more than 25% slower fails the target.
+# from HEAD; any benchmark more than 25% slower — in ns/op or allocs/op —
+# fails the target, and the full multi-snapshot trend table is printed.
 benchcmp:
 	$(GO) run ./tools/benchcmp -new BENCH_$(REV).json
+
+# serve-stats replays the serve-layer cross-request cache e2e and writes
+# the final /stats snapshot (cache hit/miss counters included) to
+# serve-cache-stats.json; CI uploads it as a build artifact.
+serve-stats:
+	TRUSTHMD_SERVE_STATS_OUT=$(CURDIR)/serve-cache-stats.json \
+		$(GO) test -run TestServeCacheHitsAreIdentical -count=1 ./pkg/serve/
 
 ci: build vet fmt-check test

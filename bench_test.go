@@ -37,6 +37,7 @@ func benchCfg() exp.Config {
 // --- One benchmark per paper artefact (DESIGN.md §5) ---
 
 func BenchmarkTableI(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.TableI(cfg); err != nil {
@@ -46,6 +47,7 @@ func BenchmarkTableI(b *testing.B) {
 }
 
 func BenchmarkFig4(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Fig4(cfg); err != nil {
@@ -55,6 +57,7 @@ func BenchmarkFig4(b *testing.B) {
 }
 
 func BenchmarkFig5(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Fig5(cfg); err != nil {
@@ -64,6 +67,7 @@ func BenchmarkFig5(b *testing.B) {
 }
 
 func BenchmarkFig7a(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Fig7a(cfg); err != nil {
@@ -73,6 +77,7 @@ func BenchmarkFig7a(b *testing.B) {
 }
 
 func BenchmarkFig7b(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Fig7b(cfg); err != nil {
@@ -82,6 +87,7 @@ func BenchmarkFig7b(b *testing.B) {
 }
 
 func BenchmarkFig8(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		for _, which := range []string{"DVFS", "HPC"} {
@@ -93,6 +99,7 @@ func BenchmarkFig8(b *testing.B) {
 }
 
 func BenchmarkFig9a(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Fig9a(cfg); err != nil {
@@ -102,6 +109,7 @@ func BenchmarkFig9a(b *testing.B) {
 }
 
 func BenchmarkFig9b(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Fig9b(cfg); err != nil {
@@ -111,6 +119,7 @@ func BenchmarkFig9b(b *testing.B) {
 }
 
 func BenchmarkHeadlines(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Headlines(cfg); err != nil {
@@ -120,6 +129,7 @@ func BenchmarkHeadlines(b *testing.B) {
 }
 
 func BenchmarkAblationPlatt(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.AblationPlatt(cfg); err != nil {
@@ -129,6 +139,7 @@ func BenchmarkAblationPlatt(b *testing.B) {
 }
 
 func BenchmarkAblationPosterior(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.AblationPosterior(cfg); err != nil {
@@ -138,6 +149,7 @@ func BenchmarkAblationPosterior(b *testing.B) {
 }
 
 func BenchmarkAblationDiversity(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.AblationDiversity(cfg); err != nil {
@@ -147,6 +159,7 @@ func BenchmarkAblationDiversity(b *testing.B) {
 }
 
 func BenchmarkAblationFamilies(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.AblationFamilies(cfg); err != nil {
@@ -156,6 +169,7 @@ func BenchmarkAblationFamilies(b *testing.B) {
 }
 
 func BenchmarkAblationSources(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.AblationSources(cfg); err != nil {
@@ -165,6 +179,7 @@ func BenchmarkAblationSources(b *testing.B) {
 }
 
 func BenchmarkEMGeneralization(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.EMGeneralization(cfg); err != nil {
@@ -174,6 +189,7 @@ func BenchmarkEMGeneralization(b *testing.B) {
 }
 
 func BenchmarkGovernorSensitivity(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.GovernorSensitivity(cfg); err != nil {
@@ -194,6 +210,7 @@ func dvfsBenchData(b *testing.B) gen.Splits {
 }
 
 func BenchmarkDatasetGenDVFS(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := gen.DVFSWithSizes(int64(i), gen.Sizes{Train: 140, Test: 70, Unknown: 40}); err != nil {
 			b.Fatal(err)
@@ -202,6 +219,7 @@ func BenchmarkDatasetGenDVFS(b *testing.B) {
 }
 
 func BenchmarkDatasetGenHPC(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := gen.HPCWithSizes(int64(i), gen.Sizes{Train: 1400, Test: 280, Unknown: 140}); err != nil {
 			b.Fatal(err)
@@ -210,6 +228,7 @@ func BenchmarkDatasetGenHPC(b *testing.B) {
 }
 
 func BenchmarkPipelineTrainRF(b *testing.B) {
+	b.ReportAllocs()
 	s := dvfsBenchData(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -222,6 +241,7 @@ func BenchmarkPipelineTrainRF(b *testing.B) {
 }
 
 func BenchmarkPipelineAssess(b *testing.B) {
+	b.ReportAllocs()
 	s := dvfsBenchData(b)
 	d, err := detector.New(s.Train,
 		detector.WithModel("rf"), detector.WithEnsembleSize(25), detector.WithSeed(1))
@@ -261,6 +281,7 @@ func assessBenchSetup(b *testing.B) (*detector.Detector, [][]float64) {
 // BenchmarkAssessSequential is the old serving loop: one Assess call per
 // sample, re-projecting every vector and walking members serially.
 func BenchmarkAssessSequential(b *testing.B) {
+	b.ReportAllocs()
 	d, X := assessBenchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -272,11 +293,31 @@ func BenchmarkAssessSequential(b *testing.B) {
 	}
 }
 
-// BenchmarkAssessBatch is the batched serving path: scale+PCA once per
-// batch and a worker pool over member inference. Compare against
-// BenchmarkAssessSequential; at GOMAXPROCS >= 4 it must be >= 2x faster
-// with element-wise identical results (see detector.TestAssessBatchSpeedup).
+// BenchmarkAssessBatch is the batched serving hot path: scale+PCA once
+// per batch into scratch matrices, member-major flattened-tree inference,
+// and results written into a reused workspace — the zero-allocation
+// steady state a long-lived server runs in (TestAllocsAssessBatchInto
+// pins allocs/op at 0 for single-worker detectors). Compare against
+// BenchmarkAssessSequential; results are element-wise identical to
+// per-sample Assess (see detector.TestAssessBatchGoldenEqualsSequential).
 func BenchmarkAssessBatch(b *testing.B) {
+	b.ReportAllocs()
+	d, X := assessBenchSetup(b)
+	var sc detector.BatchScratch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.AssessBatchInto(&sc, X); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssessBatchAlloc drives the same batched path through the
+// plain AssessBatch API, whose results (and their VoteDist backing) are
+// freshly allocated because they outlive the call — the price of the
+// convenience API over AssessBatchInto.
+func BenchmarkAssessBatchAlloc(b *testing.B) {
+	b.ReportAllocs()
 	d, X := assessBenchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -372,6 +413,7 @@ func BenchmarkOnlineAssessVaried(b *testing.B) {
 }
 
 func BenchmarkTreeFit(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	n, d := 2000, 17
 	X := linalg.New(n, d)
@@ -386,7 +428,12 @@ func BenchmarkTreeFit(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr := tree.New(tree.Config{MaxFeatures: -1, Seed: int64(i)})
+		// Fixed seed: the sqrt(d) feature sampling makes fitted-tree size
+		// (and therefore ns/op) swing several-fold across seeds, so a
+		// per-iteration seed would make this benchmark's number depend on
+		// -benchtime. Seed 0 matches what single-iteration historical
+		// snapshots actually measured.
+		tr := tree.New(tree.Config{MaxFeatures: -1, Seed: 0})
 		if err := tr.Fit(X, y); err != nil {
 			b.Fatal(err)
 		}
@@ -394,6 +441,7 @@ func BenchmarkTreeFit(b *testing.B) {
 }
 
 func BenchmarkEnsembleVotes(b *testing.B) {
+	b.ReportAllocs()
 	s := dvfsBenchData(b)
 	ens := ensemble.New(ensemble.Config{
 		M:    25,
@@ -411,6 +459,7 @@ func BenchmarkEnsembleVotes(b *testing.B) {
 }
 
 func BenchmarkVoteEntropy(b *testing.B) {
+	b.ReportAllocs()
 	var est core.Estimator
 	votes := make([]int, 25)
 	for i := range votes {
@@ -425,6 +474,7 @@ func BenchmarkVoteEntropy(b *testing.B) {
 }
 
 func BenchmarkPCA(b *testing.B) {
+	b.ReportAllocs()
 	s := dvfsBenchData(b)
 	X := s.Train.X()
 	b.ResetTimer()
@@ -440,6 +490,7 @@ func BenchmarkPCA(b *testing.B) {
 }
 
 func BenchmarkTSNE(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(3))
 	X := linalg.New(120, 10)
 	for i := 0; i < X.Rows(); i++ {

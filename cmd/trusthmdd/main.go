@@ -16,7 +16,7 @@
 //	trusthmdd -model dvfs=det.gob -model alt=b.gob  # named shard fleet
 //	         [-addr :8080] [-default dvfs]
 //	         [-max-batch 32] [-max-wait 2ms] [-queue 1024]
-//	         [-workers 0] [-threshold -1]
+//	         [-cache-size 4096] [-workers 0] [-threshold -1]
 //
 //	curl -s localhost:8080/v1/assess -d '{"features":[...]}'
 package main
@@ -54,6 +54,7 @@ func main() {
 		queue     = flag.Int("queue", 1024, "per-shard pending-request buffer; beyond it requests are shed with 503")
 		maxBody   = flag.Int64("max-body", 8<<20, "request body size cap in bytes")
 		maxBatchN = flag.Int("max-batch-samples", 4096, "largest accepted client-side batch")
+		cacheSize = flag.Int("cache-size", 0, "per-shard cross-request result cache entries (0 = default 4096, negative disables)")
 		workers   = flag.Int("workers", 0, "override assessment parallelism on every shard (0 keeps each model's saved setting)")
 		threshold = flag.Float64("threshold", -1, "override the rejection threshold on every shard (<0 keeps each model's saved threshold)")
 		timeout   = flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM")
@@ -68,6 +69,7 @@ func main() {
 		QueueSize:       *queue,
 		MaxBodyBytes:    *maxBody,
 		MaxBatchSamples: *maxBatchN,
+		CacheSize:       *cacheSize,
 		DefaultModel:    *defName,
 	}, *workers, *threshold, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "trusthmdd:", err)

@@ -103,12 +103,27 @@ func (e Estimator) Summarize(votes []int) (VoteSummary, error) {
 	if err != nil {
 		return VoteSummary{}, err
 	}
+	return e.SummarizeCounts(counts, len(votes), make([]float64, len(counts)))
+}
+
+// SummarizeCounts is the destination-passing core of Summarize: it builds
+// the summary from an already-accumulated vote histogram over nVotes total
+// votes, writing the normalised distribution into dist (len(counts)). The
+// zero-allocation assessment path accumulates counts member-by-member and
+// summarises them here; the numbers are bit-identical to Summarize over
+// the equivalent vote slice.
+func (e Estimator) SummarizeCounts(counts []int, nVotes int, dist []float64) (VoteSummary, error) {
+	if nVotes == 0 {
+		return VoteSummary{}, ErrNoVotes
+	}
+	if len(dist) != len(counts) {
+		return VoteSummary{}, fmt.Errorf("core: dist len %d for %d classes", len(dist), len(counts))
+	}
 	h, err := stats.CountEntropy(counts)
 	if err != nil {
 		return VoteSummary{}, err
 	}
-	dist := make([]float64, len(counts))
-	inv := 1 / float64(len(votes))
+	inv := 1 / float64(nVotes)
 	best := 0
 	for lab, c := range counts {
 		dist[lab] = float64(c) * inv

@@ -312,6 +312,121 @@ func (b *Bagging) Votes(x []float64) []int {
 	return votes
 }
 
+// ErrVoteRange reports a member vote outside the [0, classes) histogram a
+// batched accumulation was given. Callers fall back to the allocating vote
+// path, which grows its histogram defensively.
+var ErrVoteRange = errors.New("ensemble: member vote outside class range")
+
+// AccumulateVotes adds the votes of members [from, to) on every row of Z
+// into counts, a row-major rows x k histogram slab (a vote v on row i
+// increments counts[i*k+v]). votes (len >= rows) and input (len >=
+// Z.Cols()) are caller-owned scratch, so the steady state allocates
+// nothing. Members that implement model.BatchClassifier and see the full
+// feature space vote through PredictBatch — one pass per member keeps that
+// member's model state cache-hot across the whole batch.
+//
+// The member range makes the accumulation partitionable: disjoint ranges
+// touch disjoint member state, so workers can fill private slabs in
+// parallel and integer-add them together without changing any count.
+func (b *Bagging) AccumulateVotes(Z *linalg.Matrix, counts []int, k, from, to int, votes []int, input []float64) error {
+	if b.members == nil {
+		panic(ErrNotFitted)
+	}
+	n := Z.Rows()
+	if from < 0 || to > len(b.members) || from > to {
+		return fmt.Errorf("ensemble: member range [%d,%d) of %d", from, to, len(b.members))
+	}
+	if len(counts) < n*k {
+		return fmt.Errorf("ensemble: counts len %d for %d rows x %d classes", len(counts), n, k)
+	}
+	for m := from; m < to; m++ {
+		member := b.members[m]
+		cols := b.features[m]
+		if cols == nil {
+			if bc, ok := member.(model.BatchClassifier); ok {
+				bc.PredictBatch(Z, votes[:n])
+				ci := 0
+				for _, v := range votes[:n] {
+					if v < 0 || v >= k {
+						return fmt.Errorf("%w: vote %d of %d classes", ErrVoteRange, v, k)
+					}
+					counts[ci+v]++
+					ci += k
+				}
+				continue
+			}
+			for i := 0; i < n; i++ {
+				v := member.Predict(Z.Row(i))
+				if v < 0 || v >= k {
+					return fmt.Errorf("%w: vote %d of %d classes", ErrVoteRange, v, k)
+				}
+				counts[i*k+v]++
+			}
+			continue
+		}
+		sub := input[:len(cols)]
+		for i := 0; i < n; i++ {
+			row := Z.Row(i)
+			for j, c := range cols {
+				sub[j] = row[c]
+			}
+			v := member.Predict(sub)
+			if v < 0 || v >= k {
+				return fmt.Errorf("%w: vote %d of %d classes", ErrVoteRange, v, k)
+			}
+			counts[i*k+v]++
+		}
+	}
+	return nil
+}
+
+// AccumulateVotesVec adds every member's vote on the single sample x into
+// counts (len k), using input as the feature-subset scratch. It is the
+// one-row form of AccumulateVotes for the streaming and single-sample
+// paths.
+func (b *Bagging) AccumulateVotesVec(counts []int, k int, x []float64, input []float64) error {
+	if b.members == nil {
+		panic(ErrNotFitted)
+	}
+	if len(counts) < k {
+		return fmt.Errorf("ensemble: counts len %d for %d classes", len(counts), k)
+	}
+	for m, member := range b.members {
+		xi := x
+		if cols := b.features[m]; cols != nil {
+			sub := input[:len(cols)]
+			for j, c := range cols {
+				sub[j] = x[c]
+			}
+			xi = sub
+		}
+		v := member.Predict(xi)
+		if v < 0 || v >= k {
+			return fmt.Errorf("%w: vote %d of %d classes", ErrVoteRange, v, k)
+		}
+		counts[v]++
+	}
+	return nil
+}
+
+// MaxMemberDim returns the widest member input (the full feature space, or
+// the largest feature subset) — the scratch size AccumulateVotes needs.
+func (b *Bagging) MaxMemberDim(full int) int {
+	dim := 0
+	for _, cols := range b.features {
+		if cols == nil {
+			return full
+		}
+		if len(cols) > dim {
+			dim = len(cols)
+		}
+	}
+	if dim == 0 || dim > full {
+		dim = full
+	}
+	return dim
+}
+
 // VoteCounts returns the per-class tally of member votes on x.
 func (b *Bagging) VoteCounts(x []float64) []int {
 	counts := make([]int, b.classes)

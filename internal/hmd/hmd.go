@@ -9,14 +9,21 @@ package hmd
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"trusthmd/internal/core"
 	"trusthmd/internal/ensemble"
 	"trusthmd/internal/reduce"
+	"trusthmd/internal/stats"
 	"trusthmd/pkg/dataset"
 	"trusthmd/pkg/linalg"
 	"trusthmd/pkg/model"
 )
+
+// ErrVoteRange re-exports the ensemble's out-of-histogram vote error so
+// the detector can trigger its allocating fallback without importing
+// internal/ensemble for one sentinel.
+var ErrVoteRange = ensemble.ErrVoteRange
 
 // Factory constructs one untrained ensemble member from a seed. The open
 // model registry in pkg/detector maps model names to factories; this
@@ -48,13 +55,92 @@ type Config struct {
 }
 
 // Pipeline is a trained trusted HMD. Its inference methods are safe for
-// concurrent use: a fitted pipeline is immutable.
+// concurrent use: a fitted pipeline is immutable (the scratch pool is
+// internally synchronised).
 type Pipeline struct {
 	cfg    Config
 	scaler *dataset.Scaler
 	pca    *reduce.PCA
 	ens    *ensemble.Bagging
 	est    core.Estimator
+
+	// scratch recycles single-sample assessment buffers across calls, so
+	// the steady-state Assess path allocates only its result's VoteDist.
+	// Never serialized; decoded and truncated pipelines start empty pools.
+	scratch sync.Pool
+
+	// entropy2 memoises the binary vote entropy: with M members and two
+	// classes there are only M+1 possible histograms, so the hot
+	// SummarizeCounts path replaces two log2 calls per sample with a table
+	// lookup. Entries are produced by the very stats.CountEntropy call the
+	// slow path makes, so they are bit-identical. Built lazily (never
+	// serialized; rebuilt per process).
+	entropyOnce sync.Once
+	entropy2    []float64
+}
+
+// entropyTable returns the memoised binary-histogram entropies, indexed by
+// the class-1 count, or nil when the pipeline is not a two-class ensemble.
+func (p *Pipeline) entropyTable() []float64 {
+	p.entropyOnce.Do(func() {
+		if p.Classes() != 2 {
+			return
+		}
+		m := p.ens.Size()
+		tab := make([]float64, m+1)
+		pair := make([]int, 2)
+		for c := 0; c <= m; c++ {
+			pair[0], pair[1] = m-c, c
+			h, err := stats.CountEntropy(pair)
+			if err != nil {
+				return
+			}
+			tab[c] = h
+		}
+		p.entropy2 = tab
+	})
+	return p.entropy2
+}
+
+// assessScratch is one pooled set of single-sample buffers.
+type assessScratch struct {
+	scaled  []float64
+	reduced []float64
+	input   []float64
+	counts  []int
+}
+
+func (p *Pipeline) getScratch() *assessScratch {
+	if s, ok := p.scratch.Get().(*assessScratch); ok {
+		return s
+	}
+	return &assessScratch{
+		scaled:  make([]float64, p.scaler.Dim()),
+		reduced: make([]float64, p.ProjectedDim()),
+		input:   make([]float64, p.MemberScratchDim()),
+		counts:  make([]int, p.Classes()),
+	}
+}
+
+// AssessPooled assesses one raw vector through pooled projection and vote
+// buffers: prediction, entropy and vote distribution are bit-identical to
+// Assess, and the only steady-state allocation is the returned VoteDist.
+func (p *Pipeline) AssessPooled(x []float64) (Assessment, error) {
+	s := p.getScratch()
+	defer p.scratch.Put(s)
+	z, err := p.ProjectInto(s.scaled, s.reduced, x)
+	if err != nil {
+		return Assessment{}, err
+	}
+	return p.AssessProjectedInto(z, s.input, make([]float64, p.Classes()), s.counts)
+}
+
+// AssessProjectedPooled is AssessPooled for an already-projected vector —
+// the streaming memo path, which skips projection entirely.
+func (p *Pipeline) AssessProjectedPooled(z []float64) (Assessment, error) {
+	s := p.getScratch()
+	defer p.scratch.Put(s)
+	return p.AssessProjectedInto(z, s.input, make([]float64, p.Classes()), s.counts)
 }
 
 // Assessment is the trusted HMD's per-input output: the raw prediction,
@@ -151,6 +237,122 @@ func (p *Pipeline) ProjectBatch(X *linalg.Matrix) (*linalg.Matrix, error) {
 		}
 	}
 	return Z, nil
+}
+
+// Classes returns the width of the vote histogram the estimator builds —
+// the counts/dist buffer size the scratch assessment paths require.
+func (p *Pipeline) Classes() int {
+	k := p.est.Classes
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+// ProjectedDim returns the dimensionality ensemble members consume: the
+// PCA width when a PCA stage is fitted, the scaler width otherwise.
+func (p *Pipeline) ProjectedDim() int {
+	if p.pca != nil {
+		return p.pca.K()
+	}
+	return p.scaler.Dim()
+}
+
+// MemberScratchDim returns the widest per-member input the ensemble can
+// request — the input buffer size the vote-accumulation paths need.
+func (p *Pipeline) MemberScratchDim() int {
+	return p.ens.MaxMemberDim(p.ProjectedDim())
+}
+
+// ProjectInto is the destination-passing Project: scaled (len InputDim)
+// and reduced (len ProjectedDim) are caller-owned buffers, and the
+// returned slice aliases whichever of the two holds the projection.
+// Values are bit-identical to Project.
+func (p *Pipeline) ProjectInto(scaled, reduced, x []float64) ([]float64, error) {
+	if err := p.scaler.TransformVecInto(scaled, x); err != nil {
+		return nil, err
+	}
+	if p.pca == nil {
+		return scaled, nil
+	}
+	if err := p.pca.TransformVecInto(reduced, scaled); err != nil {
+		return nil, err
+	}
+	return reduced, nil
+}
+
+// ProjectBatchScratch projects a whole batch through scaling and PCA with
+// zero steady-state allocations: work holds the raw samples (one per row)
+// and is overwritten with the scaled representation; reduced is resized to
+// receive the PCA projection when that stage exists. The returned matrix
+// aliases one of the two scratches. Row i is bit-identical to Project of
+// row i.
+func (p *Pipeline) ProjectBatchScratch(work, reduced *linalg.Matrix) (*linalg.Matrix, error) {
+	if err := p.scaler.TransformInto(work, work); err != nil {
+		return nil, err
+	}
+	if p.pca == nil {
+		return work, nil
+	}
+	reduced.ResizeUnset(work.Rows(), p.pca.K()) // MulInto writes every cell
+	if err := p.pca.TransformInto(reduced, work); err != nil {
+		return nil, err
+	}
+	return reduced, nil
+}
+
+// AccumulateVotes adds the votes of members [from, to) over every row of Z
+// into the row-major rows x Classes() histogram slab counts. votes and
+// input are caller-owned scratch (see ensemble.AccumulateVotes). A
+// ErrVoteRange result means a member voted outside the histogram; callers
+// fall back to the allocating assessment path, which grows defensively.
+func (p *Pipeline) AccumulateVotes(Z *linalg.Matrix, counts []int, from, to int, votes []int, input []float64) error {
+	return p.ens.AccumulateVotes(Z, counts, p.Classes(), from, to, votes, input)
+}
+
+// SummarizeCounts turns one row's accumulated vote histogram into an
+// Assessment, writing the vote distribution into dist (len Classes()).
+// Binary full-turnout histograms take the memoised-entropy fast path;
+// everything else goes through the estimator. Both are bit-identical.
+func (p *Pipeline) SummarizeCounts(counts []int, dist []float64) (Assessment, error) {
+	m := p.ens.Size()
+	if len(counts) == 2 && len(dist) == 2 && counts[0] >= 0 && counts[1] >= 0 && counts[0]+counts[1] == m {
+		if tab := p.entropyTable(); tab != nil {
+			c0, c1 := counts[0], counts[1]
+			inv := 1 / float64(m)
+			dist[0], dist[1] = float64(c0)*inv, float64(c1)*inv
+			pred := 0
+			if c1 > c0 {
+				pred = 1
+			}
+			return Assessment{Prediction: pred, Entropy: tab[c1], VoteDist: dist}, nil
+		}
+	}
+	s, err := p.est.SummarizeCounts(counts, m, dist)
+	if err != nil {
+		return Assessment{}, err
+	}
+	return Assessment{Prediction: s.Prediction, Entropy: s.Entropy, VoteDist: s.Dist}, nil
+}
+
+// AssessProjectedInto assesses an already-projected vector using only
+// caller-owned buffers: counts (len >= Classes()) is zeroed and refilled,
+// input is member-subset scratch, and the vote distribution lands in dist
+// (len Classes()). Results are bit-identical to AssessProjected; the rare
+// out-of-range vote falls back to it.
+func (p *Pipeline) AssessProjectedInto(z, input, dist []float64, counts []int) (Assessment, error) {
+	k := p.Classes()
+	counts = counts[:k]
+	for i := range counts {
+		counts[i] = 0
+	}
+	if err := p.ens.AccumulateVotesVec(counts, k, z, input); err != nil {
+		if errors.Is(err, ErrVoteRange) {
+			return p.AssessProjected(z)
+		}
+		return Assessment{}, err
+	}
+	return p.SummarizeCounts(counts, dist)
 }
 
 // AssessProjected assesses an already-projected vector: one walk over the

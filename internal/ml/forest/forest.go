@@ -148,7 +148,12 @@ func bootstrap(X *linalg.Matrix, y []int, rng *rand.Rand) (*linalg.Matrix, []int
 // Predict returns the majority vote over trees. Ties resolve to the lower
 // class index.
 func (f *Forest) Predict(x []float64) int {
-	votes := f.Votes(x)
+	return majority(f.Votes(x))
+}
+
+// majority returns the plurality label of a vote slice; ties resolve to
+// the lower class index.
+func majority(votes []int) int {
 	counts := map[int]int{}
 	best, bestC := 0, -1
 	for _, v := range votes {
@@ -183,6 +188,73 @@ func (f *Forest) Votes(x []float64) []int {
 		votes[i] = tr.Predict(x)
 	}
 	return votes
+}
+
+// VotesBatch returns one hard prediction per tree for every row of X:
+// out[i][t] is tree t's vote on row i, so out[i] is exactly Votes(row i).
+// Traversal is tree-major — each tree's flattened node slab stays
+// cache-hot across the whole batch instead of being evicted by its
+// neighbours between samples — which is what makes batched forest
+// inference faster than per-row Votes loops at identical outputs.
+func (f *Forest) VotesBatch(X *linalg.Matrix) [][]int {
+	if len(f.trees) == 0 {
+		panic(ErrNotFitted)
+	}
+	n, T := X.Rows(), len(f.trees)
+	flat := make([]int, n*T)
+	col := make([]int, n)
+	for t, tr := range f.trees {
+		tr.PredictBatch(X, col)
+		for i, v := range col {
+			flat[i*T+t] = v
+		}
+	}
+	out := make([][]int, n)
+	for i := range out {
+		out[i] = flat[i*T : (i+1)*T : (i+1)*T]
+	}
+	return out
+}
+
+// PredictBatch writes the forest's majority vote for every row of X into
+// out (length X.Rows()), batching traversal tree-major like VotesBatch but
+// accumulating per-row class counts directly — two reusable slabs instead
+// of VotesBatch's full rows x trees vote matrix. Labels are identical to
+// calling Predict per row.
+func (f *Forest) PredictBatch(X *linalg.Matrix, out []int) {
+	if len(f.trees) == 0 {
+		panic(ErrNotFitted)
+	}
+	if len(out) != X.Rows() {
+		panic(fmt.Sprintf("forest: predict batch out len %d for %d rows", len(out), X.Rows()))
+	}
+	n := X.Rows()
+	k := 0
+	for _, tr := range f.trees {
+		if c := tr.NumClasses(); c > k {
+			k = c
+		}
+	}
+	counts := make([]int, n*k)
+	col := make([]int, n)
+	for _, tr := range f.trees {
+		tr.PredictBatch(X, col)
+		ci := 0
+		for _, v := range col {
+			counts[ci+v]++
+			ci += k
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := counts[i*k : (i+1)*k]
+		best := 0
+		for lab, c := range row {
+			if c > row[best] {
+				best = lab
+			}
+		}
+		out[i] = best
+	}
 }
 
 // PredictProba averages per-tree leaf class frequencies (Eq. 3's model

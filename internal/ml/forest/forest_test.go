@@ -1,6 +1,8 @@
 package forest
 
 import (
+	"bytes"
+	"encoding/gob"
 	"math"
 	"math/rand"
 	"testing"
@@ -203,5 +205,77 @@ func TestPredictMatchesVotesProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestForestGobRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	X, y := twoBlobs(rng, 120)
+	f := New(Config{Trees: 7, Seed: 5})
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	var back Forest
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTrees() != f.NumTrees() {
+		t.Fatalf("decoded %d trees, want %d", back.NumTrees(), f.NumTrees())
+	}
+	wantVotes := f.VotesBatch(X)
+	gotVotes := back.VotesBatch(X)
+	out := make([]int, X.Rows())
+	back.PredictBatch(X, out)
+	for i := 0; i < X.Rows(); i++ {
+		x := X.RowCopy(i)
+		if got, want := back.Predict(x), f.Predict(x); got != want {
+			t.Fatalf("row %d: decoded Predict %d, original %d", i, got, want)
+		}
+		if out[i] != f.Predict(x) {
+			t.Fatalf("row %d: decoded PredictBatch %d, original Predict %d", i, out[i], f.Predict(x))
+		}
+		for tr := range wantVotes[i] {
+			if gotVotes[i][tr] != wantVotes[i][tr] {
+				t.Fatalf("row %d tree %d: decoded vote %d, original %d", i, tr, gotVotes[i][tr], wantVotes[i][tr])
+			}
+		}
+		gp, wp := back.PredictProba(x), f.PredictProba(x)
+		for c := range wp {
+			if gp[c] != wp[c] {
+				t.Fatalf("row %d: decoded proba %v, original %v", i, gp, wp)
+			}
+		}
+	}
+	var empty Forest
+	if _, err := empty.GobEncode(); err == nil {
+		t.Fatal("encoding an unfitted forest should fail")
+	}
+}
+
+func TestVotesBatchMatchesVotes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	X, y := twoBlobs(rng, 150)
+	f := New(Config{Trees: 9, Seed: 2})
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	vb := f.VotesBatch(X)
+	out := make([]int, X.Rows())
+	f.PredictBatch(X, out)
+	for i := 0; i < X.Rows(); i++ {
+		x := X.RowCopy(i)
+		votes := f.Votes(x)
+		for tr := range votes {
+			if vb[i][tr] != votes[tr] {
+				t.Fatalf("row %d tree %d: batch vote %d, per-row vote %d", i, tr, vb[i][tr], votes[tr])
+			}
+		}
+		if want := f.Predict(x); out[i] != want {
+			t.Fatalf("row %d: PredictBatch %d, Predict %d", i, out[i], want)
+		}
 	}
 }

@@ -1,0 +1,51 @@
+package forest
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"trusthmd/internal/ml/tree"
+)
+
+// forestGob is the exported wire form of a trained Forest. Trees carry
+// their own GobEncode, which serialises the pointer-node layout; the
+// flattened traversal slabs are rebuilt on decode, never shipped.
+type forestGob struct {
+	Cfg   Config
+	Dim   int
+	Trees []*tree.Tree
+}
+
+// GobEncode implements gob.GobEncoder for trained-forest serialization.
+func (f *Forest) GobEncode() ([]byte, error) {
+	if len(f.trees) == 0 {
+		return nil, ErrNotFitted
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(forestGob{Cfg: f.cfg, Dim: f.dim, Trees: f.trees}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder. Decoded trees re-flatten
+// themselves, so a loaded forest serves from the cache-local slabs
+// immediately.
+func (f *Forest) GobDecode(b []byte) error {
+	var g forestGob
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&g); err != nil {
+		return err
+	}
+	if len(g.Trees) == 0 {
+		return errors.New("forest: corrupt gob: no trees")
+	}
+	for i, tr := range g.Trees {
+		if tr == nil {
+			return fmt.Errorf("forest: corrupt gob: nil tree %d", i)
+		}
+	}
+	f.cfg, f.dim, f.trees = g.Cfg, g.Dim, g.Trees
+	return nil
+}

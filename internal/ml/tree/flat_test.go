@@ -1,0 +1,134 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+
+	"trusthmd/pkg/linalg"
+)
+
+// randomFitted fits a tree with randomized shape controls on randomized
+// data, returning the tree and a pool of probe inputs (training rows plus
+// perturbed variants, so probes land both on and between split
+// thresholds).
+func randomFitted(t *testing.T, rng *rand.Rand) (*Tree, [][]float64) {
+	t.Helper()
+	n := 20 + rng.Intn(200)
+	d := 1 + rng.Intn(12)
+	classes := 2 + rng.Intn(3)
+	X := linalg.New(n, d)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			// Coarse quantization forces duplicated feature values, the
+			// edge case split scanning and traversal must agree on.
+			X.Set(i, j, float64(rng.Intn(9))/2)
+		}
+		y[i] = rng.Intn(classes)
+	}
+	cfg := Config{
+		MaxDepth:    rng.Intn(8), // 0 = unlimited
+		MinLeaf:     1 + rng.Intn(3),
+		MaxFeatures: rng.Intn(d+1) - 1, // -1 = sqrt(d), 0 = all
+		Criterion:   Criterion(rng.Intn(2)),
+		Seed:        rng.Int63(),
+	}
+	tr := New(cfg)
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	probes := make([][]float64, 0, 2*n)
+	for i := 0; i < n; i++ {
+		probes = append(probes, X.RowCopy(i))
+		p := X.RowCopy(i)
+		for j := range p {
+			p[j] += (rng.Float64() - 0.5) * 0.7
+		}
+		probes = append(probes, p)
+	}
+	return tr, probes
+}
+
+// TestFlatMatchesPointerWalk is the flattening property test: on
+// randomized fitted trees, the packed-slab traversal (Predict,
+// PredictProba, PredictBatch) must be bit-identical to the original
+// pointer-node walk for every probe.
+func TestFlatMatchesPointerWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 30; round++ {
+		tr, probes := randomFitted(t, rng)
+		if tr.flat == nil {
+			t.Fatalf("round %d: fitted tree was not flattened", round)
+		}
+		X := linalg.MustFromRows(probes)
+		batch := make([]int, len(probes))
+		tr.PredictBatch(X, batch)
+		for pi, x := range probes {
+			wantCounts := tr.leafCountsPtr(x)
+			wantLabel := majorityLabel(wantCounts)
+			if got := tr.Predict(x); got != wantLabel {
+				t.Fatalf("round %d probe %d: flat Predict %d, pointer walk %d", round, pi, got, wantLabel)
+			}
+			if batch[pi] != wantLabel {
+				t.Fatalf("round %d probe %d: PredictBatch %d, pointer walk %d", round, pi, batch[pi], wantLabel)
+			}
+			gotCounts := tr.leafCountsFlat(x)
+			if len(gotCounts) != len(wantCounts) {
+				t.Fatalf("round %d probe %d: flat counts %v, pointer counts %v", round, pi, gotCounts, wantCounts)
+			}
+			for c := range wantCounts {
+				if gotCounts[c] != wantCounts[c] {
+					t.Fatalf("round %d probe %d: flat counts %v, pointer counts %v", round, pi, gotCounts, wantCounts)
+				}
+			}
+		}
+	}
+}
+
+// TestFlatRebuiltAfterGobDecode asserts the wire format stays pointer
+// shaped while decoded trees immediately serve from a rebuilt flat slab,
+// with bit-identical predictions.
+func TestFlatRebuiltAfterGobDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr, probes := randomFitted(t, rng)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(tr); err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.flat == nil {
+		t.Fatal("decoded tree was not flattened")
+	}
+	if len(back.flat) != len(tr.flat) {
+		t.Fatalf("decoded slab has %d nodes, original %d", len(back.flat), len(tr.flat))
+	}
+	for pi, x := range probes {
+		if got, want := back.Predict(x), tr.Predict(x); got != want {
+			t.Fatalf("probe %d: decoded Predict %d, original %d", pi, got, want)
+		}
+		gp, wp := back.PredictProba(x), tr.PredictProba(x)
+		for c := range wp {
+			if gp[c] != wp[c] {
+				t.Fatalf("probe %d: decoded proba %v, original %v", pi, gp, wp)
+			}
+		}
+	}
+}
+
+func TestAllocsPredictBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr, probes := randomFitted(t, rng)
+	X := linalg.MustFromRows(probes)
+	out := make([]int, len(probes))
+	allocs := testing.AllocsPerRun(20, func() {
+		tr.PredictBatch(X, out)
+	})
+	if allocs > 0 {
+		t.Fatalf("PredictBatch allocates %.1f times per batch, want 0", allocs)
+	}
+}

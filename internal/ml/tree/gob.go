@@ -83,5 +83,8 @@ func (t *Tree) GobDecode(b []byte) error {
 	t.nClasses = g.NClasses
 	t.nodes = g.NodeTally
 	t.root = &nodes[0]
+	// The wire format stays pointer-shaped (frozen v2 blobs must keep
+	// decoding); the inference slab is rebuilt on this side of the wire.
+	t.buildFlat()
 	return nil
 }

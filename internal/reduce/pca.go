@@ -41,9 +41,11 @@ func FitPCA(X *linalg.Matrix, k int) (*PCA, error) {
 	}
 	d := X.Cols()
 	comp := linalg.New(d, k)
+	col := make([]float64, d)
 	for c := 0; c < k; c++ {
-		for r := 0; r < d; r++ {
-			comp.Set(r, c, eig.Vectors.At(r, c))
+		eig.Vectors.ColInto(c, col)
+		for r, v := range col {
+			comp.Set(r, c, v)
 		}
 	}
 	var total float64
@@ -85,14 +87,29 @@ func (p *PCA) Transform(X *linalg.Matrix) (*linalg.Matrix, error) {
 	if p.components == nil {
 		return nil, ErrNotFitted
 	}
-	if X.Cols() != len(p.mean) {
-		return nil, fmt.Errorf("reduce: pca fitted on %d features, got %d", len(p.mean), X.Cols())
-	}
 	centered := X.Clone()
-	if err := centered.CenterRows(p.mean); err != nil {
+	dst := linalg.New(X.Rows(), p.K())
+	if err := p.TransformInto(dst, centered); err != nil {
 		return nil, err
 	}
-	return centered.Mul(p.components)
+	return dst, nil
+}
+
+// TransformInto projects X onto the retained components, writing the
+// result into dst (Rows() x K). X is centered IN PLACE as scratch — pass a
+// matrix you own (batch pipelines reuse their scaled scratch matrix here,
+// so the steady state allocates nothing). dst must not alias X.
+func (p *PCA) TransformInto(dst, X *linalg.Matrix) error {
+	if p.components == nil {
+		return ErrNotFitted
+	}
+	if X.Cols() != len(p.mean) {
+		return fmt.Errorf("reduce: pca fitted on %d features, got %d", len(p.mean), X.Cols())
+	}
+	if err := X.CenterRows(p.mean); err != nil {
+		return err
+	}
+	return X.MulInto(dst, p.components)
 }
 
 // TransformVec projects a single vector.
@@ -100,20 +117,37 @@ func (p *PCA) TransformVec(x []float64) ([]float64, error) {
 	if p.components == nil {
 		return nil, ErrNotFitted
 	}
-	if len(x) != len(p.mean) {
-		return nil, fmt.Errorf("reduce: pca fitted on %d features, got %d", len(p.mean), len(x))
-	}
-	centered := make([]float64, len(x))
-	for j, v := range x {
-		centered[j] = v - p.mean[j]
-	}
 	out := make([]float64, p.K())
-	for c := 0; c < p.K(); c++ {
-		var s float64
-		for r, v := range centered {
-			s += v * p.components.At(r, c)
-		}
-		out[c] = s
+	centered := make([]float64, len(x))
+	copy(centered, x)
+	if err := p.TransformVecInto(out, centered); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// TransformVecInto projects x onto the retained components into dst
+// (length K). x is centered IN PLACE as scratch — pass a buffer you own.
+// dst must not alias x.
+func (p *PCA) TransformVecInto(dst, x []float64) error {
+	if p.components == nil {
+		return ErrNotFitted
+	}
+	if len(x) != len(p.mean) {
+		return fmt.Errorf("reduce: pca fitted on %d features, got %d", len(p.mean), len(x))
+	}
+	if len(dst) != p.K() {
+		return fmt.Errorf("reduce: pca output len %d, want %d", len(dst), p.K())
+	}
+	for j := range x {
+		x[j] -= p.mean[j]
+	}
+	for c := range dst {
+		var s float64
+		for r, v := range x {
+			s += v * p.components.At(r, c)
+		}
+		dst[c] = s
+	}
+	return nil
 }

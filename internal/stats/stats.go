@@ -47,14 +47,31 @@ func Entropy(p []float64) (float64, error) {
 // CountEntropy returns the Shannon entropy, in bits, of a frequency
 // distribution given as integer counts (e.g. ensemble votes per class).
 func CountEntropy(counts []int) (float64, error) {
-	p := make([]float64, len(counts))
+	// Allocation-free unrolling of Entropy over float64(counts): the same
+	// total/term accumulation order, so the result is bit-identical, and
+	// the assessment hot path can call it per sample without garbage.
+	var total float64
 	for i, c := range counts {
 		if c < 0 {
 			return 0, fmt.Errorf("stats: count entropy: negative count %d at %d", c, i)
 		}
-		p[i] = float64(c)
+		total += float64(c)
 	}
-	return Entropy(p)
+	if total == 0 {
+		return 0, fmt.Errorf("stats: entropy: distribution sums to zero: %w", ErrEmpty)
+	}
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		q := float64(c) / total
+		h -= q * math.Log2(q)
+	}
+	if h < 0 { // guard tiny negative round-off
+		h = 0
+	}
+	return h, nil
 }
 
 // BinaryEntropy returns the entropy, in bits, of a Bernoulli(p)

@@ -35,27 +35,54 @@ func (s *Scaler) Dim() int { return len(s.mean) }
 
 // Transform standardises X into a new matrix.
 func (s *Scaler) Transform(X *linalg.Matrix) (*linalg.Matrix, error) {
-	if X.Cols() != len(s.mean) {
-		return nil, fmt.Errorf("dataset: scaler fitted on %d features, got %d", len(s.mean), X.Cols())
-	}
 	out := X.Clone()
-	for i := 0; i < out.Rows(); i++ {
-		row := out.Row(i)
-		for j := range row {
-			row[j] = (row[j] - s.mean[j]) / s.std[j]
-		}
+	if err := s.TransformInto(out, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
+// TransformInto standardises X into dst, which must have X's shape.
+// dst == X scales in place. It is the destination-passing form of
+// Transform: steady-state batch pipelines reuse one scratch matrix instead
+// of cloning every input.
+func (s *Scaler) TransformInto(dst, X *linalg.Matrix) error {
+	if X.Cols() != len(s.mean) {
+		return fmt.Errorf("dataset: scaler fitted on %d features, got %d", len(s.mean), X.Cols())
+	}
+	if dst.Rows() != X.Rows() || dst.Cols() != X.Cols() {
+		return fmt.Errorf("dataset: scaler output %dx%d for %dx%d input", dst.Rows(), dst.Cols(), X.Rows(), X.Cols())
+	}
+	for i := 0; i < X.Rows(); i++ {
+		src := X.Row(i)
+		out := dst.Row(i)
+		for j, v := range src {
+			out[j] = (v - s.mean[j]) / s.std[j]
+		}
+	}
+	return nil
+}
+
 // TransformVec standardises a single feature vector into a new slice.
 func (s *Scaler) TransformVec(x []float64) ([]float64, error) {
-	if len(x) != len(s.mean) {
-		return nil, fmt.Errorf("dataset: scaler fitted on %d features, got %d", len(s.mean), len(x))
-	}
-	out := make([]float64, len(x))
-	for j, v := range x {
-		out[j] = (v - s.mean[j]) / s.std[j]
+	out := make([]float64, len(s.mean))
+	if err := s.TransformVecInto(out, x); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// TransformVecInto standardises x into dst, which must have the fitted
+// dimensionality. dst == x scales in place.
+func (s *Scaler) TransformVecInto(dst, x []float64) error {
+	if len(x) != len(s.mean) {
+		return fmt.Errorf("dataset: scaler fitted on %d features, got %d", len(s.mean), len(x))
+	}
+	if len(dst) != len(s.mean) {
+		return fmt.Errorf("dataset: scaler output len %d for %d features", len(dst), len(s.mean))
+	}
+	for j, v := range x {
+		dst[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return nil
 }

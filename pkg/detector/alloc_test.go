@@ -1,0 +1,109 @@
+package detector
+
+import (
+	"testing"
+
+	"trusthmd/internal/gen"
+)
+
+// The zero-allocation contract of the inference hot path (README
+// "Performance"): steady-state batched assessment through a reused
+// BatchScratch performs no heap allocations at all, single-sample Assess
+// allocates only its result's VoteDist, and the streaming window costs
+// nothing between assessment boundaries. CI runs these under
+// `-run TestAllocs -count=1` (the make benchcmp job), so a regression
+// that re-introduces garbage into the hot path fails the build even when
+// it is too small to trip the ns/op gate.
+
+// allocDetector trains the paper's RF detector pinned to one worker: the
+// goroutine fan-out of the parallel member partition is the one part of
+// the batched path that is allowed to allocate.
+func allocDetector(t *testing.T) (*Detector, [][]float64) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	s, err := gen.DVFSWithSizes(5, gen.Sizes{Train: 280, Test: 160, Unknown: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(s.Train, WithModel("rf"), WithEnsembleSize(11), WithSeed(1), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	X := make([][]float64, s.Test.Len())
+	for i := range X {
+		X[i] = s.Test.At(i).Features
+	}
+	return d, X
+}
+
+func TestAllocsAssessBatchInto(t *testing.T) {
+	d, X := allocDetector(t)
+	var sc BatchScratch
+	if _, err := d.AssessBatchInto(&sc, X); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := d.AssessBatchInto(&sc, X); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state AssessBatchInto allocates %.1f times per batch, want 0", allocs)
+	}
+}
+
+func TestAllocsAssess(t *testing.T) {
+	d, X := allocDetector(t)
+	if _, err := d.Assess(X[0]); err != nil { // warm the pipeline pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := d.Assess(X[0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("steady-state Assess allocates %.1f times per sample, want <= 1 (the VoteDist)", allocs)
+	}
+}
+
+func TestAllocsOnlinePush(t *testing.T) {
+	d, _ := allocDetector(t)
+
+	// Window maintenance between assessment boundaries allocates nothing.
+	o, err := NewOnline(d, StreamConfig{Levels: 8, Window: 64, Stride: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := o.Push(state & 7); err != nil {
+			t.Fatal(err)
+		}
+		state++
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Online.Push allocates %.2f times per sample, want 0", allocs)
+	}
+
+	// A memo-hit assessment boundary allocates only the result's VoteDist.
+	o2, err := NewOnline(d, StreamConfig{Levels: 8, Window: 64, Stride: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 130; i++ { // fill the window and warm the memo
+		if _, _, err := o2.Push(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs = testing.AllocsPerRun(50, func() {
+		if _, ok, err := o2.Push(3); err != nil || !ok {
+			t.Fatalf("push: ok=%v err=%v", ok, err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("memo-hit Online.Push allocates %.1f times per decision, want <= 1 (the VoteDist)", allocs)
+	}
+}

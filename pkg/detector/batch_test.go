@@ -221,3 +221,26 @@ func TestAssessBatchSpeedup(t *testing.T) {
 		t.Fatalf("batch speedup %.2fx (sequential %v, batch %v), want >= 2x", speedup, seqTime, batchTime)
 	}
 }
+
+// TestBatchResultsIndependentVoteDist pins the ownership contract of the
+// allocating batch API: results share one VoteDist arena internally, but
+// each slice is capacity-capped to its own window, so growing one result's
+// distribution can never overwrite a neighbour's.
+func TestBatchResultsIndependentVoteDist(t *testing.T) {
+	d, s := trainRF(t)
+	X := make([][]float64, 4)
+	for i := range X {
+		X[i] = s.Test.At(i).Features
+	}
+	rs, err := d.AssessBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), rs[1].VoteDist...)
+	rs[0].VoteDist = append(rs[0].VoteDist, 0.5)
+	for j := range want {
+		if rs[1].VoteDist[j] != want[j] {
+			t.Fatalf("appending to results[0].VoteDist corrupted results[1]: %v != %v", rs[1].VoteDist, want)
+		}
+	}
+}

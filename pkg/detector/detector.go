@@ -213,13 +213,22 @@ func (d *Detector) WithOptions(opts ...Option) (*Detector, error) {
 	return &Detector{cfg: cfg, pipe: d.pipe}, nil
 }
 
-// Assess runs the trusted path on one raw feature vector.
+// Assess runs the trusted path on one raw feature vector. Projection and
+// vote buffers come from a per-pipeline scratch pool, so the steady state
+// allocates only the result's VoteDist.
 func (d *Detector) Assess(x []float64) (Result, error) {
-	z, err := d.pipe.Project(x)
+	if d.cfg.decompose {
+		z, err := d.pipe.Project(x)
+		if err != nil {
+			return Result{}, fmt.Errorf("detector: %w", err)
+		}
+		return d.assessProjected(z)
+	}
+	a, err := d.pipe.AssessPooled(x)
 	if err != nil {
 		return Result{}, fmt.Errorf("detector: %w", err)
 	}
-	return d.assessProjected(z)
+	return d.finishResult(a, nil)
 }
 
 // Predict runs the untrusted path: the plain majority-vote label without
@@ -242,18 +251,24 @@ func (d *Detector) Posterior(x []float64) ([]float64, error) {
 }
 
 // AssessBatch assesses a batch of raw feature vectors. Scaling and PCA run
-// once over the whole batch as matrix operations, and member inference fans
-// out over the detector's worker pool; results are element-wise identical
-// to calling Assess on each vector.
+// once over the whole batch as matrix operations into pooled scratch, and
+// member inference walks the batch member-by-member (fanned out over the
+// detector's worker pool) so each member's model state stays cache-hot
+// across every sample; results are element-wise identical to calling
+// Assess on each vector. The returned results are independently owned —
+// callers that can reuse one workspace across calls should prefer
+// AssessBatchInto, which drives the same path with zero steady-state
+// allocations.
 func (d *Detector) AssessBatch(X [][]float64) ([]Result, error) {
 	if len(X) == 0 {
 		return nil, errors.New("detector: empty batch")
 	}
-	M, err := linalg.FromRows(X)
-	if err != nil {
-		return nil, fmt.Errorf("detector: %w", err)
+	s := batchScratchPool.Get().(*BatchScratch)
+	defer batchScratchPool.Put(s)
+	if err := s.loadRows(X); err != nil {
+		return nil, err
 	}
-	return d.assessMatrix(M)
+	return d.assessScratch(s, true)
 }
 
 // AssessDataset assesses every sample of a dataset through the batched
@@ -262,7 +277,10 @@ func (d *Detector) AssessDataset(ds *dataset.Dataset) ([]Result, error) {
 	if ds == nil || ds.Len() == 0 {
 		return nil, errors.New("detector: empty dataset")
 	}
-	return d.assessMatrix(ds.X())
+	s := batchScratchPool.Get().(*BatchScratch)
+	defer batchScratchPool.Put(s)
+	s.loadMatrix(ds.X())
+	return d.assessScratch(s, true)
 }
 
 func (d *Detector) assessMatrix(M *linalg.Matrix) ([]Result, error) {
@@ -320,7 +338,8 @@ func (d *Detector) assessMatrix(M *linalg.Matrix) ([]Result, error) {
 }
 
 // assessProjected builds a full Result from an already-projected vector in
-// one pass over the ensemble's member outputs.
+// one pass over the ensemble's member outputs, through the pooled vote
+// buffers on the non-decomposing path.
 func (d *Detector) assessProjected(z []float64) (Result, error) {
 	var (
 		a   hmd.Assessment
@@ -333,11 +352,16 @@ func (d *Detector) assessProjected(z []float64) (Result, error) {
 		dec = new(Decomposition)
 		*dec = Decomposition(dc)
 	} else {
-		a, err = d.pipe.AssessProjected(z)
+		a, err = d.pipe.AssessProjectedPooled(z)
 	}
 	if err != nil {
 		return Result{}, err
 	}
+	return d.finishResult(a, dec)
+}
+
+// finishResult applies the rejection threshold to an assessment.
+func (d *Detector) finishResult(a hmd.Assessment, dec *Decomposition) (Result, error) {
 	decision, err := core.Rejector{Threshold: d.cfg.threshold}.Decide(a.Prediction, a.Entropy)
 	if err != nil {
 		return Result{}, err

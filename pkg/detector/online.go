@@ -41,6 +41,14 @@ type Online struct {
 	lastZ   []float64
 	hasMemo bool
 
+	// projScaled/projReduced are the stream's private projection buffers:
+	// scale+PCA write into them instead of allocating, and lastZ copies the
+	// result, so the steady-state miss path allocates only during feature
+	// extraction and the memo-hit path allocates nothing beyond the
+	// result's VoteDist.
+	projScaled  []float64
+	projReduced []float64
+
 	// Stats accumulates decision counts for monitoring dashboards.
 	Stats OnlineStats
 }
@@ -155,17 +163,24 @@ func (o *Online) Push(state int) (res Result, ok bool, err error) {
 		if ferr != nil {
 			return Result{}, false, fmt.Errorf("detector: online features: %w", ferr)
 		}
-		z, perr := o.det.pipe.Project(feats)
+		if o.projScaled == nil {
+			o.projScaled = make([]float64, o.det.pipe.InputDim())
+			o.projReduced = make([]float64, o.det.pipe.ProjectedDim())
+		}
+		z, perr := o.det.pipe.ProjectInto(o.projScaled, o.projReduced, feats)
 		if perr != nil {
 			return Result{}, false, fmt.Errorf("detector: %w", perr)
 		}
 		// Memoise before assessing: a failed assessment is retried on the
-		// next Push with the same window, and then it hits the cache.
+		// next Push with the same window, and then it hits the cache. The
+		// memo owns its copy — z aliases the projection buffers, which the
+		// next miss overwrites.
 		if o.lastWin == nil {
 			o.lastWin = make([]int, len(o.scratch))
+			o.lastZ = make([]float64, len(z))
 		}
 		copy(o.lastWin, o.scratch)
-		o.lastZ = z
+		copy(o.lastZ, z)
 		o.hasMemo = true
 		res, err = o.det.assessProjected(z)
 		if err != nil {

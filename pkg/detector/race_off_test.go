@@ -1,0 +1,5 @@
+//go:build !race
+
+package detector
+
+const raceEnabled = false

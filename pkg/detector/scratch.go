@@ -1,0 +1,277 @@
+package detector
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"trusthmd/internal/core"
+	"trusthmd/internal/hmd"
+	"trusthmd/pkg/linalg"
+)
+
+// BatchScratch is the reusable workspace of AssessBatchInto: input copy,
+// projection matrices, vote histograms and the returned results all live
+// in one caller-owned arena that is regrown on demand and never shrunk.
+// A steady-state caller assessing same-sized batches performs zero heap
+// allocations per call.
+//
+// A BatchScratch may be used by one goroutine at a time, and the results
+// returned by AssessBatchInto (including their VoteDist slices) remain
+// valid only until the scratch's next use. Callers that hand results to
+// other goroutines or retain them across calls must copy them first, or
+// use AssessBatch, which returns independently-owned results.
+type BatchScratch struct {
+	work    *linalg.Matrix // raw input copy, overwritten by scaling
+	reduced *linalg.Matrix // PCA projection, when that stage exists
+	counts  []int          // row-major n x classes vote histograms
+	votes   []int          // per-member batched vote scratch
+	input   []float64      // member feature-subset scratch
+	dists   []float64      // VoteDist backing for scratch-owned results
+	results []Result
+
+	// Per-worker private histograms for the parallel member partition;
+	// integer merges keep the parallel accumulation bit-identical.
+	partCounts [][]int
+	partVotes  [][]int
+	partInput  [][]float64
+	errs       []error
+}
+
+// batchScratchPool recycles scratches behind the plain AssessBatch API.
+// Scratches are shape-agnostic (every buffer is resized per call), so one
+// pool serves every detector.
+var batchScratchPool = sync.Pool{
+	New: func() any {
+		return &BatchScratch{work: linalg.New(0, 0), reduced: linalg.New(0, 0)}
+	},
+}
+
+func (s *BatchScratch) init() {
+	if s.work == nil {
+		s.work = linalg.New(0, 0)
+	}
+	if s.reduced == nil {
+		s.reduced = linalg.New(0, 0)
+	}
+}
+
+// growInts returns b resized to n, reallocating only on growth.
+func growInts(b []int, n int) []int {
+	if cap(b) < n {
+		return make([]int, n)
+	}
+	return b[:n]
+}
+
+// growFloats returns b resized to n, reallocating only on growth.
+func growFloats(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
+}
+
+// AssessBatchInto is AssessBatch with caller-owned memory: every buffer —
+// including the returned results and their VoteDist slices — lives in s
+// and is reused by the next call, so steady-state batched assessment
+// allocates nothing (see TestAllocsAssessBatchInto). Results are
+// element-wise identical to AssessBatch. The zero BatchScratch is ready to
+// use. Detectors built WithDecomposition take the allocating path: the
+// per-member posterior walk is not scratch-managed.
+func (d *Detector) AssessBatchInto(s *BatchScratch, X [][]float64) ([]Result, error) {
+	if len(X) == 0 {
+		return nil, errors.New("detector: empty batch")
+	}
+	if err := s.loadRows(X); err != nil {
+		return nil, err
+	}
+	return d.assessScratch(s, false)
+}
+
+// loadRows copies the raw samples into the scratch work matrix, validating
+// that the batch is rectangular. Both AssessBatch entry points share it.
+func (s *BatchScratch) loadRows(X [][]float64) error {
+	s.init()
+	cols := len(X[0])
+	s.work.ResizeUnset(len(X), cols) // every row is copied over below
+	for i, r := range X {
+		if len(r) != cols {
+			return fmt.Errorf("detector: ragged row %d: got %d values, want %d: %w",
+				i, len(r), cols, linalg.ErrShape)
+		}
+		copy(s.work.Row(i), r)
+	}
+	return nil
+}
+
+// loadMatrix copies M into the scratch work matrix.
+func (s *BatchScratch) loadMatrix(M *linalg.Matrix) {
+	s.init()
+	s.work.ResizeUnset(M.Rows(), M.Cols())
+	for i := 0; i < M.Rows(); i++ {
+		copy(s.work.Row(i), M.Row(i))
+	}
+}
+
+// assessScratch runs the zero-allocation batched path over the raw
+// samples already loaded into s.work. With fresh set, the results and
+// their VoteDist backing are independently allocated (they escape to the
+// caller of AssessBatch); otherwise both live in s.
+func (d *Detector) assessScratch(s *BatchScratch, fresh bool) ([]Result, error) {
+	if d.cfg.decompose {
+		// The decomposition walk needs every member's posterior; it stays
+		// on the allocating path.
+		return d.assessMatrix(s.work)
+	}
+	Z, err := d.pipe.ProjectBatchScratch(s.work, s.reduced)
+	if err != nil {
+		return nil, fmt.Errorf("detector: %w", err)
+	}
+	n, k := Z.Rows(), d.pipe.Classes()
+	members := d.pipe.Members()
+
+	s.counts = growInts(s.counts, n*k)
+	clearInts(s.counts)
+	s.votes = growInts(s.votes, n)
+	s.input = growFloats(s.input, d.pipe.MemberScratchDim())
+
+	workers := d.cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > members {
+		workers = members
+	}
+	if workers <= 1 {
+		err = d.pipe.AccumulateVotes(Z, s.counts, 0, members, s.votes, s.input)
+	} else {
+		err = d.accumulateParallel(s, Z, workers, members, k)
+	}
+	if err != nil {
+		if !isVoteRange(err) {
+			return nil, fmt.Errorf("detector: %w", err)
+		}
+		// A member voted outside the class histogram: take the allocating
+		// per-row path, which grows its histogram defensively.
+		return d.assessRows(Z)
+	}
+
+	var results []Result
+	var dists []float64
+	if fresh {
+		results = make([]Result, n)
+		dists = make([]float64, n*k)
+	} else {
+		if cap(s.results) < n {
+			s.results = make([]Result, n)
+		}
+		s.results = s.results[:n]
+		results = s.results
+		s.dists = growFloats(s.dists, n*k)
+		dists = s.dists
+	}
+	rej := core.Rejector{Threshold: d.cfg.threshold}
+	for i := 0; i < n; i++ {
+		// Full slice expressions cap each VoteDist at its own window so a
+		// caller appending to one result cannot overwrite its neighbour.
+		a, err := d.pipe.SummarizeCounts(s.counts[i*k:(i+1)*k], dists[i*k:(i+1)*k:(i+1)*k])
+		if err != nil {
+			return nil, fmt.Errorf("detector: sample %d: %w", i, err)
+		}
+		decision, err := rej.Decide(a.Prediction, a.Entropy)
+		if err != nil {
+			return nil, fmt.Errorf("detector: sample %d: %w", i, err)
+		}
+		results[i] = Result{
+			Prediction: a.Prediction,
+			Entropy:    a.Entropy,
+			VoteDist:   a.VoteDist,
+			Decision:   Decision(decision),
+		}
+	}
+	return results, nil
+}
+
+// accumulateParallel partitions the ensemble's members across workers,
+// each filling a private vote histogram, and integer-merges the partials —
+// counts are order-independent, so the result is bit-identical to the
+// serial accumulation.
+func (d *Detector) accumulateParallel(s *BatchScratch, Z *linalg.Matrix, workers, members, k int) error {
+	n := Z.Rows()
+	for len(s.partCounts) < workers {
+		s.partCounts = append(s.partCounts, nil)
+		s.partVotes = append(s.partVotes, nil)
+		s.partInput = append(s.partInput, nil)
+	}
+	if cap(s.errs) < workers {
+		s.errs = make([]error, workers)
+	}
+	s.errs = s.errs[:workers]
+	for i := range s.errs {
+		s.errs[i] = nil
+	}
+	inputDim := d.pipe.MemberScratchDim()
+
+	var wg sync.WaitGroup
+	chunk := (members + workers - 1) / workers
+	launched := 0
+	for w := 0; w < workers; w++ {
+		from := w * chunk
+		to := from + chunk
+		if to > members {
+			to = members
+		}
+		if from >= to {
+			break
+		}
+		s.partCounts[w] = growInts(s.partCounts[w], n*k)
+		clearInts(s.partCounts[w])
+		s.partVotes[w] = growInts(s.partVotes[w], n)
+		s.partInput[w] = growFloats(s.partInput[w], inputDim)
+		wg.Add(1)
+		launched++
+		go func(w, from, to int) {
+			defer wg.Done()
+			s.errs[w] = d.pipe.AccumulateVotes(Z, s.partCounts[w], from, to, s.partVotes[w], s.partInput[w])
+		}(w, from, to)
+	}
+	wg.Wait()
+	for _, err := range s.errs {
+		if err != nil {
+			return err
+		}
+	}
+	for w := 0; w < launched; w++ {
+		for i, v := range s.partCounts[w] {
+			s.counts[i] += v
+		}
+	}
+	return nil
+}
+
+// assessRows is the allocating per-row fallback over an already-projected
+// batch (decomposition-free detectors land here only on the defensive
+// out-of-histogram vote path).
+func (d *Detector) assessRows(Z *linalg.Matrix) ([]Result, error) {
+	out := make([]Result, Z.Rows())
+	for i := range out {
+		r, err := d.assessProjected(Z.Row(i))
+		if err != nil {
+			return nil, fmt.Errorf("detector: sample %d: %w", i, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+func clearInts(b []int) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func isVoteRange(err error) bool {
+	return errors.Is(err, hmd.ErrVoteRange)
+}

@@ -9,6 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 )
 
 // Matrix is a dense, row-major matrix of float64 values.
@@ -92,6 +94,13 @@ func (m *Matrix) Row(i int) []float64 {
 	return m.data[i*m.cols : (i+1)*m.cols]
 }
 
+// Raw returns the matrix's backing storage: Rows()*Cols() values in
+// row-major order, shared with the matrix (mutations are visible both
+// ways). It exists for inference kernels that walk every row and cannot
+// afford a bounds-checked Row call per sample; everyone else should use
+// Row/At.
+func (m *Matrix) Raw() []float64 { return m.data }
+
 // RowCopy returns a copy of the i-th row.
 func (m *Matrix) RowCopy(i int) []float64 {
 	out := make([]float64, m.cols)
@@ -101,14 +110,57 @@ func (m *Matrix) RowCopy(i int) []float64 {
 
 // Col returns a copy of the j-th column.
 func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.rows)
+	m.ColInto(j, out)
+	return out
+}
+
+// ColInto copies the j-th column into dst, which must have length Rows().
+// It is the destination-passing form of Col for hot loops that visit many
+// columns: one caller-owned buffer replaces a fresh slice per call.
+func (m *Matrix) ColInto(j int, dst []float64) {
 	if j < 0 || j >= m.cols {
 		panic(fmt.Sprintf("linalg: col %d out of range %d", j, m.cols))
 	}
-	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		out[i] = m.data[i*m.cols+j]
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("linalg: col dst len %d, want %d", len(dst), m.rows))
 	}
-	return out
+	for i := 0; i < m.rows; i++ {
+		dst[i] = m.data[i*m.cols+j]
+	}
+}
+
+// Resize reshapes m to rows x cols, reusing its backing storage when it is
+// large enough and reallocating otherwise, and returns m. All elements are
+// zeroed. It is the growth primitive behind reusable scratch matrices: a
+// steady-state caller that resizes to the same shape every call never
+// allocates. Resizing a matrix whose rows or storage are aliased elsewhere
+// (Row, shared Clones) is the caller's responsibility to avoid.
+func (m *Matrix) Resize(rows, cols int) *Matrix {
+	m.ResizeUnset(rows, cols)
+	for i := range m.data {
+		m.data[i] = 0
+	}
+	return m
+}
+
+// ResizeUnset reshapes like Resize but leaves reused storage's contents
+// unspecified — for destination buffers the caller overwrites in full
+// (matrix-product outputs, row-copy targets), where Resize's zeroing pass
+// would be pure waste on the hot path. Use Resize when zeroed storage
+// matters.
+func (m *Matrix) ResizeUnset(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimension %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.data) < n {
+		m.data = make([]float64, n)
+	} else {
+		m.data = m.data[:n]
+	}
+	m.rows, m.cols = rows, cols
+	return m
 }
 
 // Clone returns a deep copy of m.
@@ -121,13 +173,31 @@ func (m *Matrix) Clone() *Matrix {
 // T returns the transpose of m as a new matrix.
 func (m *Matrix) T() *Matrix {
 	t := New(m.cols, m.rows)
-	for i := 0; i < m.rows; i++ {
-		for j := 0; j < m.cols; j++ {
-			t.data[j*t.cols+i] = m.data[i*m.cols+j]
-		}
-	}
+	_ = m.TInto(t)
 	return t
 }
+
+// TInto writes the transpose of m into dst, which must be Cols() x Rows().
+// dst must not alias m.
+func (m *Matrix) TInto(dst *Matrix) error {
+	if dst.rows != m.cols || dst.cols != m.rows {
+		return fmt.Errorf("linalg: transpose %dx%d into %dx%d: %w", m.rows, m.cols, dst.rows, dst.cols, ErrShape)
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			dst.data[j*dst.cols+i] = v
+		}
+	}
+	return nil
+}
+
+// mulParallelFlops is the m.rows*m.cols*b.cols work threshold above which
+// MulInto fans row blocks out over GOMAXPROCS goroutines. Output rows are
+// independent and each is accumulated in the same k-order regardless of
+// which goroutine computes it, so the parallel product is bit-identical to
+// the serial one.
+const mulParallelFlops = 1 << 21
 
 // Mul returns the matrix product m * b.
 func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
@@ -135,9 +205,57 @@ func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 		return nil, fmt.Errorf("linalg: mul %dx%d by %dx%d: %w", m.rows, m.cols, b.rows, b.cols, ErrShape)
 	}
 	out := New(m.rows, b.cols)
-	for i := 0; i < m.rows; i++ {
+	if err := m.MulInto(out, b); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulInto writes the matrix product m * b into dst, which must be
+// Rows() x b.Cols() and is overwritten. dst must not alias m or b. Large
+// products are computed in parallel row blocks (see mulParallelFlops);
+// results are bit-identical to the serial product either way.
+func (m *Matrix) MulInto(dst, b *Matrix) error {
+	if m.cols != b.rows {
+		return fmt.Errorf("linalg: mul %dx%d by %dx%d: %w", m.rows, m.cols, b.rows, b.cols, ErrShape)
+	}
+	if dst.rows != m.rows || dst.cols != b.cols {
+		return fmt.Errorf("linalg: mul %dx%d by %dx%d into %dx%d: %w",
+			m.rows, m.cols, b.rows, b.cols, dst.rows, dst.cols, ErrShape)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m.rows {
+		workers = m.rows
+	}
+	if workers <= 1 || m.rows*m.cols*b.cols < mulParallelFlops {
+		m.mulRows(dst, b, 0, m.rows)
+		return nil
+	}
+	var wg sync.WaitGroup
+	block := (m.rows + workers - 1) / workers
+	for lo := 0; lo < m.rows; lo += block {
+		hi := lo + block
+		if hi > m.rows {
+			hi = m.rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			m.mulRows(dst, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return nil
+}
+
+// mulRows computes output rows [lo, hi) of dst = m * b.
+func (m *Matrix) mulRows(dst, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		mrow := m.data[i*m.cols : (i+1)*m.cols]
-		orow := out.data[i*out.cols : (i+1)*out.cols]
+		orow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for j := range orow {
+			orow[j] = 0
+		}
 		for k, mv := range mrow {
 			if mv == 0 {
 				continue
@@ -148,19 +266,30 @@ func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 			}
 		}
 	}
-	return out, nil
 }
 
 // MulVec returns the matrix-vector product m * x.
 func (m *Matrix) MulVec(x []float64) ([]float64, error) {
-	if m.cols != len(x) {
-		return nil, fmt.Errorf("linalg: mulvec %dx%d by len %d: %w", m.rows, m.cols, len(x), ErrShape)
-	}
 	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		out[i] = Dot(m.Row(i), x)
+	if err := m.MulVecInto(out, x); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// MulVecInto writes the matrix-vector product m * x into dst, which must
+// have length Rows(). dst must not alias x.
+func (m *Matrix) MulVecInto(dst, x []float64) error {
+	if m.cols != len(x) {
+		return fmt.Errorf("linalg: mulvec %dx%d by len %d: %w", m.rows, m.cols, len(x), ErrShape)
+	}
+	if len(dst) != m.rows {
+		return fmt.Errorf("linalg: mulvec %dx%d into len %d: %w", m.rows, m.cols, len(dst), ErrShape)
+	}
+	for i := 0; i < m.rows; i++ {
+		dst[i] = Dot(m.Row(i), x)
+	}
+	return nil
 }
 
 // Scale multiplies every element of m by s in place and returns m.
@@ -267,13 +396,26 @@ func (m *Matrix) ColStds() []float64 {
 
 // CenterRows subtracts mu from every row of m in place.
 func (m *Matrix) CenterRows(mu []float64) error {
+	return m.CenterRowsInto(m, mu)
+}
+
+// CenterRowsInto writes m with mu subtracted from every row into dst,
+// which must have m's shape. dst == m centers in place; partial aliasing
+// is the caller's responsibility to avoid. It is the destination-passing
+// form of CenterRows for pipelines that must preserve their input (PCA's
+// batched Transform centers into scratch instead of cloning).
+func (m *Matrix) CenterRowsInto(dst *Matrix, mu []float64) error {
 	if len(mu) != m.cols {
 		return fmt.Errorf("linalg: center %dx%d with len %d mean: %w", m.rows, m.cols, len(mu), ErrShape)
 	}
+	if dst.rows != m.rows || dst.cols != m.cols {
+		return fmt.Errorf("linalg: center %dx%d into %dx%d: %w", m.rows, m.cols, dst.rows, dst.cols, ErrShape)
+	}
 	for i := 0; i < m.rows; i++ {
-		row := m.Row(i)
-		for j := range row {
-			row[j] -= mu[j]
+		src := m.Row(i)
+		out := dst.Row(i)
+		for j, v := range src {
+			out[j] = v - mu[j]
 		}
 	}
 	return nil

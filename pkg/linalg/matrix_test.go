@@ -296,3 +296,181 @@ func TestString(t *testing.T) {
 		t.Fatal("empty String()")
 	}
 }
+
+func TestMulIntoMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for round := 0; round < 10; round++ {
+		n, k, m := 1+rng.Intn(40), 1+rng.Intn(30), 1+rng.Intn(25)
+		a, b := New(n, k), New(k, m)
+		for i := range a.data {
+			a.data[i] = rng.NormFloat64()
+		}
+		for i := range b.data {
+			b.data[i] = rng.NormFloat64()
+		}
+		want, err := a.Mul(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := New(n, m)
+		dst.data[0] = 42 // MulInto must overwrite stale contents
+		if err := a.MulInto(dst, b); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.data {
+			if dst.data[i] != want.data[i] {
+				t.Fatalf("round %d: MulInto diverged from Mul at %d", round, i)
+			}
+		}
+	}
+	bad := New(3, 3)
+	if err := New(2, 2).MulInto(bad, New(2, 2)); err == nil {
+		t.Fatal("shape mismatch not rejected")
+	}
+	if err := New(2, 3).MulInto(New(2, 2), New(4, 2)); err == nil {
+		t.Fatal("inner mismatch not rejected")
+	}
+}
+
+// TestMulParallelBitIdentical crosses the row-blocked parallel threshold
+// and asserts the goroutine-partitioned product equals the serial one bit
+// for bit (each output row is accumulated in the same k-order regardless
+// of which worker computes it).
+func TestMulParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n, k, m := 260, 120, 80 // n*k*m ≈ 2.5M > mulParallelFlops
+	if n*k*m < mulParallelFlops {
+		t.Fatal("test no longer crosses the parallel threshold; resize it")
+	}
+	a, b := New(n, k), New(k, m)
+	for i := range a.data {
+		a.data[i] = rng.NormFloat64()
+	}
+	for i := range b.data {
+		b.data[i] = rng.NormFloat64()
+	}
+	parallel := New(n, m)
+	if err := a.MulInto(parallel, b); err != nil {
+		t.Fatal(err)
+	}
+	serial := New(n, m)
+	a.mulRows(serial, b, 0, n)
+	for i := range serial.data {
+		if parallel.data[i] != serial.data[i] {
+			t.Fatalf("parallel product diverged at %d", i)
+		}
+	}
+}
+
+func TestMulVecInto(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	x := []float64{2, -1}
+	want, err := m.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := []float64{9, 9, 9}
+	if err := m.MulVecInto(dst, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MulVecInto diverged at %d", i)
+		}
+	}
+	if err := m.MulVecInto(make([]float64, 2), x); err == nil {
+		t.Fatal("short dst not rejected")
+	}
+	if err := m.MulVecInto(dst, []float64{1}); err == nil {
+		t.Fatal("short x not rejected")
+	}
+}
+
+func TestTIntoAndColInto(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	want := m.T()
+	dst := New(3, 2)
+	if err := m.TInto(dst); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Equal(want, 0) {
+		t.Fatalf("TInto %v != T %v", dst, want)
+	}
+	if err := m.TInto(New(2, 3)); err == nil {
+		t.Fatal("wrong-shape transpose dst not rejected")
+	}
+
+	col := make([]float64, 2)
+	m.ColInto(1, col)
+	if col[0] != 2 || col[1] != 5 {
+		t.Fatalf("ColInto: %v", col)
+	}
+	if got := m.Col(1); got[0] != col[0] || got[1] != col[1] {
+		t.Fatalf("Col/ColInto diverged: %v vs %v", got, col)
+	}
+	assertPanics(t, func() { m.ColInto(3, col) })
+	assertPanics(t, func() { m.ColInto(0, make([]float64, 1)) })
+}
+
+func TestCenterRowsInto(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	mu := []float64{1, 1}
+	dst := New(2, 2)
+	if err := m.CenterRowsInto(dst, mu); err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 1 {
+		t.Fatal("CenterRowsInto mutated its source")
+	}
+	if dst.At(0, 0) != 0 || dst.At(1, 1) != 3 {
+		t.Fatalf("CenterRowsInto: %v", dst)
+	}
+	// In place via the CenterRows wrapper.
+	if err := m.CenterRows(mu); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(dst, 0) {
+		t.Fatal("in-place centering diverged from destination-passing form")
+	}
+	if err := m.CenterRowsInto(New(1, 2), mu); err == nil {
+		t.Fatal("wrong-shape dst not rejected")
+	}
+	if err := m.CenterRowsInto(dst, []float64{1}); err == nil {
+		t.Fatal("wrong-length mean not rejected")
+	}
+}
+
+func TestResizeReusesStorage(t *testing.T) {
+	m := New(4, 5)
+	m.Set(0, 0, 7)
+	data := m.Raw()
+	m.Resize(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("resize to %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(0, 0) != 0 {
+		t.Fatal("Resize must zero contents")
+	}
+	if &m.Raw()[0] != &data[0] {
+		t.Fatal("shrinking Resize reallocated")
+	}
+	m.Resize(10, 10)
+	if m.Rows() != 10 || m.At(9, 9) != 0 {
+		t.Fatal("growing Resize broken")
+	}
+	allocs := testing.AllocsPerRun(20, func() { m.Resize(10, 10) })
+	if allocs > 0 {
+		t.Fatalf("same-shape Resize allocates %.1f times", allocs)
+	}
+	assertPanics(t, func() { m.Resize(-1, 2) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

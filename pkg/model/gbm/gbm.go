@@ -246,6 +246,27 @@ func (g *GBM) Predict(x []float64) int {
 	return 0
 }
 
+// PredictBatch writes the hard label of every row of X into out,
+// satisfying model.BatchClassifier. The stump array is already one
+// contiguous slab (the boosted analogue of a flattened tree), so scoring
+// rows back-to-back keeps it L1-resident for the whole batch; labels are
+// identical to per-row Predict calls and no memory is allocated.
+func (g *GBM) PredictBatch(X *linalg.Matrix, out []int) {
+	if g.nFeatures == 0 {
+		panic(ErrNotFitted)
+	}
+	if len(out) != X.Rows() {
+		panic(fmt.Sprintf("gbm: predict batch out len %d for %d rows", len(out), X.Rows()))
+	}
+	for i := range out {
+		if g.score(X.Row(i)) > 0 {
+			out[i] = 1
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
 // PredictProba returns the calibrated-by-construction sigmoid posterior
 // [P(benign), P(malware)], satisfying model.ProbClassifier.
 func (g *GBM) PredictProba(x []float64) []float64 {
@@ -270,6 +291,7 @@ func clamp(v, lo, hi float64) float64 {
 
 // The family must satisfy the exported contract it advertises.
 var (
-	_ model.Classifier     = (*GBM)(nil)
-	_ model.ProbClassifier = (*GBM)(nil)
+	_ model.Classifier      = (*GBM)(nil)
+	_ model.ProbClassifier  = (*GBM)(nil)
+	_ model.BatchClassifier = (*GBM)(nil)
 )

@@ -205,3 +205,31 @@ func TestRegisteredFamily(t *testing.T) {
 		t.Fatal("no sample showed aleatoric uncertainty despite soft members")
 	}
 }
+
+// TestPredictBatchMatchesPredict pins the model.BatchClassifier contract:
+// batched labels are exactly the per-row Predict labels, with no heap
+// allocations (the stump slab is already flat).
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	X, y := blobs(180, 4, 1.2, 3)
+	g := New(Config{Seed: 5})
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, X.Rows())
+	g.PredictBatch(X, out)
+	for i := 0; i < X.Rows(); i++ {
+		if want := g.Predict(X.Row(i)); out[i] != want {
+			t.Fatalf("row %d: PredictBatch %d, Predict %d", i, out[i], want)
+		}
+	}
+	if allocs := testing.AllocsPerRun(10, func() { g.PredictBatch(X, out) }); allocs > 0 {
+		t.Fatalf("PredictBatch allocates %.1f times per batch, want 0", allocs)
+	}
+	var unfitted GBM
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unfitted PredictBatch should panic")
+		}
+	}()
+	unfitted.PredictBatch(X, out)
+}

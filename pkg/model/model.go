@@ -58,6 +58,20 @@ type ProbClassifier interface {
 	PredictProba(x []float64) []float64
 }
 
+// BatchClassifier is optionally implemented by base models that can
+// predict a whole batch in one call. The ensemble's batched assessment
+// path uses it to keep one member's model state (a flattened tree slab,
+// a stump array) cache-hot across every row of the batch instead of
+// re-touching all members per sample. PredictBatch must produce exactly
+// the labels that per-row Predict calls would.
+type BatchClassifier interface {
+	Classifier
+	// PredictBatch writes the hard class label of every row of X into out,
+	// which has length X.Rows(). Implementations must treat X as read-only
+	// and must not retain out.
+	PredictBatch(X *linalg.Matrix, out []int)
+}
+
 // Factory constructs one untrained ensemble member from a seed. The
 // ensemble calls it once per member with that member's own seed;
 // deterministic families may ignore the seed (bootstrap resampling still

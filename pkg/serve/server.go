@@ -15,6 +15,13 @@
 // AssessBatch call when the batch fills or the oldest request has waited
 // Config.MaxWait. Results are element-wise identical to direct Assess —
 // batching changes latency and throughput, never decisions.
+//
+// Each shard additionally owns a bounded cross-request result cache (LRU
+// keyed on the feature-vector hash, Config.CacheSize): telemetry streams
+// repeat vectors heavily, and a repeat is answered from the cache without
+// queueing or assessing at all. Detectors are deterministic, so cached
+// verdicts are bit-identical to recomputed ones; /stats exposes hit, miss
+// and occupancy counters per shard.
 package serve
 
 import (
@@ -48,6 +55,13 @@ type Config struct {
 	// DefaultModel names the shard serving requests that omit "model";
 	// defaults to the only shard when exactly one is loaded.
 	DefaultModel string
+	// CacheSize bounds each shard's cross-request result cache (an LRU
+	// keyed on the feature-vector hash; see /stats cache_hits and
+	// cache_misses). 0 means the default of 4096 entries; negative
+	// disables caching. Telemetry streams repeat vectors heavily, so hits
+	// skip coalescing and assessment entirely; answers are bit-identical
+	// either way because a trained detector is deterministic.
+	CacheSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -66,14 +80,19 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
 	return c
 }
 
-// shard is one named detector with its coalescer and counters.
+// shard is one named detector with its coalescer, result cache and
+// counters.
 type shard struct {
 	name  string
 	det   *detector.Detector
 	co    *coalescer
+	cache *resultCache
 	stats *shardStats
 }
 
@@ -113,6 +132,7 @@ func New(models map[string]*detector.Detector, cfg Config) (*Server, error) {
 			name:  name,
 			det:   det,
 			co:    newCoalescer(det, cfg.MaxBatch, cfg.QueueSize, cfg.MaxWait, st),
+			cache: newResultCache(cfg.CacheSize),
 			stats: st,
 		}
 		s.names = append(s.names, name)
@@ -151,7 +171,10 @@ func (s *Server) Close() {
 func (s *Server) Stats() []ShardStats {
 	out := make([]ShardStats, 0, len(s.names))
 	for _, name := range s.names {
-		out = append(out, s.shards[name].stats.snapshot(name))
+		sh := s.shards[name]
+		st := sh.stats.snapshot(name)
+		st.CacheEntries = sh.cache.len()
+		out = append(out, st)
 	}
 	return out
 }
@@ -185,9 +208,25 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	var key uint64
+	if sh.cache != nil { // disabled caches pay no hashing and keep zero counters
+		key = hashVec(req.Features)
+		if res, ok := sh.cache.get(key, req.Features); ok {
+			// Cross-request memo hit: same vector, same (deterministic)
+			// verdict — answered without queueing or assessing.
+			sh.stats.requests.Add(1)
+			sh.stats.cacheHits.Add(1)
+			sh.stats.cacheHitsSingle.Add(1)
+			sh.stats.observeOne(res.Decision)
+			writeJSON(w, http.StatusOK, toResponse(sh.name, res))
+			return
+		}
+		sh.stats.cacheMisses.Add(1)
+	}
 	res, err := sh.co.submit(r.Context(), req.Features)
 	switch {
 	case err == nil:
+		sh.cache.put(key, req.Features, res)
 		writeJSON(w, http.StatusOK, toResponse(sh.name, res))
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
 		w.Header().Set("Retry-After", "1")
@@ -226,18 +265,51 @@ func (s *Server) handleAssessBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	// The client already aggregated; go straight to the batched path.
-	rs, err := sh.det.AssessBatch(req.Batch)
-	if err != nil {
-		sh.stats.errors.Add(int64(len(req.Batch)))
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
+	// The client already aggregated; consult the cross-request cache per
+	// vector and go straight to the batched path for the misses only.
+	// With the cache disabled, every row is a "miss" without hashing or
+	// counter traffic.
+	n := len(req.Batch)
+	results := make([]detector.Result, n)
+	var keys []uint64
+	var missIdx []int
+	missX := req.Batch
+	if sh.cache != nil {
+		keys = make([]uint64, n)
+		missX = nil
+		for i, x := range req.Batch {
+			keys[i] = hashVec(x)
+			if r, ok := sh.cache.get(keys[i], x); ok {
+				results[i] = r
+				continue
+			}
+			missIdx = append(missIdx, i)
+			missX = append(missX, x)
+		}
+		sh.stats.cacheHits.Add(int64(n - len(missX)))
+		sh.stats.cacheMisses.Add(int64(len(missX)))
+	}
+	if len(missX) > 0 {
+		rs, err := sh.det.AssessBatch(missX)
+		if err != nil {
+			sh.stats.errors.Add(int64(len(missX)))
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		for j, r := range rs {
+			idx := j
+			if sh.cache != nil {
+				idx = missIdx[j]
+				sh.cache.put(keys[idx], missX[j], r)
+			}
+			results[idx] = r
+		}
 	}
 	sh.stats.batchRequests.Add(1)
-	sh.stats.batchSamples.Add(int64(len(rs)))
-	sh.stats.observe(rs)
-	resp := BatchResponse{Model: sh.name, Results: make([]AssessResponse, len(rs))}
-	for i, r := range rs {
+	sh.stats.batchSamples.Add(int64(n))
+	sh.stats.observe(results)
+	resp := BatchResponse{Model: sh.name, Results: make([]AssessResponse, n)}
+	for i, r := range results {
 		resp.Results[i] = toResponse(sh.name, r)
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -19,14 +19,25 @@ type ShardStats struct {
 	// BatchRequests / BatchSamples count /v1/assess/batch traffic.
 	BatchRequests int64 `json:"batch_requests"`
 	BatchSamples  int64 `json:"batch_samples"`
-	// Batches is the number of coalesced AssessBatch flushes; MeanBatchSize
-	// is Requests/Batches — above 1 means coalescing is doing its job.
+	// Batches is the number of coalesced AssessBatch flushes. MeanBatchSize
+	// is the mean over requests that actually queued: Requests minus the
+	// /v1/assess cache hits (hits were answered without queueing; batch
+	// endpoint hits never counted into Requests), divided by Batches —
+	// above 1 means coalescing is doing its job.
 	Batches       int64   `json:"batches"`
 	MeanBatchSize float64 `json:"mean_batch_size"`
 	// Shed counts requests rejected because the coalescer queue was full
 	// (the daemon's overload valve); Errors counts failed assessments.
 	Shed   int64 `json:"shed"`
 	Errors int64 `json:"errors"`
+
+	// CacheHits / CacheMisses count cross-request result-cache lookups on
+	// both assessment endpoints: a hit is served straight from the
+	// per-shard LRU (no coalescing, no detector work) with a bit-identical
+	// verdict. CacheEntries is the current number of cached vectors.
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
 
 	// Benign/Malware/Rejected tally served verdicts (an OnlineStats-style
 	// decision count); RejectionRate is the share of decisions the detector
@@ -48,6 +59,12 @@ type shardStats struct {
 	batches       atomic.Int64
 	shed          atomic.Int64
 	errors        atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	// cacheHitsSingle counts the subset of cacheHits from /v1/assess; only
+	// those were diverted from the coalescer queue, so only they are
+	// excluded from the mean-batch-size denominator.
+	cacheHitsSingle atomic.Int64
 
 	mu        sync.Mutex
 	decisions detector.OnlineStats
@@ -59,6 +76,13 @@ func (s *shardStats) observe(rs []detector.Result) {
 	for _, r := range rs {
 		s.decisions.Observe(r.Decision)
 	}
+	s.mu.Unlock()
+}
+
+// observeOne folds a single cache-served decision into the tally.
+func (s *shardStats) observeOne(d detector.Decision) {
+	s.mu.Lock()
+	s.decisions.Observe(d)
 	s.mu.Unlock()
 }
 
@@ -75,12 +99,16 @@ func (s *shardStats) snapshot(model string) ShardStats {
 		Batches:       s.batches.Load(),
 		Shed:          s.shed.Load(),
 		Errors:        s.errors.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		CacheMisses:   s.cacheMisses.Load(),
 		Benign:        dec.Benign,
 		Malware:       dec.Malware,
 		Rejected:      dec.Rejected,
 	}
 	if out.Batches > 0 {
-		out.MeanBatchSize = float64(out.Requests) / float64(out.Batches)
+		if queued := out.Requests - s.cacheHitsSingle.Load(); queued > 0 {
+			out.MeanBatchSize = float64(queued) / float64(out.Batches)
+		}
 	}
 	out.RejectionRate = dec.RejectedFraction()
 	return out

@@ -57,15 +57,25 @@ type Delta struct {
 	NewNs    float64
 	Ratio    float64 // new/old - 1; positive = slower
 	Violates bool
+
+	// Allocation trajectory: the zero-allocation hot-path contract is
+	// gated the same way as ns/op. AllocViolates flags a >tolerance
+	// allocs/op growth (with a 2-alloc absolute guard so a 0→1 or 1→2
+	// flip from, say, one new result slice does not fail CI).
+	OldAllocs     float64
+	NewAllocs     float64
+	AllocRatio    float64
+	AllocViolates bool
 }
 
 func main() {
 	var (
 		oldPath   = flag.String("old", "", "baseline snapshot (default: latest committed BENCH_<rev>.json ancestor of HEAD)")
 		newPath   = flag.String("new", "", "snapshot under test (required)")
-		tolerance = flag.Float64("tolerance", 0.25, "max allowed slowdown fraction before failing")
+		tolerance = flag.Float64("tolerance", 0.25, "max allowed slowdown fraction (ns/op and allocs/op) before failing")
 		minNs     = flag.Float64("min-ns", 1e6, "ignore benchmarks faster than this many ns/op (noise floor)")
 		strict    = flag.Bool("strict", false, "fail on regressions even when the snapshots were recorded on different CPUs")
+		trend     = flag.Bool("trend", true, "print the per-benchmark ns/op trajectory across every committed BENCH_<rev>.json")
 	)
 	flag.Parse()
 	if *newPath == "" {
@@ -98,17 +108,27 @@ func main() {
 	violations := 0
 	for _, d := range deltas {
 		mark := " "
-		if d.Violates {
+		if d.Violates || d.AllocViolates {
 			mark = "!"
 			violations++
 		}
-		fmt.Printf("%s %-55s %12s -> %12s  %+6.1f%%\n", mark, d.Key, fmtNs(d.OldNs), fmtNs(d.NewNs), d.Ratio*100)
+		line := fmt.Sprintf("%s %-55s %12s -> %12s  %+6.1f%%", mark, d.Key, fmtNs(d.OldNs), fmtNs(d.NewNs), d.Ratio*100)
+		if d.OldAllocs > 0 || d.NewAllocs > 0 {
+			line += fmt.Sprintf("  %6.0f -> %6.0f allocs", d.OldAllocs, d.NewAllocs)
+			if d.AllocViolates {
+				line += fmt.Sprintf(" (%+.0f%%)", d.AllocRatio*100)
+			}
+		}
+		fmt.Println(line)
 	}
 	for _, k := range onlyOld {
 		fmt.Printf("- %-55s removed\n", k)
 	}
 	for _, k := range onlyNew {
 		fmt.Printf("+ %-55s new\n", k)
+	}
+	if *trend {
+		printTrend(*newPath, newSnap)
 	}
 	if violations > 0 {
 		crossEnv := oldSnap.CPU != "" && newSnap.CPU != "" && oldSnap.CPU != newSnap.CPU
@@ -148,11 +168,23 @@ func Compare(oldSnap, newSnap Snapshot, tolerance, minNs float64) (deltas []Delt
 			onlyNew = append(onlyNew, k)
 			continue
 		}
-		d := Delta{Key: k, OldNs: ob.NsPerOp, NewNs: nb.NsPerOp}
+		d := Delta{
+			Key:   k,
+			OldNs: ob.NsPerOp, NewNs: nb.NsPerOp,
+			OldAllocs: ob.AllocsPerOp, NewAllocs: nb.AllocsPerOp,
+		}
 		if ob.NsPerOp > 0 {
 			d.Ratio = nb.NsPerOp/ob.NsPerOp - 1
 		}
 		d.Violates = d.Ratio > tolerance && (ob.NsPerOp >= minNs || nb.NsPerOp >= minNs)
+		if ob.AllocsPerOp > 0 {
+			d.AllocRatio = nb.AllocsPerOp/ob.AllocsPerOp - 1
+		}
+		// Allocation counts are deterministic (no noise floor), but tiny
+		// histories flip by one alloc legitimately; require both the
+		// relative tolerance and two whole allocs of growth.
+		d.AllocViolates = d.NewAllocs-d.OldAllocs >= 2 &&
+			d.NewAllocs > d.OldAllocs*(1+tolerance)
 		deltas = append(deltas, d)
 	}
 	for k := range olds {
@@ -176,6 +208,138 @@ func readSnapshot(path string) (Snapshot, error) {
 		return Snapshot{}, fmt.Errorf("%s: %w", path, err)
 	}
 	return s, nil
+}
+
+// printTrend renders the full performance trajectory: one line per
+// benchmark spanning every committed BENCH_<rev>.json reachable from HEAD
+// (oldest first) plus the snapshot under test, closing the ROADMAP's
+// "trend visualisation across more than two snapshots" gap. Values are
+// ns/op; "-" marks snapshots that predate (or dropped) a benchmark, and
+// the trailing delta compares the newest value against the oldest one
+// present.
+func printTrend(newPath string, newSnap Snapshot) {
+	hist, err := snapshotHistory(newPath)
+	if err != nil || len(hist) == 0 {
+		return // a repo with one snapshot has no trajectory yet
+	}
+	hist = append(hist, historyEntry{label: trimRev(newPath), snap: newSnap})
+
+	// Key by benchmark name alone (early snapshots predate the pkg field,
+	// so a pkg-qualified key would split one benchmark's history into
+	// disjoint rows); qualify by package only when two packages share a
+	// benchmark name.
+	names := map[string]map[string]bool{}
+	for _, h := range hist {
+		for _, b := range h.snap.Benchmarks {
+			if b.Pkg == "" {
+				continue // pkg unknown, not a distinct package
+			}
+			if names[b.Name] == nil {
+				names[b.Name] = map[string]bool{}
+			}
+			names[b.Name][b.Pkg] = true
+		}
+	}
+	key := func(b Benchmark) string {
+		if len(names[b.Name]) > 1 && b.Pkg != "" {
+			return b.Pkg + "." + b.Name
+		}
+		return b.Name
+	}
+	series := map[string][]float64{}
+	for col, h := range hist {
+		for _, b := range h.snap.Benchmarks {
+			k := key(b)
+			if _, ok := series[k]; !ok {
+				series[k] = make([]float64, len(hist))
+			}
+			series[k][col] = b.NsPerOp
+		}
+	}
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	labels := make([]string, len(hist))
+	for i, h := range hist {
+		labels[i] = h.label
+	}
+	fmt.Printf("\nbenchcmp trend (%s):\n", strings.Join(labels, " -> "))
+	for _, k := range keys {
+		vals := series[k]
+		cells := make([]string, len(vals))
+		first, last := -1, -1
+		for i, v := range vals {
+			if v == 0 {
+				cells[i] = "-"
+				continue
+			}
+			cells[i] = fmtNs(v)
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+		line := fmt.Sprintf("  %-55s %s", k, strings.Join(cells, " -> "))
+		if first >= 0 && last > first && vals[first] > 0 {
+			line += fmt.Sprintf("  (%+.1f%%)", (vals[last]/vals[first]-1)*100)
+		}
+		fmt.Println(line)
+	}
+}
+
+type historyEntry struct {
+	label string
+	snap  Snapshot
+}
+
+// snapshotHistory loads every committed BENCH_<rev>.json other than
+// exclude, ordered oldest revision first along `git rev-list HEAD`.
+func snapshotHistory(exclude string) ([]historyEntry, error) {
+	files, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return nil, err
+	}
+	out, err := exec.Command("git", "rev-list", "HEAD").Output()
+	if err != nil {
+		return nil, fmt.Errorf("git rev-list: %w", err)
+	}
+	revs := strings.Fields(string(out))
+	type cand struct {
+		pos  int
+		path string
+	}
+	var cands []cand
+	for _, f := range files {
+		if filepath.Base(f) == filepath.Base(exclude) {
+			continue
+		}
+		rev := trimRev(f)
+		for pos, full := range revs {
+			if strings.HasPrefix(full, rev) {
+				cands = append(cands, cand{pos: pos, path: f})
+				break
+			}
+		}
+	}
+	// rev-list emits newest first; larger positions are older.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].pos > cands[j].pos })
+	hist := make([]historyEntry, 0, len(cands))
+	for _, c := range cands {
+		s, err := readSnapshot(c.path)
+		if err != nil {
+			return nil, err
+		}
+		hist = append(hist, historyEntry{label: trimRev(c.path), snap: s})
+	}
+	return hist, nil
+}
+
+// trimRev extracts the revision from a BENCH_<rev>.json path.
+func trimRev(path string) string {
+	return strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), "BENCH_"), ".json")
 }
 
 // latestCommittedSnapshot picks, among the BENCH_<rev>.json files in the

@@ -58,3 +58,46 @@ func TestCompareZeroBaseline(t *testing.T) {
 		t.Fatalf("zero baseline mishandled: %+v", deltas)
 	}
 }
+
+func TestCompareFlagsAllocRegressions(t *testing.T) {
+	oldS := snap(
+		Benchmark{Name: "BenchmarkZeroAlloc", Pkg: "p", NsPerOp: 5e6, AllocsPerOp: 0},
+		Benchmark{Name: "BenchmarkSmallFlip", Pkg: "p", NsPerOp: 5e6, AllocsPerOp: 1},
+		Benchmark{Name: "BenchmarkHeavy", Pkg: "p", NsPerOp: 5e6, AllocsPerOp: 100},
+		Benchmark{Name: "BenchmarkHeavyOK", Pkg: "p", NsPerOp: 5e6, AllocsPerOp: 100},
+	)
+	newS := snap(
+		Benchmark{Name: "BenchmarkZeroAlloc", Pkg: "p", NsPerOp: 5e6, AllocsPerOp: 5}, // 0 -> 5: violation
+		Benchmark{Name: "BenchmarkSmallFlip", Pkg: "p", NsPerOp: 5e6, AllocsPerOp: 2}, // +1 alloc: tolerated
+		Benchmark{Name: "BenchmarkHeavy", Pkg: "p", NsPerOp: 5e6, AllocsPerOp: 140},   // +40%: violation
+		Benchmark{Name: "BenchmarkHeavyOK", Pkg: "p", NsPerOp: 5e6, AllocsPerOp: 110}, // +10%: fine
+	)
+	deltas, _, _ := Compare(oldS, newS, 0.25, 1e6)
+	got := map[string]Delta{}
+	for _, d := range deltas {
+		got[d.Key] = d
+	}
+	if !got["p.BenchmarkZeroAlloc"].AllocViolates {
+		t.Fatalf("0 -> 5 allocs not flagged: %+v", got["p.BenchmarkZeroAlloc"])
+	}
+	if got["p.BenchmarkSmallFlip"].AllocViolates {
+		t.Fatalf("1 -> 2 allocs flagged despite absolute guard: %+v", got["p.BenchmarkSmallFlip"])
+	}
+	if !got["p.BenchmarkHeavy"].AllocViolates {
+		t.Fatalf("+40%% allocs not flagged: %+v", got["p.BenchmarkHeavy"])
+	}
+	if got["p.BenchmarkHeavyOK"].AllocViolates {
+		t.Fatalf("+10%% allocs flagged: %+v", got["p.BenchmarkHeavyOK"])
+	}
+	for _, d := range deltas {
+		if d.Violates {
+			t.Fatalf("no ns/op violation expected: %+v", d)
+		}
+	}
+}
+
+func TestTrimRev(t *testing.T) {
+	if got := trimRev("some/dir/BENCH_abc1234.json"); got != "abc1234" {
+		t.Fatalf("trimRev: %q", got)
+	}
+}
