@@ -3,7 +3,7 @@ REV     := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 BENCH   ?= .
 BENCHTIME ?= 1x
 
-.PHONY: all build test test-short test-allocs race vet fmt-check bench benchcmp serve-stats ci
+.PHONY: all build test test-short test-allocs race vet fmt-check bench benchcmp serve-stats stream-e2e ci
 
 all: build
 
@@ -52,6 +52,18 @@ bench:
 # fails the target, and the full multi-snapshot trend table is printed.
 benchcmp:
 	$(GO) run ./tools/benchcmp -new BENCH_$(REV).json
+
+# stream-e2e is the streaming + hot-swap smoke: train a tiny model, boot
+# the daemon stack, stream raw DVFS states as NDJSON, hot-swap the shard
+# through POST /v1/models mid-service, and assert post-swap assessments
+# are element-wise identical to direct Online.Push on the new model —
+# under the race detector, since swap-vs-stream is exactly where races
+# would hide.
+stream-e2e:
+	$(GO) test -race -count=1 -v \
+		-run 'TestStreamE2EHotSwap|TestWatchHotSwapsOnMtime' ./cmd/trusthmdd/
+	$(GO) test -race -count=1 \
+		-run 'TestStreamMatchesOnlinePush|TestSwapUnderLoadIsLossless|TestStreamSessionPinsVersion' ./pkg/serve/
 
 # serve-stats replays the serve-layer cross-request cache e2e and writes
 # the final /stats snapshot (cache hit/miss counters included) to

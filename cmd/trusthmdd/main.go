@@ -1,13 +1,12 @@
 // Command trusthmdd is the trusted-HMD serving daemon: it loads one or
 // more gob-saved detectors (train them with `trusthmd -save` or the
-// pkg/detector Save API) and serves assessment requests over HTTP with
-// per-shard request coalescing — concurrent single-sample requests are
-// aggregated into AssessBatch calls, so heavy independent traffic rides
-// the batched projection + pooled member inference path while every
-// response stays element-wise identical to a direct Assess.
+// pkg/detector Save API) into a hot-swappable serve.Fleet and serves
+// assessment traffic over HTTP — coalesced single-sample requests, client
+// batches, and NDJSON streams of raw DVFS states — while shards can be
+// loaded, replaced and unloaded without restarting.
 //
-// Endpoints: POST /v1/assess, POST /v1/assess/batch, GET /v1/models,
-// GET /healthz, GET /stats.
+// Endpoints: POST /v1/assess, POST /v1/assess/batch, POST /v1/assess/stream,
+// GET|POST /v1/models, GET|DELETE /v1/models/{name}, GET /healthz, GET /stats.
 //
 // Usage:
 //
@@ -17,8 +16,17 @@
 //	         [-addr :8080] [-default dvfs]
 //	         [-max-batch 32] [-max-wait 2ms] [-queue 1024]
 //	         [-cache-size 4096] [-workers 0] [-threshold -1]
+//	         [-admin-token secret] [-watch 5s]
 //
 //	curl -s localhost:8080/v1/assess -d '{"features":[...]}'
+//
+// With -admin-token set, POST /v1/models and DELETE /v1/models/{name}
+// hot-manage the fleet (the token guards them; without the flag they are
+// open). With -watch set, every shard given on the command line is
+// reloaded automatically when its gob file's mtime changes — and both
+// paths reapply the daemon's -workers/-threshold overrides to the
+// incoming model, so a hot swap never silently drops the fleet-wide
+// serving configuration.
 package main
 
 import (
@@ -46,38 +54,51 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		loadPath  = flag.String("load", "", "serve a single saved detector under the name \"default\"")
-		defName   = flag.String("default", "", "shard serving requests that omit \"model\"")
-		maxBatch  = flag.Int("max-batch", 32, "coalescer flush size")
-		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "coalescer max latency before a partial batch flushes")
-		queue     = flag.Int("queue", 1024, "per-shard pending-request buffer; beyond it requests are shed with 503")
-		maxBody   = flag.Int64("max-body", 8<<20, "request body size cap in bytes")
-		maxBatchN = flag.Int("max-batch-samples", 4096, "largest accepted client-side batch")
-		cacheSize = flag.Int("cache-size", 0, "per-shard cross-request result cache entries (0 = default 4096, negative disables)")
-		workers   = flag.Int("workers", 0, "override assessment parallelism on every shard (0 keeps each model's saved setting)")
-		threshold = flag.Float64("threshold", -1, "override the rejection threshold on every shard (<0 keeps each model's saved threshold)")
-		timeout   = flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+		addr       = flag.String("addr", ":8080", "listen address")
+		loadPath   = flag.String("load", "", "serve a single saved detector under the name \"default\"")
+		defName    = flag.String("default", "", "shard serving requests that omit \"model\" and \"device\"")
+		maxBatch   = flag.Int("max-batch", 32, "coalescer flush size")
+		maxWait    = flag.Duration("max-wait", 2*time.Millisecond, "coalescer max latency before a partial batch flushes")
+		queue      = flag.Int("queue", 1024, "per-shard pending-request buffer; beyond it requests are shed with 503")
+		maxBody    = flag.Int64("max-body", 8<<20, "request body size cap in bytes (JSON assessment endpoints)")
+		maxAdmin   = flag.Int64("max-admin-body", 64<<20, "POST /v1/models body cap in bytes (inline model uploads)")
+		maxBatchN  = flag.Int("max-batch-samples", 4096, "largest accepted client-side batch")
+		maxLine    = flag.Int("max-stream-line", 256<<10, "largest accepted NDJSON line on /v1/assess/stream, in bytes")
+		maxWindow  = flag.Int("max-stream-window", 1<<16, "largest per-session window a stream header may request")
+		streamIdle = flag.Duration("stream-idle", 5*time.Minute, "cut an NDJSON stream whose client sends nothing for this long (negative disables)")
+		cacheSize  = flag.Int("cache-size", 0, "per-shard cross-request result cache entries (0 = default 4096, negative disables)")
+		workers    = flag.Int("workers", 0, "override assessment parallelism on every shard (0 keeps each model's saved setting)")
+		threshold  = flag.Float64("threshold", -1, "override the rejection threshold on every shard (<0 keeps each model's saved threshold)")
+		adminToken = flag.String("admin-token", "", "bearer token guarding POST /v1/models and DELETE /v1/models/{name} (empty leaves them open)")
+		watch      = flag.Duration("watch", 0, "poll interval for hot-reloading command-line shards when their gob mtime changes (0 disables)")
+		timeout    = flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM")
 	)
 	var specs modelFlags
 	flag.Var(&specs, "model", "name=path of a saved detector shard (repeatable)")
 	flag.Parse()
 
 	if err := run(*addr, *loadPath, specs, serve.Config{
-		MaxBatch:        *maxBatch,
-		MaxWait:         *maxWait,
-		QueueSize:       *queue,
-		MaxBodyBytes:    *maxBody,
-		MaxBatchSamples: *maxBatchN,
-		CacheSize:       *cacheSize,
-		DefaultModel:    *defName,
-	}, *workers, *threshold, *timeout); err != nil {
+		MaxBatch:           *maxBatch,
+		MaxWait:            *maxWait,
+		QueueSize:          *queue,
+		MaxBodyBytes:       *maxBody,
+		MaxAdminBodyBytes:  *maxAdmin,
+		MaxBatchSamples:    *maxBatchN,
+		MaxStreamLineBytes: *maxLine,
+		MaxStreamWindow:    *maxWindow,
+		StreamIdleTimeout:  *streamIdle,
+		CacheSize:          *cacheSize,
+		DefaultModel:       *defName,
+		AdminToken:         *adminToken,
+	}, *workers, *threshold, *watch, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "trusthmdd:", err)
 		os.Exit(1)
 	}
 }
 
-// modelFlags collects repeated -model name=path specs.
+// modelFlags collects repeated -model name=path specs. Duplicate shard
+// names are rejected at flag-parse time: the last-one-wins behaviour of a
+// plain map would silently serve the wrong model.
 type modelFlags []modelSpec
 
 type modelSpec struct{ name, path string }
@@ -92,6 +113,7 @@ func (m *modelFlags) String() string {
 
 func (m *modelFlags) Set(v string) error {
 	name, path, ok := strings.Cut(v, "=")
+	name, path = strings.TrimSpace(name), strings.TrimSpace(path)
 	if !ok || name == "" || path == "" {
 		return fmt.Errorf("want name=path, got %q", v)
 	}
@@ -104,26 +126,11 @@ func (m *modelFlags) Set(v string) error {
 	return nil
 }
 
-// loadModels opens every shard, applying the optional fleet-wide
-// serving-time overrides.
-func loadModels(loadPath string, specs modelFlags, workers int, threshold float64) (map[string]*detector.Detector, error) {
-	if loadPath != "" {
-		specs = append(modelFlags{{name: "default", path: loadPath}}, specs...)
-	}
-	if len(specs) == 0 {
-		return nil, errors.New("no models: train one with `trusthmd -save det.gob`, then pass -load det.gob or -model name=det.gob")
-	}
-	out := make(map[string]*detector.Detector, len(specs))
-	for _, s := range specs {
-		f, err := os.Open(s.path)
-		if err != nil {
-			return nil, err
-		}
-		det, err := detector.Load(f)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("model %s: %w", s.name, err)
-		}
+// overrides builds the detector-preparation hook applying the fleet-wide
+// serving-time flags. It runs on boot-time loads, admin-endpoint loads and
+// watch reloads alike, so a hot swap keeps the daemon's configuration.
+func overrides(workers int, threshold float64) func(*detector.Detector) (*detector.Detector, error) {
+	return func(det *detector.Detector) (*detector.Detector, error) {
 		var opts []detector.Option
 		if workers > 0 {
 			opts = append(opts, detector.WithWorkers(workers))
@@ -131,14 +138,42 @@ func loadModels(loadPath string, specs modelFlags, workers int, threshold float6
 		if threshold >= 0 {
 			opts = append(opts, detector.WithThreshold(threshold))
 		}
-		if len(opts) > 0 {
-			if det, err = det.WithOptions(opts...); err != nil {
-				return nil, fmt.Errorf("model %s: %w", s.name, err)
+		if len(opts) == 0 {
+			return det, nil
+		}
+		return det.WithOptions(opts...)
+	}
+}
+
+// allSpecs folds the -load shorthand into the spec list.
+func allSpecs(loadPath string, specs modelFlags) (modelFlags, error) {
+	if loadPath != "" {
+		for _, s := range specs {
+			if s.name == "default" {
+				return nil, fmt.Errorf("duplicate model name %q (-load serves under that name)", s.name)
 			}
 		}
-		if _, dup := out[s.name]; dup {
-			return nil, fmt.Errorf("duplicate model name %q", s.name)
+		specs = append(modelFlags{{name: "default", path: loadPath}}, specs...)
+	}
+	if len(specs) == 0 {
+		return nil, errors.New("no models: train one with `trusthmd -save det.gob`, then pass -load det.gob or -model name=det.gob")
+	}
+	return specs, nil
+}
+
+// loadModels opens every resolved shard spec through the prepare hook —
+// the same hook admin loads and watch reloads run, so boot-time loading
+// cannot diverge from the hot paths.
+func loadModels(specs modelFlags, prepare func(*detector.Detector) (*detector.Detector, error)) (map[string]*detector.Detector, error) {
+	out := make(map[string]*detector.Detector, len(specs))
+	for _, s := range specs {
+		det, err := loadShard(s, prepare)
+		if err != nil {
+			return nil, err
 		}
+		// Duplicate names cannot reach here: modelFlags.Set rejects them
+		// at flag-parse time and allSpecs rejects -load vs -model
+		// collisions on "default".
 		out[s.name] = det
 		info := det.Info()
 		fmt.Printf("loaded shard %-12s %s (%d members, %d features, threshold %.2f)\n",
@@ -147,15 +182,132 @@ func loadModels(loadPath string, specs modelFlags, workers int, threshold float6
 	return out, nil
 }
 
-func run(addr, loadPath string, specs modelFlags, cfg serve.Config, workers int, threshold float64, shutdownTimeout time.Duration) error {
-	models, err := loadModels(loadPath, specs, workers, threshold)
+// loadShard opens, decodes and prepares one gob-saved detector.
+func loadShard(s modelSpec, prepare func(*detector.Detector) (*detector.Detector, error)) (*detector.Detector, error) {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return nil, err
+	}
+	det, err := detector.Load(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("model %s: %w", s.name, err)
+	}
+	if det, err = prepare(det); err != nil {
+		return nil, fmt.Errorf("model %s: %w", s.name, err)
+	}
+	return det, nil
+}
+
+// fileStamp identifies one observed gob file state. Size participates so
+// a rewrite landing within the filesystem's mtime granularity (FAT 2s,
+// coarse NFS/overlay timestamps) is still detected when it changes the
+// file length.
+type fileStamp struct {
+	mtime time.Time
+	size  int64
+}
+
+// changedFrom reports whether the file differs from the recorded state:
+// any mtime difference counts (a restored backup may be older), as does a
+// size change within the same timestamp tick.
+func (a fileStamp) changedFrom(b fileStamp) bool {
+	return !a.mtime.Equal(b.mtime) || a.size != b.size
+}
+
+// statStamps snapshots the shards' gob file stamps. The daemon takes it
+// BEFORE loading the models, so a file rewritten between the boot-time
+// load and the watcher's first tick still registers as changed.
+func statStamps(specs modelFlags) map[string]fileStamp {
+	stamps := make(map[string]fileStamp, len(specs))
+	for _, s := range specs {
+		if fi, err := os.Stat(s.path); err == nil {
+			stamps[s.name] = fileStamp{mtime: fi.ModTime(), size: fi.Size()}
+		}
+	}
+	return stamps
+}
+
+// watchShards polls every command-line shard's gob file and hot-swaps the
+// fleet when the file changes — `trusthmd -save` over the file is all it
+// takes to roll a new model out. The recorded stamp only advances after a
+// successful install, so a failed load (e.g. a torn read mid-rewrite) is
+// retried every tick until the file decodes, even if its stamp never
+// moves again; the serving shard keeps answering meanwhile. Installs go
+// through LoadOrSwap, so a shard unloaded over the admin API is
+// reinstated by the next save — the file on disk is the source of truth
+// for command-line shards.
+func watchShards(ctx context.Context, fleet *serve.Fleet, specs modelFlags, interval time.Duration,
+	prepare func(*detector.Detector) (*detector.Detector, error), stamps map[string]fileStamp) {
+	if stamps == nil {
+		stamps = statStamps(specs)
+	}
+	lastErr := make(map[string]string, len(specs))
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		for _, s := range specs {
+			fi, err := os.Stat(s.path)
+			if err != nil {
+				continue // transient (mid-rewrite): keep the serving shard
+			}
+			// The stat happens before the load: if the file changes in
+			// between, the next tick sees a newer stamp and reconverges.
+			stamp := fileStamp{mtime: fi.ModTime(), size: fi.Size()}
+			if !stamp.changedFrom(stamps[s.name]) {
+				continue
+			}
+			det, err := loadShard(s, prepare)
+			if err != nil {
+				// Log once per distinct failure, not once per tick.
+				if msg := err.Error(); lastErr[s.name] != msg {
+					lastErr[s.name] = msg
+					fmt.Fprintf(os.Stderr, "trusthmdd: watch: reload %s: %v (retrying every %v)\n", s.name, err, interval)
+				}
+				continue
+			}
+			v, _, err := fleet.LoadOrSwap(s.name, det)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trusthmdd: watch: swap %s: %v\n", s.name, err)
+				continue
+			}
+			stamps[s.name] = stamp
+			delete(lastErr, s.name)
+			fmt.Printf("watch: hot-swapped shard %s -> v%d (%s)\n", s.name, v, s.path)
+		}
+	}
+}
+
+func run(addr, loadPath string, specs modelFlags, cfg serve.Config, workers int, threshold float64,
+	watch, shutdownTimeout time.Duration) error {
+	prepare := overrides(workers, threshold)
+	cfg.PrepareDetector = prepare
+	// One spec resolution and one prepare hook feed boot-time loading,
+	// the watcher and (via cfg) the admin endpoint alike.
+	resolved, err := allSpecs(loadPath, specs)
 	if err != nil {
 		return err
 	}
-	srv, err := serve.New(models, cfg)
+	// Baseline stamps are taken before the boot-time load so a save
+	// racing the daemon's startup is still caught by the first tick.
+	var baseline map[string]fileStamp
+	if watch > 0 {
+		baseline = statStamps(resolved)
+	}
+	models, err := loadModels(resolved, prepare)
 	if err != nil {
 		return err
 	}
+	fleet, err := serve.NewFleet(models, cfg)
+	if err != nil {
+		return err
+	}
+	srv := serve.NewServer(fleet)
 
 	httpSrv := &http.Server{
 		Addr:              addr,
@@ -165,10 +317,14 @@ func run(addr, loadPath string, specs modelFlags, cfg serve.Config, workers int,
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if watch > 0 {
+		go watchShards(ctx, fleet, resolved, watch, prepare, baseline)
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Printf("trusthmdd listening on %s (%d shard(s), max-batch %d, max-wait %v)\n",
-			addr, len(models), cfg.MaxBatch, cfg.MaxWait)
+			addr, fleet.Len(), cfg.MaxBatch, cfg.MaxWait)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -179,9 +335,12 @@ func run(addr, loadPath string, specs modelFlags, cfg serve.Config, workers int,
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting connections and let in-flight
-	// requests finish, then drain the coalescer queues.
+	// Graceful shutdown: wind down open NDJSON streams (each ends with its
+	// summary line — without this, one connected stream client would pin
+	// Shutdown for the whole budget), stop accepting connections and let
+	// in-flight requests finish, then drain the coalescer queues.
 	fmt.Println("\nshutting down...")
+	srv.BeginDrain()
 	shCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
 	shutdownErr := httpSrv.Shutdown(shCtx)
@@ -190,8 +349,8 @@ func run(addr, loadPath string, specs modelFlags, cfg serve.Config, workers int,
 		return shutdownErr
 	}
 	for _, st := range srv.Stats() {
-		fmt.Printf("shard %-12s %d requests in %d batches (mean %.1f), %d batch requests, %d shed, rejection rate %.1f%%\n",
-			st.Model, st.Requests, st.Batches, st.MeanBatchSize, st.BatchRequests, st.Shed, 100*st.RejectionRate)
+		fmt.Printf("shard %-12s v%d: %d requests in %d batches (mean %.1f), %d batch requests, %d stream sessions, %d shed, rejection rate %.1f%%\n",
+			st.Model, st.Version, st.Requests, st.Batches, st.MeanBatchSize, st.BatchRequests, st.StreamSessions, st.Shed, 100*st.RejectionRate)
 	}
 	return nil
 }

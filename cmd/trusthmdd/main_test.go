@@ -1,13 +1,18 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"trusthmd/internal/gen"
 	"trusthmd/pkg/detector"
@@ -25,19 +30,34 @@ func TestModelFlagsParsing(t *testing.T) {
 	if m.String() != "dvfs=det.gob,alt=other.gob" {
 		t.Fatalf("String: %q", m.String())
 	}
-	for _, bad := range []string{"", "noequals", "=path", "name=", "dvfs=dup.gob"} {
+	// Duplicate shard names fail at flag-parse time — silently keeping
+	// the last spec would serve the wrong model. Whitespace around the
+	// name must not smuggle a duplicate past the check.
+	for _, bad := range []string{"", "noequals", "=path", "name=", "dvfs=dup.gob", " dvfs =dup.gob", "  ", " = "} {
 		if err := m.Set(bad); err == nil {
 			t.Fatalf("Set(%q): expected error", bad)
 		}
 	}
+	if len(m) != 2 {
+		t.Fatalf("rejected specs must not be appended: %v", m)
+	}
 }
 
 func TestLoadModelsErrors(t *testing.T) {
-	if _, err := loadModels("", nil, 0, -1); err == nil {
+	if _, err := allSpecs("", nil); err == nil {
 		t.Fatal("expected no-models error")
 	}
-	if _, err := loadModels("/does/not/exist.gob", nil, 0, -1); err == nil {
+	specs, err := allSpecs("/does/not/exist.gob", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadModels(specs, overrides(0, -1)); err == nil {
 		t.Fatal("expected open error")
+	}
+	// -load claims the name "default"; a -model spec reusing it must be
+	// rejected up front, not silently resolved by map order.
+	if _, err := allSpecs("/x.gob", modelFlags{{name: "default", path: "/y.gob"}}); err == nil {
+		t.Fatal("expected duplicate-default error")
 	}
 }
 
@@ -65,7 +85,11 @@ func TestDaemonHandoff(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	models, err := loadModels(path, modelFlags{{name: "named", path: path}}, 2, 0.25)
+	specs, err := allSpecs(path, modelFlags{{name: "named", path: path}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := loadModels(specs, overrides(2, 0.25))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,6 +115,322 @@ func TestDaemonHandoff(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: %d", resp.StatusCode)
 	}
+}
+
+// saveDetector trains a tiny detector and gob-saves it, returning both.
+func saveDetector(t *testing.T, path string, opts ...detector.Option) *detector.Detector {
+	t.Helper()
+	s, err := gen.DVFSWithSizes(3, gen.Sizes{Train: 280, Test: 40, Unknown: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []detector.Option{detector.WithModel("rf"), detector.WithEnsembleSize(7), detector.WithSeed(1)}
+	d, err := detector.New(s.Train, append(base, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestStreamE2EHotSwap is the stream-smoke e2e CI runs under -race: train
+// a tiny model, boot the daemon's full stack (loader, fleet, admin token,
+// HTTP transport), stream raw DVFS states as NDJSON, hot-swap the shard
+// through POST /v1/models mid-service, and assert that post-swap streamed
+// assessments are element-wise identical to driving the swapped-in
+// detector's Online loop directly.
+func TestStreamE2EHotSwap(t *testing.T) {
+	dir := t.TempDir()
+	pathV1 := filepath.Join(dir, "v1.gob")
+	pathV2 := filepath.Join(dir, "v2.gob")
+	saveDetector(t, pathV1)
+	// The replacement differs observably: threshold 0 rejects anything
+	// with nonzero vote entropy.
+	dV2 := saveDetector(t, pathV2, detector.WithThreshold(0))
+
+	// Boot the daemon stack exactly as run() wires it.
+	const token = "swap-secret"
+	cfg := serve.Config{DefaultModel: "default", AdminToken: token}
+	cfg.PrepareDetector = overrides(0, -1)
+	specs, err := allSpecs(pathV1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := loadModels(specs, cfg.PrepareDetector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := serve.NewFleet(models, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(fleet)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+
+	const levels, window, stride = 8, 16, 4
+	states := make([]int, 240)
+	for i := range states {
+		states[i] = (i*i + i/3) % levels
+	}
+	stream := func() (results []serve.StreamResult, summary serve.StreamSummary) {
+		t.Helper()
+		var b bytes.Buffer
+		hdr, _ := json.Marshal(serve.StreamHeader{Levels: levels, Window: window, Stride: stride})
+		b.Write(hdr)
+		b.WriteByte('\n')
+		for _, s := range states {
+			fmt.Fprintf(&b, "{\"state\":%d}\n", s)
+		}
+		resp, err := http.Post(ts.URL+"/v1/assess/stream", "application/x-ndjson", &b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("stream status %d: %s", resp.StatusCode, body)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		done := false
+		for sc.Scan() {
+			var probe map[string]json.RawMessage
+			if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+				t.Fatalf("bad stream line: %s", sc.Bytes())
+			}
+			switch {
+			case probe["error"] != nil:
+				t.Fatalf("stream error line: %s", sc.Bytes())
+			case probe["done"] != nil:
+				if err := json.Unmarshal(sc.Bytes(), &summary); err != nil {
+					t.Fatal(err)
+				}
+				done = true
+			default:
+				var r serve.StreamResult
+				if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+					t.Fatal(err)
+				}
+				results = append(results, r)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if !done {
+			t.Fatal("stream ended without summary")
+		}
+		return results, summary
+	}
+
+	pre, preSummary := stream()
+	if len(pre) == 0 || preSummary.Version != 1 {
+		t.Fatalf("pre-swap stream: %d results, summary %+v", len(pre), preSummary)
+	}
+
+	// Hot-swap through the admin endpoint, token-guarded.
+	swapBody, _ := json.Marshal(serve.LoadModelRequest{Name: "default", Path: pathV2})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/models", bytes.NewReader(swapBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("swap status %d: %s", resp.StatusCode, body)
+	}
+	var swapped serve.LoadModelResponse
+	if err := json.Unmarshal(body, &swapped); err != nil {
+		t.Fatal(err)
+	}
+	if !swapped.Replaced || swapped.Version != 2 {
+		t.Fatalf("swap response: %+v", swapped)
+	}
+
+	// Post-swap: the same stream now runs on v2 and matches the v2
+	// detector's Online.Push decisions element-wise.
+	online, err := detector.NewOnline(dV2, detector.StreamConfig{Levels: levels, Window: window, Stride: stride})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []detector.Result
+	for _, s := range states {
+		r, ok, err := online.Push(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			want = append(want, r)
+		}
+	}
+	post, postSummary := stream()
+	if postSummary.Version != 2 {
+		t.Fatalf("post-swap summary version %d, want 2", postSummary.Version)
+	}
+	if len(post) != len(want) {
+		t.Fatalf("post-swap stream emitted %d decisions, direct Online.Push %d", len(post), len(want))
+	}
+	rejected := 0
+	for i := range post {
+		if post[i].Version != 2 {
+			t.Fatalf("decision %d: version %d, want 2", i, post[i].Version)
+		}
+		if post[i].Prediction != want[i].Prediction || post[i].Entropy != want[i].Entropy ||
+			post[i].Decision != want[i].Decision.String() {
+			t.Fatalf("post-swap decision %d diverged:\n got %+v\nwant %+v", i, post[i], want[i])
+		}
+		if post[i].Decision == "reject" {
+			rejected++
+		}
+	}
+	// Sanity: the swap is observable — threshold 0 rejects every window
+	// with nonzero entropy, which the v1 threshold accepted.
+	if rejected == 0 {
+		preRejects := 0
+		for _, r := range pre {
+			if r.Decision == "reject" {
+				preRejects++
+			}
+		}
+		if preRejects != 0 {
+			t.Fatalf("swap to threshold-0 changed nothing: pre %d rejects, post %d", preRejects, rejected)
+		}
+	}
+}
+
+// TestWatchHotSwapsOnMtime covers -watch: rewriting a shard's gob file is
+// all it takes — the watcher notices the mtime change, reloads, reapplies
+// the daemon overrides, and hot-swaps the fleet.
+func TestWatchHotSwapsOnMtime(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "det.gob")
+	saveDetector(t, path)
+
+	const thresholdOverride = 0.125
+	prepare := overrides(0, thresholdOverride)
+	specs, err := allSpecs(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := loadModels(specs, prepare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := serve.NewFleet(models, serve.Config{DefaultModel: "default"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		watchShards(ctx, fleet, modelFlags{{name: "default", path: path}}, time.Millisecond, prepare, nil)
+	}()
+
+	// The watcher may legitimately swap more than once per phase (it can
+	// see the freshly saved file before the test adjusts its mtime), so
+	// all waits are at-least + settle rather than exact-match.
+	waitAtLeast := func(want uint64) serve.ModelInfo {
+		t.Helper()
+		deadline := time.After(5 * time.Second)
+		for {
+			models := fleet.Models()
+			if len(models) == 1 && models[0].Version >= want {
+				return models[0]
+			}
+			select {
+			case <-deadline:
+				t.Fatalf("watcher never reached v%d: %+v", want, models)
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}
+	settle := func() serve.ModelInfo {
+		t.Helper()
+		deadline := time.After(5 * time.Second)
+		last := fleet.Models()[0]
+		for stable := 0; stable < 20; {
+			select {
+			case <-deadline:
+				t.Fatalf("fleet never settled: %+v", last)
+			case <-time.After(2 * time.Millisecond):
+			}
+			cur := fleet.Models()[0]
+			if cur.Version == last.Version {
+				stable++
+			} else {
+				stable, last = 0, cur
+			}
+		}
+		return last
+	}
+
+	// Rewrite the gob (a fresh training run) with a bumped mtime.
+	saveDetector(t, path)
+	future := time.Now().Add(time.Hour)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	waitAtLeast(2)
+	m := settle()
+	if m.Threshold != thresholdOverride {
+		t.Fatalf("watch reload dropped the threshold override: %+v", m)
+	}
+	base := m.Version
+
+	// Torn read: a garbage rewrite with a newer mtime must not swap —
+	// and because the recorded stamp only advances on success, the next
+	// valid content is picked up even if the stamp never moves again.
+	if err := os.WriteFile(path, []byte("not a gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future = future.Add(time.Hour)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // several ticks of failed reloads
+	if v := fleet.Models()[0].Version; v != base {
+		t.Fatalf("garbage gob was swapped in: v%d (base v%d)", v, base)
+	}
+	saveDetector(t, path)
+	if err := os.Chtimes(path, future, future); err != nil { // same mtime as the garbage
+		t.Fatal(err)
+	}
+	waitAtLeast(base + 1)
+	base = settle().Version
+
+	// A shard unloaded over the admin API is reinstated by the next save:
+	// for command-line shards the file on disk is the source of truth.
+	if err := fleet.Unload("default"); err != nil {
+		t.Fatal(err)
+	}
+	saveDetector(t, path)
+	future = future.Add(time.Hour)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	waitAtLeast(base + 1)
+
+	cancel()
+	<-watchDone
 }
 
 // TestGBMShardServes proves the exported classifier contract end to end:
@@ -119,7 +459,11 @@ func TestGBMShardServes(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	models, err := loadModels(path, nil, 0, -1)
+	specs, err := allSpecs(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := loadModels(specs, overrides(0, -1))
 	if err != nil {
 		t.Fatal(err)
 	}

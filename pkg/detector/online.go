@@ -57,6 +57,10 @@ type Online struct {
 type OnlineStats struct {
 	Benign, Malware, Rejected int
 	Windows                   int
+	// Samples counts the states accepted into the window — every Push
+	// that passed range validation, including samples whose assessment
+	// failed (the window retains them and retries on the next Push).
+	Samples int
 	// CacheHits counts windows served from the projected-vector memo
 	// (identical to their predecessor, so scale+PCA were skipped).
 	CacheHits int
@@ -99,20 +103,49 @@ type StreamConfig struct {
 	Stride int
 }
 
-// NewOnline wraps a trained detector into a streaming detector.
-func NewOnline(d *Detector, cfg StreamConfig) (*Online, error) {
+// validateStreamConfig is the shared precondition check of NewOnline and
+// ValidateStream; it returns the effective stride.
+func validateStreamConfig(d *Detector, cfg StreamConfig) (int, error) {
 	if d == nil {
-		return nil, fmt.Errorf("detector: online needs a trained detector")
+		return 0, fmt.Errorf("detector: online needs a trained detector")
 	}
 	if cfg.Levels < 2 {
-		return nil, fmt.Errorf("detector: online needs >=2 levels, got %d", cfg.Levels)
+		return 0, fmt.Errorf("detector: online needs >=2 levels, got %d", cfg.Levels)
 	}
 	if cfg.Window < 2 {
-		return nil, fmt.Errorf("detector: online needs window >=2, got %d", cfg.Window)
+		return 0, fmt.Errorf("detector: online needs window >=2, got %d", cfg.Window)
 	}
 	stride := cfg.Stride
 	if stride <= 0 {
 		stride = cfg.Window
+	}
+	return stride, nil
+}
+
+// ValidateStream reports whether windows of the given stream
+// configuration are assessable by this detector at all: the feature
+// dimension is a pure function of the ladder size (feature.DVFSDim —
+// window length does not matter, missing autocorrelation lags are
+// zero-padded), so a Levels value whose windows can never match the
+// trained pipeline's input is detectable up front. Serving layers call
+// this at session-open time so the mismatch becomes an immediate error
+// instead of a failure on the first full window mid-stream.
+func (d *Detector) ValidateStream(cfg StreamConfig) error {
+	if _, err := validateStreamConfig(d, cfg); err != nil {
+		return err
+	}
+	if got, dim := feature.DVFSDim(cfg.Levels), d.pipe.InputDim(); got != dim {
+		return fmt.Errorf("detector: stream windows with %d levels produce %d features, model expects %d",
+			cfg.Levels, got, dim)
+	}
+	return nil
+}
+
+// NewOnline wraps a trained detector into a streaming detector.
+func NewOnline(d *Detector, cfg StreamConfig) (*Online, error) {
+	stride, err := validateStreamConfig(d, cfg)
+	if err != nil {
+		return nil, err
 	}
 	return &Online{
 		det:     d,
@@ -134,6 +167,7 @@ func (o *Online) Push(state int) (res Result, ok bool, err error) {
 		return Result{}, false, fmt.Errorf("detector: state %d outside [0,%d)", state, o.levels)
 	}
 	o.ring[o.head] = state
+	o.Stats.Samples++
 	o.head++
 	if o.head == len(o.ring) {
 		o.head = 0

@@ -1,0 +1,196 @@
+package detector
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestSessionMatchesOnline pins the Session contract's core promise: a
+// Session is a pure lifecycle wrapper — pushing the same state sequence
+// through a Session and through a bare Online yields element-wise
+// identical decisions.
+func TestSessionMatchesOnline(t *testing.T) {
+	d := onlineDetector(t)
+	cfg := StreamConfig{Levels: 8, Window: 64, Stride: 16}
+	sess, err := NewSession(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	online, err := NewOnline(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	states := make([]int, 400)
+	for i := range states {
+		states[i] = rng.Intn(cfg.Levels)
+	}
+
+	decisions := 0
+	for i, st := range states {
+		want, wantOK, err := online.Push(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotOK, err := sess.Push(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotOK != wantOK {
+			t.Fatalf("sample %d: session ok=%v, online ok=%v", i, gotOK, wantOK)
+		}
+		if !gotOK {
+			continue
+		}
+		decisions++
+		if got.Prediction != want.Prediction || got.Entropy != want.Entropy || got.Decision != want.Decision {
+			t.Fatalf("sample %d: session %+v diverged from online %+v", i, got, want)
+		}
+	}
+	if decisions == 0 {
+		t.Fatal("stream produced no decisions")
+	}
+
+	st := sess.Stats()
+	if st.Samples != len(states) {
+		t.Fatalf("session samples %d, want %d", st.Samples, len(states))
+	}
+	if st.Decisions != decisions {
+		t.Fatalf("session decisions %d, want %d", st.Decisions, decisions)
+	}
+	if st.Benign+st.Malware+st.Rejected != decisions {
+		t.Fatalf("decision split %d+%d+%d does not sum to %d", st.Benign, st.Malware, st.Rejected, decisions)
+	}
+	if st.CacheHits != online.Stats.CacheHits {
+		t.Fatalf("session cache hits %d, online %d", st.CacheHits, online.Stats.CacheHits)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	d := onlineDetector(t)
+	sess, err := NewSession(d, StreamConfig{Levels: 8, Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Closed() {
+		t.Fatal("fresh session reports closed")
+	}
+	if _, _, err := sess.Push(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if !sess.Closed() {
+		t.Fatal("closed session reports open")
+	}
+	if _, _, err := sess.Push(1); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("push after close: %v, want ErrSessionClosed", err)
+	}
+	// Stats stay readable after close, and the failed push never counted.
+	if st := sess.Stats(); st.Samples != 1 {
+		t.Fatalf("samples %d, want 1", st.Samples)
+	}
+
+	// Invalid config and state surface like Online's errors.
+	if _, err := NewSession(d, StreamConfig{Levels: 1, Window: 4}); err == nil {
+		t.Fatal("expected levels validation error")
+	}
+	if _, err := NewSession(nil, StreamConfig{Levels: 8, Window: 4}); err == nil {
+		t.Fatal("expected nil-detector error")
+	}
+	sess2, err := NewSession(d, StreamConfig{Levels: 8, Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess2.Close()
+	if _, _, err := sess2.Push(8); err == nil {
+		t.Fatal("expected out-of-range state error")
+	}
+}
+
+func TestSessionPushAll(t *testing.T) {
+	d := onlineDetector(t)
+	cfg := StreamConfig{Levels: 8, Window: 16, Stride: 8}
+	sess, err := NewSession(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	online, err := NewOnline(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	states := make([]int, 120)
+	for i := range states {
+		states[i] = rng.Intn(cfg.Levels)
+	}
+	var want []Result
+	for _, st := range states {
+		r, ok, err := online.Push(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			want = append(want, r)
+		}
+	}
+	got, err := sess.PushAll(states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("PushAll emitted %d decisions, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Prediction != want[i].Prediction || got[i].Entropy != want[i].Entropy {
+			t.Fatalf("decision %d diverged", i)
+		}
+	}
+
+	// An invalid state mid-chunk reports its index and keeps the prefix.
+	if _, err := sess.PushAll([]int{0, 1, 99}); err == nil {
+		t.Fatal("expected error for out-of-range state")
+	}
+}
+
+// TestSessionConcurrentClose exercises the one concurrency promise the
+// Session makes beyond Online: a transport may Close from another
+// goroutine while the read loop is pushing.
+func TestSessionConcurrentClose(t *testing.T) {
+	d := onlineDetector(t)
+	sess, err := NewSession(d, StreamConfig{Levels: 8, Window: 8, Stride: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			if _, _, err := sess.Push(i % 8); err != nil {
+				if !errors.Is(err, ErrSessionClosed) {
+					t.Errorf("push: %v", err)
+				}
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		sess.Close()
+	}()
+	wg.Wait()
+	if !sess.Closed() {
+		t.Fatal("session should be closed")
+	}
+}

@@ -1,0 +1,383 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"trusthmd/pkg/detector"
+)
+
+// Fleet is the mutable, versioned shard registry at the heart of the
+// serving layer: a set of named detectors that can be loaded, hot-swapped
+// and unloaded while traffic flows. Server is a thin HTTP transport over
+// it; embedders that want a different transport (gRPC, a queue consumer)
+// drive the Fleet directly.
+//
+// Mutations are RCU-style: Swap installs a freshly built shard (new
+// coalescer, new result cache, incremented version) under the registry
+// lock and only then drains the old shard's coalescer outside the lock, so
+// requests already queued complete on the detector they were accepted
+// for and requests that race the swap retry onto the replacement — no
+// in-flight work is lost. Each shard carries a monotonically increasing
+// per-name version and the fleet an epoch that bumps on every mutation;
+// both are surfaced in /v1/models, /stats and assessment responses so
+// clients can observe exactly which model answered.
+type Fleet struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	shards map[string]*shard
+	names  []string // sorted shard names
+	ring   *hashRing
+	// versions and statsByName survive Unload so a name reloaded later
+	// continues its version sequence and its cumulative counters instead
+	// of restarting — and counters folded in late (a stream that outlived
+	// its shard's unload) stay visible once the name serves again.
+	versions    map[string]uint64
+	statsByName map[string]*shardStats
+	epoch       uint64
+	closed      bool
+}
+
+// shard is one named detector version with its coalescer, result cache
+// and counters. The coalescer and cache belong to this version (a swap
+// replaces them — a stale cache must never serve the old model's
+// verdicts); the stats object is shared across versions of the same name
+// so counters stay cumulative over swaps.
+type shard struct {
+	name    string
+	version uint64
+	det     *detector.Detector
+	co      *coalescer
+	cache   *resultCache
+	stats   *shardStats
+}
+
+// NewFleet builds a fleet over the given named detectors (which may be
+// empty: an empty fleet serves 404s until Load or the admin endpoint
+// populates it). Every detector must be trained; Config.DefaultModel, if
+// set alongside initial models, must name one of them.
+func NewFleet(models map[string]*detector.Detector, cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	f := &Fleet{
+		cfg:         cfg,
+		shards:      make(map[string]*shard, len(models)),
+		versions:    make(map[string]uint64, len(models)),
+		statsByName: make(map[string]*shardStats, len(models)),
+	}
+	for name, det := range models {
+		if _, err := f.Load(name, det); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if cfg.DefaultModel != "" && len(models) > 0 {
+		if _, ok := f.shards[cfg.DefaultModel]; !ok {
+			f.Close()
+			return nil, fmt.Errorf("serve: default model %q not among loaded models", cfg.DefaultModel)
+		}
+	}
+	return f, nil
+}
+
+// newShard assembles one shard version; stats is shared across versions.
+func (f *Fleet) newShard(name string, version uint64, det *detector.Detector, stats *shardStats) *shard {
+	return &shard{
+		name:    name,
+		version: version,
+		det:     det,
+		co:      newCoalescer(det, f.cfg.MaxBatch, f.cfg.QueueSize, f.cfg.MaxWait, stats),
+		cache:   newResultCache(f.cfg.CacheSize),
+		stats:   stats,
+	}
+}
+
+// Load adds a new shard under a name not currently in the fleet and
+// returns its version. Use Swap to replace an existing shard.
+func (f *Fleet) Load(name string, det *detector.Detector) (uint64, error) {
+	v, _, err := f.install(name, det, installNew)
+	return v, err
+}
+
+// Swap atomically replaces the detector behind an existing shard name and
+// returns the new version. The replacement gets a fresh coalescer and a
+// fresh (empty) result cache; the old shard's coalescer drains its queued
+// requests on the old detector before Swap returns, so a swap under load
+// loses nothing — racing requests re-resolve onto the new version.
+func (f *Fleet) Swap(name string, det *detector.Detector) (uint64, error) {
+	v, _, err := f.install(name, det, installReplace)
+	return v, err
+}
+
+// LoadOrSwap loads the shard if the name is new and swaps it otherwise,
+// reporting which happened — the admin endpoint's upsert.
+func (f *Fleet) LoadOrSwap(name string, det *detector.Detector) (version uint64, replaced bool, err error) {
+	return f.install(name, det, installUpsert)
+}
+
+// maxRetiredNames bounds how many unloaded shard names keep their version
+// and stats entries. Cross-reload continuity is a courtesy, not a ledger:
+// without a bound, rolling date-stamped names (or an attacker driving an
+// un-tokened admin endpoint with random names) would grow the registry
+// maps for the process lifetime.
+const maxRetiredNames = 1024
+
+type installMode int
+
+const (
+	installNew installMode = iota
+	installReplace
+	installUpsert
+)
+
+// install is the single mutation path behind Load, Swap and LoadOrSwap.
+func (f *Fleet) install(name string, det *detector.Detector, mode installMode) (uint64, bool, error) {
+	if name == "" {
+		return 0, false, errors.New("serve: empty model name")
+	}
+	if strings.Contains(name, "/") {
+		// "/" would make the shard unaddressable on /v1/models/{name}.
+		return 0, false, fmt.Errorf("serve: model name %q must not contain '/'", name)
+	}
+	if det == nil {
+		return 0, false, fmt.Errorf("serve: model %q is nil", name)
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return 0, false, ErrClosed
+	}
+	old, exists := f.shards[name]
+	switch mode {
+	case installNew:
+		if exists {
+			f.mu.Unlock()
+			return 0, false, fmt.Errorf("serve: model %q already loaded (use Swap to replace it)", name)
+		}
+	case installReplace:
+		if !exists {
+			f.mu.Unlock()
+			return 0, false, fmt.Errorf("serve: unknown model %q (use Load to add it)", name)
+		}
+	}
+	v := f.versions[name] + 1
+	f.versions[name] = v
+	// Counters stay cumulative per name across swaps AND unload/reload
+	// cycles (like the version sequence); only the cache restarts, because
+	// the cache itself does.
+	stats := f.statsByName[name]
+	if stats == nil {
+		stats = &shardStats{}
+		f.statsByName[name] = stats
+	}
+	f.shards[name] = f.newShard(name, v, det, stats)
+	if exists {
+		// A swap keeps the membership: names and ring are unchanged, so
+		// resolvers are only blocked for the pointer write + epoch bump.
+		f.epoch++
+	} else {
+		f.rebuildLocked()
+	}
+	f.mu.Unlock()
+	if exists {
+		// Drain outside the lock: queued requests finish on the detector
+		// they were accepted for while new traffic already routes to the
+		// replacement.
+		old.co.close()
+	}
+	return v, exists, nil
+}
+
+// Unload removes a shard and drains its coalescer. The name's version
+// counter and cumulative stats are retained (up to maxRetiredNames
+// unloaded names), so reloading it later continues both sequences.
+func (f *Fleet) Unload(name string) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	sh, ok := f.shards[name]
+	if !ok {
+		// Format while still holding the lock: f.names is mutated in
+		// place by rebuildLocked, so reading it after Unlock races
+		// concurrent membership changes.
+		err := fmt.Errorf("serve: unknown model %q (loaded: %v)", name, f.names)
+		f.mu.Unlock()
+		return err
+	}
+	delete(f.shards, name)
+	f.rebuildLocked()
+	// Evict retired bookkeeping beyond the bound: entries for loaded
+	// shards are always kept, unloaded names beyond maxRetiredNames lose
+	// their version/stats continuity (a reload then restarts at v1).
+	if len(f.versions) > len(f.shards)+maxRetiredNames {
+		for n := range f.versions {
+			if _, loaded := f.shards[n]; !loaded {
+				delete(f.versions, n)
+				delete(f.statsByName, n)
+				if len(f.versions) <= len(f.shards)+maxRetiredNames {
+					break
+				}
+			}
+		}
+	}
+	f.mu.Unlock()
+	sh.co.close()
+	return nil
+}
+
+// rebuildLocked refreshes the sorted name list, the routing ring and the
+// fleet epoch after a membership change (swaps skip it — same names, same
+// ring). Callers hold f.mu.
+func (f *Fleet) rebuildLocked() {
+	f.names = f.names[:0]
+	for name := range f.shards {
+		f.names = append(f.names, name)
+	}
+	sort.Strings(f.names)
+	f.ring = buildRing(f.names)
+	f.epoch++
+}
+
+// resolve picks the shard for a request. Precedence: an explicit model
+// name wins; otherwise a non-empty device key routes through the
+// consistent-hash ring; otherwise the default model serves (the
+// configured one, or the only loaded shard).
+func (f *Fleet) resolve(model, device string) (*shard, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	if len(f.names) == 0 {
+		return nil, errors.New("no models loaded")
+	}
+	name := model
+	if name == "" && device != "" {
+		name = f.ring.lookup(device)
+	}
+	if name == "" {
+		name = f.defaultLocked()
+		if name == "" {
+			return nil, fmt.Errorf("request must name a model or device (loaded: %v)", f.names)
+		}
+	}
+	sh, ok := f.shards[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown model %q (loaded: %v)", name, f.names)
+	}
+	return sh, nil
+}
+
+// defaultLocked names the shard serving model-less, device-less requests:
+// the configured DefaultModel when it is currently loaded, else the only
+// shard. Callers hold f.mu (read or write).
+func (f *Fleet) defaultLocked() string {
+	if f.cfg.DefaultModel != "" {
+		if _, ok := f.shards[f.cfg.DefaultModel]; ok {
+			return f.cfg.DefaultModel
+		}
+		return ""
+	}
+	if len(f.names) == 1 {
+		return f.names[0]
+	}
+	return ""
+}
+
+// Names returns the sorted shard names currently loaded.
+func (f *Fleet) Names() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return append([]string(nil), f.names...)
+}
+
+// Len reports the number of loaded shards.
+func (f *Fleet) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.shards)
+}
+
+// Epoch returns the fleet generation: it increments on every Load, Swap
+// and Unload, so a client comparing epochs across /stats calls can tell
+// whether the fleet changed in between.
+func (f *Fleet) Epoch() uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.epoch
+}
+
+// Models describes every loaded shard, sorted by name — the body of
+// GET /v1/models.
+func (f *Fleet) Models() []ModelInfo {
+	_, models := f.ModelsWithEpoch()
+	return models
+}
+
+// ModelsWithEpoch returns the shard listing together with the epoch of
+// the same consistent view — the pair /v1/models reports. (Calling Epoch
+// and Models separately can straddle a mutation and pair an epoch with
+// the other generation's listing.)
+func (f *Fleet) ModelsWithEpoch() (uint64, []ModelInfo) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	def := f.defaultLocked()
+	out := make([]ModelInfo, 0, len(f.names))
+	for _, name := range f.names {
+		sh := f.shards[name]
+		out = append(out, ModelInfo{
+			Name:    name,
+			Version: sh.version,
+			Default: name == def,
+			Info:    sh.det.Info(),
+		})
+	}
+	return f.epoch, out
+}
+
+// Stats snapshots every shard's serving counters, sorted by shard name.
+func (f *Fleet) Stats() []ShardStats {
+	_, stats := f.StatsWithEpoch()
+	return stats
+}
+
+// StatsWithEpoch returns the counter snapshot together with the epoch of
+// the same consistent view — the pair /stats reports.
+func (f *Fleet) StatsWithEpoch() (uint64, []ShardStats) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]ShardStats, 0, len(f.names))
+	for _, name := range f.names {
+		sh := f.shards[name]
+		st := sh.stats.snapshot(name)
+		st.Version = sh.version
+		st.CacheEntries = sh.cache.len()
+		out = append(out, st)
+	}
+	return f.epoch, out
+}
+
+// Close stops every shard's coalescer after draining queued requests and
+// rejects all future mutations and resolves. Safe to call more than once.
+// The HTTP listener should be shut down first so no new requests arrive.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	shards := make([]*shard, 0, len(f.shards))
+	for _, sh := range f.shards {
+		shards = append(shards, sh)
+	}
+	f.mu.Unlock()
+	for _, sh := range shards {
+		sh.co.close()
+	}
+}

@@ -234,9 +234,14 @@ func TestRequestValidation(t *testing.T) {
 		{"wrong dim", "/v1/assess", `{"features":[1,2,3]}`, http.StatusBadRequest},
 		{"unknown field", "/v1/assess", `{"features":[1],"nope":true}`, http.StatusBadRequest},
 		{"not json", "/v1/assess", `hello`, http.StatusBadRequest},
+		{"empty body", "/v1/assess", ``, http.StatusBadRequest},
+		{"two documents", "/v1/assess", `{"features":[1]}{"features":[1]}`, http.StatusBadRequest},
 		{"unknown model", "/v1/assess", `{"model":"nope","features":[1]}`, http.StatusNotFound},
 		{"empty batch", "/v1/assess/batch", `{"batch":[]}`, http.StatusBadRequest},
+		{"empty batch body", "/v1/assess/batch", ``, http.StatusBadRequest},
+		{"batch missing entirely", "/v1/assess/batch", `{}`, http.StatusBadRequest},
 		{"ragged batch", "/v1/assess/batch", `{"batch":[[1,2]]}`, http.StatusBadRequest},
+		{"batch unknown model", "/v1/assess/batch", `{"model":"nope","batch":[[1,2]]}`, http.StatusNotFound},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -265,23 +270,54 @@ func TestRequestValidation(t *testing.T) {
 
 func TestMethodNotAllowed(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	for _, url := range []string{"/v1/assess", "/v1/assess/batch"} {
+	// Every 405 must name the accepted methods in the Allow header
+	// (RFC 9110) and keep the JSON error envelope.
+	for _, url := range []string{"/v1/assess", "/v1/assess/batch", "/v1/assess/stream"} {
 		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+			t.Fatalf("GET %s: Allow header %q, want %q", url, allow, http.MethodPost)
+		}
+		var e ErrorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Fatalf("GET %s: non-JSON 405 body: %s", url, body)
+		}
+	}
+	for _, url := range []string{"/stats", "/healthz"} {
+		resp, err := http.Post(ts.URL+url, "application/json", strings.NewReader("{}"))
 		if err != nil {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusMethodNotAllowed {
-			t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+			t.Fatalf("POST %s: status %d", url, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+			t.Fatalf("POST %s: Allow header %q, want %q", url, allow, http.MethodGet)
 		}
 	}
-	resp, err := http.Post(ts.URL+"/stats", "application/json", strings.NewReader("{}"))
+	// The multi-method admin path advertises its full method set.
+	req, err := http.NewRequest(http.MethodPatch, ts.URL+"/v1/models/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("POST /stats: status %d", resp.StatusCode)
+		t.Fatalf("PATCH /v1/models/x: status %d", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "GET, DELETE" {
+		t.Fatalf("PATCH /v1/models/x: Allow header %q, want \"GET, DELETE\"", allow)
 	}
 }
 

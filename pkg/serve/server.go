@@ -1,14 +1,26 @@
-// Package serve is the HTTP serving layer of the trusted HMD: it loads
-// trained detectors (one or more named shards) and exposes them as a small
-// JSON API with per-shard request coalescing.
+// Package serve is the HTTP serving layer of the trusted HMD: a mutable,
+// versioned fleet of named detector shards (Fleet) exposed through a thin
+// HTTP transport (Server) with per-shard request coalescing, cross-request
+// result caching, consistent-hash device routing, NDJSON streaming and a
+// hot model-lifecycle admin surface.
 //
 // Endpoints:
 //
-//	POST /v1/assess        one feature vector  -> one trusted verdict
-//	POST /v1/assess/batch  pre-batched vectors -> verdicts, one AssessBatch
-//	GET  /v1/models        loaded shards and their configurations
-//	GET  /healthz          liveness
-//	GET  /stats            per-shard serving counters
+//	POST   /v1/assess          one feature vector  -> one trusted verdict
+//	POST   /v1/assess/batch    pre-batched vectors -> verdicts, one AssessBatch
+//	POST   /v1/assess/stream   NDJSON stream of raw DVFS states -> NDJSON verdicts
+//	GET    /v1/models          loaded shards, versions and configurations
+//	POST   /v1/models          load or hot-swap a shard (admin)
+//	GET    /v1/models/{name}   one shard's description
+//	DELETE /v1/models/{name}   unload a shard (admin)
+//	GET    /healthz            liveness
+//	GET    /stats              fleet epoch + per-shard serving counters
+//
+// Requests route to shards by precedence: an explicit "model" field wins;
+// otherwise a "device" key is mapped through a consistent-hash ring (a
+// device sticks to its shard until the fleet membership changes, and a
+// membership change only remaps the devices nearest the changed shard);
+// otherwise the default model serves.
 //
 // Concurrent /v1/assess requests are coalesced: each shard owns a bounded
 // queue and a flusher goroutine that drains waiting requests into a single
@@ -16,12 +28,14 @@
 // Config.MaxWait. Results are element-wise identical to direct Assess —
 // batching changes latency and throughput, never decisions.
 //
-// Each shard additionally owns a bounded cross-request result cache (LRU
-// keyed on the feature-vector hash, Config.CacheSize): telemetry streams
-// repeat vectors heavily, and a repeat is answered from the cache without
-// queueing or assessing at all. Detectors are deterministic, so cached
-// verdicts are bit-identical to recomputed ones; /stats exposes hit, miss
-// and occupancy counters per shard.
+// Each shard version additionally owns a bounded cross-request result
+// cache (LRU keyed on the feature-vector hash, Config.CacheSize):
+// telemetry streams repeat vectors heavily, and a repeat is answered from
+// the cache without queueing or assessing at all. Detectors are
+// deterministic, so cached verdicts are bit-identical to recomputed ones;
+// /stats exposes hit, miss and occupancy counters per shard. A hot swap
+// replaces the cache along with the detector — a stale cache must never
+// answer for a retired model version.
 package serve
 
 import (
@@ -30,7 +44,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"trusthmd/pkg/detector"
@@ -50,10 +65,17 @@ type Config struct {
 	// MaxBatchSamples caps the size of a client-supplied /v1/assess/batch
 	// body (default 4096 vectors).
 	MaxBatchSamples int
-	// MaxBodyBytes caps request body size (default 8 MiB).
+	// MaxBodyBytes caps request body size on the JSON assessment
+	// endpoints (default 8 MiB). The streaming endpoint is exempt — it is
+	// bounded per line by MaxStreamLineBytes — and POST /v1/models uses
+	// MaxAdminBodyBytes, since an inline model upload is far larger than
+	// any feature vector.
 	MaxBodyBytes int64
-	// DefaultModel names the shard serving requests that omit "model";
-	// defaults to the only shard when exactly one is loaded.
+	// MaxAdminBodyBytes caps POST /v1/models bodies (default 64 MiB):
+	// inline uploads carry a whole base64-encoded gob model.
+	MaxAdminBodyBytes int64
+	// DefaultModel names the shard serving requests that carry neither
+	// "model" nor "device"; when unset, the only loaded shard serves them.
 	DefaultModel string
 	// CacheSize bounds each shard's cross-request result cache (an LRU
 	// keyed on the feature-vector hash; see /stats cache_hits and
@@ -62,6 +84,28 @@ type Config struct {
 	// skip coalescing and assessment entirely; answers are bit-identical
 	// either way because a trained detector is deterministic.
 	CacheSize int
+	// AdminToken guards the mutating admin endpoints (POST /v1/models,
+	// DELETE /v1/models/{name}): when set, they require
+	// "Authorization: Bearer <token>". Empty leaves them open — acceptable
+	// on trusted networks and in tests, unacceptable on anything public.
+	AdminToken string
+	// PrepareDetector, when set, is applied to every detector entering the
+	// fleet through the admin endpoint before it is installed — the hook
+	// the daemon uses to reapply its fleet-wide -workers/-threshold
+	// overrides to hot-swapped models.
+	PrepareDetector func(*detector.Detector) (*detector.Detector, error)
+	// MaxStreamLineBytes caps one NDJSON line on /v1/assess/stream
+	// (default 256 KiB). The stream body as a whole is unbounded — that is
+	// the point of streaming — so the line cap is the overload valve.
+	MaxStreamLineBytes int
+	// MaxStreamWindow caps the per-session window size a stream header may
+	// request (default 65536 samples), bounding per-connection memory.
+	MaxStreamWindow int
+	// StreamIdleTimeout bounds the wait for the next NDJSON line on
+	// /v1/assess/stream (default 5m): a client that opens a stream and
+	// goes silent would otherwise pin a handler goroutine and its session
+	// for the daemon's lifetime. Negative disables the idle bound.
+	StreamIdleTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -80,162 +124,157 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.MaxAdminBodyBytes <= 0 {
+		c.MaxAdminBodyBytes = 64 << 20
+	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 4096
+	}
+	if c.MaxStreamLineBytes <= 0 {
+		c.MaxStreamLineBytes = 256 << 10
+	}
+	if c.MaxStreamWindow <= 0 {
+		c.MaxStreamWindow = 1 << 16
+	}
+	if c.StreamIdleTimeout == 0 {
+		c.StreamIdleTimeout = 5 * time.Minute
 	}
 	return c
 }
 
-// shard is one named detector with its coalescer, result cache and
-// counters.
-type shard struct {
-	name  string
-	det   *detector.Detector
-	co    *coalescer
-	cache *resultCache
-	stats *shardStats
-}
+// maxSwapRetries bounds how many times a request re-resolves after losing
+// the race with a hot swap (its shard's coalescer closed between resolve
+// and submit). One retry suffices in practice; the bound is paranoia
+// against a pathological swap storm.
+const maxSwapRetries = 4
 
-// Server routes assessment traffic to model shards. Create it with New,
+// Server is the HTTP transport over a Fleet. Create it with NewServer,
 // mount it as an http.Handler, and Close it on shutdown to drain the
-// coalescers.
+// fleet's coalescers.
 type Server struct {
-	cfg         Config
-	shards      map[string]*shard
-	names       []string // sorted shard names
-	defaultName string
-	mux         *http.ServeMux
+	fleet *Fleet
+	mux   *http.ServeMux
+	// draining is closed by BeginDrain so long-lived handlers (NDJSON
+	// streams) finish promptly instead of pinning http.Server.Shutdown
+	// until the client hangs up.
+	draining  chan struct{}
+	drainOnce sync.Once
 }
 
-// New builds a server over the given named detectors. Every detector must
-// be trained; with more than one shard, Config.DefaultModel (if set) must
-// name one of them.
+// NewServer mounts the HTTP transport over a fleet. Closing the server
+// closes the fleet.
+func NewServer(f *Fleet) *Server {
+	s := &Server{fleet: f, mux: http.NewServeMux(), draining: make(chan struct{})}
+	s.mux.HandleFunc("/v1/assess", s.handleAssess)
+	s.mux.HandleFunc("/v1/assess/batch", s.handleAssessBatch)
+	s.mux.HandleFunc("/v1/assess/stream", s.handleAssessStream)
+	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/v1/models/", s.handleModelByName)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// New builds a server over the given named detectors.
+//
+// Deprecated: New freezes the fleet shape at construction. Build a Fleet
+// with NewFleet (mutable: Load/Swap/Unload while serving) and mount it
+// with NewServer; New remains as a thin wrapper doing exactly that, and
+// still requires at least one model for compatibility.
 func New(models map[string]*detector.Detector, cfg Config) (*Server, error) {
 	if len(models) == 0 {
 		return nil, errors.New("serve: no models to serve")
 	}
-	cfg = cfg.withDefaults()
-	s := &Server{
-		cfg:    cfg,
-		shards: make(map[string]*shard, len(models)),
-		mux:    http.NewServeMux(),
+	f, err := NewFleet(models, cfg)
+	if err != nil {
+		return nil, err
 	}
-	for name, det := range models {
-		if name == "" {
-			return nil, errors.New("serve: empty model name")
-		}
-		if det == nil {
-			return nil, fmt.Errorf("serve: model %q is nil", name)
-		}
-		st := &shardStats{}
-		s.shards[name] = &shard{
-			name:  name,
-			det:   det,
-			co:    newCoalescer(det, cfg.MaxBatch, cfg.QueueSize, cfg.MaxWait, st),
-			cache: newResultCache(cfg.CacheSize),
-			stats: st,
-		}
-		s.names = append(s.names, name)
-	}
-	sort.Strings(s.names)
-	switch {
-	case cfg.DefaultModel != "":
-		if _, ok := s.shards[cfg.DefaultModel]; !ok {
-			s.Close()
-			return nil, fmt.Errorf("serve: default model %q not among loaded models", cfg.DefaultModel)
-		}
-		s.defaultName = cfg.DefaultModel
-	case len(s.names) == 1:
-		s.defaultName = s.names[0]
-	}
-	s.mux.HandleFunc("/v1/assess", s.handleAssess)
-	s.mux.HandleFunc("/v1/assess/batch", s.handleAssessBatch)
-	s.mux.HandleFunc("/v1/models", s.handleModels)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	return s, nil
+	return NewServer(f), nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops the shard coalescers after draining queued requests. The
-// HTTP listener should be shut down first so no new requests arrive.
+// Fleet returns the shard registry the server fronts.
+func (s *Server) Fleet() *Fleet { return s.fleet }
+
+// BeginDrain tells long-lived handlers (open NDJSON streams) to wind
+// down: each open stream emits its summary line and returns, so
+// http.Server.Shutdown can complete instead of waiting out its budget on
+// a client that keeps its stream open. Call it before (or concurrently
+// with) Shutdown; Close implies it.
+func (s *Server) BeginDrain() { s.drainOnce.Do(func() { close(s.draining) }) }
+
+// Close closes the underlying fleet, draining every shard's coalescer.
+// The HTTP listener should be shut down first so no new requests arrive.
 func (s *Server) Close() {
-	for _, sh := range s.shards {
-		sh.co.close()
-	}
+	s.BeginDrain()
+	s.fleet.Close()
 }
 
 // Stats snapshots every shard's serving counters, sorted by shard name.
-func (s *Server) Stats() []ShardStats {
-	out := make([]ShardStats, 0, len(s.names))
-	for _, name := range s.names {
-		sh := s.shards[name]
-		st := sh.stats.snapshot(name)
-		st.CacheEntries = sh.cache.len()
-		out = append(out, st)
-	}
-	return out
-}
-
-// resolve picks the shard for a request's model field.
-func (s *Server) resolve(model string) (*shard, error) {
-	if model == "" {
-		if s.defaultName == "" {
-			return nil, fmt.Errorf("request must name a model (loaded: %v)", s.names)
-		}
-		model = s.defaultName
-	}
-	sh, ok := s.shards[model]
-	if !ok {
-		return nil, fmt.Errorf("unknown model %q (loaded: %v)", model, s.names)
-	}
-	return sh, nil
-}
+func (s *Server) Stats() []ShardStats { return s.fleet.Stats() }
 
 func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	var req AssessRequest
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	sh, err := s.resolve(req.Model)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
-		return
-	}
-	if err := validateFeatures(req.Features, sh.det.InputDim()); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	var key uint64
-	if sh.cache != nil { // disabled caches pay no hashing and keep zero counters
-		key = hashVec(req.Features)
-		if res, ok := sh.cache.get(key, req.Features); ok {
-			// Cross-request memo hit: same vector, same (deterministic)
-			// verdict — answered without queueing or assessing.
-			sh.stats.requests.Add(1)
-			sh.stats.cacheHits.Add(1)
-			sh.stats.cacheHitsSingle.Add(1)
-			sh.stats.observeOne(res.Decision)
-			writeJSON(w, http.StatusOK, toResponse(sh.name, res))
+	missCounted := false
+	for attempt := 0; ; attempt++ {
+		sh, err := s.fleet.resolve(req.Model, req.Device)
+		if err != nil {
+			writeResolveError(w, err)
 			return
 		}
-		sh.stats.cacheMisses.Add(1)
-	}
-	res, err := sh.co.submit(r.Context(), req.Features)
-	switch {
-	case err == nil:
-		sh.cache.put(key, req.Features, res)
-		writeJSON(w, http.StatusOK, toResponse(sh.name, res))
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err.Error())
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		// The client is gone; the status code is a formality.
-		writeError(w, http.StatusServiceUnavailable, err.Error())
-	default:
-		writeError(w, http.StatusInternalServerError, err.Error())
+		if err := validateFeatures(req.Features, sh.det.InputDim()); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		var key uint64
+		if sh.cache != nil { // disabled caches pay no hashing and keep zero counters
+			key = hashVec(req.Features)
+			if res, ok := sh.cache.get(key, req.Features); ok {
+				// Cross-request memo hit: same vector, same (deterministic)
+				// verdict — answered without queueing or assessing.
+				sh.stats.requests.Add(1)
+				sh.stats.cacheHits.Add(1)
+				sh.stats.cacheHitsSingle.Add(1)
+				sh.stats.observeOne(res.Decision)
+				writeJSON(w, http.StatusOK, toResponse(sh.name, sh.version, res))
+				return
+			}
+			// One miss per request: a retry after losing the swap race
+			// probes the replacement's fresh cache, but it is still the
+			// same request.
+			if !missCounted {
+				sh.stats.cacheMisses.Add(1)
+				missCounted = true
+			}
+		}
+		res, err := sh.co.submit(r.Context(), req.Features)
+		switch {
+		case err == nil:
+			sh.cache.put(key, req.Features, res)
+			writeJSON(w, http.StatusOK, toResponse(sh.name, sh.version, res))
+			return
+		case errors.Is(err, ErrClosed) && attempt < maxSwapRetries:
+			// The shard was hot-swapped between resolve and submit; its
+			// replacement is already serving. Re-resolve instead of failing
+			// the request — this is what makes a Swap lossless under load.
+			continue
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// The client is gone; the status code is a formality.
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
 	}
 }
 
@@ -244,18 +283,18 @@ func (s *Server) handleAssessBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	sh, err := s.resolve(req.Model)
+	sh, err := s.fleet.resolve(req.Model, req.Device)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
+		writeResolveError(w, err)
 		return
 	}
 	if len(req.Batch) == 0 {
 		writeError(w, http.StatusBadRequest, "batch missing or empty")
 		return
 	}
-	if len(req.Batch) > s.cfg.MaxBatchSamples {
+	if len(req.Batch) > s.fleet.cfg.MaxBatchSamples {
 		writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Batch), s.cfg.MaxBatchSamples))
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Batch), s.fleet.cfg.MaxBatchSamples))
 		return
 	}
 	dim := sh.det.InputDim()
@@ -308,48 +347,78 @@ func (s *Server) handleAssessBatch(w http.ResponseWriter, r *http.Request) {
 	sh.stats.batchRequests.Add(1)
 	sh.stats.batchSamples.Add(int64(n))
 	sh.stats.observe(results)
-	resp := BatchResponse{Model: sh.name, Results: make([]AssessResponse, n)}
+	resp := BatchResponse{Model: sh.name, Version: sh.version, Results: make([]AssessResponse, n)}
 	for i, r := range results {
-		resp.Results[i] = toResponse(sh.name, r)
+		resp.Results[i] = toResponse(sh.name, sh.version, r)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleModels serves the listing (GET) and the admin load/swap (POST).
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	if !requireMethod(w, r, http.MethodGet) {
+	if !requireMethod(w, r, http.MethodGet, http.MethodPost) {
 		return
 	}
-	resp := ModelsResponse{Models: make([]ModelInfo, 0, len(s.names))}
-	for _, name := range s.names {
-		resp.Models = append(resp.Models, ModelInfo{
-			Name:    name,
-			Default: name == s.defaultName,
-			Info:    s.shards[name].det.Info(),
-		})
+	if r.Method == http.MethodPost {
+		s.handleLoadModel(w, r)
+		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	epoch, models := s.fleet.ModelsWithEpoch()
+	writeJSON(w, http.StatusOK, ModelsResponse{Epoch: epoch, Models: models})
+}
+
+// handleModelByName serves /v1/models/{name}: GET describes one shard,
+// DELETE (admin) unloads it.
+func (s *Server) handleModelByName(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/v1/models/")
+	if name == "" || strings.Contains(name, "/") {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no such resource %q", r.URL.Path))
+		return
+	}
+	if !requireMethod(w, r, http.MethodGet, http.MethodDelete) {
+		return
+	}
+	if r.Method == http.MethodDelete {
+		s.handleUnloadModel(w, r, name)
+		return
+	}
+	for _, m := range s.fleet.Models() {
+		if m.Name == name {
+			writeJSON(w, http.StatusOK, m)
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q (loaded: %v)", name, s.fleet.Names()))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": len(s.shards)})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": s.fleet.Len()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"shards": s.Stats()})
+	epoch, stats := s.fleet.StatsWithEpoch()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"fleet_epoch": epoch,
+		"shards":      stats,
+	})
 }
 
 // decodeJSON enforces POST, bounds the body, and decodes strictly.
 func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	return s.decodeJSONLimit(w, r, v, s.fleet.cfg.MaxBodyBytes)
+}
+
+func (s *Server) decodeJSONLimit(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
 	if !requireMethod(w, r, http.MethodPost) {
 		return false
 	}
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -362,16 +431,38 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool 
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return false
 	}
-	return true
-}
-
-func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
-	if r.Method != method {
-		w.Header().Set("Allow", method)
-		writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("use %s", method))
+	if dec.More() {
+		// Two concatenated documents would silently drop the second.
+		writeError(w, http.StatusBadRequest, "trailing data after JSON body")
 		return false
 	}
 	return true
+}
+
+// writeResolveError maps a fleet resolve failure onto the wire: a closed
+// fleet sheds with 503, everything else (unknown model, empty fleet,
+// ambiguous default) is the caller naming something that is not there.
+func writeResolveError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrClosed) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeError(w, http.StatusNotFound, err.Error())
+}
+
+// requireMethod answers 405 (with the Allow header listing every accepted
+// method, per RFC 9110) unless the request used one of them. The error
+// body keeps the JSON envelope like every other non-2xx answer.
+func requireMethod(w http.ResponseWriter, r *http.Request, methods ...string) bool {
+	for _, m := range methods {
+		if r.Method == m {
+			return true
+		}
+	}
+	w.Header().Set("Allow", strings.Join(methods, ", "))
+	writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("use %s", strings.Join(methods, " or ")))
+	return false
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

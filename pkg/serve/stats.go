@@ -8,10 +8,14 @@ import (
 )
 
 // ShardStats is the serving snapshot of one model shard, exposed by
-// GET /stats. Counters cover both the coalesced single-assess path and the
-// client-batched path.
+// GET /stats. Counters cover the coalesced single-assess path, the
+// client-batched path and the NDJSON streaming path; they are cumulative
+// across hot swaps of the shard (Version tells versions apart, the cache
+// occupancy restarts per version because the cache itself does).
 type ShardStats struct {
 	Model string `json:"model"`
+	// Version is the shard version currently serving this name.
+	Version uint64 `json:"version"`
 
 	// Requests counts accepted /v1/assess requests (queue-full shedding
 	// excluded, see Shed).
@@ -39,6 +43,16 @@ type ShardStats struct {
 	CacheMisses  int64 `json:"cache_misses"`
 	CacheEntries int   `json:"cache_entries"`
 
+	// StreamSessions counts /v1/assess/stream connections accepted;
+	// StreamSamples / StreamDecisions the raw states pushed and window
+	// decisions emitted across them; StreamCacheHits the windows served
+	// from the sessions' projected-vector memo (OnlineStats.CacheHits).
+	// Samples/decisions/memo-hit counters fold in when a session ends.
+	StreamSessions  int64 `json:"stream_sessions"`
+	StreamSamples   int64 `json:"stream_samples"`
+	StreamDecisions int64 `json:"stream_decisions"`
+	StreamCacheHits int64 `json:"stream_cache_hits"`
+
 	// Benign/Malware/Rejected tally served verdicts (an OnlineStats-style
 	// decision count); RejectionRate is the share of decisions the detector
 	// refused to trust.
@@ -53,14 +67,18 @@ type ShardStats struct {
 // the decision tally reuses detector.OnlineStats under a mutex, updated
 // once per flush rather than once per request.
 type shardStats struct {
-	requests      atomic.Int64
-	batchRequests atomic.Int64
-	batchSamples  atomic.Int64
-	batches       atomic.Int64
-	shed          atomic.Int64
-	errors        atomic.Int64
-	cacheHits     atomic.Int64
-	cacheMisses   atomic.Int64
+	requests        atomic.Int64
+	batchRequests   atomic.Int64
+	batchSamples    atomic.Int64
+	batches         atomic.Int64
+	shed            atomic.Int64
+	errors          atomic.Int64
+	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
+	streamSessions  atomic.Int64
+	streamSamples   atomic.Int64
+	streamDecisions atomic.Int64
+	streamCacheHits atomic.Int64
 	// cacheHitsSingle counts the subset of cacheHits from /v1/assess; only
 	// those were diverted from the coalescer queue, so only they are
 	// excluded from the mean-batch-size denominator.
@@ -92,18 +110,22 @@ func (s *shardStats) snapshot(model string) ShardStats {
 	dec := s.decisions
 	s.mu.Unlock()
 	out := ShardStats{
-		Model:         model,
-		Requests:      s.requests.Load(),
-		BatchRequests: s.batchRequests.Load(),
-		BatchSamples:  s.batchSamples.Load(),
-		Batches:       s.batches.Load(),
-		Shed:          s.shed.Load(),
-		Errors:        s.errors.Load(),
-		CacheHits:     s.cacheHits.Load(),
-		CacheMisses:   s.cacheMisses.Load(),
-		Benign:        dec.Benign,
-		Malware:       dec.Malware,
-		Rejected:      dec.Rejected,
+		Model:           model,
+		Requests:        s.requests.Load(),
+		BatchRequests:   s.batchRequests.Load(),
+		BatchSamples:    s.batchSamples.Load(),
+		Batches:         s.batches.Load(),
+		Shed:            s.shed.Load(),
+		Errors:          s.errors.Load(),
+		CacheHits:       s.cacheHits.Load(),
+		CacheMisses:     s.cacheMisses.Load(),
+		StreamSessions:  s.streamSessions.Load(),
+		StreamSamples:   s.streamSamples.Load(),
+		StreamDecisions: s.streamDecisions.Load(),
+		StreamCacheHits: s.streamCacheHits.Load(),
+		Benign:          dec.Benign,
+		Malware:         dec.Malware,
+		Rejected:        dec.Rejected,
 	}
 	if out.Batches > 0 {
 		if queued := out.Requests - s.cacheHitsSingle.Load(); queued > 0 {
