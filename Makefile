@@ -3,7 +3,7 @@ REV     := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 BENCH   ?= .
 BENCHTIME ?= 1x
 
-.PHONY: all build test test-short test-allocs race vet fmt-check bench benchcmp serve-stats stream-e2e ci
+.PHONY: all build test test-short test-allocs race vet fmt-check bench benchcmp serve-stats stream-e2e retrain-e2e ci
 
 all: build
 
@@ -64,6 +64,19 @@ stream-e2e:
 		-run 'TestStreamE2EHotSwap|TestWatchHotSwapsOnMtime' ./cmd/trusthmdd/
 	$(GO) test -race -count=1 \
 		-run 'TestStreamMatchesOnlinePush|TestSwapUnderLoadIsLossless|TestStreamSessionPinsVersion' ./pkg/serve/
+
+# retrain-e2e is the closed-loop smoke: boot the daemon stack with the
+# verdict store tapping every served verdict, inject drift (a device
+# replaying the zero-day split), and assert the RetrainController's
+# background retrain hot-swaps the fleet with zero lost requests — under
+# the race detector, since retrain-vs-serve is exactly where races would
+# hide. The final /stats snapshot (verdict-store occupancy included) is
+# written to retrain-stats.json; CI uploads it as a build artifact.
+retrain-e2e:
+	TRUSTHMD_RETRAIN_STATS_OUT=$(CURDIR)/retrain-stats.json \
+		$(GO) test -race -count=1 -v -run 'TestRetrainE2EClosedLoop' ./cmd/trusthmdd/
+	$(GO) test -race -count=1 \
+		-run 'TestRetrainControllerClosedLoop|TestVerdictTapMatchesResponses|TestStatsClosedLoopCounters' ./pkg/serve/
 
 # serve-stats replays the serve-layer cross-request cache e2e and writes
 # the final /stats snapshot (cache hit/miss counters included) to

@@ -5,20 +5,32 @@
 //
 //	hmdbench [-exp all|T1|F4|F5|F7a|F7b|F8|F9a|F9b|H|A1|A2|A3]
 //	         [-scale 1.0] [-seed 1] [-m 25] [-tsne-csv dir]
+//	hmdbench -loop 2000
 //
 // -scale 1.0 reproduces the paper's full Table I sizes (the HPC dataset has
 // 63k samples; the full run takes a few minutes). Smaller scales give quick
 // qualitative runs.
+//
+// -loop N runs the closed-loop serving smoke instead of the experiments:
+// train a tiny detector, build a verdict-tapped fleet, assess N windows
+// through the full serving path and report throughput plus verdict-store
+// occupancy.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"trusthmd/internal/exp"
+	"trusthmd/internal/gen"
+	"trusthmd/pkg/detector"
+	"trusthmd/pkg/serve"
+	"trusthmd/pkg/verdictstore"
 )
 
 func main() {
@@ -28,8 +40,17 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		m       = flag.Int("m", 25, "ensemble size")
 		tsneCSV = flag.String("tsne-csv", "", "directory to dump Fig. 8 embedding coordinates as CSV")
+		loopN   = flag.Int("loop", 0, "closed-loop smoke: assess N windows through a verdict-tapped fleet and report throughput (skips -exp)")
 	)
 	flag.Parse()
+
+	if *loopN > 0 {
+		if err := runClosedLoop(*loopN, *seed, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "hmdbench: loop: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := exp.Config{Seed: *seed, Scale: *scale, M: *m}
 	ids := strings.Split(*which, ",")
@@ -102,6 +123,66 @@ func run(id string, cfg exp.Config, tsneCSV string) error {
 		return err
 	}
 	fmt.Println(res.Render())
+	return nil
+}
+
+// runClosedLoop is the -loop smoke: a tiny detector served by a
+// verdict-tapped fleet, n windows assessed through the full path
+// (routing, coalescer-adjacent assess, cache, verdict persistence), and
+// a throughput report. It fails when any verdict is lost — the store
+// must hold exactly one record per served window.
+func runClosedLoop(n int, seed int64, out *os.File) error {
+	splits, err := gen.DVFSWithSizes(seed, gen.Sizes{Train: 280, Test: 140, Unknown: 40})
+	if err != nil {
+		return err
+	}
+	det, err := detector.New(splits.Train,
+		detector.WithModel("rf"), detector.WithEnsembleSize(9), detector.WithSeed(seed))
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "hmdbench-loop-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	store, err := verdictstore.Open(dir, verdictstore.Config{})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	fleet, err := serve.NewFleet(map[string]*detector.Detector{"dvfs-rf": det},
+		serve.Config{Verdicts: store})
+	if err != nil {
+		return err
+	}
+	defer fleet.Close()
+
+	ctx := context.Background()
+	rejected := 0
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		smp := splits.Test.At(i % splits.Test.Len())
+		res, err := fleet.Assess(ctx, serve.AssessSpec{
+			Device:   fmt.Sprintf("bench-%d", i%8),
+			Features: smp.Features,
+			Source:   "assess",
+		})
+		if err != nil {
+			return fmt.Errorf("window %d: %w", i, err)
+		}
+		if res.Result.Decision == detector.Reject {
+			rejected++
+		}
+	}
+	elapsed := time.Since(start)
+	st := store.Stats()
+	if st.Records != int64(n) {
+		return fmt.Errorf("verdict store holds %d records, served %d", st.Records, n)
+	}
+	throughput := float64(n) / elapsed.Seconds()
+	fmt.Fprintf(out, "closed loop: %d windows in %v — %.0f verdicts/s (%d rejected, %d stored in %d segment(s))\n",
+		n, elapsed.Round(time.Millisecond), throughput, rejected, st.Records, st.Segments)
 	return nil
 }
 

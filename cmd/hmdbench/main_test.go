@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// TestClosedLoopSmoke is the hmdbench smoke: train a tiny model, run a
+// short closed-loop pass (-loop), and assert the throughput report is
+// present and non-zero.
+func TestClosedLoopSmoke(t *testing.T) {
+	tmp, err := os.CreateTemp(t.TempDir(), "loop-out-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+
+	if err := runClosedLoop(200, 1, tmp); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := string(raw)
+	m := regexp.MustCompile(`— (\d+) verdicts/s`).FindStringSubmatch(report)
+	if m == nil {
+		t.Fatalf("no throughput in report: %q", report)
+	}
+	if v, err := strconv.Atoi(m[1]); err != nil || v <= 0 {
+		t.Fatalf("throughput %q not positive (%v): %q", m[1], err, report)
+	}
+}

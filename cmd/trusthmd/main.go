@@ -63,15 +63,9 @@ func run(model string, threshold float64, thresholdSet bool, windows int, seed i
 		return err
 	}
 	if savePath != "" {
-		f, err := os.Create(savePath)
-		if err != nil {
-			return err
-		}
-		if err := det.Save(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		// Atomic (temp file + rename): a concurrent `trusthmdd -watch` must
+		// never observe a torn gob mid-write.
+		if err := det.SaveFile(savePath); err != nil {
 			return err
 		}
 		fmt.Printf("saved trained detector to %s (serve it: trusthmdd -load %s)\n", savePath, savePath)

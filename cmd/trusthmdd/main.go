@@ -6,7 +6,8 @@
 // loaded, replaced and unloaded without restarting.
 //
 // Endpoints: POST /v1/assess, POST /v1/assess/batch, POST /v1/assess/stream,
-// GET|POST /v1/models, GET|DELETE /v1/models/{name}, GET /healthz, GET /stats.
+// GET|POST /v1/models, GET|DELETE /v1/models/{name}, GET /v1/verdicts,
+// POST /v1/ingest, GET /healthz, GET /stats.
 //
 // Usage:
 //
@@ -17,6 +18,8 @@
 //	         [-max-batch 32] [-max-wait 2ms] [-queue 1024]
 //	         [-cache-size 4096] [-workers 0] [-threshold -1]
 //	         [-admin-token secret] [-watch 5s]
+//	         [-verdict-dir verdicts] [-ingest-dir drops]
+//	         [-auto-retrain -retrain-data data/dvfs/train.csv]
 //
 //	curl -s localhost:8080/v1/assess -d '{"features":[...]}'
 //
@@ -27,6 +30,16 @@
 // paths reapply the daemon's -workers/-threshold overrides to the
 // incoming model, so a hot swap never silently drops the fleet-wide
 // serving configuration.
+//
+// The closed loop: -verdict-dir persists every served verdict to an
+// embedded append-only segment store (queryable over GET /v1/verdicts,
+// surviving restarts via crash-safe recovery); -ingest-dir polls a drop
+// directory for CSV telemetry and assesses it through the fleet (and
+// enables POST /v1/ingest for HTTP push); -auto-retrain tails the
+// verdict store for per-device entropy drift and, on sustained drift,
+// retrains in the background on the base set (-retrain-data) plus the
+// drifting device's rejected-verdict forensics and hot-swaps the result
+// in — zero downtime, no operator.
 package main
 
 import (
@@ -38,11 +51,15 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"trusthmd/pkg/dataset"
 	"trusthmd/pkg/detector"
+	"trusthmd/pkg/ingest"
 	"trusthmd/pkg/serve"
+	"trusthmd/pkg/verdictstore"
 
 	// Classifier families beyond the pkg/detector built-ins are enabled by
 	// blank import: their init registers the family and its gob prototypes,
@@ -72,10 +89,46 @@ func main() {
 		adminToken = flag.String("admin-token", "", "bearer token guarding POST /v1/models and DELETE /v1/models/{name} (empty leaves them open)")
 		watch      = flag.Duration("watch", 0, "poll interval for hot-reloading command-line shards when their gob mtime changes (0 disables)")
 		timeout    = flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+
+		verdictDir  = flag.String("verdict-dir", "", "persist every served verdict to this directory (append-only segment store; enables GET /v1/verdicts)")
+		verdictSeg  = flag.Int64("verdict-segment-bytes", 4<<20, "verdict-store segment size before rotation, in bytes")
+		verdictKeep = flag.Int("verdict-retain", 16, "sealed verdict segments retained; beyond it the oldest segment is dropped")
+
+		ingestDir     = flag.String("ingest-dir", "", "poll this directory for CSV telemetry drops and assess them through the fleet (enables POST /v1/ingest)")
+		ingestPoll    = flag.Duration("ingest-poll", 2*time.Second, "ingest drop-directory poll interval")
+		ingestQueue   = flag.Int("ingest-queue", 1024, "ingest pump queue depth; a full queue sheds HTTP pushes with 503")
+		ingestWorkers = flag.Int("ingest-workers", 2, "goroutines draining the ingest queue into the fleet")
+
+		autoRetrain     = flag.Bool("auto-retrain", false, "tail the verdict store for per-device drift and hot-swap a background-retrained model (needs -verdict-dir and -retrain-data)")
+		retrainData     = flag.String("retrain-data", "", "base training-set CSV (datagen/WriteCSV format) folded into every -auto-retrain round")
+		retrainModel    = flag.String("retrain-model", "", "shard supervised by -auto-retrain (default: the -default shard, or the only one)")
+		retrainEvery    = flag.Duration("retrain-interval", time.Second, "verdict-store tail cadence for -auto-retrain")
+		retrainWindow   = flag.Int("retrain-window", 50, "per-device drift window (recent verdict entropies)")
+		retrainSustain  = flag.Int("retrain-sustain", 3, "consecutive alarmed observations before the controller acts")
+		retrainQuorum   = flag.Int("retrain-quorum", 25, "rejected-verdict forensics required before a retrain round fires")
+		retrainCooldown = flag.Duration("retrain-cooldown", time.Minute, "minimum gap between drift-driven hot swaps")
 	)
 	var specs modelFlags
 	flag.Var(&specs, "model", "name=path of a saved detector shard (repeatable)")
 	flag.Parse()
+
+	loop := loopConfig{
+		verdictDir:      *verdictDir,
+		verdictSegBytes: *verdictSeg,
+		verdictRetain:   *verdictKeep,
+		ingestDir:       *ingestDir,
+		ingestPoll:      *ingestPoll,
+		ingestQueue:     *ingestQueue,
+		ingestWorkers:   *ingestWorkers,
+		autoRetrain:     *autoRetrain,
+		retrainData:     *retrainData,
+		retrainModel:    *retrainModel,
+		retrainInterval: *retrainEvery,
+		retrainWindow:   *retrainWindow,
+		retrainSustain:  *retrainSustain,
+		retrainQuorum:   *retrainQuorum,
+		retrainCooldown: *retrainCooldown,
+	}
 
 	if err := run(*addr, *loadPath, specs, serve.Config{
 		MaxBatch:           *maxBatch,
@@ -90,7 +143,7 @@ func main() {
 		CacheSize:          *cacheSize,
 		DefaultModel:       *defName,
 		AdminToken:         *adminToken,
-	}, *workers, *threshold, *watch, *timeout); err != nil {
+	}, *workers, *threshold, *watch, *timeout, loop); err != nil {
 		fmt.Fprintln(os.Stderr, "trusthmdd:", err)
 		os.Exit(1)
 	}
@@ -230,19 +283,19 @@ func statStamps(specs modelFlags) map[string]fileStamp {
 
 // watchShards polls every command-line shard's gob file and hot-swaps the
 // fleet when the file changes — `trusthmd -save` over the file is all it
-// takes to roll a new model out. The recorded stamp only advances after a
-// successful install, so a failed load (e.g. a torn read mid-rewrite) is
-// retried every tick until the file decodes, even if its stamp never
-// moves again; the serving shard keeps answering meanwhile. Installs go
-// through LoadOrSwap, so a shard unloaded over the admin API is
-// reinstated by the next save — the file on disk is the source of truth
-// for command-line shards.
+// takes to roll a new model out. Saves are atomic (detector.SaveFile and
+// `trusthmd -save` write temp-file + rename), so a file that fails to
+// decode is genuinely bad content, not a torn read: the watcher logs it
+// and advances the stamp — the serving shard keeps answering, and the
+// next rewrite (a newer stamp) is picked up normally. Installs go through
+// LoadOrSwapCause, so a shard unloaded over the admin API is reinstated
+// by the next save — the file on disk is the source of truth for
+// command-line shards.
 func watchShards(ctx context.Context, fleet *serve.Fleet, specs modelFlags, interval time.Duration,
 	prepare func(*detector.Detector) (*detector.Detector, error), stamps map[string]fileStamp) {
 	if stamps == nil {
 		stamps = statStamps(specs)
 	}
-	lastErr := make(map[string]string, len(specs))
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
 	for {
@@ -254,7 +307,7 @@ func watchShards(ctx context.Context, fleet *serve.Fleet, specs modelFlags, inte
 		for _, s := range specs {
 			fi, err := os.Stat(s.path)
 			if err != nil {
-				continue // transient (mid-rewrite): keep the serving shard
+				continue // mid-rename or removed: keep the serving shard
 			}
 			// The stat happens before the load: if the file changes in
 			// between, the next tick sees a newer stamp and reconverges.
@@ -262,29 +315,78 @@ func watchShards(ctx context.Context, fleet *serve.Fleet, specs modelFlags, inte
 			if !stamp.changedFrom(stamps[s.name]) {
 				continue
 			}
+			stamps[s.name] = stamp
 			det, err := loadShard(s, prepare)
 			if err != nil {
-				// Log once per distinct failure, not once per tick.
-				if msg := err.Error(); lastErr[s.name] != msg {
-					lastErr[s.name] = msg
-					fmt.Fprintf(os.Stderr, "trusthmdd: watch: reload %s: %v (retrying every %v)\n", s.name, err, interval)
-				}
+				fmt.Fprintf(os.Stderr, "trusthmdd: watch: reload %s: %v (keeping serving shard)\n", s.name, err)
 				continue
 			}
-			v, _, err := fleet.LoadOrSwap(s.name, det)
+			v, _, err := fleet.LoadOrSwapCause(s.name, det, "watch")
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "trusthmdd: watch: swap %s: %v\n", s.name, err)
 				continue
 			}
-			stamps[s.name] = stamp
-			delete(lastErr, s.name)
 			fmt.Printf("watch: hot-swapped shard %s -> v%d (%s)\n", s.name, v, s.path)
 		}
 	}
 }
 
+// loopConfig bundles the closed-loop flags: verdict persistence,
+// telemetry ingestion, and drift-driven auto-retrain.
+type loopConfig struct {
+	verdictDir      string
+	verdictSegBytes int64
+	verdictRetain   int
+
+	ingestDir     string
+	ingestPoll    time.Duration
+	ingestQueue   int
+	ingestWorkers int
+
+	autoRetrain     bool
+	retrainData     string
+	retrainModel    string
+	retrainInterval time.Duration
+	retrainWindow   int
+	retrainSustain  int
+	retrainQuorum   int
+	retrainCooldown time.Duration
+}
+
+// supervisedShard resolves which shard -auto-retrain watches: the
+// explicit -retrain-model, else the -default shard, else the only one.
+func supervisedShard(explicit, defName string, resolved modelFlags) (string, error) {
+	if explicit != "" {
+		return explicit, nil
+	}
+	if defName != "" {
+		return defName, nil
+	}
+	if len(resolved) == 1 {
+		return resolved[0].name, nil
+	}
+	return "", errors.New("-auto-retrain needs -retrain-model (or -default) with more than one shard")
+}
+
+// loadBaseDataset reads the -retrain-data CSV (datagen / WriteCSV format).
+func loadBaseDataset(path string) (*dataset.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := dataset.ReadCSV(f)
+	if err != nil {
+		return nil, fmt.Errorf("retrain data %s: %w", path, err)
+	}
+	return d, nil
+}
+
 func run(addr, loadPath string, specs modelFlags, cfg serve.Config, workers int, threshold float64,
-	watch, shutdownTimeout time.Duration) error {
+	watch, shutdownTimeout time.Duration, loop loopConfig) error {
+	if loop.autoRetrain && (loop.verdictDir == "" || loop.retrainData == "") {
+		return errors.New("-auto-retrain needs -verdict-dir (the drift signal) and -retrain-data (the retraining base)")
+	}
 	prepare := overrides(workers, threshold)
 	cfg.PrepareDetector = prepare
 	// One spec resolution and one prepare hook feed boot-time loading,
@@ -293,6 +395,25 @@ func run(addr, loadPath string, specs modelFlags, cfg serve.Config, workers int,
 	if err != nil {
 		return err
 	}
+
+	// The verdict store outlives the fleet (the fleet taps verdicts into
+	// it until its last coalescer drains), so it opens first, closes last.
+	var store *verdictstore.Store
+	if loop.verdictDir != "" {
+		store, err = verdictstore.Open(loop.verdictDir, verdictstore.Config{
+			SegmentBytes: loop.verdictSegBytes,
+			MaxSegments:  loop.verdictRetain,
+		})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		st := store.Stats()
+		fmt.Printf("verdict store %s: %d records recovered (%d segments, next seq %d)\n",
+			loop.verdictDir, st.Records, st.Segments, st.NextSeq)
+		cfg.Verdicts = store
+	}
+
 	// Baseline stamps are taken before the boot-time load so a save
 	// racing the daemon's startup is still caught by the first tick.
 	var baseline map[string]fileStamp
@@ -321,6 +442,82 @@ func run(addr, loadPath string, specs modelFlags, cfg serve.Config, workers int,
 		go watchShards(ctx, fleet, resolved, watch, prepare, baseline)
 	}
 
+	// The ingest pump fans drop-directory (and HTTP push) telemetry into
+	// the fleet's assess path, so every ingested window becomes a stored,
+	// drift-monitored verdict.
+	var loopWG sync.WaitGroup
+	if loop.ingestDir != "" {
+		pump := ingest.NewPump(func(ctx context.Context, ev ingest.Event) error {
+			_, err := fleet.Assess(ctx, serve.AssessSpec{
+				Model:    ev.Model,
+				Device:   ev.Device,
+				Features: ev.Features,
+				Source:   "ingest",
+			})
+			return err
+		}, ingest.Config{
+			Queue:   loop.ingestQueue,
+			Workers: loop.ingestWorkers,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "trusthmdd: "+format+"\n", args...)
+			},
+		})
+		src, err := ingest.NewDirSource(loop.ingestDir, ingest.DirConfig{Poll: loop.ingestPoll})
+		if err != nil {
+			return err
+		}
+		pump.Add(src)
+		srv.AttachIngest(pump)
+		loopWG.Add(1)
+		go func() {
+			defer loopWG.Done()
+			if err := pump.Run(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "trusthmdd: ingest: %v\n", err)
+			}
+		}()
+		fmt.Printf("ingesting telemetry drops from %s (poll %v, queue %d, %d workers)\n",
+			loop.ingestDir, loop.ingestPoll, loop.ingestQueue, loop.ingestWorkers)
+	}
+
+	if loop.autoRetrain {
+		base, err := loadBaseDataset(loop.retrainData)
+		if err != nil {
+			return err
+		}
+		model, err := supervisedShard(loop.retrainModel, cfg.DefaultModel, resolved)
+		if err != nil {
+			return err
+		}
+		ctrl, err := serve.NewRetrainController(serve.RetrainConfig{
+			Store:    store,
+			Fleet:    fleet,
+			Model:    model,
+			Base:     base,
+			Interval: loop.retrainInterval,
+			Drift:    detector.DriftConfig{Window: loop.retrainWindow},
+			Sustain:  loop.retrainSustain,
+			Quorum:   loop.retrainQuorum,
+			Cooldown: loop.retrainCooldown,
+			Prepare:  prepare,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		srv.AttachRetrain(ctrl)
+		loopWG.Add(1)
+		go func() {
+			defer loopWG.Done()
+			if err := ctrl.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "trusthmdd: retrain: %v\n", err)
+			}
+		}()
+		fmt.Printf("auto-retrain watching shard %s (window %d, sustain %d, quorum %d, cooldown %v)\n",
+			model, loop.retrainWindow, loop.retrainSustain, loop.retrainQuorum, loop.retrainCooldown)
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Printf("trusthmdd listening on %s (%d shard(s), max-batch %d, max-wait %v)\n",
@@ -328,8 +525,18 @@ func run(addr, loadPath string, specs modelFlags, cfg serve.Config, workers int,
 		errc <- httpSrv.ListenAndServe()
 	}()
 
+	// stopLoop winds down the pump (which finishes every accepted event)
+	// and the retrain controller (which waits out an in-flight round,
+	// possibly swapping the fleet) — both need the fleet alive, so it runs
+	// BEFORE srv.Close.
+	stopLoop := func() {
+		stop()
+		loopWG.Wait()
+	}
+
 	select {
 	case err := <-errc:
+		stopLoop()
 		srv.Close()
 		return err
 	case <-ctx.Done():
@@ -338,12 +545,14 @@ func run(addr, loadPath string, specs modelFlags, cfg serve.Config, workers int,
 	// Graceful shutdown: wind down open NDJSON streams (each ends with its
 	// summary line — without this, one connected stream client would pin
 	// Shutdown for the whole budget), stop accepting connections and let
-	// in-flight requests finish, then drain the coalescer queues.
+	// in-flight requests finish, then drain the closed loop and finally
+	// the coalescer queues. The verdict store closes last (deferred).
 	fmt.Println("\nshutting down...")
 	srv.BeginDrain()
 	shCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
 	shutdownErr := httpSrv.Shutdown(shCtx)
+	stopLoop()
 	srv.Close()
 	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
 		return shutdownErr
@@ -351,6 +560,11 @@ func run(addr, loadPath string, specs modelFlags, cfg serve.Config, workers int,
 	for _, st := range srv.Stats() {
 		fmt.Printf("shard %-12s v%d: %d requests in %d batches (mean %.1f), %d batch requests, %d stream sessions, %d shed, rejection rate %.1f%%\n",
 			st.Model, st.Version, st.Requests, st.Batches, st.MeanBatchSize, st.BatchRequests, st.StreamSessions, st.Shed, 100*st.RejectionRate)
+	}
+	if store != nil {
+		st := store.Stats()
+		fmt.Printf("verdict store: %d records live (%d appended this run, %d segments, %d bytes)\n",
+			st.Records, st.Appended, st.Segments, st.Bytes)
 	}
 	return nil
 }

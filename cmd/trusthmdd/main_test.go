@@ -129,14 +129,7 @@ func saveDetector(t *testing.T, path string, opts ...detector.Option) *detector.
 	if err != nil {
 		t.Fatal(err)
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := d.Save(f); err != nil {
-		t.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
+	if err := d.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
 	return d
@@ -396,9 +389,10 @@ func TestWatchHotSwapsOnMtime(t *testing.T) {
 	}
 	base := m.Version
 
-	// Torn read: a garbage rewrite with a newer mtime must not swap —
-	// and because the recorded stamp only advances on success, the next
-	// valid content is picked up even if the stamp never moves again.
+	// A garbage rewrite with a newer mtime must not swap. Saves are atomic
+	// now, so the watcher treats undecodable content as bad (not a torn
+	// read): it logs once, advances the stamp, and the serving shard keeps
+	// answering until the next valid rewrite.
 	if err := os.WriteFile(path, []byte("not a gob"), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -406,12 +400,14 @@ func TestWatchHotSwapsOnMtime(t *testing.T) {
 	if err := os.Chtimes(path, future, future); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(20 * time.Millisecond) // several ticks of failed reloads
+	time.Sleep(20 * time.Millisecond) // several ticks over the bad file
 	if v := fleet.Models()[0].Version; v != base {
 		t.Fatalf("garbage gob was swapped in: v%d (base v%d)", v, base)
 	}
+	// The next valid save (a fresh rename → newer stamp) rolls out.
 	saveDetector(t, path)
-	if err := os.Chtimes(path, future, future); err != nil { // same mtime as the garbage
+	future = future.Add(time.Hour)
+	if err := os.Chtimes(path, future, future); err != nil {
 		t.Fatal(err)
 	}
 	waitAtLeast(base + 1)

@@ -190,6 +190,29 @@ func (d *Detector) Info() Info {
 	}
 }
 
+// Options reconstructs the option list that reproduces this
+// configuration through New — the bridge from a served model's snapshot
+// back to training: a retraining loop reads the live shard's Info and
+// trains the replacement with the same family, ensemble shape and
+// decision policy (callers append e.g. WithSeed to vary what they must).
+func (i Info) Options() []Option {
+	opts := []Option{
+		WithModel(i.Model),
+		WithEnsembleSize(i.Members),
+		WithPCA(i.PCA),
+		WithSeed(i.Seed),
+		WithThreshold(i.Threshold),
+		WithDiversity(i.Diversity),
+		WithMaxSamples(i.MaxSamples),
+		WithMaxFeatures(i.MaxFeatures),
+		WithDecomposition(i.Decompose),
+	}
+	if i.Workers > 0 {
+		opts = append(opts, WithWorkers(i.Workers))
+	}
+	return opts
+}
+
 // WithOptions returns a detector sharing this one's trained pipeline but
 // with decision-time options (threshold, workers, decomposition) replaced.
 // Training-time options are ignored: the pipeline is not refitted and the

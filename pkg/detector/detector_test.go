@@ -296,3 +296,39 @@ func TestSVMNonConvergenceDetection(t *testing.T) {
 		t.Fatalf("error %v should be detected as non-convergence", err)
 	}
 }
+
+// TestInfoOptionsRoundTrip pins Info.Options as the bridge from a served
+// snapshot back to training: a detector built with the reconstructed
+// options reports an identical Info (and, with the same data and seed,
+// identical decisions).
+func TestInfoOptionsRoundTrip(t *testing.T) {
+	s := dvfsSplits(t)
+	d, err := New(s.Train,
+		WithModel("rf"), WithEnsembleSize(9), WithPCA(6), WithSeed(21),
+		WithThreshold(0.35), WithDiversity("random-init"), WithMaxSamples(0.8),
+		WithDecomposition(true), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := d.Info()
+	rebuilt, err := New(s.Train, info.Options()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rebuilt.Info(); got != info {
+		t.Fatalf("Options() round trip diverged:\n got %+v\nwant %+v", got, info)
+	}
+	want, err := d.AssessDataset(s.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rebuilt.AssessDataset(s.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i].Decision != got[i].Decision || want[i].Entropy != got[i].Entropy {
+			t.Fatalf("sample %d: rebuilt detector diverged", i)
+		}
+	}
+}

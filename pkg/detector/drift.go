@@ -2,6 +2,7 @@ package detector
 
 import (
 	"fmt"
+	"math"
 
 	"trusthmd/internal/stats"
 )
@@ -58,8 +59,16 @@ type DriftConfig struct {
 // NewDriftMonitor builds a monitor from the entropies observed on known
 // (in-distribution) validation data.
 func NewDriftMonitor(baselineEntropies []float64, cfg DriftConfig) (*DriftMonitor, error) {
+	if len(baselineEntropies) == 0 {
+		return nil, fmt.Errorf("detector: drift monitor needs a baseline entropy sample, got none")
+	}
 	if len(baselineEntropies) < 10 {
 		return nil, fmt.Errorf("detector: drift monitor needs >=10 baseline entropies, got %d", len(baselineEntropies))
+	}
+	for i, h := range baselineEntropies {
+		if math.IsNaN(h) || math.IsInf(h, 0) || h < 0 {
+			return nil, fmt.Errorf("detector: baseline entropy %d is %v, want finite and >=0", i, h)
+		}
 	}
 	if cfg.Threshold < 0 {
 		return nil, fmt.Errorf("detector: negative threshold %v", cfg.Threshold)
@@ -106,6 +115,12 @@ type DriftStatus struct {
 // Observe folds one per-window predictive entropy into the monitor and
 // returns the current status. Detectors stay quiet until the window fills.
 func (m *DriftMonitor) Observe(entropy float64) (DriftStatus, error) {
+	// NaN and ±Inf would poison both detectors silently — NaN compares
+	// false against the threshold (never counted rejected) and corrupts
+	// the KS ordering — so they are hard errors like negative entropy.
+	if math.IsNaN(entropy) || math.IsInf(entropy, 0) {
+		return DriftStatus{}, fmt.Errorf("detector: non-finite entropy %v", entropy)
+	}
 	if entropy < 0 {
 		return DriftStatus{}, fmt.Errorf("detector: negative entropy %v", entropy)
 	}

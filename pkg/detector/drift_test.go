@@ -1,7 +1,9 @@
 package detector
 
 import (
+	"math"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -209,5 +211,52 @@ func TestDriftObserveRejectsNegative(t *testing.T) {
 	}
 	if _, err := m.Observe(-0.1); err == nil {
 		t.Fatal("expected negative entropy error")
+	}
+}
+
+func TestDriftObserveRejectsNonFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, err := NewDriftMonitor(baselineEntropies(rng, 100), DriftConfig{Threshold: 0.4, Window: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := m.Observe(bad); err == nil {
+			t.Fatalf("Observe(%v) accepted a non-finite entropy", bad)
+		}
+	}
+	// A rejected observation must not advance the ring: ten good
+	// observations after the rejects still fill exactly one window.
+	for i := 0; i < 10; i++ {
+		if _, err := m.Observe(0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.count != 10 {
+		t.Fatalf("rejected entropies advanced the window: count=%d", m.count)
+	}
+}
+
+func TestNewDriftMonitorRejectsEmptyBaseline(t *testing.T) {
+	_, err := NewDriftMonitor(nil, DriftConfig{Threshold: 0.4})
+	if err == nil {
+		t.Fatal("expected empty-baseline error")
+	}
+	if !strings.Contains(err.Error(), "got none") {
+		t.Fatalf("empty baseline should get its own message, got: %v", err)
+	}
+	if _, err := NewDriftMonitor([]float64{}, DriftConfig{Threshold: 0.4}); err == nil {
+		t.Fatal("expected empty-baseline error for zero-length slice")
+	}
+}
+
+func TestNewDriftMonitorRejectsNonFiniteBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, bad := range []float64{math.NaN(), math.Inf(1), -0.5} {
+		base := baselineEntropies(rng, 50)
+		base[17] = bad
+		if _, err := NewDriftMonitor(base, DriftConfig{Threshold: 0.4}); err == nil {
+			t.Fatalf("baseline containing %v accepted", bad)
+		}
 	}
 }

@@ -67,6 +67,40 @@ func (r *Retrainer) ReportRejection(features []float64, analystLabel int, app st
 	return nil
 }
 
+// Forensic is one rejected input with its (analyst- or policy-assigned)
+// label, the batched form of ReportRejection used when forensics are
+// assembled from a verdict store rather than reported one by one.
+type Forensic struct {
+	Features []float64
+	Label    int
+	// App tags the workload in the augmented training set (for stored
+	// verdicts, typically derived from the device that produced them).
+	App string
+}
+
+// ReportForensics records a batch of rejected inputs at once — the bulk
+// path a retraining controller uses after draining a verdict store's
+// rejected records. The batch is all-or-nothing: on a malformed sample
+// nothing is recorded and the pending set is unchanged.
+func (r *Retrainer) ReportForensics(fs []Forensic) error {
+	batch := dataset.New(r.pending.Dim())
+	for i, f := range fs {
+		if err := batch.Add(dataset.Sample{
+			Features: append([]float64(nil), f.Features...),
+			Label:    f.Label,
+			App:      f.App,
+		}); err != nil {
+			return fmt.Errorf("detector: report forensics: sample %d: %w", i, err)
+		}
+	}
+	merged, err := r.pending.Merge(batch)
+	if err != nil {
+		return fmt.Errorf("detector: report forensics: %w", err)
+	}
+	r.pending = merged
+	return nil
+}
+
 // Pending returns the number of labelled forensic samples not yet folded
 // into a retraining round.
 func (r *Retrainer) Pending() int { return r.pending.Len() }

@@ -170,3 +170,44 @@ func TestRetrainingAbsorbsZeroDay(t *testing.T) {
 		t.Fatalf("other unknown families lost their entropy: %.3f", linalg.Mean(otherHs))
 	}
 }
+
+// TestReportForensicsBatch covers the bulk forensic path a retraining
+// controller drives from stored verdicts: the batch lands atomically and
+// a malformed sample poisons nothing.
+func TestReportForensicsBatch(t *testing.T) {
+	s := dvfsSplits(t)
+	r, err := NewRetrainer(s.Train, 5, WithModel("rf"), WithEnsembleSize(5), WithSeed(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]Forensic, 0, 6)
+	for i := 0; i < 6; i++ {
+		smp := s.Unknown.At(i)
+		batch = append(batch, Forensic{Features: smp.Features, Label: smp.Label, App: "drift:edge-7"})
+	}
+	if err := r.ReportForensics(batch); err != nil {
+		t.Fatal(err)
+	}
+	if r.Pending() != 6 || !r.ShouldRetrain() {
+		t.Fatalf("pending %d after batch of 6", r.Pending())
+	}
+
+	// All-or-nothing: a bad sample mid-batch leaves pending untouched.
+	bad := []Forensic{
+		{Features: s.Unknown.At(6).Features, Label: 1, App: "ok"},
+		{Features: []float64{1, 2}, Label: 1, App: "wrong-dim"},
+	}
+	if err := r.ReportForensics(bad); err == nil {
+		t.Fatal("expected dimension error from malformed batch")
+	}
+	if r.Pending() != 6 {
+		t.Fatalf("failed batch mutated pending: %d", r.Pending())
+	}
+
+	if _, err := r.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Pending() != 0 || r.Rounds() != 1 {
+		t.Fatalf("post-retrain state: pending %d rounds %d", r.Pending(), r.Rounds())
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"trusthmd/internal/ensemble"
 	"trusthmd/internal/hmd"
@@ -64,6 +66,38 @@ func (d *Detector) Save(w io.Writer) error {
 		MaxFeatures: d.cfg.maxFeatures,
 	})
 	if err != nil {
+		return fmt.Errorf("detector: save: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the detector to path crash-safely: the gob stream goes
+// to a temp file in the same directory, is fsynced, and is renamed into
+// place. A concurrent reader — the daemon's -watch poller, an admin load
+// — sees either the previous complete model or the new complete model,
+// never a torn write; a crash mid-save leaves the previous file intact.
+func (d *Detector) SaveFile(path string) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("detector: save: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = d.Save(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("detector: save: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("detector: save: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("detector: save: %w", err)
 	}
 	return nil

@@ -3,6 +3,8 @@ package detector
 import (
 	"bytes"
 	"encoding/gob"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"trusthmd/internal/ensemble"
@@ -210,5 +212,71 @@ func TestSavedDetectorIsRetrainable(t *testing.T) {
 	}
 	if _, err := r.Retrain(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSaveFileAtomic pins the crash-safety contract: SaveFile never
+// leaves a torn model at the destination path, leaves no temp debris
+// behind, and atomically replaces an existing model.
+func TestSaveFileAtomic(t *testing.T) {
+	s := dvfsSplits(t)
+	d, err := New(s.Train, WithEnsembleSize(5), WithSeed(11), WithThreshold(0.35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.gob")
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Members() != d.Members() || back.Threshold() != d.Threshold() {
+		t.Fatalf("SaveFile round trip lost config")
+	}
+
+	// Overwrite with a different detector: the path flips atomically.
+	d2, err := New(s.Train, WithEnsembleSize(7), WithSeed(12), WithThreshold(0.35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err = os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2, err := Load(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.Members() != 7 {
+		t.Fatalf("overwrite served stale model: %d members", back2.Members())
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "model.gob" {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("temp debris left behind: %v", names)
+	}
+
+	// Failure path: a missing directory errors and creates nothing.
+	if err := d.SaveFile(filepath.Join(dir, "no-such-dir", "m.gob")); err == nil {
+		t.Fatal("expected error saving into a missing directory")
 	}
 }

@@ -1,0 +1,233 @@
+package ingest
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// journalName is the processed-file ledger kept inside the watched
+// directory; it is never treated as a telemetry drop.
+const journalName = ".ingest-journal.json"
+
+// journalEntry fingerprints a processed drop file. A file is reprocessed
+// only when its size or mtime changes — rewriting a drop in place counts
+// as new telemetry.
+type journalEntry struct {
+	Size  int64 `json:"size"`
+	Mtime int64 `json:"mtime_ns"`
+}
+
+// DirConfig tunes a DirSource; the zero value gets sane defaults.
+type DirConfig struct {
+	// Poll is the directory scan interval (default 2s).
+	Poll time.Duration
+	// Model pins every event from this directory to one shard (empty
+	// routes per-event by device).
+	Model string
+	// Logf, when set, receives per-file processing lines.
+	Logf func(format string, args ...any)
+}
+
+// DirSource polls a drop directory for CSV telemetry files and emits one
+// Event per line. The line format is
+//
+//	device,f0,f1,...,f{d-1}
+//
+// with blank lines and '#' comments skipped. Processed files are recorded
+// in a journal (atomic temp-file + rename) so a restart skips them;
+// delivery is at-least-once — a crash after emitting but before the
+// journal write replays that file.
+type DirSource struct {
+	dir string
+	cfg DirConfig
+}
+
+// NewDirSource builds a source polling dir, creating it if missing.
+func NewDirSource(dir string, cfg DirConfig) (*DirSource, error) {
+	if cfg.Poll <= 0 {
+		cfg.Poll = 2 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	return &DirSource{dir: dir, cfg: cfg}, nil
+}
+
+// Name identifies the source in logs and stats.
+func (d *DirSource) Name() string { return "dir:" + d.dir }
+
+// Run polls the directory until ctx is done, emitting every line of
+// every new or changed *.csv file, oldest file first.
+func (d *DirSource) Run(ctx context.Context, emit Sink) error {
+	journal, err := d.loadJournal()
+	if err != nil {
+		return err
+	}
+	ticker := time.NewTicker(d.cfg.Poll)
+	defer ticker.Stop()
+	for {
+		if err := d.scan(ctx, emit, journal); err != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// scan processes every unseen drop file once, journaling each as it
+// completes so a crash loses at most the in-flight file's ledger entry.
+func (d *DirSource) scan(ctx context.Context, emit Sink, journal map[string]journalEntry) error {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	type drop struct {
+		name  string
+		entry journalEntry
+	}
+	var drops []drop
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || name == journalName || !strings.HasSuffix(name, ".csv") {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue // racing a concurrent delete
+		}
+		fp := journalEntry{Size: fi.Size(), Mtime: fi.ModTime().UnixNano()}
+		if prev, ok := journal[name]; ok && prev == fp {
+			continue
+		}
+		drops = append(drops, drop{name: name, entry: fp})
+	}
+	sort.Slice(drops, func(i, j int) bool {
+		if drops[i].entry.Mtime != drops[j].entry.Mtime {
+			return drops[i].entry.Mtime < drops[j].entry.Mtime
+		}
+		return drops[i].name < drops[j].name
+	})
+	for _, dr := range drops {
+		n, err := d.processFile(ctx, emit, filepath.Join(d.dir, dr.name))
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// A malformed drop is logged and journaled (not retried every
+			// tick); rewriting it bumps the fingerprint and retries.
+			d.cfg.Logf("ingest: %s: %v", dr.name, err)
+		} else {
+			d.cfg.Logf("ingest: %s: %d events", dr.name, n)
+		}
+		journal[dr.name] = dr.entry
+		if err := d.saveJournal(journal); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// processFile emits one event per CSV line, returning how many.
+func (d *DirSource) processFile(ctx context.Context, emit Sink, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	n := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) < 2 {
+			return n, fmt.Errorf("line %d: want device,f0,...", lineNo)
+		}
+		ev := Event{
+			Device:   strings.TrimSpace(fields[0]),
+			Model:    d.cfg.Model,
+			Features: make([]float64, len(fields)-1),
+		}
+		for i, raw := range fields[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+			if err != nil {
+				return n, fmt.Errorf("line %d: feature %d: %v", lineNo, i, err)
+			}
+			ev.Features[i] = v
+		}
+		if err := emit(ctx, ev); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, sc.Err()
+}
+
+func (d *DirSource) journalPath() string { return filepath.Join(d.dir, journalName) }
+
+func (d *DirSource) loadJournal() (map[string]journalEntry, error) {
+	journal := make(map[string]journalEntry)
+	data, err := os.ReadFile(d.journalPath())
+	if os.IsNotExist(err) {
+		return journal, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	if err := json.Unmarshal(data, &journal); err != nil {
+		// A corrupt journal (should be impossible given the atomic write)
+		// degrades to at-least-once: reprocess everything.
+		d.cfg.Logf("ingest: resetting corrupt journal: %v", err)
+		return make(map[string]journalEntry), nil
+	}
+	return journal, nil
+}
+
+// saveJournal writes the ledger atomically: temp file in the same
+// directory, then rename — a reader (or a crashed restart) sees either
+// the old journal or the new one, never a torn write.
+func (d *DirSource) saveJournal(journal map[string]journalEntry) error {
+	data, err := json.Marshal(journal)
+	if err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	tmp, err := os.CreateTemp(d.dir, journalName+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ingest: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ingest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), d.journalPath()); err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	return nil
+}

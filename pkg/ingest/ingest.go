@@ -1,0 +1,262 @@
+// Package ingest is the telemetry front door of the daemon's closed
+// loop: pluggable Sources (a polling drop directory, an in-process /
+// HTTP push queue) feed feature-vector events through one bounded,
+// backpressure-aware Pump into whatever Handler the daemon wires in —
+// in practice the Fleet's assess path, so every ingested window becomes
+// a stored, drift-monitored verdict.
+//
+// Sources are at-least-once: the DirSource keeps a processed-file
+// journal (written atomically via temp-file + rename) so restarts skip
+// work already done, but a crash mid-file may replay that file's tail.
+// Handlers must tolerate duplicates — assessment is idempotent, so the
+// daemon's loop does by construction.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one telemetry observation: a feature vector from a device,
+// optionally pinned to a model route.
+type Event struct {
+	// Device routes the event (consistent-hash) and keys per-device drift
+	// tracking downstream.
+	Device string `json:"device,omitempty"`
+	// Model explicitly selects a shard; empty routes by Device.
+	Model string `json:"model,omitempty"`
+	// Features is the raw feature vector.
+	Features []float64 `json:"features"`
+	// Time is when the telemetry was captured (zero = now at handling).
+	Time time.Time `json:"time,omitempty"`
+}
+
+// Sink accepts one event on behalf of the pump; sources call it from
+// Run. It blocks while the pump's queue is full (backpressure) and
+// returns the context's error once ctx is done.
+type Sink func(ctx context.Context, ev Event) error
+
+// Source produces events. Run delivers every event through emit and
+// returns when the source is exhausted or ctx is done; a nil return
+// means a clean end.
+type Source interface {
+	// Name identifies the source in logs and stats.
+	Name() string
+	Run(ctx context.Context, emit Sink) error
+}
+
+// Handler consumes one event — the daemon wires this to Fleet.Assess.
+// An error counts against Stats.Failed; the pump keeps going.
+type Handler func(ctx context.Context, ev Event) error
+
+// ErrBusy is returned by Push when the queue is full: the caller (the
+// HTTP ingest endpoint) should shed with a retry hint rather than block
+// a request goroutine.
+var ErrBusy = errors.New("ingest: queue full")
+
+// ErrStopped is returned by Push once the pump's Run has returned.
+var ErrStopped = errors.New("ingest: pump stopped")
+
+// Config tunes the pump; the zero value gets sane defaults.
+type Config struct {
+	// Queue is the fan-in buffer depth (default 1024). When full, source
+	// Sinks block (backpressure) and Push sheds with ErrBusy.
+	Queue int
+	// Workers is how many goroutines drain the queue into the Handler
+	// (default 2).
+	Workers int
+	// Logf, when set, receives source lifecycle and handler-error lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Queue <= 0 {
+		c.Queue = 1024
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the pump.
+type Stats struct {
+	// Enqueued counts events accepted into the queue (sources + Push);
+	// Handled those the Handler finished (success or failure); Failed the
+	// subset whose Handler returned an error; Shed the Push calls bounced
+	// with ErrBusy.
+	Enqueued int64 `json:"enqueued"`
+	Handled  int64 `json:"handled"`
+	Failed   int64 `json:"failed,omitempty"`
+	Shed     int64 `json:"shed,omitempty"`
+	// Lag is the current queue depth — events accepted but not yet
+	// handled.
+	Lag int `json:"lag"`
+	// Sources is the number of registered sources.
+	Sources int `json:"sources"`
+}
+
+// Pump fans events from all registered sources (and Push) into the
+// Handler through one bounded queue. Register sources with Add before
+// Run; Push works any time between Run's start and return.
+type Pump struct {
+	cfg     Config
+	handler Handler
+
+	mu      sync.Mutex
+	sources []Source
+	running bool
+
+	queue chan Event
+	// qmu orders Push's send against Run's close of the queue: Push holds
+	// the read side, the shutdown path takes the write side before
+	// closing, so a late Push sheds with ErrStopped instead of panicking
+	// on a closed channel.
+	qmu     sync.RWMutex
+	qclosed bool
+
+	enqueued atomic.Int64
+	handled  atomic.Int64
+	failed   atomic.Int64
+	shed     atomic.Int64
+}
+
+// NewPump builds a pump delivering events to h.
+func NewPump(h Handler, cfg Config) *Pump {
+	if h == nil {
+		panic("ingest: nil handler")
+	}
+	cfg = cfg.withDefaults()
+	return &Pump{
+		cfg:     cfg,
+		handler: h,
+		queue:   make(chan Event, cfg.Queue),
+	}
+}
+
+// Add registers a source. It must be called before Run.
+func (p *Pump) Add(src Source) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.running {
+		panic("ingest: Add after Run")
+	}
+	p.sources = append(p.sources, src)
+}
+
+// Push enqueues one event without blocking: ErrBusy when the queue is
+// full, ErrStopped once the pump has shut down. It is the entry point
+// for the HTTP ingest endpoint, where shedding beats blocking.
+func (p *Pump) Push(ev Event) error {
+	p.qmu.RLock()
+	defer p.qmu.RUnlock()
+	if p.qclosed {
+		return ErrStopped
+	}
+	select {
+	case p.queue <- ev:
+		p.enqueued.Add(1)
+		return nil
+	default:
+		p.shed.Add(1)
+		return ErrBusy
+	}
+}
+
+// Run starts the workers and all registered sources and blocks until
+// ctx is done and the queue has drained. It returns the first source
+// error (context cancellation excluded), if any.
+func (p *Pump) Run(ctx context.Context) error {
+	p.mu.Lock()
+	if p.running {
+		p.mu.Unlock()
+		return errors.New("ingest: pump already running")
+	}
+	p.running = true
+	sources := p.sources
+	p.mu.Unlock()
+
+	// emit blocks while the queue is full — that is the backpressure that
+	// slows a fast source down to the Handler's pace.
+	emit := func(ctx context.Context, ev Event) error {
+		select {
+		case p.queue <- ev:
+			p.enqueued.Add(1)
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+
+	var srcWG sync.WaitGroup
+	errc := make(chan error, len(sources))
+	for _, src := range sources {
+		srcWG.Add(1)
+		go func(src Source) {
+			defer srcWG.Done()
+			p.cfg.Logf("ingest: source %s started", src.Name())
+			if err := src.Run(ctx, emit); err != nil && !errors.Is(err, context.Canceled) {
+				p.cfg.Logf("ingest: source %s: %v", src.Name(), err)
+				errc <- fmt.Errorf("source %s: %w", src.Name(), err)
+			}
+		}(src)
+	}
+
+	var workWG sync.WaitGroup
+	for i := 0; i < p.cfg.Workers; i++ {
+		workWG.Add(1)
+		go func() {
+			defer workWG.Done()
+			for ev := range p.queue {
+				// The handler gets a background context: once an event is
+				// accepted it is processed even while the pump winds down,
+				// so "zero lost requests" holds across shutdown.
+				if err := p.handler(context.Background(), ev); err != nil {
+					p.failed.Add(1)
+					p.cfg.Logf("ingest: handler: %v", err)
+				}
+				p.handled.Add(1)
+			}
+		}()
+	}
+
+	<-ctx.Done()
+	srcWG.Wait() // sources hold emit references; wait before close
+	p.qmu.Lock()
+	p.qclosed = true
+	close(p.queue)
+	p.qmu.Unlock()
+	workWG.Wait()
+
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Lag is the current queue depth: events accepted but not yet handled.
+func (p *Pump) Lag() int { return len(p.queue) }
+
+// Stats snapshots the pump's counters.
+func (p *Pump) Stats() Stats {
+	p.mu.Lock()
+	n := len(p.sources)
+	p.mu.Unlock()
+	return Stats{
+		Enqueued: p.enqueued.Load(),
+		Handled:  p.handled.Load(),
+		Failed:   p.failed.Load(),
+		Shed:     p.shed.Load(),
+		Lag:      len(p.queue),
+		Sources:  n,
+	}
+}

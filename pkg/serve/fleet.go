@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"trusthmd/pkg/detector"
 )
@@ -40,6 +41,14 @@ type Fleet struct {
 	statsByName map[string]*shardStats
 	epoch       uint64
 	closed      bool
+	// lastSwapCause names what drove the most recent hot swap ("admin",
+	// "watch", "drift-retrain", ...; empty until the first swap) — the
+	// /stats answer to "why did the model just change?".
+	lastSwapCause string
+
+	// verdictAppendErrs counts verdict-store appends that failed (the tap
+	// never fails serving, so the only trace is this counter).
+	verdictAppendErrs atomic.Int64
 }
 
 // shard is one named detector version with its coalescer, result cache
@@ -108,7 +117,15 @@ func (f *Fleet) Load(name string, det *detector.Detector) (uint64, error) {
 // requests on the old detector before Swap returns, so a swap under load
 // loses nothing — racing requests re-resolve onto the new version.
 func (f *Fleet) Swap(name string, det *detector.Detector) (uint64, error) {
-	v, _, err := f.install(name, det, installReplace)
+	return f.SwapCause(name, det, "swap")
+}
+
+// SwapCause is Swap with an attributed cause ("admin", "watch",
+// "drift-retrain", ...) recorded as the fleet's last swap cause and
+// surfaced by /stats — so an operator reading a version bump can tell an
+// operator-driven rollout from the auto-retrain loop.
+func (f *Fleet) SwapCause(name string, det *detector.Detector, cause string) (uint64, error) {
+	v, _, err := f.installCause(name, det, installReplace, cause)
 	return v, err
 }
 
@@ -116,6 +133,32 @@ func (f *Fleet) Swap(name string, det *detector.Detector) (uint64, error) {
 // reporting which happened — the admin endpoint's upsert.
 func (f *Fleet) LoadOrSwap(name string, det *detector.Detector) (version uint64, replaced bool, err error) {
 	return f.install(name, det, installUpsert)
+}
+
+// LoadOrSwapCause is LoadOrSwap with an attributed cause, recorded only
+// when the install actually replaced a shard (a fresh load is not a
+// swap).
+func (f *Fleet) LoadOrSwapCause(name string, det *detector.Detector, cause string) (version uint64, replaced bool, err error) {
+	return f.installCause(name, det, installUpsert, cause)
+}
+
+// LastSwapCause names what drove the most recent hot swap (empty until
+// the first one).
+func (f *Fleet) LastSwapCause() string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.lastSwapCause
+}
+
+// Detector returns the live detector behind a shard name (resolved like
+// an explicit-model request). The retraining controller uses it to seed
+// baselines and training options from the exact model being served.
+func (f *Fleet) Detector(name string) (*detector.Detector, error) {
+	sh, err := f.resolve(name, "")
+	if err != nil {
+		return nil, err
+	}
+	return sh.det, nil
 }
 
 // maxRetiredNames bounds how many unloaded shard names keep their version
@@ -135,6 +178,10 @@ const (
 
 // install is the single mutation path behind Load, Swap and LoadOrSwap.
 func (f *Fleet) install(name string, det *detector.Detector, mode installMode) (uint64, bool, error) {
+	return f.installCause(name, det, mode, "swap")
+}
+
+func (f *Fleet) installCause(name string, det *detector.Detector, mode installMode, cause string) (uint64, bool, error) {
 	if name == "" {
 		return 0, false, errors.New("serve: empty model name")
 	}
@@ -178,6 +225,7 @@ func (f *Fleet) install(name string, det *detector.Detector, mode installMode) (
 		// A swap keeps the membership: names and ring are unchanged, so
 		// resolvers are only blocked for the pointer write + epoch bump.
 		f.epoch++
+		f.lastSwapCause = cause
 	} else {
 		f.rebuildLocked()
 	}

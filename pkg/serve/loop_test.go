@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"trusthmd/internal/gen"
+	"trusthmd/pkg/detector"
+	"trusthmd/pkg/ingest"
+	"trusthmd/pkg/verdictstore"
+)
+
+// newLoopServer builds a server whose fleet taps every verdict into a
+// fresh store.
+func newLoopServer(t testing.TB) (*Server, *httptest.Server, *verdictstore.Store) {
+	t.Helper()
+	store, err := verdictstore.Open(t.TempDir(), verdictstore.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := testDetector(t)
+	s, err := New(map[string]*detector.Detector{"dvfs-rf": d}, Config{Verdicts: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+		store.Close()
+	})
+	return s, ts, store
+}
+
+func getJSON(t testing.TB, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestVerdictTapMatchesResponses is the store half of the closed-loop
+// acceptance criterion at package level: every served verdict (including
+// cache hits) lands in the store, element-wise identical to the
+// synchronous HTTP responses, and /v1/verdicts returns them filtered.
+func TestVerdictTapMatchesResponses(t *testing.T) {
+	_, ts, store := newLoopServer(t)
+	_, xs := testDetector(t)
+
+	var want []AssessResponse
+	for i := 0; i < 30; i++ {
+		x := xs[i%10] // repeats force cache hits; hits must still be stored
+		dev := fmt.Sprintf("dev-%d", i%2)
+		resp, body := postJSON(t, ts.URL+"/v1/assess", AssessRequest{Device: dev, Features: x})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("assess %d: %d %s", i, resp.StatusCode, body)
+		}
+		var ar AssessResponse
+		if err := json.Unmarshal(body, &ar); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, ar)
+	}
+
+	recs, err := store.Query(verdictstore.Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("stored %d verdicts, served %d", len(recs), len(want))
+	}
+	for i, rec := range recs {
+		if rec.Prediction != want[i].Prediction || rec.Entropy != want[i].Entropy ||
+			rec.Decision != want[i].Decision || rec.Version != want[i].Version ||
+			rec.Model != want[i].Model {
+			t.Fatalf("verdict %d diverged from response: %+v vs %+v", i, rec, want[i])
+		}
+		if rec.Device != fmt.Sprintf("dev-%d", i%2) || rec.Source != "assess" {
+			t.Fatalf("verdict %d provenance: %+v", i, rec)
+		}
+		if rec.Decision != "reject" && rec.Features != nil {
+			t.Fatalf("verdict %d: accepted verdict stored features", i)
+		}
+	}
+
+	// The HTTP range query sees the same records, filtered by device.
+	resp, out := getJSON(t, ts.URL+"/v1/verdicts?device=dev-1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verdicts query: %d", resp.StatusCode)
+	}
+	if int(out["count"].(float64)) != 15 {
+		t.Fatalf("device filter count = %v, want 15", out["count"])
+	}
+
+	// since_seq pagination.
+	resp, out = getJSON(t, ts.URL+"/v1/verdicts?since_seq=21")
+	if resp.StatusCode != http.StatusOK || int(out["count"].(float64)) != 10 {
+		t.Fatalf("since_seq query: %d count=%v", resp.StatusCode, out["count"])
+	}
+
+	// Bad params are 400.
+	for _, q := range []string{"?since_seq=x", "?since=yesterday", "?limit=0"} {
+		resp, err := http.Get(ts.URL + "/v1/verdicts" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestVerdictsEndpointDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/verdicts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("verdicts without a store: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestIngestEndpoint drives the HTTP push source end to end: events
+// accepted with 202 flow through the pump into Fleet.Assess and land in
+// the verdict store tagged source=ingest.
+func TestIngestEndpoint(t *testing.T) {
+	s, ts, store := newLoopServer(t)
+	_, xs := testDetector(t)
+
+	// Without a pump attached the endpoint does not exist.
+	resp, _ := postJSON(t, ts.URL+"/v1/ingest", IngestRequest{Device: "d", Features: xs[0]})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ingest without pump: %d, want 404", resp.StatusCode)
+	}
+
+	pump := ingest.NewPump(func(ctx context.Context, ev ingest.Event) error {
+		_, err := s.Fleet().Assess(ctx, AssessSpec{
+			Model: ev.Model, Device: ev.Device, Features: ev.Features, Source: "ingest",
+		})
+		return err
+	}, ingest.Config{Queue: 64, Workers: 2})
+	s.AttachIngest(pump)
+	ctx, cancel := context.WithCancel(context.Background())
+	pumpDone := make(chan error, 1)
+	go func() { pumpDone <- pump.Run(ctx) }()
+	defer func() { cancel(); <-pumpDone }()
+
+	resp, body := postJSON(t, ts.URL+"/v1/ingest", IngestRequest{Device: "edge-1", Features: xs[0]})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("single ingest: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/ingest", IngestRequest{Events: []ingest.Event{
+		{Device: "edge-2", Features: xs[1]},
+		{Device: "edge-2", Features: xs[2]},
+	}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch ingest: %d %s", resp.StatusCode, body)
+	}
+	var ir IngestResponse
+	if err := json.Unmarshal(body, &ir); err != nil || ir.Queued != 2 {
+		t.Fatalf("batch ingest queued %d (%v)", ir.Queued, err)
+	}
+
+	// Malformed: both or neither of features/events.
+	resp, _ = postJSON(t, ts.URL+"/v1/ingest", IngestRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty ingest: %d, want 400", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		recs, err := store.Query(verdictstore.Filter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 3 {
+			for _, rec := range recs {
+				if rec.Source != "ingest" {
+					t.Fatalf("ingested verdict source %q", rec.Source)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ingested verdicts never stored: %d of 3", len(recs))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestStatsClosedLoopCounters asserts the four closed-loop /stats keys:
+// present (zero-valued) without attachments, and live once the store,
+// pump and a caused swap exist.
+func TestStatsClosedLoopCounters(t *testing.T) {
+	// Bare server: keys exist with zero values.
+	_, bare := newTestServer(t, Config{})
+	resp, out := getJSON(t, bare.URL+"/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	for _, key := range []string{"verdicts_stored", "ingest_lag", "retrains_triggered", "last_swap_cause"} {
+		if _, ok := out[key]; !ok {
+			t.Fatalf("stats missing %q on a bare server: %v", key, out)
+		}
+	}
+	if out["verdicts_stored"].(float64) != 0 || out["last_swap_cause"].(string) != "" {
+		t.Fatalf("bare stats not zero-valued: %v", out)
+	}
+
+	// Wired server: counters move.
+	s, ts, _ := newLoopServer(t)
+	d, xs := testDetector(t)
+	for i := 0; i < 5; i++ {
+		if resp, body := postJSON(t, ts.URL+"/v1/assess", AssessRequest{Features: xs[i]}); resp.StatusCode != 200 {
+			t.Fatalf("assess: %d %s", resp.StatusCode, body)
+		}
+	}
+	// A pump with a blocked handler: pushed events sit in the queue, so
+	// ingest_lag is observably non-zero.
+	block := make(chan struct{})
+	pump := ingest.NewPump(func(context.Context, ingest.Event) error { <-block; return nil },
+		ingest.Config{Queue: 8, Workers: 1})
+	s.AttachIngest(pump)
+	ctx, cancel := context.WithCancel(context.Background())
+	pumpDone := make(chan error, 1)
+	go func() { pumpDone <- pump.Run(ctx) }()
+	// LIFO: unblock the handler BEFORE waiting for the pump to drain, or
+	// the wait deadlocks on the worker stuck in the handler.
+	defer func() { cancel(); <-pumpDone }()
+	defer close(block)
+	for i := 0; i < 4; i++ {
+		if err := pump.Push(ingest.Event{Features: xs[0]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if _, err := s.Fleet().SwapCause("dvfs-rf", d, "drift-retrain"); err != nil {
+		t.Fatal(err)
+	}
+
+	_, out = getJSON(t, ts.URL+"/stats")
+	if got := out["verdicts_stored"].(float64); got != 5 {
+		t.Fatalf("verdicts_stored = %v, want 5", got)
+	}
+	if got := out["ingest_lag"].(float64); got < 1 {
+		t.Fatalf("ingest_lag = %v, want >= 1", got)
+	}
+	if got := out["last_swap_cause"].(string); got != "drift-retrain" {
+		t.Fatalf("last_swap_cause = %q", got)
+	}
+	if got := out["retrains_triggered"].(float64); got != 0 {
+		t.Fatalf("retrains_triggered = %v, want 0 (no controller attached)", got)
+	}
+}
+
+// TestRetrainControllerClosedLoop exercises the full automatic loop at
+// package level: a drifting device's verdicts accumulate in the store,
+// the controller's per-device monitor alarms, forensics reach quorum, a
+// background retrain fires and SwapCause installs the new version — all
+// while the healthy device keeps serving.
+func TestRetrainControllerClosedLoop(t *testing.T) {
+	splits, err := gen.DVFSWithSizes(5, gen.Sizes{Train: 320, Test: 80, Unknown: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := detector.New(splits.Train,
+		detector.WithModel("rf"), detector.WithEnsembleSize(9), detector.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := verdictstore.Open(t.TempDir(), verdictstore.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	fleet, err := NewFleet(map[string]*detector.Detector{"hmd": det}, Config{Verdicts: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	ctrl, err := NewRetrainController(RetrainConfig{
+		Store:          store,
+		Fleet:          fleet,
+		Model:          "hmd",
+		Base:           splits.Train,
+		Interval:       20 * time.Millisecond,
+		Drift:          detector.DriftConfig{Window: 16},
+		BaselineSample: 100,
+		Sustain:        3,
+		Quorum:         20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ctrlDone := make(chan error, 1)
+	go func() { ctrlDone <- ctrl.Run(ctx) }()
+	defer func() { cancel(); <-ctrlDone }()
+
+	epochBefore := fleet.Epoch()
+	deadline := time.Now().Add(30 * time.Second)
+	sent := 0
+	for fleet.Epoch() == epochBefore {
+		if time.Now().After(deadline) {
+			t.Fatalf("no retrain after %d verdicts; controller: %+v", sent, ctrl.Stats())
+		}
+		// Interleave: a healthy device on known data, a drifting edge
+		// device on the zero-day split.
+		known := splits.Test.At(sent % splits.Test.Len()).Features
+		if _, err := fleet.Assess(ctx, AssessSpec{Device: "healthy", Features: known}); err != nil {
+			t.Fatal(err)
+		}
+		unknown := splits.Unknown.At(sent % splits.Unknown.Len()).Features
+		if _, err := fleet.Assess(ctx, AssessSpec{Device: "edge-7", Features: unknown}); err != nil {
+			t.Fatal(err)
+		}
+		sent++
+		time.Sleep(time.Millisecond)
+	}
+
+	// The swap must be attributed to the loop and counted.
+	if cause := fleet.LastSwapCause(); cause != "drift-retrain" {
+		t.Fatalf("last swap cause %q, want drift-retrain", cause)
+	}
+	waitDeadline := time.Now().Add(5 * time.Second)
+	for ctrl.Stats().Retrains < 1 {
+		if time.Now().After(waitDeadline) {
+			t.Fatalf("swap landed but retrains counter stayed at %d", ctrl.Stats().Retrains)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Serving continued throughout and continues now, on the new version.
+	out, err := fleet.Assess(ctx, AssessSpec{Device: "healthy", Features: splits.Test.At(0).Features})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Version < 2 {
+		t.Fatalf("post-retrain version %d, want >= 2", out.Version)
+	}
+}
+
+func TestRetrainControllerValidation(t *testing.T) {
+	splits, err := gen.DVFSWithSizes(3, gen.Sizes{Train: 280, Test: 40, Unknown: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := testDetector(t)
+	store, err := verdictstore.Open(t.TempDir(), verdictstore.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	fleet, err := NewFleet(map[string]*detector.Detector{"m": d}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	cases := []RetrainConfig{
+		{Fleet: fleet, Model: "m", Base: splits.Train},                     // no store
+		{Store: store, Model: "m", Base: splits.Train},                     // no fleet
+		{Store: store, Fleet: fleet, Base: splits.Train},                   // no model
+		{Store: store, Fleet: fleet, Model: "m"},                           // no base
+		{Store: store, Fleet: fleet, Model: "missing", Base: splits.Train}, // unknown shard
+	}
+	for i, cfg := range cases {
+		if _, err := NewRetrainController(cfg); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}

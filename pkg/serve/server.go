@@ -39,16 +39,18 @@
 package serve
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"trusthmd/pkg/detector"
+	"trusthmd/pkg/ingest"
+	"trusthmd/pkg/verdictstore"
 )
 
 // Config tunes the serving layer; the zero value gets sane defaults.
@@ -106,6 +108,12 @@ type Config struct {
 	// goes silent would otherwise pin a handler goroutine and its session
 	// for the daemon's lifetime. Negative disables the idle bound.
 	StreamIdleTimeout time.Duration
+	// Verdicts, when set, receives every served verdict (assess, batch,
+	// stream and ingest paths alike; cache hits included — they are served
+	// verdicts) and powers GET /v1/verdicts and the drift-driven retrain
+	// loop. Nil disables persistence. The caller owns the store's
+	// lifecycle: close it after the fleet.
+	Verdicts *verdictstore.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -159,6 +167,10 @@ type Server struct {
 	// until the client hangs up.
 	draining  chan struct{}
 	drainOnce sync.Once
+	// pump / retrain are the closed-loop attachments (AttachIngest /
+	// AttachRetrain): /v1/ingest feeds the pump, /stats reports both.
+	pump    atomic.Pointer[ingest.Pump]
+	retrain atomic.Pointer[RetrainController]
 }
 
 // NewServer mounts the HTTP transport over a fleet. Closing the server
@@ -172,8 +184,18 @@ func NewServer(f *Fleet) *Server {
 	s.mux.HandleFunc("/v1/models/", s.handleModelByName)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/verdicts", s.handleVerdicts)
+	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
 	return s
 }
+
+// AttachIngest wires a running ingest pump into the server: POST
+// /v1/ingest enqueues into it and /stats reports its lag and counters.
+func (s *Server) AttachIngest(p *ingest.Pump) { s.pump.Store(p) }
+
+// AttachRetrain wires a retrain controller into the server so /stats
+// reports its trigger count and state.
+func (s *Server) AttachRetrain(c *RetrainController) { s.retrain.Store(c) }
 
 // New builds a server over the given named detectors.
 //
@@ -220,65 +242,21 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	missCounted := false
-	for attempt := 0; ; attempt++ {
-		sh, err := s.fleet.resolve(req.Model, req.Device)
-		if err != nil {
-			writeResolveError(w, err)
-			return
-		}
-		if err := validateFeatures(req.Features, sh.det.InputDim()); err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		var key uint64
-		if sh.cache != nil { // disabled caches pay no hashing and keep zero counters
-			key = hashVec(req.Features)
-			if res, ok := sh.cache.get(key, req.Features); ok {
-				// Cross-request memo hit: same vector, same (deterministic)
-				// verdict — answered without queueing or assessing.
-				sh.stats.requests.Add(1)
-				sh.stats.cacheHits.Add(1)
-				sh.stats.cacheHitsSingle.Add(1)
-				sh.stats.observeOne(res.Decision)
-				writeJSON(w, http.StatusOK, toResponse(sh.name, sh.version, res))
-				return
-			}
-			// One miss per request: a retry after losing the swap race
-			// probes the replacement's fresh cache, but it is still the
-			// same request.
-			if !missCounted {
-				sh.stats.cacheMisses.Add(1)
-				missCounted = true
-			}
-		}
-		res, err := sh.co.submit(r.Context(), req.Features)
-		switch {
-		case err == nil:
-			sh.cache.put(key, req.Features, res)
-			writeJSON(w, http.StatusOK, toResponse(sh.name, sh.version, res))
-			return
-		case errors.Is(err, ErrClosed) && attempt < maxSwapRetries:
-			// The shard was hot-swapped between resolve and submit; its
-			// replacement is already serving. Re-resolve instead of failing
-			// the request — this is what makes a Swap lossless under load.
-			continue
-		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, err.Error())
-			return
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			// The client is gone; the status code is a formality.
-			writeError(w, http.StatusServiceUnavailable, err.Error())
-			return
-		default:
-			writeError(w, http.StatusInternalServerError, err.Error())
-			return
-		}
+	out, err := s.fleet.Assess(r.Context(), AssessSpec{
+		Model:    req.Model,
+		Device:   req.Device,
+		Features: req.Features,
+		Source:   "assess",
+	})
+	if err != nil {
+		writeAssessError(w, err)
+		return
 	}
+	writeJSON(w, http.StatusOK, toResponse(out.Model, out.Version, out.Result))
 }
 
 func (s *Server) handleAssessBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	var req BatchRequest
 	if !s.decodeJSON(w, r, &req) {
 		return
@@ -347,6 +325,12 @@ func (s *Server) handleAssessBatch(w http.ResponseWriter, r *http.Request) {
 	sh.stats.batchRequests.Add(1)
 	sh.stats.batchSamples.Add(int64(n))
 	sh.stats.observe(results)
+	// Tap every row into the verdict store (latency is the whole batch's
+	// serving time — the rows were answered together).
+	elapsed := time.Since(start)
+	for i, res := range results {
+		s.fleet.recordVerdict(req.Device, "batch", sh.name, sh.version, res, req.Batch[i], elapsed)
+	}
 	resp := BatchResponse{Model: sh.name, Version: sh.version, Results: make([]AssessResponse, n)}
 	for i, r := range results {
 		resp.Results[i] = toResponse(sh.name, sh.version, r)
@@ -403,10 +387,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	epoch, stats := s.fleet.StatsWithEpoch()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"fleet_epoch": epoch,
-		"shards":      stats,
-	})
+	// The closed-loop keys are always present (zero-valued when the
+	// corresponding piece is not attached) so dashboards and tests can
+	// assert on them unconditionally.
+	out := map[string]any{
+		"fleet_epoch":        epoch,
+		"shards":             stats,
+		"last_swap_cause":    s.fleet.LastSwapCause(),
+		"verdicts_stored":    int64(0),
+		"ingest_lag":         0,
+		"retrains_triggered": int64(0),
+	}
+	if st := s.fleet.cfg.Verdicts; st != nil {
+		snap := st.Stats()
+		out["verdicts_stored"] = snap.Records
+		out["verdict_store"] = snap
+	}
+	if p := s.pump.Load(); p != nil {
+		snap := p.Stats()
+		out["ingest_lag"] = snap.Lag
+		out["ingest"] = snap
+	}
+	if rc := s.retrain.Load(); rc != nil {
+		snap := rc.Stats()
+		out["retrains_triggered"] = snap.Retrains
+		out["retrain"] = snap
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // decodeJSON enforces POST, bounds the body, and decodes strictly.

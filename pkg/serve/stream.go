@@ -285,6 +285,10 @@ func (s *Server) handleAssessStream(w http.ResponseWriter, r *http.Request) {
 			}
 			seq++
 			sh.stats.observeOne(res.Decision)
+			// Stream verdicts are stored without features: the session's
+			// extracted window vector is internal, and stream forensics
+			// are reconstructible from the raw states client-side.
+			s.fleet.recordVerdict(hdr.Device, "stream", sh.name, sh.version, res, nil, 0)
 			if !emit(StreamResult{
 				Seq:            seq,
 				Sample:         samples - 1,

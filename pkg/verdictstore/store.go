@@ -1,0 +1,504 @@
+// Package verdictstore is an embedded, append-only time-series store of
+// served trusted-HMD verdicts — the persistent half of the paper's
+// deployment loop. Every decision the serving layer makes (device, shard,
+// version, prediction, entropy, votes, latency, and — for rejections —
+// the raw features an analyst or retrainer needs) lands here, queryable
+// by device, shard and time range, so drift monitoring and retraining can
+// run offline from the exact evidence that was served online.
+//
+// The store is a directory of segment files. Records are framed as
+// [uint32 length | uint32 CRC-32 | JSON payload]; the active segment
+// rotates once it exceeds Config.SegmentBytes and retention drops the
+// oldest segments beyond Config.MaxSegments. Recovery is crash-safe: Open
+// scans every segment, truncates a torn tail at the last intact frame
+// (a crash mid-append loses at most the record being written), and
+// resumes the sequence number after the last durable record.
+//
+// A Store is safe for concurrent use.
+package verdictstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Record is one served verdict. Seq is store-assigned and strictly
+// increasing across segments and restarts; Time is stamped at append when
+// the caller leaves it zero.
+type Record struct {
+	Seq     uint64    `json:"seq"`
+	Time    time.Time `json:"time"`
+	Device  string    `json:"device,omitempty"`
+	Model   string    `json:"model"`
+	Version uint64    `json:"version"`
+	// Source names the serving path that produced the verdict: "assess",
+	// "batch", "stream" or "ingest".
+	Source     string  `json:"source,omitempty"`
+	Prediction int     `json:"prediction"`
+	Decision   string  `json:"decision"`
+	Entropy    float64 `json:"entropy"`
+	// Votes is the normalised member-vote distribution.
+	Votes []float64 `json:"votes,omitempty"`
+	// LatencyMicros is the serving-side latency of the verdict.
+	LatencyMicros int64 `json:"latency_us,omitempty"`
+	// Features carries the raw input vector when the serving layer chose
+	// to persist it (by default only for rejected verdicts — they are the
+	// forensic evidence retraining needs; accepted verdicts stay compact).
+	Features []float64 `json:"features,omitempty"`
+}
+
+// Config tunes the store; the zero value gets sane defaults.
+type Config struct {
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 4 MiB).
+	SegmentBytes int64
+	// MaxSegments bounds retention: once rotation would exceed it, the
+	// oldest segments are deleted, records and all (default 16 segments —
+	// with the default segment size, ~64 MiB of verdict history).
+	MaxSegments int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 4 << 20
+	}
+	if c.MaxSegments <= 0 {
+		c.MaxSegments = 16
+	}
+	return c
+}
+
+// Filter selects records for Query. Zero fields match everything.
+type Filter struct {
+	// Device / Model match exactly when non-empty.
+	Device string
+	Model  string
+	// SinceSeq selects records with Seq >= SinceSeq.
+	SinceSeq uint64
+	// Since / Until bound the record time (inclusive / exclusive).
+	Since time.Time
+	Until time.Time
+	// Limit caps the result count (0 = unlimited).
+	Limit int
+}
+
+// Stats is a point-in-time snapshot of the store.
+type Stats struct {
+	// Records is the number of live (queryable) records across all
+	// segments; Appended counts appends by this process and Recovered the
+	// records readable at Open.
+	Records   int64 `json:"records"`
+	Appended  int64 `json:"appended"`
+	Recovered int64 `json:"recovered"`
+	// TruncatedBytes is how much torn tail Open cut off (0 on a clean
+	// shutdown).
+	TruncatedBytes int64 `json:"truncated_bytes,omitempty"`
+	// Dropped counts records lost to segment retention.
+	Dropped int64 `json:"dropped,omitempty"`
+	// Segments / Bytes describe the on-disk footprint.
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+	// FirstSeq is the oldest live record's sequence number (0 when
+	// empty); NextSeq the sequence the next append will take.
+	FirstSeq uint64 `json:"first_seq,omitempty"`
+	NextSeq  uint64 `json:"next_seq"`
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("verdictstore: store is closed")
+
+// segment is the metadata of one on-disk segment file.
+type segment struct {
+	path     string
+	firstSeq uint64
+	lastSeq  uint64
+	minTime  int64 // unix nanos; 0 when empty
+	maxTime  int64
+	records  int64
+	bytes    int64
+}
+
+// Store is the embedded verdict log. Open one per daemon.
+type Store struct {
+	dir string
+	cfg Config
+
+	mu     sync.Mutex
+	closed bool
+	segs   []*segment // oldest first; the last one is active
+	f      *os.File   // active segment, O_APPEND
+	w      *bufio.Writer
+
+	nextSeq   uint64
+	appended  int64
+	recovered int64
+	truncated int64
+	dropped   int64
+}
+
+const (
+	segSuffix  = ".seg"
+	segPrefix  = "verdicts-"
+	frameHdr   = 8        // uint32 length + uint32 crc
+	maxPayload = 16 << 20 // sanity bound on one frame
+)
+
+func segName(firstSeq uint64) string {
+	return fmt.Sprintf("%s%016d%s", segPrefix, firstSeq, segSuffix)
+}
+
+// Open creates or recovers a store in dir (created if missing). Torn
+// tails from a crash mid-append are truncated at the last intact frame.
+func Open(dir string, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("verdictstore: %w", err)
+	}
+	s := &Store{dir: dir, cfg: cfg, nextSeq: 1}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("verdictstore: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasPrefix(n, segPrefix) && strings.HasSuffix(n, segSuffix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names) // zero-padded first-seq names sort chronologically
+	for _, n := range names {
+		seg, err := s.recoverSegment(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		s.segs = append(s.segs, seg)
+		s.recovered += seg.records
+		if seg.lastSeq >= s.nextSeq {
+			s.nextSeq = seg.lastSeq + 1
+		}
+	}
+	// Resume the last segment when it has rotation headroom; otherwise
+	// (or when the directory is empty) the first append opens a fresh one.
+	if n := len(s.segs); n > 0 && s.segs[n-1].bytes < cfg.SegmentBytes {
+		f, err := os.OpenFile(s.segs[n-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("verdictstore: %w", err)
+		}
+		s.f = f
+		s.w = bufio.NewWriter(f)
+	}
+	return s, nil
+}
+
+// recoverSegment scans one segment file, truncating any torn tail.
+func (s *Store) recoverSegment(path string) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("verdictstore: %w", err)
+	}
+	defer f.Close()
+	seg := &segment{path: path}
+	br := bufio.NewReader(f)
+	var offset, good int64
+	for {
+		rec, n, err := readFrame(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn tail: keep the intact prefix, drop the rest.
+			break
+		}
+		offset += n
+		good = offset
+		seg.note(rec)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("verdictstore: %w", err)
+	}
+	if fi.Size() > good {
+		s.truncated += fi.Size() - good
+		if err := os.Truncate(path, good); err != nil {
+			return nil, fmt.Errorf("verdictstore: truncate torn tail of %s: %w", path, err)
+		}
+	}
+	seg.bytes = good
+	return seg, nil
+}
+
+// note folds one recovered or appended record into the segment metadata.
+func (g *segment) note(rec Record) {
+	if g.records == 0 {
+		g.firstSeq = rec.Seq
+	}
+	g.lastSeq = rec.Seq
+	t := rec.Time.UnixNano()
+	if g.records == 0 || t < g.minTime {
+		g.minTime = t
+	}
+	if t > g.maxTime {
+		g.maxTime = t
+	}
+	g.records++
+}
+
+// readFrame decodes one length+CRC framed record, returning the bytes
+// consumed. io.EOF means a clean end; any other error marks corruption.
+func readFrame(br *bufio.Reader) (Record, int64, error) {
+	var hdr [frameHdr]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, 0, io.EOF
+		}
+		return Record{}, 0, fmt.Errorf("verdictstore: short frame header: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length == 0 || length > maxPayload {
+		return Record{}, 0, fmt.Errorf("verdictstore: implausible frame length %d", length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return Record{}, 0, fmt.Errorf("verdictstore: short frame payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Record{}, 0, errors.New("verdictstore: frame checksum mismatch")
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, 0, fmt.Errorf("verdictstore: frame payload: %w", err)
+	}
+	return rec, frameHdr + int64(length), nil
+}
+
+// Append stamps and persists one record, returning its sequence number.
+// The write is buffered; Sync (or rotation or Close) makes it durable,
+// and Query always observes it immediately.
+func (s *Store) Append(rec Record) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	rec.Seq = s.nextSeq
+	if rec.Time.IsZero() {
+		rec.Time = time.Now()
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("verdictstore: %w", err)
+	}
+	if len(payload) > maxPayload {
+		return 0, fmt.Errorf("verdictstore: record of %d bytes exceeds frame limit", len(payload))
+	}
+	if s.f == nil || s.active().bytes >= s.cfg.SegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	var hdr [frameHdr]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := s.w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("verdictstore: %w", err)
+	}
+	if _, err := s.w.Write(payload); err != nil {
+		return 0, fmt.Errorf("verdictstore: %w", err)
+	}
+	seg := s.active()
+	seg.note(rec)
+	seg.bytes += frameHdr + int64(len(payload))
+	s.nextSeq++
+	s.appended++
+	return rec.Seq, nil
+}
+
+func (s *Store) active() *segment { return s.segs[len(s.segs)-1] }
+
+// rotateLocked seals the active segment (flush + fsync) and opens a fresh
+// one, then enforces retention. Callers hold s.mu.
+func (s *Store) rotateLocked() error {
+	if s.f != nil {
+		if err := s.w.Flush(); err != nil {
+			return fmt.Errorf("verdictstore: %w", err)
+		}
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("verdictstore: %w", err)
+		}
+		if err := s.f.Close(); err != nil {
+			return fmt.Errorf("verdictstore: %w", err)
+		}
+		s.f, s.w = nil, nil
+	}
+	path := filepath.Join(s.dir, segName(s.nextSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("verdictstore: %w", err)
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	s.segs = append(s.segs, &segment{path: path, firstSeq: s.nextSeq})
+	// Retention: drop the oldest sealed segments beyond the bound. The
+	// fresh (last) segment is never a candidate.
+	for len(s.segs) > s.cfg.MaxSegments {
+		old := s.segs[0]
+		if err := os.Remove(old.path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("verdictstore: retention: %w", err)
+		}
+		s.dropped += old.records
+		s.segs = s.segs[1:]
+	}
+	return nil
+}
+
+// Query returns the records matching f in sequence order. It observes
+// every Append that returned before the call, flushed or not.
+func (s *Store) Query(f Filter) ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	// The active segment's tail may still sit in the write buffer; push it
+	// to the file so the read pass below sees everything appended.
+	if s.w != nil {
+		if err := s.w.Flush(); err != nil {
+			return nil, fmt.Errorf("verdictstore: %w", err)
+		}
+	}
+	var out []Record
+	for _, seg := range s.segs {
+		if seg.records == 0 || seg.lastSeq < f.SinceSeq {
+			continue
+		}
+		if !f.Until.IsZero() && seg.minTime >= f.Until.UnixNano() {
+			continue
+		}
+		if !f.Since.IsZero() && seg.maxTime < f.Since.UnixNano() {
+			continue
+		}
+		rf, err := os.Open(seg.path)
+		if err != nil {
+			return nil, fmt.Errorf("verdictstore: %w", err)
+		}
+		br := bufio.NewReader(rf)
+		for {
+			rec, _, err := readFrame(br)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				rf.Close()
+				return nil, err
+			}
+			if !f.matches(rec) {
+				continue
+			}
+			out = append(out, rec)
+			if f.Limit > 0 && len(out) >= f.Limit {
+				rf.Close()
+				return out, nil
+			}
+		}
+		rf.Close()
+	}
+	return out, nil
+}
+
+func (f Filter) matches(rec Record) bool {
+	if rec.Seq < f.SinceSeq {
+		return false
+	}
+	if f.Device != "" && rec.Device != f.Device {
+		return false
+	}
+	if f.Model != "" && rec.Model != f.Model {
+		return false
+	}
+	if !f.Since.IsZero() && rec.Time.Before(f.Since) {
+		return false
+	}
+	if !f.Until.IsZero() && !rec.Time.Before(f.Until) {
+		return false
+	}
+	return true
+}
+
+// Sync flushes buffered appends to the OS and fsyncs the active segment.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.w == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("verdictstore: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("verdictstore: %w", err)
+	}
+	return nil
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Appended:       s.appended,
+		Recovered:      s.recovered,
+		TruncatedBytes: s.truncated,
+		Dropped:        s.dropped,
+		Segments:       len(s.segs),
+		NextSeq:        s.nextSeq,
+	}
+	for _, seg := range s.segs {
+		st.Records += seg.records
+		st.Bytes += seg.bytes
+		if st.FirstSeq == 0 && seg.records > 0 {
+			st.FirstSeq = seg.firstSeq
+		}
+	}
+	return st
+}
+
+// Close flushes and seals the active segment. Further operations return
+// ErrClosed; Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.f == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("verdictstore: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("verdictstore: %w", err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("verdictstore: %w", err)
+	}
+	s.f, s.w = nil, nil
+	return nil
+}

@@ -1,0 +1,332 @@
+package verdictstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func mustAppend(t *testing.T, s *Store, rec Record) uint64 {
+	t.Helper()
+	seq, err := s.Append(rec)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return seq
+}
+
+func TestAppendQueryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 20; i++ {
+		dev := "edge-1"
+		if i%2 == 1 {
+			dev = "edge-2"
+		}
+		rec := Record{
+			Time:       base.Add(time.Duration(i) * time.Second),
+			Device:     dev,
+			Model:      "rf",
+			Version:    1,
+			Source:     "assess",
+			Prediction: i % 2,
+			Decision:   "benign",
+			Entropy:    0.1 * float64(i),
+			Votes:      []float64{0.8, 0.2},
+		}
+		if i == 7 {
+			rec.Decision = "reject"
+			rec.Features = []float64{1, 2, 3}
+		}
+		seq := mustAppend(t, s, rec)
+		if seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+	}
+
+	all, err := s.Query(Filter{})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(all) != 20 {
+		t.Fatalf("got %d records, want 20", len(all))
+	}
+	for i, rec := range all {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, rec.Seq)
+		}
+	}
+	if all[7].Decision != "reject" || len(all[7].Features) != 3 {
+		t.Fatalf("rejected record lost its features: %+v", all[7])
+	}
+
+	byDev, err := s.Query(Filter{Device: "edge-2"})
+	if err != nil {
+		t.Fatalf("Query device: %v", err)
+	}
+	if len(byDev) != 10 {
+		t.Fatalf("device filter: got %d, want 10", len(byDev))
+	}
+	for _, rec := range byDev {
+		if rec.Device != "edge-2" {
+			t.Fatalf("device filter leaked %q", rec.Device)
+		}
+	}
+
+	sinceSeq, err := s.Query(Filter{SinceSeq: 15})
+	if err != nil {
+		t.Fatalf("Query sinceSeq: %v", err)
+	}
+	if len(sinceSeq) != 6 || sinceSeq[0].Seq != 15 {
+		t.Fatalf("sinceSeq filter: got %d records starting at %d", len(sinceSeq), sinceSeq[0].Seq)
+	}
+
+	window, err := s.Query(Filter{
+		Since: base.Add(5 * time.Second),
+		Until: base.Add(10 * time.Second),
+	})
+	if err != nil {
+		t.Fatalf("Query window: %v", err)
+	}
+	if len(window) != 5 {
+		t.Fatalf("time window: got %d, want 5", len(window))
+	}
+
+	limited, err := s.Query(Filter{Limit: 3})
+	if err != nil {
+		t.Fatalf("Query limit: %v", err)
+	}
+	if len(limited) != 3 {
+		t.Fatalf("limit: got %d, want 3", len(limited))
+	}
+
+	st := s.Stats()
+	if st.Records != 20 || st.Appended != 20 || st.NextSeq != 21 || st.FirstSeq != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestRotationAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force frequent rotation; MaxSegments 3 forces drops.
+	s, err := Open(dir, Config{SegmentBytes: 256, MaxSegments: 3})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	for i := 0; i < 60; i++ {
+		mustAppend(t, s, Record{Device: "d", Model: "m", Version: 1, Decision: "benign", Entropy: 0.5})
+	}
+	st := s.Stats()
+	if st.Segments > 3 {
+		t.Fatalf("retention kept %d segments, cap 3", st.Segments)
+	}
+	if st.Dropped == 0 {
+		t.Fatalf("expected dropped records, got stats %+v", st)
+	}
+	if st.Records+st.Dropped != 60 {
+		t.Fatalf("records %d + dropped %d != 60", st.Records, st.Dropped)
+	}
+	// Surviving records are the newest, contiguous up to the last seq.
+	recs, err := s.Query(Filter{})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(recs) != int(st.Records) {
+		t.Fatalf("query saw %d, stats claim %d", len(recs), st.Records)
+	}
+	if recs[len(recs)-1].Seq != 60 {
+		t.Fatalf("newest record seq = %d, want 60", recs[len(recs)-1].Seq)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq != recs[i-1].Seq+1 {
+			t.Fatalf("gap between seq %d and %d", recs[i-1].Seq, recs[i].Seq)
+		}
+	}
+}
+
+func TestReopenContinuesSequence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		mustAppend(t, s, Record{Model: "m", Version: 1, Decision: "benign"})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Recovered != 5 || st.NextSeq != 6 {
+		t.Fatalf("recovery stats: %+v", st)
+	}
+	if seq := mustAppend(t, s2, Record{Model: "m", Version: 1, Decision: "malware"}); seq != 6 {
+		t.Fatalf("post-reopen seq = %d, want 6", seq)
+	}
+	recs, err := s2.Query(Filter{})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(recs) != 6 || recs[5].Decision != "malware" {
+		t.Fatalf("reopened store contents wrong: %d records", len(recs))
+	}
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		mustAppend(t, s, Record{Model: "m", Version: 1, Decision: "benign", Entropy: float64(i)})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Simulate a crash mid-append: garbage half-frame at the tail.
+	segs, err := filepath.Glob(filepath.Join(dir, "verdicts-*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	f, err := os.OpenFile(segs[0], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open segment: %v", err)
+	}
+	if _, err := f.Write([]byte{0x20, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatalf("write garbage: %v", err)
+	}
+	f.Close()
+
+	s2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Recovered != 4 {
+		t.Fatalf("recovered %d records, want 4", st.Recovered)
+	}
+	if st.TruncatedBytes == 0 {
+		t.Fatalf("expected truncated bytes, stats %+v", st)
+	}
+	// The store must keep appending cleanly after truncation.
+	if seq := mustAppend(t, s2, Record{Model: "m", Version: 2, Decision: "reject"}); seq != 5 {
+		t.Fatalf("post-recovery seq = %d, want 5", seq)
+	}
+	recs, err := s2.Query(Filter{})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("got %d records, want 5", len(recs))
+	}
+}
+
+func TestCorruptMiddleFrameStopsSegment(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		mustAppend(t, s, Record{Model: "m", Version: 1, Decision: "benign"})
+	}
+	s.Close()
+
+	// Flip a payload byte in the second frame: recovery keeps only the
+	// intact prefix (frame 1) and truncates the rest.
+	segs, _ := filepath.Glob(filepath.Join(dir, "verdicts-*.seg"))
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	frameLen := int(uint32(data[0]) | uint32(data[1])<<8 | uint32(data[2])<<16 | uint32(data[3])<<24)
+	second := 8 + frameLen // offset of frame 2's header
+	data[second+8+4] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatalf("rewrite segment: %v", err)
+	}
+
+	s2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Recovered != 1 || st.TruncatedBytes == 0 {
+		t.Fatalf("stats after mid-segment corruption: %+v", st)
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s, err := Open(t.TempDir(), Config{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := s.Append(Record{}); err != ErrClosed {
+		t.Fatalf("Append on closed store: %v", err)
+	}
+	if _, err := s.Query(Filter{}); err != ErrClosed {
+		t.Fatalf("Query on closed store: %v", err)
+	}
+	if err := s.Sync(); err != ErrClosed {
+		t.Fatalf("Sync on closed store: %v", err)
+	}
+}
+
+func TestConcurrentAppendQuery(t *testing.T) {
+	s, err := Open(t.TempDir(), Config{SegmentBytes: 1024})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	done := make(chan error, 4)
+	for w := 0; w < 2; w++ {
+		go func() {
+			for i := 0; i < 100; i++ {
+				if _, err := s.Append(Record{Model: "m", Version: 1, Decision: "benign"}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+		go func() {
+			for i := 0; i < 20; i++ {
+				if _, err := s.Query(Filter{Limit: 5}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent op: %v", err)
+		}
+	}
+	if st := s.Stats(); st.Appended != 200 {
+		t.Fatalf("appended %d, want 200", st.Appended)
+	}
+}
