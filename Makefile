@@ -3,7 +3,7 @@ REV     := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 BENCH   ?= .
 BENCHTIME ?= 1x
 
-.PHONY: all build test test-short test-allocs race vet fmt-check bench benchcmp serve-stats stream-e2e retrain-e2e ci
+.PHONY: all build test test-short test-allocs race vet fmt-check bench benchcmp serve-stats stream-e2e retrain-e2e replica-e2e ci
 
 all: build
 
@@ -77,6 +77,18 @@ retrain-e2e:
 		$(GO) test -race -count=1 -v -run 'TestRetrainE2EClosedLoop' ./cmd/trusthmdd/
 	$(GO) test -race -count=1 \
 		-run 'TestRetrainControllerClosedLoop|TestVerdictTapMatchesResponses|TestStatsClosedLoopCounters' ./pkg/serve/
+
+# replica-e2e is the replication + admission-control smoke: sustained
+# bursty load against a 3-replica group, hot-swapping the whole group
+# mid-run, asserting zero lost requests, spilled responses element-wise
+# identical to home-replica responses, and sibling replicas carrying a
+# real share of a single-device burst — under the race detector, since
+# spill-vs-swap is exactly where races would hide.
+replica-e2e:
+	$(GO) test -race -count=1 -v -run 'TestReplicaE2E' ./cmd/trusthmdd/
+	$(GO) test -race -count=1 \
+		-run 'TestReplicaSpillUnderLoad|TestReplicaGroupSwapUnderLoadLossless|TestReplicaGroupShape|TestAssessShedsWithRetryAfter|TestBatchShedsWithRetryAfter|TestStatsReplicaFields|TestCoalescerShedDepth|TestCoalescerEarlyFlush' ./pkg/serve/
+	$(GO) test -race -count=1 -run 'TestClosedLoopReplicas' ./cmd/hmdbench/
 
 # serve-stats replays the serve-layer cross-request cache e2e and writes
 # the final /stats snapshot (cache hit/miss counters included) to

@@ -11,10 +11,12 @@
 // 63k samples; the full run takes a few minutes). Smaller scales give quick
 // qualitative runs.
 //
-// -loop N runs the closed-loop serving smoke instead of the experiments:
-// train a tiny detector, build a verdict-tapped fleet, assess N windows
-// through the full serving path and report throughput plus verdict-store
-// occupancy.
+// -loop N runs the closed-loop serving load harness instead of the
+// experiments: train a tiny detector, build a verdict-tapped fleet
+// (-replicas controls the group size), drive N windows per scenario
+// (uniform devices, then a bursty single device) through the full
+// concurrent serving path, and report throughput with p50/p99 latency and
+// the replica spill share per scenario, plus verdict-store occupancy.
 package main
 
 import (
@@ -23,7 +25,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"trusthmd/internal/exp"
@@ -35,17 +40,18 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("exp", "all", "experiment id (T1,F4,F5,F7a,F7b,F8,F9a,F9b,H,A1,A2,A3,A4,A5,E1,E2) or 'all'")
-		scale   = flag.Float64("scale", 1.0, "fraction of the paper's Table I split sizes")
-		seed    = flag.Int64("seed", 1, "random seed")
-		m       = flag.Int("m", 25, "ensemble size")
-		tsneCSV = flag.String("tsne-csv", "", "directory to dump Fig. 8 embedding coordinates as CSV")
-		loopN   = flag.Int("loop", 0, "closed-loop smoke: assess N windows through a verdict-tapped fleet and report throughput (skips -exp)")
+		which    = flag.String("exp", "all", "experiment id (T1,F4,F5,F7a,F7b,F8,F9a,F9b,H,A1,A2,A3,A4,A5,E1,E2) or 'all'")
+		scale    = flag.Float64("scale", 1.0, "fraction of the paper's Table I split sizes")
+		seed     = flag.Int64("seed", 1, "random seed")
+		m        = flag.Int("m", 25, "ensemble size")
+		tsneCSV  = flag.String("tsne-csv", "", "directory to dump Fig. 8 embedding coordinates as CSV")
+		loopN    = flag.Int("loop", 0, "closed-loop load harness: assess N windows per scenario through a verdict-tapped fleet and report throughput + p50/p99 (skips -exp)")
+		replicas = flag.Int("replicas", 1, "replica-group size for the -loop fleet (drives spill routing under the bursty scenario)")
 	)
 	flag.Parse()
 
 	if *loopN > 0 {
-		if err := runClosedLoop(*loopN, *seed, os.Stdout); err != nil {
+		if err := runClosedLoop(*loopN, *seed, *replicas, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "hmdbench: loop: %v\n", err)
 			os.Exit(1)
 		}
@@ -126,12 +132,23 @@ func run(id string, cfg exp.Config, tsneCSV string) error {
 	return nil
 }
 
-// runClosedLoop is the -loop smoke: a tiny detector served by a
-// verdict-tapped fleet, n windows assessed through the full path
-// (routing, coalescer-adjacent assess, cache, verdict persistence), and
-// a throughput report. It fails when any verdict is lost — the store
-// must hold exactly one record per served window.
-func runClosedLoop(n int, seed int64, out *os.File) error {
+// loopScenario is one load shape of the -loop harness. device maps a
+// request index to its routing key: the uniform scenario spreads across 8
+// devices (so every replica sees home traffic), the bursty one hammers a
+// single device (so all load homes on one replica and must spill to serve
+// well).
+type loopScenario struct {
+	name   string
+	device func(i int) string
+}
+
+// runClosedLoop is the -loop load harness: a tiny detector served by a
+// verdict-tapped replica-group fleet, n windows per scenario driven
+// concurrently through the full path (routing, replica pick, coalescing,
+// cache, verdict persistence), reporting throughput, p50/p99 latency and
+// the spill share per scenario. It fails when any verdict is lost — the
+// store must hold exactly one record per served window.
+func runClosedLoop(n int, seed int64, replicas int, out *os.File) error {
 	splits, err := gen.DVFSWithSizes(seed, gen.Sizes{Train: 280, Test: 140, Unknown: 40})
 	if err != nil {
 		return err
@@ -152,38 +169,99 @@ func runClosedLoop(n int, seed int64, out *os.File) error {
 	}
 	defer store.Close()
 	fleet, err := serve.NewFleet(map[string]*detector.Detector{"dvfs-rf": det},
-		serve.Config{Verdicts: store})
+		serve.Config{
+			Verdicts: store,
+			Replicas: replicas,
+			// The harness measures the serving path, not the memo: a warm
+			// cache would turn the loop into a hashmap benchmark.
+			CacheSize:  -1,
+			SpillDepth: 1,
+		})
 	if err != nil {
 		return err
 	}
 	defer fleet.Close()
 
+	scenarios := []loopScenario{
+		{name: "uniform", device: func(i int) string { return fmt.Sprintf("bench-%d", i%8) }},
+		{name: "bursty", device: func(i int) string { return "bench-hot" }},
+	}
+	const workers = 8
 	ctx := context.Background()
-	rejected := 0
-	start := time.Now()
-	for i := 0; i < n; i++ {
-		smp := splits.Test.At(i % splits.Test.Len())
-		res, err := fleet.Assess(ctx, serve.AssessSpec{
-			Device:   fmt.Sprintf("bench-%d", i%8),
-			Features: smp.Features,
-			Source:   "assess",
-		})
-		if err != nil {
-			return fmt.Errorf("window %d: %w", i, err)
+	served := int64(0)
+	for _, sc := range scenarios {
+		var (
+			wg        sync.WaitGroup
+			rejected  atomic.Int64
+			spilled   atomic.Int64
+			latencies = make([][]time.Duration, workers)
+			firstErr  atomic.Pointer[error]
+		)
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lats := make([]time.Duration, 0, n/workers+1)
+				for i := w; i < n; i += workers {
+					smp := splits.Test.At(i % splits.Test.Len())
+					t0 := time.Now()
+					res, err := fleet.Assess(ctx, serve.AssessSpec{
+						Device:   sc.device(i),
+						Features: smp.Features,
+						Source:   "assess",
+					})
+					if err != nil {
+						err = fmt.Errorf("%s window %d: %w", sc.name, i, err)
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+					lats = append(lats, time.Since(t0))
+					if res.Result.Decision == detector.Reject {
+						rejected.Add(1)
+					}
+					if res.Spilled {
+						spilled.Add(1)
+					}
+				}
+				latencies[w] = lats
+			}(w)
 		}
-		if res.Result.Decision == detector.Reject {
-			rejected++
+		wg.Wait()
+		if errp := firstErr.Load(); errp != nil {
+			return *errp
 		}
+		elapsed := time.Since(start)
+		var all []time.Duration
+		for _, lats := range latencies {
+			all = append(all, lats...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		served += int64(len(all))
+		throughput := float64(len(all)) / elapsed.Seconds()
+		fmt.Fprintf(out, "closed loop [%-7s x%d replica(s)]: %d windows in %v — %.0f verdicts/s (p50 %v, p99 %v, %.1f%% spilled, %d rejected)\n",
+			sc.name, replicas, len(all), elapsed.Round(time.Millisecond), throughput,
+			percentile(all, 50).Round(time.Microsecond), percentile(all, 99).Round(time.Microsecond),
+			100*float64(spilled.Load())/float64(len(all)), rejected.Load())
 	}
-	elapsed := time.Since(start)
 	st := store.Stats()
-	if st.Records != int64(n) {
-		return fmt.Errorf("verdict store holds %d records, served %d", st.Records, n)
+	if st.Records != served {
+		return fmt.Errorf("verdict store holds %d records, served %d", st.Records, served)
 	}
-	throughput := float64(n) / elapsed.Seconds()
-	fmt.Fprintf(out, "closed loop: %d windows in %v — %.0f verdicts/s (%d rejected, %d stored in %d segment(s))\n",
-		n, elapsed.Round(time.Millisecond), throughput, rejected, st.Records, st.Segments)
+	fmt.Fprintf(out, "verdict store: %d records in %d segment(s)\n", st.Records, st.Segments)
 	return nil
+}
+
+// percentile reads the p-th percentile off a sorted latency slice.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 func dumpTSNE(r *exp.TSNEResult, dir string) error {

@@ -4,12 +4,13 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
 	"testing"
 )
 
 // TestClosedLoopSmoke is the hmdbench smoke: train a tiny model, run a
-// short closed-loop pass (-loop), and assert the throughput report is
-// present and non-zero.
+// short closed-loop pass (-loop) on a single replica, and assert every
+// scenario reports non-zero throughput plus p50/p99 latency.
 func TestClosedLoopSmoke(t *testing.T) {
 	tmp, err := os.CreateTemp(t.TempDir(), "loop-out-")
 	if err != nil {
@@ -17,7 +18,7 @@ func TestClosedLoopSmoke(t *testing.T) {
 	}
 	defer tmp.Close()
 
-	if err := runClosedLoop(200, 1, tmp); err != nil {
+	if err := runClosedLoop(200, 1, 1, tmp); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(tmp.Name())
@@ -25,11 +26,48 @@ func TestClosedLoopSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	report := string(raw)
-	m := regexp.MustCompile(`— (\d+) verdicts/s`).FindStringSubmatch(report)
-	if m == nil {
-		t.Fatalf("no throughput in report: %q", report)
+	for _, scenario := range []string{"uniform", "bursty"} {
+		if !strings.Contains(report, "closed loop ["+scenario) {
+			t.Fatalf("scenario %s missing from report: %q", scenario, report)
+		}
 	}
-	if v, err := strconv.Atoi(m[1]); err != nil || v <= 0 {
-		t.Fatalf("throughput %q not positive (%v): %q", m[1], err, report)
+	lines := regexp.MustCompile(`— (\d+) verdicts/s`).FindAllStringSubmatch(report, -1)
+	if len(lines) != 2 {
+		t.Fatalf("want 2 throughput lines, got %d: %q", len(lines), report)
+	}
+	for _, m := range lines {
+		if v, err := strconv.Atoi(m[1]); err != nil || v <= 0 {
+			t.Fatalf("throughput %q not positive (%v): %q", m[1], err, report)
+		}
+	}
+	if got := len(regexp.MustCompile(`p50 \S+, p99 \S+`).FindAllString(report, -1)); got != 2 {
+		t.Fatalf("want p50/p99 on both scenario lines, got %d: %q", got, report)
+	}
+}
+
+// TestClosedLoopReplicas runs the same harness against a 3-replica group:
+// the bursty scenario must report a non-zero spill share (load-aware
+// routing engaged), and no verdict may be lost.
+func TestClosedLoopReplicas(t *testing.T) {
+	tmp, err := os.CreateTemp(t.TempDir(), "loop-out-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+
+	if err := runClosedLoop(200, 1, 3, tmp); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := string(raw)
+	m := regexp.MustCompile(`\[bursty +x3 replica\(s\)\].*?([0-9.]+)% spilled`).FindStringSubmatch(report)
+	if m == nil {
+		t.Fatalf("no bursty spill share in report: %q", report)
+	}
+	if share, err := strconv.ParseFloat(m[1], 64); err != nil || share <= 0 {
+		t.Fatalf("bursty scenario on 3 replicas spilled %q%% (want >0): %q", m[1], report)
 	}
 }

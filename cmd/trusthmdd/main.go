@@ -16,12 +16,22 @@
 //	trusthmdd -model dvfs=det.gob -model alt=b.gob  # named shard fleet
 //	         [-addr :8080] [-default dvfs]
 //	         [-max-batch 32] [-max-wait 2ms] [-queue 1024]
+//	         [-replicas 3] [-max-inflight 256] [-shed-depth 512]
+//	         [-spill-depth 32] [-flush-depth 32]
 //	         [-cache-size 4096] [-workers 0] [-threshold -1]
 //	         [-admin-token secret] [-watch 5s]
 //	         [-verdict-dir verdicts] [-ingest-dir drops]
 //	         [-auto-retrain -retrain-data data/dvfs/train.csv]
 //
 //	curl -s localhost:8080/v1/assess -d '{"features":[...]}'
+//
+// With -replicas N each shard name is served by N independent instances
+// (own coalescer, queue and result cache over one shared model): device
+// routing keeps a home replica for cache affinity and spills overflow to
+// the least-loaded sibling past -spill-depth. -max-inflight and
+// -shed-depth bound each replica — beyond them requests shed with 503 +
+// Retry-After — and -flush-depth flushes a hot coalescer early instead of
+// waiting out -max-wait.
 //
 // With -admin-token set, POST /v1/models and DELETE /v1/models/{name}
 // hot-manage the fleet (the token guards them; without the flag they are
@@ -76,7 +86,12 @@ func main() {
 		defName    = flag.String("default", "", "shard serving requests that omit \"model\" and \"device\"")
 		maxBatch   = flag.Int("max-batch", 32, "coalescer flush size")
 		maxWait    = flag.Duration("max-wait", 2*time.Millisecond, "coalescer max latency before a partial batch flushes")
-		queue      = flag.Int("queue", 1024, "per-shard pending-request buffer; beyond it requests are shed with 503")
+		queue      = flag.Int("queue", 1024, "per-replica pending-request buffer; beyond it requests are shed with 503")
+		replicas   = flag.Int("replicas", 1, "independent instances per shard name (own coalescer, queue and cache; device routing keeps a home replica, overflow spills to the least-loaded sibling)")
+		maxInfl    = flag.Int("max-inflight", 0, "per-replica cap on concurrent work; beyond it requests are shed with 503 + Retry-After (0 = unbounded)")
+		shedDepth  = flag.Int("shed-depth", 0, "shed new requests once a replica's queue holds this many waiting (0 = only when the queue is full)")
+		spillDepth = flag.Int("spill-depth", 0, "home-replica load at which device traffic spills to a sibling (0 = max-batch, negative disables)")
+		flushDepth = flag.Int("flush-depth", 0, "queue backlog at which the coalescer flushes early instead of waiting out max-wait (0 = max-batch, negative disables)")
 		maxBody    = flag.Int64("max-body", 8<<20, "request body size cap in bytes (JSON assessment endpoints)")
 		maxAdmin   = flag.Int64("max-admin-body", 64<<20, "POST /v1/models body cap in bytes (inline model uploads)")
 		maxBatchN  = flag.Int("max-batch-samples", 4096, "largest accepted client-side batch")
@@ -134,6 +149,11 @@ func main() {
 		MaxBatch:           *maxBatch,
 		MaxWait:            *maxWait,
 		QueueSize:          *queue,
+		Replicas:           *replicas,
+		MaxInflight:        *maxInfl,
+		ShedDepth:          *shedDepth,
+		SpillDepth:         *spillDepth,
+		FlushDepth:         *flushDepth,
 		MaxBodyBytes:       *maxBody,
 		MaxAdminBodyBytes:  *maxAdmin,
 		MaxBatchSamples:    *maxBatchN,
@@ -520,8 +540,8 @@ func run(addr, loadPath string, specs modelFlags, cfg serve.Config, workers int,
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("trusthmdd listening on %s (%d shard(s), max-batch %d, max-wait %v)\n",
-			addr, fleet.Len(), cfg.MaxBatch, cfg.MaxWait)
+		fmt.Printf("trusthmdd listening on %s (%d shard(s) x %d replica(s), max-batch %d, max-wait %v)\n",
+			addr, fleet.Len(), cfg.Replicas, cfg.MaxBatch, cfg.MaxWait)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

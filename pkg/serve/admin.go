@@ -39,8 +39,10 @@ type LoadModelResponse struct {
 	Name string `json:"name"`
 	// Version is the shard's new version; Replaced reports whether an
 	// earlier version was hot-swapped out (false: the name is new).
-	Version  uint64        `json:"version"`
-	Replaced bool          `json:"replaced"`
+	Version  uint64 `json:"version"`
+	Replaced bool   `json:"replaced"`
+	// Replicas is the group size the new version was fanned out to.
+	Replicas int           `json:"replicas"`
 	Info     detector.Info `json:"info"`
 }
 
@@ -120,6 +122,7 @@ func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
 		Name:     req.Name,
 		Version:  version,
 		Replaced: replaced,
+		Replicas: s.fleet.cfg.Replicas,
 		Info:     det.Info(),
 	})
 }

@@ -30,6 +30,11 @@ type AssessOutcome struct {
 	// Model / Version identify the shard version that answered.
 	Model   string
 	Version uint64
+	// Replica is the slot index of the replica that answered; Spilled
+	// reports whether load-aware routing sent the request away from its
+	// home replica.
+	Replica int
+	Spilled bool
 	// Result is the trusted verdict.
 	Result detector.Result
 	// Cached reports whether the cross-request result cache answered.
@@ -62,7 +67,7 @@ func (f *Fleet) Assess(ctx context.Context, spec AssessSpec) (AssessOutcome, err
 	start := time.Now()
 	missCounted := false
 	for attempt := 0; ; attempt++ {
-		sh, err := f.resolve(spec.Model, spec.Device)
+		sh, spilled, err := f.resolveReplica(spec.Model, spec.Device)
 		if err != nil {
 			return AssessOutcome{}, &routeError{err}
 		}
@@ -79,7 +84,8 @@ func (f *Fleet) Assess(ctx context.Context, spec AssessSpec) (AssessOutcome, err
 				sh.stats.cacheHits.Add(1)
 				sh.stats.cacheHitsSingle.Add(1)
 				sh.stats.observeOne(res.Decision)
-				out := AssessOutcome{Model: sh.name, Version: sh.version, Result: res, Cached: true}
+				sh.served.Add(1)
+				out := AssessOutcome{Model: sh.name, Version: sh.version, Replica: sh.idx, Spilled: spilled, Result: res, Cached: true}
 				f.recordVerdict(spec.Device, spec.Source, sh.name, sh.version, res, spec.Features, time.Since(start))
 				return out, nil
 			}
@@ -91,11 +97,12 @@ func (f *Fleet) Assess(ctx context.Context, spec AssessSpec) (AssessOutcome, err
 				missCounted = true
 			}
 		}
-		res, err := sh.co.submit(ctx, spec.Features)
+		res, err := sh.assessOne(ctx, spec.Features)
 		switch {
 		case err == nil:
 			sh.cache.put(key, spec.Features, res)
-			out := AssessOutcome{Model: sh.name, Version: sh.version, Result: res}
+			sh.served.Add(1)
+			out := AssessOutcome{Model: sh.name, Version: sh.version, Replica: sh.idx, Spilled: spilled, Result: res}
 			f.recordVerdict(spec.Device, spec.Source, sh.name, sh.version, res, spec.Features, time.Since(start))
 			return out, nil
 		case errors.Is(err, ErrClosed) && attempt < maxSwapRetries:

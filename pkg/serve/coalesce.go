@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"trusthmd/pkg/detector"
@@ -12,15 +13,18 @@ import (
 // Coalescing turns the daemon's dominant request shape — millions of
 // independent single-sample assessments — into the detector's fastest
 // path: concurrent /v1/assess requests queue into a bounded buffer, and a
-// single flusher goroutine per shard drains them into one AssessBatch call
-// whenever the batch fills or the oldest queued request has waited MaxWait.
-// AssessBatch amortises scaling+PCA across the batch as one matrix
-// projection and fans member inference out over the worker pool, so the
-// aggregate throughput is the batched curve, not the one-at-a-time curve,
-// while results stay element-wise identical to direct Assess.
+// single flusher goroutine per replica drains them into one AssessBatch
+// call whenever the batch fills, the oldest queued request has waited
+// MaxWait, or the backlog crosses the flush watermark (a hot queue flushes
+// immediately instead of adding MaxWait to every batch). AssessBatch
+// amortises scaling+PCA across the batch as one matrix projection and fans
+// member inference out over the worker pool, so the aggregate throughput
+// is the batched curve, not the one-at-a-time curve, while results stay
+// element-wise identical to direct Assess.
 
-// ErrQueueFull is returned when the coalescer's bounded buffer is at
-// capacity — the daemon sheds load instead of queueing unboundedly.
+// ErrQueueFull is returned when a replica refuses a request — its bounded
+// buffer reached the shed watermark or its in-flight cap — so the daemon
+// sheds load instead of queueing unboundedly.
 var ErrQueueFull = errors.New("serve: assessment queue full")
 
 // ErrClosed is returned for requests submitted after shutdown began.
@@ -39,12 +43,34 @@ type outcome struct {
 	err error
 }
 
-// coalescer batches concurrent single-sample requests for one shard.
+// coTuning bundles the per-replica coalescer knobs, resolved from Config
+// by Fleet (all values final: zero means the feature is off, not "use a
+// default").
+type coTuning struct {
+	maxBatch  int
+	queueSize int
+	maxWait   time.Duration
+	// shedDepth sheds new submits once the queue holds this many waiting
+	// requests — admission control ahead of the hard channel bound, so the
+	// daemon answers 503 + Retry-After instead of growing its worst-case
+	// queueing latency. 0 disables (shed only on a full channel).
+	shedDepth int
+	// flushDepth is the backlog watermark of the latency-aware flush
+	// policy: once at least this many requests are queued behind the batch
+	// being collected, the flusher stops waiting out maxWait and flushes
+	// what is immediately available. 0 disables (timer/size flushes only).
+	flushDepth int
+}
+
+// coalescer batches concurrent single-sample requests for one replica.
 type coalescer struct {
-	det      *detector.Detector
-	maxBatch int
-	maxWait  time.Duration
-	stats    *shardStats
+	det    *detector.Detector
+	tuning coTuning
+	stats  *shardStats
+
+	// inflight gauges this replica's coalesced load: requests accepted into
+	// the queue and not yet settled. The group's load-aware pick reads it.
+	inflight atomic.Int64
 
 	queue chan pending
 	wg    sync.WaitGroup
@@ -53,22 +79,24 @@ type coalescer struct {
 	closed bool
 }
 
-// newCoalescer starts the shard's flusher goroutine.
-func newCoalescer(det *detector.Detector, maxBatch, queueSize int, maxWait time.Duration, stats *shardStats) *coalescer {
+// newCoalescer starts the replica's flusher goroutine.
+func newCoalescer(det *detector.Detector, tuning coTuning, stats *shardStats) *coalescer {
 	c := &coalescer{
-		det:      det,
-		maxBatch: maxBatch,
-		maxWait:  maxWait,
-		stats:    stats,
-		queue:    make(chan pending, queueSize),
+		det:    det,
+		tuning: tuning,
+		stats:  stats,
+		queue:  make(chan pending, tuning.queueSize),
 	}
 	c.wg.Add(1)
 	go c.loop()
 	return c
 }
 
+// queueDepth reports how many accepted requests are waiting uncollected.
+func (c *coalescer) queueDepth() int { return len(c.queue) }
+
 // submit enqueues one feature vector and blocks until its coalesced batch
-// is assessed, the context is cancelled, or the queue rejects it.
+// is assessed, the context is cancelled, or admission control rejects it.
 func (c *coalescer) submit(ctx context.Context, x []float64) (detector.Result, error) {
 	p := pending{x: x, out: make(chan outcome, 1)}
 	c.mu.RLock()
@@ -76,8 +104,16 @@ func (c *coalescer) submit(ctx context.Context, x []float64) (detector.Result, e
 		c.mu.RUnlock()
 		return detector.Result{}, ErrClosed
 	}
+	if c.tuning.shedDepth > 0 && len(c.queue) >= c.tuning.shedDepth {
+		// Queue-depth shedding: the backlog already guarantees more
+		// latency than a retry would cost the client.
+		c.mu.RUnlock()
+		c.stats.shed.Add(1)
+		return detector.Result{}, ErrQueueFull
+	}
 	select {
 	case c.queue <- p:
+		c.inflight.Add(1)
 		c.mu.RUnlock()
 	default:
 		c.mu.RUnlock()
@@ -107,10 +143,12 @@ func (c *coalescer) close() {
 	c.wg.Wait()
 }
 
-// loop is the shard's flusher: collect one batch, assess, repeat. The
+// loop is the replica's flusher: collect one batch, assess, repeat. The
 // max-latency timer starts when the first request of a batch arrives, so
-// an idle shard adds no latency and a busy one flushes every MaxWait at
-// the latest.
+// an idle replica adds no latency; a busy one flushes every MaxWait at the
+// latest; and a hot one (backlog at or beyond flushDepth) flushes as soon
+// as the immediately available requests are drained, without waiting out
+// the timer at all.
 func (c *coalescer) loop() {
 	defer c.wg.Done()
 	timer := time.NewTimer(time.Hour)
@@ -118,24 +156,44 @@ func (c *coalescer) loop() {
 		<-timer.C
 	}
 	defer timer.Stop()
-	batch := make([]pending, 0, c.maxBatch)
+	batch := make([]pending, 0, c.tuning.maxBatch)
 	for {
 		p, ok := <-c.queue
 		if !ok {
 			return
 		}
 		batch = append(batch[:0], p)
-		timer.Reset(c.maxWait)
+		timer.Reset(c.tuning.maxWait)
 		open := true
+		early := false
 	collect:
-		for open && len(batch) < c.maxBatch {
+		for open && len(batch) < c.tuning.maxBatch {
+			if c.tuning.flushDepth > 0 && len(c.queue) >= c.tuning.flushDepth {
+				// Latency-aware flush: enough requests are already queued
+				// behind this batch that waiting out maxWait would only
+				// stack latency. Drain what is immediately there and go.
+				for len(batch) < c.tuning.maxBatch {
+					select {
+					case pn, more := <-c.queue:
+						if !more {
+							open = false
+							break collect
+						}
+						batch = append(batch, pn)
+					default:
+						early = true
+						break collect
+					}
+				}
+				break collect
+			}
 			select {
-			case p, ok := <-c.queue:
-				if !ok {
+			case pn, more := <-c.queue:
+				if !more {
 					open = false
 					break collect
 				}
-				batch = append(batch, p)
+				batch = append(batch, pn)
 			case <-timer.C:
 				break collect
 			}
@@ -145,6 +203,9 @@ func (c *coalescer) loop() {
 			case <-timer.C:
 			default:
 			}
+		}
+		if early {
+			c.stats.earlyFlushes.Add(1)
 		}
 		c.flush(batch)
 		if !open {
@@ -169,8 +230,10 @@ func (c *coalescer) flush(batch []pending) {
 	c.settle(batch, rs, err)
 }
 
-// settle delivers per-request outcomes and updates the decision tally.
+// settle delivers per-request outcomes, updates the decision tally, and
+// retires the batch from the in-flight gauge.
 func (c *coalescer) settle(batch []pending, rs []detector.Result, err error) {
+	defer c.inflight.Add(-int64(len(batch)))
 	if err != nil {
 		c.stats.errors.Add(int64(len(batch)))
 		for _, p := range batch {

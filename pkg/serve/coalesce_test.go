@@ -14,7 +14,7 @@ import (
 func TestCoalescerFlushOnBatchSize(t *testing.T) {
 	d, X := testDetector(t)
 	st := &shardStats{}
-	c := newCoalescer(d, 4, 64, time.Hour, st)
+	c := newCoalescer(d, coTuning{maxBatch: 4, queueSize: 64, maxWait: time.Hour}, st)
 	defer c.close()
 
 	var wg sync.WaitGroup
@@ -47,7 +47,7 @@ func TestCoalescerFlushOnBatchSize(t *testing.T) {
 func TestCoalescerFlushOnLatency(t *testing.T) {
 	d, X := testDetector(t)
 	st := &shardStats{}
-	c := newCoalescer(d, 1<<20, 64, 5*time.Millisecond, st)
+	c := newCoalescer(d, coTuning{maxBatch: 1 << 20, queueSize: 64, maxWait: 5 * time.Millisecond}, st)
 	defer c.close()
 
 	res, err := c.submit(context.Background(), X[0])
@@ -71,7 +71,7 @@ func TestCoalescerFlushOnLatency(t *testing.T) {
 func TestCoalescerQueueFull(t *testing.T) {
 	d, X := testDetector(t)
 	st := &shardStats{}
-	c := &coalescer{det: d, maxBatch: 8, maxWait: time.Hour, stats: st, queue: make(chan pending, 1)}
+	c := &coalescer{det: d, tuning: coTuning{maxBatch: 8, queueSize: 1, maxWait: time.Hour}, stats: st, queue: make(chan pending, 1)}
 
 	cancelled, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -88,10 +88,98 @@ func TestCoalescerQueueFull(t *testing.T) {
 	}
 }
 
+// TestCoalescerShedDepth: the queue-depth watermark sheds BEFORE the hard
+// channel bound — admission control answers fast instead of maximising
+// queueing latency. Like TestCoalescerQueueFull this uses a coalescer with
+// no flusher, so queued samples stay queued.
+func TestCoalescerShedDepth(t *testing.T) {
+	d, X := testDetector(t)
+	st := &shardStats{}
+	c := &coalescer{
+		det:    d,
+		tuning: coTuning{maxBatch: 8, queueSize: 8, maxWait: time.Hour, shedDepth: 1},
+		stats:  st,
+		queue:  make(chan pending, 8),
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.submit(cancelled, X[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// One sample waiting == the watermark: the channel has 7 free slots,
+	// but admission control refuses anyway.
+	if _, err := c.submit(context.Background(), X[1]); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull at the shed watermark", err)
+	}
+	if st.shed.Load() != 1 {
+		t.Fatalf("shed %d, want 1", st.shed.Load())
+	}
+	if got := c.inflight.Load(); got != 1 {
+		t.Fatalf("inflight gauge %d, want 1 (shed must not count)", got)
+	}
+}
+
+// TestCoalescerEarlyFlush: with MaxWait effectively infinite, a backlog at
+// the flush watermark must flush immediately — the only way the submits
+// below can return is the latency-aware early flush. The flusher is
+// started only after the backlog exists so the race is deterministic.
+func TestCoalescerEarlyFlush(t *testing.T) {
+	d, X := testDetector(t)
+	st := &shardStats{}
+	c := &coalescer{
+		det:    d,
+		tuning: coTuning{maxBatch: 1 << 20, queueSize: 64, maxWait: time.Hour, flushDepth: 2},
+		stats:  st,
+		queue:  make(chan pending, 64),
+	}
+
+	const n = 4
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.submit(context.Background(), X[i]); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	// Wait until all n are queued, then start the flusher against the
+	// ready-made backlog.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(c.queue) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d submits queued", len(c.queue), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.wg.Add(1)
+	go c.loop()
+	defer c.close()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("backlog at flushDepth never early-flushed (MaxWait is an hour)")
+	}
+	if st.earlyFlushes.Load() == 0 {
+		t.Fatalf("early flush not counted: %d batches, %d early", st.batches.Load(), st.earlyFlushes.Load())
+	}
+	if got := st.requests.Load(); got != n {
+		t.Fatalf("requests %d, want %d", got, n)
+	}
+	if got := c.inflight.Load(); got != 0 {
+		t.Fatalf("inflight gauge %d after settle, want 0", got)
+	}
+}
+
 func TestCoalescerClosedRejects(t *testing.T) {
 	d, X := testDetector(t)
 	st := &shardStats{}
-	c := newCoalescer(d, 8, 8, time.Millisecond, st)
+	c := newCoalescer(d, coTuning{maxBatch: 8, queueSize: 8, maxWait: time.Millisecond}, st)
 	c.close()
 	c.close() // idempotent
 	if _, err := c.submit(context.Background(), X[0]); !errors.Is(err, ErrClosed) {
@@ -104,7 +192,7 @@ func TestCoalescerClosedRejects(t *testing.T) {
 func TestCoalescerCloseDrains(t *testing.T) {
 	d, X := testDetector(t)
 	st := &shardStats{}
-	c := newCoalescer(d, 16, 64, 50*time.Millisecond, st)
+	c := newCoalescer(d, coTuning{maxBatch: 16, queueSize: 64, maxWait: 50 * time.Millisecond}, st)
 
 	const n = 8
 	results := make([]error, n)
@@ -132,7 +220,7 @@ func TestCoalescerCloseDrains(t *testing.T) {
 func TestCoalescerPropagatesAssessError(t *testing.T) {
 	d, _ := testDetector(t)
 	st := &shardStats{}
-	c := newCoalescer(d, 8, 8, time.Millisecond, st)
+	c := newCoalescer(d, coTuning{maxBatch: 8, queueSize: 8, maxWait: time.Millisecond}, st)
 	defer c.close()
 	// Wrong dimensionality reaches the pipeline only because this bypasses
 	// the server's validation.
@@ -151,7 +239,7 @@ func TestCoalescerPropagatesAssessError(t *testing.T) {
 func BenchmarkCoalescer(b *testing.B) {
 	d, X := testDetector(b)
 	st := &shardStats{}
-	c := newCoalescer(d, 32, 4096, 2*time.Millisecond, st)
+	c := newCoalescer(d, coTuning{maxBatch: 32, queueSize: 4096, maxWait: 2 * time.Millisecond}, st)
 	defer c.close()
 	b.ReportAllocs()
 	b.SetParallelism(16)

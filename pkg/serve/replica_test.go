@@ -1,0 +1,374 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"trusthmd/pkg/detector"
+)
+
+// TestReplicaGroupShape: the fleet fans each name out to Config.Replicas
+// instances — visible in the resolve path, /v1/models and the stats
+// snapshot — and a same-size hot swap preserves every device's home slot.
+func TestReplicaGroupShape(t *testing.T) {
+	d, _ := testDetector(t)
+	f, err := NewFleet(map[string]*detector.Detector{"m": d}, Config{Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	g, err := f.resolve("m", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.replicas) != 3 {
+		t.Fatalf("group has %d replicas, want 3", len(g.replicas))
+	}
+	for i, r := range g.replicas {
+		if r.idx != i || r.name != "m" || r.version != 1 || r.co == nil || r.cache == nil {
+			t.Fatalf("replica %d malformed: %+v", i, r)
+		}
+		if g.replicas[i].co == g.replicas[(i+1)%3].co {
+			t.Fatal("replicas share a coalescer")
+		}
+		if g.replicas[i].cache == g.replicas[(i+1)%3].cache {
+			t.Fatal("replicas share a result cache")
+		}
+	}
+
+	// Home affinity is deterministic per device and survives a swap: the
+	// within-group ring is keyed on replica indices, so a fresh same-size
+	// group maps every device to the same slot.
+	homes := make(map[string]int)
+	for i := 0; i < 32; i++ {
+		dev := fmt.Sprintf("device-%d", i)
+		homes[dev] = g.home(dev).idx
+		if again := g.home(dev).idx; again != homes[dev] {
+			t.Fatalf("device %s home flapped: %d vs %d", dev, homes[dev], again)
+		}
+	}
+	if _, err := f.Swap("m", d); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := f.resolve("m", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 == g || g2.version != 2 {
+		t.Fatalf("swap did not install a fresh group (version %d)", g2.version)
+	}
+	for dev, idx := range homes {
+		if got := g2.home(dev).idx; got != idx {
+			t.Fatalf("device %s home moved across swap: %d -> %d", dev, idx, got)
+		}
+	}
+
+	if _, models := f.ModelsWithEpoch(); models[0].Replicas != 3 {
+		t.Fatalf("ModelInfo.Replicas = %d, want 3", models[0].Replicas)
+	}
+	if _, stats := f.StatsWithEpoch(); len(stats[0].Replicas) != 3 {
+		t.Fatalf("ShardStats.Replicas has %d entries, want 3", len(stats[0].Replicas))
+	}
+}
+
+// TestReplicaSpillUnderLoad is the tentpole's routing acceptance test: a
+// bursty load keyed to ONE device (whose home is therefore one replica)
+// must spill onto sibling replicas once the home queue is hot, siblings
+// must serve a real share (>10%) of it, and every spilled response must be
+// element-wise identical to direct assessment.
+func TestReplicaSpillUnderLoad(t *testing.T) {
+	d, X := testDetector(t)
+	f, err := NewFleet(map[string]*detector.Detector{"m": d}, Config{
+		Replicas: 3,
+		// Spill as soon as the home replica has anything in flight, and
+		// disable the result cache so every request exercises the queue.
+		SpillDepth: 1,
+		CacheSize:  -1,
+		MaxBatch:   8,
+		MaxWait:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Reference verdicts, computed directly — the equality oracle.
+	want := make([]detector.Result, len(X))
+	for i, x := range X {
+		r, err := d.Assess(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+
+	const workers = 16
+	const perWorker = 40
+	var wg sync.WaitGroup
+	var mismatches atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				j := (w*perWorker + i) % len(X)
+				out, err := f.Assess(context.Background(), AssessSpec{Device: "hot-device", Features: X[j]})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if out.Result.Prediction != want[j].Prediction ||
+					out.Result.Entropy != want[j].Entropy ||
+					out.Result.Decision != want[j].Decision {
+					mismatches.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := mismatches.Load(); n != 0 {
+		t.Fatalf("%d spill-routed responses diverged from direct assessment", n)
+	}
+
+	_, stats := f.StatsWithEpoch()
+	st := stats[0]
+	if st.Spills == 0 {
+		t.Fatal("bursty single-device load never spilled")
+	}
+	g, err := f.resolve("m", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := g.home("hot-device")
+	total, sibling := int64(0), int64(0)
+	for _, r := range g.replicas {
+		n := r.served.Load()
+		total += n
+		if r != home {
+			sibling += n
+		}
+	}
+	if total != workers*perWorker {
+		t.Fatalf("served %d, want %d", total, workers*perWorker)
+	}
+	if share := float64(sibling) / float64(total); share <= 0.10 {
+		t.Fatalf("sibling replicas served %.1f%% of the burst, want >10%%", 100*share)
+	}
+}
+
+// TestReplicaGroupSwapUnderLoadLossless: hot-swapping a 3-replica group
+// under sustained concurrent load must lose zero requests, and every
+// response — whichever version and replica answered — must carry the
+// correct verdict.
+func TestReplicaGroupSwapUnderLoadLossless(t *testing.T) {
+	d, X := testDetector(t)
+	f, err := NewFleet(map[string]*detector.Detector{"m": d}, Config{
+		Replicas:   3,
+		SpillDepth: 1,
+		CacheSize:  -1,
+		MaxBatch:   8,
+		MaxWait:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	want := make([]detector.Result, len(X))
+	for i, x := range X {
+		r, err := d.Assess(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+
+	const workers = 8
+	const perWorker = 50
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			lastVersion := uint64(0)
+			for i := 0; i < perWorker; i++ {
+				j := (w*perWorker + i) % len(X)
+				out, err := f.Assess(context.Background(), AssessSpec{Device: "hot-device", Features: X[j]})
+				if err != nil {
+					t.Errorf("worker %d request %d lost: %v", w, i, err)
+					return
+				}
+				if out.Version < lastVersion {
+					t.Errorf("version went backwards: %d after %d", out.Version, lastVersion)
+					return
+				}
+				lastVersion = out.Version
+				if out.Result.Prediction != want[j].Prediction || out.Result.Entropy != want[j].Entropy {
+					t.Errorf("response diverged during swap (version %d, replica %d)", out.Version, out.Replica)
+					return
+				}
+			}
+		}(w)
+	}
+	swapsDone := make(chan uint64, 1)
+	go func() {
+		var v uint64
+		for i := 0; i < 3; i++ {
+			time.Sleep(2 * time.Millisecond)
+			nv, err := f.Swap("m", d)
+			if err != nil {
+				t.Errorf("swap %d: %v", i, err)
+				break
+			}
+			v = nv
+		}
+		swapsDone <- v
+	}()
+	close(start)
+	wg.Wait()
+	if v := <-swapsDone; v < 2 {
+		t.Fatalf("swaps never ran (final version %d)", v)
+	}
+	_, stats := f.StatsWithEpoch()
+	if got := stats[0].Requests; got != workers*perWorker {
+		t.Fatalf("requests %d, want %d (lossless group swap)", got, workers*perWorker)
+	}
+	if stats[0].Errors != 0 || stats[0].Shed != 0 {
+		t.Fatalf("swap under load errored/shed: %+v", stats[0])
+	}
+}
+
+// TestAssessShedsWithRetryAfter: a replica at its in-flight cap sheds
+// /v1/assess with 503 + Retry-After (satellite: both assessment endpoints
+// shed the same way).
+func TestAssessShedsWithRetryAfter(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInflight: 1, CacheSize: -1})
+	// Saturate the only replica's admission gauge from the inside — the
+	// deterministic way to make "overloaded" hold for exactly one request.
+	g, err := srv.fleet.resolve("dvfs-rf", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := g.replicas[0]
+	rep.batchInflight.Add(1)
+
+	_, X := testDetector(t)
+	resp, body := postJSON(t, ts.URL+"/v1/assess", AssessRequest{Features: X[0]})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+
+	rep.batchInflight.Add(-1)
+	resp, body = postJSON(t, ts.URL+"/v1/assess", AssessRequest{Features: X[0]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after release: status %d: %s", resp.StatusCode, body)
+	}
+	if _, stats := srv.fleet.StatsWithEpoch(); stats[0].Shed != 1 {
+		t.Fatalf("shed counter %d, want 1", stats[0].Shed)
+	}
+}
+
+// TestBatchShedsWithRetryAfter: /v1/assess/batch sheds a full queue with
+// 503 + Retry-After exactly like /v1/assess (satellite: today's divergence
+// — batch never shed — is gone).
+func TestBatchShedsWithRetryAfter(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInflight: 1, CacheSize: -1})
+	g, err := srv.fleet.resolve("dvfs-rf", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := g.replicas[0]
+	rep.batchInflight.Add(1)
+
+	_, X := testDetector(t)
+	resp, body := postJSON(t, ts.URL+"/v1/assess/batch", BatchRequest{Batch: X[:4]})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("batch shed response missing Retry-After")
+	}
+	var errResp ErrorResponse
+	if err := json.Unmarshal(body, &errResp); err != nil || errResp.Error == "" {
+		t.Fatalf("shed body is not the JSON error envelope: %s", body)
+	}
+
+	// Releasing the load admits the same batch; the reservation is one
+	// admission unit, so an idle replica takes a batch of any size.
+	rep.batchInflight.Add(-1)
+	resp, body = postJSON(t, ts.URL+"/v1/assess/batch", BatchRequest{Batch: X[:4]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after release: status %d: %s", resp.StatusCode, body)
+	}
+	if got := rep.batchInflight.Load(); got != 0 {
+		t.Fatalf("batch reservation leaked: %d", got)
+	}
+	if _, stats := srv.fleet.StatsWithEpoch(); stats[0].Shed != 1 {
+		t.Fatalf("shed counter %d, want 1", stats[0].Shed)
+	}
+}
+
+// TestStatsReplicaFields: /stats exposes the fleet-wide shed_total and the
+// per-replica queue_depth/inflight/served gauges, epoch-consistent with
+// the rest of the snapshot (satellite).
+func TestStatsReplicaFields(t *testing.T) {
+	_, ts := newTestServer(t, Config{Replicas: 2})
+	_, X := testDetector(t)
+	for i := 0; i < 4; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/assess", AssessRequest{Device: fmt.Sprintf("d%d", i), Features: X[i]})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("assess %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		FleetEpoch uint64       `json:"fleet_epoch"`
+		ShedTotal  *int64       `json:"shed_total"`
+		Shards     []ShardStats `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.ShedTotal == nil {
+		t.Fatal("/stats missing shed_total")
+	}
+	if *stats.ShedTotal != 0 {
+		t.Fatalf("shed_total %d, want 0 under no load", *stats.ShedTotal)
+	}
+	if len(stats.Shards) != 1 || len(stats.Shards[0].Replicas) != 2 {
+		t.Fatalf("expected 1 shard with 2 replica entries: %+v", stats.Shards)
+	}
+	var served int64
+	for i, r := range stats.Shards[0].Replicas {
+		if r.Replica != i {
+			t.Fatalf("replica index %d at slot %d", r.Replica, i)
+		}
+		if r.QueueDepth != 0 || r.Inflight != 0 {
+			t.Fatalf("idle replica %d shows load: %+v", i, r)
+		}
+		served += r.Served
+	}
+	if served != 4 {
+		t.Fatalf("per-replica served sums to %d, want 4", served)
+	}
+	if stats.FleetEpoch == 0 {
+		t.Fatal("fleet_epoch missing from /stats")
+	}
+}

@@ -69,6 +69,41 @@ func (r *hashRing) lookup(device string) string {
 	return r.points[i].name
 }
 
+// Replica routing: within a replica group the same consistent-hash shape
+// maps a device key onto a *home* replica, so a device keeps hitting the
+// same coalescer and result cache while the group size is stable, and
+// resizing a group only remaps the ~1/n of devices nearest the changed
+// replica. The ring members are the replica indices themselves — affinity
+// depends only on the group size, so a hot swap (same size, fresh
+// replicas) preserves every device's home slot.
+
+// buildReplicaRing constructs the within-group ring for n replicas.
+// Returns nil for n < 2: a single replica needs no ring.
+func buildReplicaRing(n int) *hashRing {
+	if n < 2 {
+		return nil
+	}
+	labels := make([]string, n)
+	for i := range labels {
+		labels[i] = strconv.Itoa(i)
+	}
+	return buildRing(labels)
+}
+
+// lookupReplica maps a device key onto a replica index. A nil ring (one
+// replica) always answers 0.
+func (r *hashRing) lookupReplica(device string) int {
+	label := r.lookup(device)
+	if label == "" {
+		return 0
+	}
+	idx, err := strconv.Atoi(label)
+	if err != nil {
+		return 0 // unreachable: labels are built from strconv.Itoa
+	}
+	return idx
+}
+
 // hashKey is FNV-1a over the key's bytes, finished with a 64-bit avalanche
 // mix. The mix matters: raw FNV-1a perturbs the hash by only ~2^46 when
 // just the tail bytes differ, so "shard#0".."shard#127" (and "device-1"

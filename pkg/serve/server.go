@@ -22,20 +22,33 @@
 // membership change only remaps the devices nearest the changed shard);
 // otherwise the default model serves.
 //
-// Concurrent /v1/assess requests are coalesced: each shard owns a bounded
-// queue and a flusher goroutine that drains waiting requests into a single
-// AssessBatch call when the batch fills or the oldest request has waited
-// Config.MaxWait. Results are element-wise identical to direct Assess —
-// batching changes latency and throughput, never decisions.
+// Each shard name resolves to a replica group of Config.Replicas
+// independent instances (own coalescer, own queue, own result cache) over
+// one shared detector. Within the group a second consistent-hash level
+// picks a *home* replica per device — cache and session affinity — and
+// when the home replica's load crosses Config.SpillDepth, power-of-two-
+// choices spills the request to the least-loaded sibling. Admission
+// control bounds each replica: Config.MaxInflight caps concurrent work
+// and Config.ShedDepth sheds on queue depth; both assessment endpoints
+// answer a shed with 503 + Retry-After. /stats reports shed and spill
+// totals plus per-replica queue-depth/in-flight/served gauges.
 //
-// Each shard version additionally owns a bounded cross-request result
-// cache (LRU keyed on the feature-vector hash, Config.CacheSize):
-// telemetry streams repeat vectors heavily, and a repeat is answered from
-// the cache without queueing or assessing at all. Detectors are
-// deterministic, so cached verdicts are bit-identical to recomputed ones;
-// /stats exposes hit, miss and occupancy counters per shard. A hot swap
-// replaces the cache along with the detector — a stale cache must never
-// answer for a retired model version.
+// Concurrent /v1/assess requests are coalesced: each replica owns a
+// bounded queue and a flusher goroutine that drains waiting requests into
+// a single AssessBatch call when the batch fills, the oldest request has
+// waited Config.MaxWait, or the backlog crosses Config.FlushDepth (the
+// latency-aware early flush). Results are element-wise identical to
+// direct Assess — batching changes latency and throughput, never
+// decisions.
+//
+// Each replica additionally owns a bounded cross-request result cache
+// (LRU keyed on the feature-vector hash, Config.CacheSize): telemetry
+// streams repeat vectors heavily, and a repeat is answered from the cache
+// without queueing or assessing at all. Detectors are deterministic, so
+// cached verdicts are bit-identical to recomputed ones; /stats exposes
+// hit, miss and occupancy counters per shard. A hot swap replaces the
+// caches along with the detector — a stale cache must never answer for a
+// retired model version.
 package serve
 
 import (
@@ -61,9 +74,35 @@ type Config struct {
 	// MaxWait is the max time the first request of a batch waits for
 	// company before the batch flushes anyway (default 2ms).
 	MaxWait time.Duration
-	// QueueSize bounds each shard's pending-request buffer (default 1024);
-	// requests beyond it are shed with 503.
+	// QueueSize bounds each replica's pending-request buffer (default
+	// 1024); requests beyond it are shed with 503.
 	QueueSize int
+	// Replicas is the number of independent shard instances per name
+	// (default 1; clamped to 64). Each replica owns its coalescer, queue
+	// and result cache over the group's shared detector; devices keep a
+	// consistent-hash home replica and overflow spills to the least-loaded
+	// sibling.
+	Replicas int
+	// MaxInflight caps one replica's concurrent work — coalesced requests
+	// accepted and not yet answered plus client-batch samples assessing.
+	// Beyond it requests shed with 503 + Retry-After. 0 means unbounded.
+	MaxInflight int
+	// ShedDepth sheds new requests once a replica's queue holds this many
+	// waiting — admission control ahead of the hard QueueSize bound, so
+	// overload answers fast instead of maximising queueing latency.
+	// Default: QueueSize (shed only when the queue is actually full);
+	// clamped to QueueSize.
+	ShedDepth int
+	// SpillDepth is the home-replica load at which device-keyed requests
+	// spill to the least-loaded sibling (power-of-two-choices). Default:
+	// MaxBatch — a home replica with a full batch in flight is busy enough
+	// to share. Negative disables spilling. Irrelevant for Replicas=1.
+	SpillDepth int
+	// FlushDepth is the latency-aware flush watermark: once this many
+	// requests queue behind the batch being collected, the coalescer stops
+	// waiting out MaxWait and flushes what is immediately available.
+	// Default: MaxBatch. Negative disables (size/timer flushes only).
+	FlushDepth int
 	// MaxBatchSamples caps the size of a client-supplied /v1/assess/batch
 	// body (default 4096 vectors).
 	MaxBatchSamples int
@@ -125,6 +164,34 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueSize <= 0 {
 		c.QueueSize = 1024
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.Replicas > 64 {
+		c.Replicas = 64
+	}
+	if c.MaxInflight < 0 {
+		c.MaxInflight = 0
+	}
+	switch {
+	case c.ShedDepth <= 0, c.ShedDepth > c.QueueSize:
+		// Shedding at (or beyond) the hard channel bound is the legacy
+		// behavior: refuse only what cannot be buffered at all.
+		c.ShedDepth = c.QueueSize
+	}
+	switch {
+	case c.SpillDepth == 0:
+		c.SpillDepth = c.MaxBatch
+	case c.SpillDepth < 0:
+		// Never spill: a home replica keeps its devices no matter how hot.
+		c.SpillDepth = int(^uint(0) >> 1)
+	}
+	switch {
+	case c.FlushDepth == 0:
+		c.FlushDepth = c.MaxBatch
+	case c.FlushDepth < 0:
+		c.FlushDepth = 0 // disabled: size/timer flushes only
 	}
 	if c.MaxBatchSamples <= 0 {
 		c.MaxBatchSamples = 4096
@@ -261,7 +328,7 @@ func (s *Server) handleAssessBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	sh, err := s.fleet.resolve(req.Model, req.Device)
+	g, err := s.fleet.resolve(req.Model, req.Device)
 	if err != nil {
 		writeResolveError(w, err)
 		return
@@ -275,18 +342,28 @@ func (s *Server) handleAssessBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Batch), s.fleet.cfg.MaxBatchSamples))
 		return
 	}
-	dim := sh.det.InputDim()
+	dim := g.det.InputDim()
 	for i, x := range req.Batch {
 		if err := validateFeatures(x, dim); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("batch[%d]: %v", i, err))
 			return
 		}
 	}
+	n := len(req.Batch)
+	// A client batch is one admission unit on one replica: load-aware pick,
+	// then reserve capacity up front so the coalesced path observes batch
+	// work in its load gauge. An overloaded replica sheds the whole batch
+	// with the same 503 + Retry-After as /v1/assess.
+	sh, _ := g.pick(req.Device)
+	if err := sh.admitBatch(n); err != nil {
+		writeAssessError(w, err)
+		return
+	}
+	defer sh.releaseBatch(n)
 	// The client already aggregated; consult the cross-request cache per
 	// vector and go straight to the batched path for the misses only.
 	// With the cache disabled, every row is a "miss" without hashing or
 	// counter traffic.
-	n := len(req.Batch)
 	results := make([]detector.Result, n)
 	var keys []uint64
 	var missIdx []int
@@ -324,6 +401,7 @@ func (s *Server) handleAssessBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	sh.stats.batchRequests.Add(1)
 	sh.stats.batchSamples.Add(int64(n))
+	sh.served.Add(int64(n))
 	sh.stats.observe(results)
 	// Tap every row into the verdict store (latency is the whole batch's
 	// serving time — the rows were answered together).
@@ -387,12 +465,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	epoch, stats := s.fleet.StatsWithEpoch()
+	// shed_total aggregates admission-control rejections fleet-wide — the
+	// single number an operator watches to know the box is saturated.
+	var shedTotal int64
+	for _, st := range stats {
+		shedTotal += st.Shed
+	}
 	// The closed-loop keys are always present (zero-valued when the
 	// corresponding piece is not attached) so dashboards and tests can
 	// assert on them unconditionally.
 	out := map[string]any{
 		"fleet_epoch":        epoch,
 		"shards":             stats,
+		"shed_total":         shedTotal,
 		"last_swap_cause":    s.fleet.LastSwapCause(),
 		"verdicts_stored":    int64(0),
 		"ingest_lag":         0,

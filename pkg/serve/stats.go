@@ -30,10 +30,18 @@ type ShardStats struct {
 	// above 1 means coalescing is doing its job.
 	Batches       int64   `json:"batches"`
 	MeanBatchSize float64 `json:"mean_batch_size"`
-	// Shed counts requests rejected because the coalescer queue was full
-	// (the daemon's overload valve); Errors counts failed assessments.
+	// Shed counts requests rejected by admission control — the replica's
+	// queue hit its shed watermark (or the hard channel bound) or its
+	// in-flight cap was exhausted; every shed answered 503 + Retry-After.
+	// Errors counts failed assessments.
 	Shed   int64 `json:"shed"`
 	Errors int64 `json:"errors"`
+	// Spills counts device-keyed requests routed away from their home
+	// replica to a less-loaded sibling (power-of-two-choices overflow);
+	// EarlyFlushes counts coalescer batches flushed by the latency-aware
+	// backlog watermark instead of the size/timer triggers.
+	Spills       int64 `json:"spills"`
+	EarlyFlushes int64 `json:"early_flushes"`
 
 	// CacheHits / CacheMisses count cross-request result-cache lookups on
 	// both assessment endpoints: a hit is served straight from the
@@ -60,6 +68,32 @@ type ShardStats struct {
 	Malware       int     `json:"malware"`
 	Rejected      int     `json:"rejected"`
 	RejectionRate float64 `json:"rejection_rate"`
+
+	// Replicas holds the live per-replica gauges of the group currently
+	// serving this name, indexed by replica slot. Unlike the counters
+	// above these are instantaneous, and they restart on a swap because
+	// the replicas themselves do.
+	Replicas []ReplicaStats `json:"replicas"`
+}
+
+// ReplicaStats is the live gauge set of one replica in a group, read
+// under the fleet's registry lock so the whole /stats snapshot describes
+// one fleet generation.
+type ReplicaStats struct {
+	// Replica is the slot index (0-based) — the home target of the
+	// within-group consistent-hash routing.
+	Replica int `json:"replica"`
+	// QueueDepth is the number of accepted requests waiting uncollected in
+	// this replica's coalescer queue.
+	QueueDepth int `json:"queue_depth"`
+	// Inflight is the replica's admission gauge: coalesced requests
+	// accepted and not yet settled plus client-batch samples assessing.
+	Inflight int64 `json:"inflight"`
+	// Served counts requests this replica answered (cache hits included) —
+	// compare across slots to read the spillover share.
+	Served int64 `json:"served"`
+	// CacheEntries is this replica's result-cache occupancy.
+	CacheEntries int `json:"cache_entries"`
 }
 
 // shardStats is the live counter set behind a ShardStats snapshot. The
@@ -72,6 +106,8 @@ type shardStats struct {
 	batchSamples    atomic.Int64
 	batches         atomic.Int64
 	shed            atomic.Int64
+	spills          atomic.Int64
+	earlyFlushes    atomic.Int64
 	errors          atomic.Int64
 	cacheHits       atomic.Int64
 	cacheMisses     atomic.Int64
@@ -116,6 +152,8 @@ func (s *shardStats) snapshot(model string) ShardStats {
 		BatchSamples:    s.batchSamples.Load(),
 		Batches:         s.batches.Load(),
 		Shed:            s.shed.Load(),
+		Spills:          s.spills.Load(),
+		EarlyFlushes:    s.earlyFlushes.Load(),
 		Errors:          s.errors.Load(),
 		CacheHits:       s.cacheHits.Load(),
 		CacheMisses:     s.cacheMisses.Load(),

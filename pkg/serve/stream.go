@@ -139,11 +139,17 @@ func (s *Server) handleAssessStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad stream header: %v", err))
 		return
 	}
-	sh, err := s.fleet.resolve(hdr.Model, hdr.Device)
+	g, err := s.fleet.resolve(hdr.Model, hdr.Device)
 	if err != nil {
 		writeResolveError(w, err)
 		return
 	}
+	// A session pins its home replica the way it pins the shard version: the
+	// device's consistent-hash slot (round-robin for device-less streams),
+	// chosen once at accept time. Streams run their own per-connection
+	// Session rather than the replica's coalescer, so the pin is affinity
+	// and accounting — a hot swap mid-stream changes neither.
+	sh := g.home(hdr.Device)
 	if hdr.Window > s.fleet.cfg.MaxStreamWindow {
 		writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("window %d exceeds limit %d", hdr.Window, s.fleet.cfg.MaxStreamWindow))

@@ -73,6 +73,9 @@ type ModelInfo struct {
 	Name string `json:"name"`
 	// Version counts hot swaps of this name: 1 on first load, +1 per Swap.
 	Version uint64 `json:"version"`
+	// Replicas is the group size serving this name: how many independent
+	// instances (own coalescer, queue and cache) fan out the same detector.
+	Replicas int `json:"replicas"`
 	// Default marks the shard used when requests carry neither "model"
 	// nor "device".
 	Default bool `json:"default,omitempty"`
