@@ -3,18 +3,31 @@ REV     := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 BENCH   ?= .
 BENCHTIME ?= 1x
 
-.PHONY: all build test test-short test-allocs race vet fmt-check bench benchcmp serve-stats stream-e2e retrain-e2e replica-e2e ci
+.PHONY: all build build-arm64 test test-short test-nosimd test-allocs race vet fmt-check bench benchcmp serve-stats stream-e2e retrain-e2e replica-e2e ci
 
 all: build
 
 build:
 	$(GO) build ./...
 
+# build-arm64 cross-compiles the whole tree for linux/arm64, proving the
+# non-amd64 kernel fallback path (pkg/linalg/kernel dispatch_other.go)
+# actually compiles — the assembly files are amd64-only by build tag.
+build-arm64:
+	GOOS=linux GOARCH=arm64 $(GO) build ./...
+
 test:
 	$(GO) test ./...
 
 test-short:
 	$(GO) test -short ./...
+
+# test-nosimd re-runs the full suite with the vectorized kernels disabled
+# (generic pure-Go implementations forced via TRUSTHMD_NOSIMD), proving
+# every result the tests pin is reached identically without SIMD — the
+# bit-identical contract of pkg/linalg/kernel, exercised end to end.
+test-nosimd:
+	TRUSTHMD_NOSIMD=1 $(GO) test ./...
 
 # test-allocs re-runs the zero-allocation contract of the inference hot
 # path (testing.AllocsPerRun assertions) uncached, race-free — the race
@@ -25,9 +38,12 @@ test-allocs:
 	$(GO) test -run TestAllocs -count=1 ./...
 
 # race runs the concurrency-heavy packages (batched assessment, request
-# coalescing) under the race detector.
+# coalescing, the dispatched kernels and their tree consumers) under the
+# race detector, then the same set again with SIMD forced off so both
+# dispatch arms get race coverage.
 race:
-	$(GO) test -race ./pkg/detector/ ./pkg/serve/ ./cmd/trusthmdd/
+	$(GO) test -race ./pkg/detector/ ./pkg/serve/ ./cmd/trusthmdd/ ./pkg/linalg/... ./internal/ml/tree/
+	TRUSTHMD_NOSIMD=1 $(GO) test -race ./pkg/detector/ ./pkg/linalg/... ./internal/ml/tree/
 
 vet:
 	$(GO) vet ./...
@@ -42,7 +58,7 @@ fmt-check:
 # micro-benchmarks at the repository root and records a JSON snapshot
 # (BENCH_<rev>.json) so the performance trajectory is tracked per commit.
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . ./pkg/serve/ \
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . ./pkg/serve/ ./pkg/linalg/kernel/ \
 		| tee /dev/stderr \
 		| $(GO) run ./tools/benchjson -out BENCH_$(REV).json
 
@@ -97,4 +113,4 @@ serve-stats:
 	TRUSTHMD_SERVE_STATS_OUT=$(CURDIR)/serve-cache-stats.json \
 		$(GO) test -run TestServeCacheHitsAreIdentical -count=1 ./pkg/serve/
 
-ci: build vet fmt-check test
+ci: build build-arm64 vet fmt-check test test-nosimd

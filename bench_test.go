@@ -17,6 +17,7 @@ import (
 	"trusthmd/internal/gen"
 	"trusthmd/internal/ml/tree"
 	"trusthmd/internal/reduce"
+	"trusthmd/pkg/dataset"
 	"trusthmd/pkg/detector"
 	"trusthmd/pkg/linalg"
 )
@@ -435,6 +436,130 @@ func BenchmarkTreeFit(b *testing.B) {
 		// snapshots actually measured.
 		tr := tree.New(tree.Config{MaxFeatures: -1, Seed: 0})
 		if err := tr.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMulInto measures the dense product at sizes bracketing the
+// parallel cutover (mulParallelFlops = 2^21): "small" shapes stay serial
+// on the kernel axpy, "large" ones fan out row blocks. The batch hot path
+// (256x17 by 17x5) sits far below the cutover and must never pay goroutine
+// overhead.
+func BenchmarkMulInto(b *testing.B) {
+	shapes := []struct {
+		name    string
+		m, k, n int
+	}{
+		{"batch256x17x5", 256, 17, 5}, // the PCA projection shape
+		{"serial64", 64, 64, 64},      // 262k flops: serial
+		{"cutover128", 128, 128, 128}, // 2.1M flops: right at the threshold
+		{"parallel256", 256, 256, 256},
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, sh := range shapes {
+		b.Run(sh.name, func(b *testing.B) {
+			A := linalg.New(sh.m, sh.k)
+			B := linalg.New(sh.k, sh.n)
+			dst := linalg.New(sh.m, sh.n)
+			for i := 0; i < sh.m; i++ {
+				for j := 0; j < sh.k; j++ {
+					A.Set(i, j, rng.NormFloat64())
+				}
+			}
+			for i := 0; i < sh.k; i++ {
+				for j := 0; j < sh.n; j++ {
+					B.Set(i, j, rng.NormFloat64())
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := A.MulInto(dst, B); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// treeCompareSetup fits one forest tree and a 256-row projected batch —
+// the per-member workload of the batched assessment path.
+func treeCompareSetup(b *testing.B) (*tree.Tree, *linalg.Matrix, *linalg.Matrix, []int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(9))
+	n, d := 700, 17
+	X := linalg.New(n, d)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			X.Set(i, j, rng.NormFloat64())
+		}
+		if X.At(i, 0)+0.3*X.At(i, 1) > 0.2 {
+			y[i] = 1
+		}
+	}
+	tr := tree.New(tree.Config{MaxFeatures: -1, Seed: 0})
+	if err := tr.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	Z := linalg.New(256, d)
+	for i := 0; i < 256; i++ {
+		for j := 0; j < d; j++ {
+			Z.Set(i, j, rng.NormFloat64())
+		}
+	}
+	ZT := linalg.New(d, 256)
+	if err := Z.TInto(ZT); err != nil {
+		b.Fatal(err)
+	}
+	return tr, Z, ZT, make([]int, 256)
+}
+
+// BenchmarkTreeCompare8 is the 8-lane lockstep tree walk over one batch —
+// the pre-SIMD batched compare step, still the fallback for trees past 64
+// leaves and non-AVX2 hosts.
+func BenchmarkTreeCompare8(b *testing.B) {
+	tr, Z, _, out := treeCompareSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.PredictBatch(Z, out)
+	}
+}
+
+// BenchmarkTreeCompareCols is the vectorized bitmask walk over the same
+// batch (transpose precomputed, as the ensemble shares it across members).
+// On non-AVX2 hosts it degrades to the lockstep walk above.
+func BenchmarkTreeCompareCols(b *testing.B) {
+	tr, Z, ZT, out := treeCompareSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.PredictBatchCols(Z, ZT, out)
+	}
+}
+
+// BenchmarkScalerTransform is the fused center+scale pass over a full
+// batch — the first stage of every batched assessment.
+func BenchmarkScalerTransform(b *testing.B) {
+	s := dvfsBenchData(b)
+	sc, err := dataset.FitScaler(s.Train.X())
+	if err != nil {
+		b.Fatal(err)
+	}
+	X := linalg.New(256, s.Train.X().Cols())
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < X.Rows(); i++ {
+		for j := 0; j < X.Cols(); j++ {
+			X.Set(i, j, rng.NormFloat64())
+		}
+	}
+	dst := linalg.New(256, X.Cols())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sc.TransformInto(dst, X); err != nil {
 			b.Fatal(err)
 		}
 	}

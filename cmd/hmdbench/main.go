@@ -5,7 +5,10 @@
 //
 //	hmdbench [-exp all|T1|F4|F5|F7a|F7b|F8|F9a|F9b|H|A1|A2|A3]
 //	         [-scale 1.0] [-seed 1] [-m 25] [-tsne-csv dir]
-//	hmdbench -loop 2000
+//	hmdbench -loop 2000 [-replicas 4] [-pin-cores]
+//
+// Either mode accepts -cpuprofile/-memprofile to dump pprof profiles of
+// the whole run.
 //
 // -scale 1.0 reproduces the paper's full Table I sizes (the HPC dataset has
 // 63k samples; the full run takes a few minutes). Smaller scales give quick
@@ -25,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -47,11 +52,29 @@ func main() {
 		tsneCSV  = flag.String("tsne-csv", "", "directory to dump Fig. 8 embedding coordinates as CSV")
 		loopN    = flag.Int("loop", 0, "closed-loop load harness: assess N windows per scenario through a verdict-tapped fleet and report throughput + p50/p99 (skips -exp)")
 		replicas = flag.Int("replicas", 1, "replica-group size for the -loop fleet (drives spill routing under the bursty scenario)")
+		pinCores = flag.Bool("pin-cores", false, "pin each -loop replica's flusher thread to its own CPU core (Linux; no-op elsewhere)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
 	)
 	flag.Parse()
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hmdbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hmdbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memProf)
+
 	if *loopN > 0 {
-		if err := runClosedLoop(*loopN, *seed, *replicas, os.Stdout); err != nil {
+		if err := runClosedLoop(*loopN, *seed, *replicas, *pinCores, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "hmdbench: loop: %v\n", err)
 			os.Exit(1)
 		}
@@ -148,7 +171,7 @@ type loopScenario struct {
 // cache, verdict persistence), reporting throughput, p50/p99 latency and
 // the spill share per scenario. It fails when any verdict is lost — the
 // store must hold exactly one record per served window.
-func runClosedLoop(n int, seed int64, replicas int, out *os.File) error {
+func runClosedLoop(n int, seed int64, replicas int, pinCores bool, out *os.File) error {
 	splits, err := gen.DVFSWithSizes(seed, gen.Sizes{Train: 280, Test: 140, Unknown: 40})
 	if err != nil {
 		return err
@@ -176,6 +199,7 @@ func runClosedLoop(n int, seed int64, replicas int, out *os.File) error {
 			// cache would turn the loop into a hashmap benchmark.
 			CacheSize:  -1,
 			SpillDepth: 1,
+			PinCores:   pinCores,
 		})
 	if err != nil {
 		return err
@@ -250,6 +274,24 @@ func runClosedLoop(n int, seed int64, replicas int, out *os.File) error {
 	}
 	fmt.Fprintf(out, "verdict store: %d records in %d segment(s)\n", st.Records, st.Segments)
 	return nil
+}
+
+// writeMemProfile dumps an end-of-run heap profile after a final GC, so
+// the profile shows retained memory rather than collectable garbage.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmdbench: memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "hmdbench: memprofile: %v\n", err)
+	}
 }
 
 // percentile reads the p-th percentile off a sorted latency slice.

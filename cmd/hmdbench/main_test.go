@@ -2,7 +2,9 @@ package main
 
 import (
 	"os"
+	"path/filepath"
 	"regexp"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"testing"
@@ -18,7 +20,7 @@ func TestClosedLoopSmoke(t *testing.T) {
 	}
 	defer tmp.Close()
 
-	if err := runClosedLoop(200, 1, 1, tmp); err != nil {
+	if err := runClosedLoop(200, 1, 1, false, tmp); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(tmp.Name())
@@ -55,7 +57,9 @@ func TestClosedLoopReplicas(t *testing.T) {
 	}
 	defer tmp.Close()
 
-	if err := runClosedLoop(200, 1, 3, tmp); err != nil {
+	// pin-cores on: each replica's flusher pins to a core (all the same
+	// core on single-CPU CI — the harness must behave identically).
+	if err := runClosedLoop(200, 1, 3, true, tmp); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(tmp.Name())
@@ -69,5 +73,45 @@ func TestClosedLoopReplicas(t *testing.T) {
 	}
 	if share, err := strconv.ParseFloat(m[1], 64); err != nil || share <= 0 {
 		t.Fatalf("bursty scenario on 3 replicas spilled %q%% (want >0): %q", m[1], report)
+	}
+}
+
+// TestProfileSmoke exercises the -cpuprofile/-memprofile plumbing the way
+// main wires it: profile a short closed-loop run and assert both profile
+// files come out non-empty (pprof headers at minimum).
+func TestProfileSmoke(t *testing.T) {
+	dir := t.TempDir()
+	cpuPath := filepath.Join(dir, "cpu.out")
+	memPath := filepath.Join(dir, "mem.out")
+
+	cf, err := os.Create(cpuPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	if err := pprof.StartCPUProfile(cf); err != nil {
+		t.Fatal(err)
+	}
+	tmp, err := os.CreateTemp(dir, "loop-out-")
+	if err != nil {
+		pprof.StopCPUProfile()
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	loopErr := runClosedLoop(64, 1, 1, false, tmp)
+	pprof.StopCPUProfile()
+	if loopErr != nil {
+		t.Fatal(loopErr)
+	}
+	writeMemProfile(memPath)
+
+	for _, p := range []string{cpuPath, memPath} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
 	}
 }

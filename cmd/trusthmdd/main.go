@@ -88,6 +88,7 @@ func main() {
 		maxWait    = flag.Duration("max-wait", 2*time.Millisecond, "coalescer max latency before a partial batch flushes")
 		queue      = flag.Int("queue", 1024, "per-replica pending-request buffer; beyond it requests are shed with 503")
 		replicas   = flag.Int("replicas", 1, "independent instances per shard name (own coalescer, queue and cache; device routing keeps a home replica, overflow spills to the least-loaded sibling)")
+		pinCores   = flag.Bool("pin-cores", false, "pin each replica's flusher thread to its own CPU core, round-robin across the fleet (Linux sched_setaffinity; no-op elsewhere)")
 		maxInfl    = flag.Int("max-inflight", 0, "per-replica cap on concurrent work; beyond it requests are shed with 503 + Retry-After (0 = unbounded)")
 		shedDepth  = flag.Int("shed-depth", 0, "shed new requests once a replica's queue holds this many waiting (0 = only when the queue is full)")
 		spillDepth = flag.Int("spill-depth", 0, "home-replica load at which device traffic spills to a sibling (0 = max-batch, negative disables)")
@@ -150,6 +151,7 @@ func main() {
 		MaxWait:            *maxWait,
 		QueueSize:          *queue,
 		Replicas:           *replicas,
+		PinCores:           *pinCores,
 		MaxInflight:        *maxInfl,
 		ShedDepth:          *shedDepth,
 		SpillDepth:         *spillDepth,

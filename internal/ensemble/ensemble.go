@@ -325,10 +325,15 @@ var ErrVoteRange = errors.New("ensemble: member vote outside class range")
 // feature space vote through PredictBatch — one pass per member keeps that
 // member's model state cache-hot across the whole batch.
 //
+// ZT, when non-nil, is the transpose of Z, computed once by the caller and
+// shared read-only by every member implementing model.ColsBatchClassifier
+// (the vectorized tree kernel wants feature-major loads). Pass nil when no
+// member wants it (see WantsCols); predictions are identical either way.
+//
 // The member range makes the accumulation partitionable: disjoint ranges
 // touch disjoint member state, so workers can fill private slabs in
 // parallel and integer-add them together without changing any count.
-func (b *Bagging) AccumulateVotes(Z *linalg.Matrix, counts []int, k, from, to int, votes []int, input []float64) error {
+func (b *Bagging) AccumulateVotes(Z, ZT *linalg.Matrix, counts []int, k, from, to int, votes []int, input []float64) error {
 	if b.members == nil {
 		panic(ErrNotFitted)
 	}
@@ -344,7 +349,11 @@ func (b *Bagging) AccumulateVotes(Z *linalg.Matrix, counts []int, k, from, to in
 		cols := b.features[m]
 		if cols == nil {
 			if bc, ok := member.(model.BatchClassifier); ok {
-				bc.PredictBatch(Z, votes[:n])
+				if cbc, ok := member.(model.ColsBatchClassifier); ok && ZT != nil {
+					cbc.PredictBatchCols(Z, ZT, votes[:n])
+				} else {
+					bc.PredictBatch(Z, votes[:n])
+				}
 				ci := 0
 				for _, v := range votes[:n] {
 					if v < 0 || v >= k {
@@ -378,6 +387,21 @@ func (b *Bagging) AccumulateVotes(Z *linalg.Matrix, counts []int, k, from, to in
 		}
 	}
 	return nil
+}
+
+// WantsCols reports whether any full-feature member would use a
+// feature-major (transposed) copy of the batch in AccumulateVotes. When
+// false, callers should pass ZT == nil and skip the transpose entirely.
+func (b *Bagging) WantsCols() bool {
+	for m, member := range b.members {
+		if b.features[m] != nil {
+			continue // subset members vote per-row; no batch path
+		}
+		if cbc, ok := member.(model.ColsBatchClassifier); ok && cbc.WantsCols() {
+			return true
+		}
+	}
+	return false
 }
 
 // AccumulateVotesVec adds every member's vote on the single sample x into

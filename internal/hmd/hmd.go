@@ -301,14 +301,41 @@ func (p *Pipeline) ProjectBatchScratch(work, reduced *linalg.Matrix) (*linalg.Ma
 	return reduced, nil
 }
 
+// ProjectRowsScratch is ProjectBatchScratch fed directly from raw sample
+// rows: scaling reads each row once and writes the standardised values
+// straight into work, skipping the separate batch-load copy. Row i of the
+// result is bit-identical to Project of rows[i]. Rows must all have
+// InputDim features.
+func (p *Pipeline) ProjectRowsScratch(rows [][]float64, work, reduced *linalg.Matrix) (*linalg.Matrix, error) {
+	work.ResizeUnset(len(rows), p.scaler.Dim()) // TransformRowsInto writes every cell
+	if err := p.scaler.TransformRowsInto(work, rows); err != nil {
+		return nil, err
+	}
+	if p.pca == nil {
+		return work, nil
+	}
+	reduced.ResizeUnset(work.Rows(), p.pca.K()) // MulInto writes every cell
+	if err := p.pca.TransformInto(reduced, work); err != nil {
+		return nil, err
+	}
+	return reduced, nil
+}
+
 // AccumulateVotes adds the votes of members [from, to) over every row of Z
 // into the row-major rows x Classes() histogram slab counts. votes and
-// input are caller-owned scratch (see ensemble.AccumulateVotes). A
-// ErrVoteRange result means a member voted outside the histogram; callers
-// fall back to the allocating assessment path, which grows defensively.
-func (p *Pipeline) AccumulateVotes(Z *linalg.Matrix, counts []int, from, to int, votes []int, input []float64) error {
-	return p.ens.AccumulateVotes(Z, counts, p.Classes(), from, to, votes, input)
+// input are caller-owned scratch (see ensemble.AccumulateVotes). ZT is an
+// optional transpose of Z shared by members that want feature-major loads
+// (see WantsCols); nil is always valid. A ErrVoteRange result means a
+// member voted outside the histogram; callers fall back to the allocating
+// assessment path, which grows defensively.
+func (p *Pipeline) AccumulateVotes(Z, ZT *linalg.Matrix, counts []int, from, to int, votes []int, input []float64) error {
+	return p.ens.AccumulateVotes(Z, ZT, counts, p.Classes(), from, to, votes, input)
 }
+
+// WantsCols reports whether AccumulateVotes would exploit a transposed
+// copy of the projected batch. Callers that answer true compute the
+// transpose once per batch and pass it to every AccumulateVotes range.
+func (p *Pipeline) WantsCols() bool { return p.ens.WantsCols() }
 
 // SummarizeCounts turns one row's accumulated vote histogram into an
 // Assessment, writing the vote distribution into dist (len Classes()).

@@ -1,0 +1,201 @@
+package tree
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"trusthmd/pkg/linalg"
+	"trusthmd/pkg/linalg/kernel"
+)
+
+// fitRandomTree trains a tree on random data with enough label noise to
+// grow real structure.
+func fitRandomTree(t *testing.T, rng *rand.Rand, rows, cols int, cfg Config) *Tree {
+	t.Helper()
+	X := linalg.New(rows, cols)
+	y := make([]int, rows)
+	for i := 0; i < rows; i++ {
+		row := X.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		y[i] = rng.Intn(3)
+		if row[0] > 0.3 {
+			y[i] = 0 // learnable signal
+		}
+	}
+	tr := New(cfg)
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	return tr
+}
+
+func transpose(t *testing.T, X *linalg.Matrix) *linalg.Matrix {
+	t.Helper()
+	XT := linalg.New(X.Cols(), X.Rows())
+	if err := X.TInto(XT); err != nil {
+		t.Fatalf("transpose: %v", err)
+	}
+	return XT
+}
+
+// TestPredictBatchColsMatchesWalk pins the bitmask walk to the scalar
+// walks over random trees and batch shapes, including sizes that are not
+// multiples of the 32-row kernel block and batches smaller than one block.
+func TestPredictBatchColsMatchesWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		cols := 2 + rng.Intn(16)
+		cfg := Config{MaxDepth: 1 + rng.Intn(8), MinLeaf: 1 + rng.Intn(4)}
+		tr := fitRandomTree(t, rng, 60+rng.Intn(200), cols, cfg)
+		for _, n := range []int{1, 7, 31, 32, 33, 64, 95, 100} {
+			X := linalg.New(n, cols)
+			for i := 0; i < n; i++ {
+				row := X.Row(i)
+				for j := range row {
+					row[j] = rng.NormFloat64() * 2
+				}
+				// Sprinkle specials: the bitmask walk must route NaN and
+				// infinities exactly like the branchy walk.
+				if rng.Intn(10) == 0 {
+					row[rng.Intn(cols)] = math.NaN()
+				}
+				if rng.Intn(10) == 0 {
+					row[rng.Intn(cols)] = math.Inf(1 - 2*rng.Intn(2))
+				}
+			}
+			XT := transpose(t, X)
+			got := make([]int, n)
+			tr.PredictBatchCols(X, XT, got)
+			want := make([]int, n)
+			tr.PredictBatch(X, want)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d n=%d row %d: cols walk %d, batch walk %d (qs=%v simd=%v)",
+						trial, n, i, got[i], want[i], tr.qs != nil, kernel.TreeMaskSIMD())
+				}
+				if p := tr.Predict(X.Row(i)); p != want[i] {
+					t.Fatalf("trial %d row %d: Predict %d, PredictBatch %d", trial, i, p, want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestQSSlabInvariants checks the construction directly: masks complement
+// contiguous left-subtree leaf ranges and a scalar bitmask walk reaches
+// the same leaf label as the tree walk.
+func TestQSSlabInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := fitRandomTree(t, rng, 300, 8, Config{MaxDepth: 6})
+	if tr.qs == nil {
+		t.Skip("tree grew past 64 leaves")
+	}
+	qs := tr.qs
+	if len(qs.thr) != len(qs.masks) || len(qs.thr) != len(qs.feats) {
+		t.Fatalf("ragged slab: %d/%d/%d", len(qs.thr), len(qs.masks), len(qs.feats))
+	}
+	if len(qs.leafLabels) != len(qs.thr)+1 {
+		t.Fatalf("binary tree must have internals+1 leaves: %d vs %d", len(qs.leafLabels), len(qs.thr))
+	}
+	for i, m := range qs.masks {
+		z := ^m // the cleared leaf range must be contiguous and non-empty
+		if z == 0 {
+			t.Fatalf("mask %d clears nothing", i)
+		}
+		lo := bits.TrailingZeros64(z)
+		width := bits.OnesCount64(z)
+		if z != (((uint64(1)<<width)-1)<<lo) || lo+width > len(qs.leafLabels) {
+			t.Fatalf("mask %d = %x is not a contiguous in-range leaf run", i, m)
+		}
+	}
+	// Scalar bitmask walk == tree walk, sample by sample.
+	for trial := 0; trial < 500; trial++ {
+		x := make([]float64, 8)
+		for j := range x {
+			x[j] = rng.NormFloat64() * 2
+		}
+		v := ^uint64(0)
+		for n := range qs.thr {
+			if !(x[qs.feats[n]] <= qs.thr[n]) {
+				v &= qs.masks[n]
+			}
+		}
+		if got, want := int(qs.leafLabels[bits.TrailingZeros64(v)]), tr.Predict(x); got != want {
+			t.Fatalf("scalar bitmask walk %d, tree walk %d", got, want)
+		}
+	}
+}
+
+// TestQSFallbacks: big trees keep the lockstep walk; shape mismatches and
+// generic dispatch fall back inside PredictBatchCols rather than misuse
+// the transposed input.
+func TestQSFallbacks(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	big := fitRandomTree(t, rng, 4000, 6, Config{}) // unlimited depth, noisy labels
+	if big.qs != nil && len(big.qs.leafLabels) > 64 {
+		t.Fatal("qs slab built past the 64-leaf bound")
+	}
+	small := fitRandomTree(t, rng, 200, 6, Config{MaxDepth: 4})
+	X := linalg.New(50, 6)
+	for i := 0; i < 50; i++ {
+		row := X.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	want := make([]int, 50)
+	small.PredictBatch(X, want)
+
+	// nil and wrong-shape transposes fall back.
+	for _, xt := range []*linalg.Matrix{nil, linalg.New(3, 50), linalg.New(6, 49)} {
+		got := make([]int, 50)
+		small.PredictBatchCols(X, xt, got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("fallback mismatch at %d", i)
+			}
+		}
+	}
+
+	// Forced-generic dispatch: WantsCols must gate off and predictions hold.
+	kernel.ForceGeneric()
+	defer kernel.Reset()
+	if small.WantsCols() {
+		t.Fatal("WantsCols true under generic dispatch")
+	}
+	got := make([]int, 50)
+	small.PredictBatchCols(X, transpose(t, X), got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("generic fallback mismatch at %d", i)
+		}
+	}
+}
+
+// TestQSSingleLeaf covers the degenerate pure-root tree: no internal
+// nodes, bitvector stays all-ones, leaf 0 wins.
+func TestQSSingleLeaf(t *testing.T) {
+	X := linalg.New(4, 2)
+	tr := New(Config{})
+	if err := tr.Fit(X, []int{1, 1, 1, 1}); err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	if tr.qs == nil {
+		t.Skip("flat slab unavailable")
+	}
+	if len(tr.qs.thr) != 0 || len(tr.qs.leafLabels) != 1 {
+		t.Fatalf("pure tree slab: %d internals, %d leaves", len(tr.qs.thr), len(tr.qs.leafLabels))
+	}
+	out := make([]int, 40)
+	Xb := linalg.New(40, 2)
+	tr.PredictBatchCols(Xb, transpose(t, Xb), out)
+	for i, v := range out {
+		if v != 1 {
+			t.Fatalf("row %d predicted %d, want 1", i, v)
+		}
+	}
+}

@@ -77,6 +77,10 @@ type Tree struct {
 	leafSlab  []int
 	labels    []int32
 	flatDepth int
+
+	// qs is the bitmask ("QuickScorer") form of flat for trees with <=64
+	// leaves; see qs.go. Rebuilt alongside flat, nil when unavailable.
+	qs *qsSlab
 }
 
 type node struct {
@@ -117,7 +121,7 @@ func (n *flatNode) isLeaf(i int32) bool { return n.left == i }
 // keep the pointer walk instead of a flat slab.
 func (t *Tree) buildFlat() {
 	if t.root == nil || !uniformLeaves(t.root, t.nClasses) {
-		t.flat, t.leafSlab = nil, nil
+		t.flat, t.leafSlab, t.qs = nil, nil, nil
 		return
 	}
 	t.flat = t.flat[:0]
@@ -125,6 +129,7 @@ func (t *Tree) buildFlat() {
 	t.labels = t.labels[:0]
 	t.flatDepth = 0
 	t.flattenNode(t.root, 0)
+	t.buildQS()
 }
 
 // uniformLeaves reports whether every leaf histogram has width classes.

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"trusthmd/pkg/linalg"
+	"trusthmd/pkg/linalg/kernel"
 )
 
 // PCA is a principal component analysis fitted on a training matrix and
@@ -139,15 +140,18 @@ func (p *PCA) TransformVecInto(dst, x []float64) error {
 	if len(dst) != p.K() {
 		return fmt.Errorf("reduce: pca output len %d, want %d", len(dst), p.K())
 	}
-	for j := range x {
-		x[j] -= p.mean[j]
-	}
+	kernel.Sub(x, x, p.mean)
+	// Accumulate dst += x[r] * components.Row(r) over rows. Per output
+	// element c this adds the terms in the same ascending-r order as the
+	// dot-product form, so the result is bit-identical — but each step is
+	// a contiguous axpy over the K-wide component row, which vectorizes.
+	// No zero-skip: the dot form includes every term, and 0*Inf would
+	// differ.
 	for c := range dst {
-		var s float64
-		for r, v := range x {
-			s += v * p.components.At(r, c)
-		}
-		dst[c] = s
+		dst[c] = 0
+	}
+	for r, v := range x {
+		kernel.Axpy(dst, v, p.components.Row(r))
 	}
 	return nil
 }

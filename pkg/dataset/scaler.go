@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"trusthmd/pkg/linalg"
+	"trusthmd/pkg/linalg/kernel"
 )
 
 // Scaler standardises features to zero mean and unit variance using
@@ -53,12 +54,32 @@ func (s *Scaler) TransformInto(dst, X *linalg.Matrix) error {
 	if dst.Rows() != X.Rows() || dst.Cols() != X.Cols() {
 		return fmt.Errorf("dataset: scaler output %dx%d for %dx%d input", dst.Rows(), dst.Cols(), X.Rows(), X.Cols())
 	}
-	for i := 0; i < X.Rows(); i++ {
-		src := X.Row(i)
-		out := dst.Row(i)
-		for j, v := range src {
-			out[j] = (v - s.mean[j]) / s.std[j]
+	// Raw row-major slabs: one bounds-checked subslice per row instead of
+	// two Row calls, on the first stage of every batched assessment.
+	src, out, d := X.Raw(), dst.Raw(), X.Cols()
+	for off := 0; off+d <= len(src); off += d {
+		kernel.CenterScale(out[off:off+d:off+d], src[off:off+d:off+d], s.mean, s.std)
+	}
+	return nil
+}
+
+// TransformRowsInto standardises raw sample rows directly into dst (shape
+// len(rows) x Dim), fusing the batch-load copy and the scaling pass into
+// one sweep over the input — the raw samples are read once and never
+// materialised unscaled. Values are bit-identical to copying the rows into
+// a matrix and calling TransformInto.
+func (s *Scaler) TransformRowsInto(dst *linalg.Matrix, rows [][]float64) error {
+	d := len(s.mean)
+	if dst.Rows() != len(rows) || dst.Cols() != d {
+		return fmt.Errorf("dataset: scaler output %dx%d for %d rows x %d features",
+			dst.Rows(), dst.Cols(), len(rows), d)
+	}
+	out := dst.Raw()
+	for i, r := range rows {
+		if len(r) != d {
+			return fmt.Errorf("dataset: scaler fitted on %d features, row %d has %d", d, i, len(r))
 		}
+		kernel.CenterScale(out[i*d:(i+1)*d:(i+1)*d], r, s.mean, s.std)
 	}
 	return nil
 }
@@ -81,8 +102,6 @@ func (s *Scaler) TransformVecInto(dst, x []float64) error {
 	if len(dst) != len(s.mean) {
 		return fmt.Errorf("dataset: scaler output len %d for %d features", len(dst), len(s.mean))
 	}
-	for j, v := range x {
-		dst[j] = (v - s.mean[j]) / s.std[j]
-	}
+	kernel.CenterScale(dst, x, s.mean, s.std)
 	return nil
 }

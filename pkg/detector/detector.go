@@ -288,10 +288,21 @@ func (d *Detector) AssessBatch(X [][]float64) ([]Result, error) {
 	}
 	s := batchScratchPool.Get().(*BatchScratch)
 	defer batchScratchPool.Put(s)
-	if err := s.loadRows(X); err != nil {
-		return nil, err
+	return d.assessScratchRows(s, X, true)
+}
+
+// AssessBatchWith is AssessBatch over a caller-owned workspace: projection
+// matrices, transpose and vote histograms live in s and are reused across
+// calls, while the returned results (and their VoteDist slices) are
+// independently allocated and safe to retain. It suits long-lived serving
+// loops — one scratch per worker keeps the hot buffers thread-private and
+// cache-resident without the pool's cross-worker churn. Results are
+// element-wise identical to AssessBatch.
+func (d *Detector) AssessBatchWith(s *BatchScratch, X [][]float64) ([]Result, error) {
+	if len(X) == 0 {
+		return nil, errors.New("detector: empty batch")
 	}
-	return d.assessScratch(s, true)
+	return d.assessScratchRows(s, X, true)
 }
 
 // AssessDataset assesses every sample of a dataset through the batched

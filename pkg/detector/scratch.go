@@ -25,6 +25,7 @@ import (
 type BatchScratch struct {
 	work    *linalg.Matrix // raw input copy, overwritten by scaling
 	reduced *linalg.Matrix // PCA projection, when that stage exists
+	workT   *linalg.Matrix // transpose of the projected batch, when members want it
 	counts  []int          // row-major n x classes vote histograms
 	votes   []int          // per-member batched vote scratch
 	input   []float64      // member feature-subset scratch
@@ -84,10 +85,7 @@ func (d *Detector) AssessBatchInto(s *BatchScratch, X [][]float64) ([]Result, er
 	if len(X) == 0 {
 		return nil, errors.New("detector: empty batch")
 	}
-	if err := s.loadRows(X); err != nil {
-		return nil, err
-	}
-	return d.assessScratch(s, false)
+	return d.assessScratchRows(s, X, false)
 }
 
 // loadRows copies the raw samples into the scratch work matrix, validating
@@ -129,8 +127,49 @@ func (d *Detector) assessScratch(s *BatchScratch, fresh bool) ([]Result, error) 
 	if err != nil {
 		return nil, fmt.Errorf("detector: %w", err)
 	}
+	return d.assessZ(s, Z, fresh)
+}
+
+// assessScratchRows is assessScratch fed directly from raw sample rows:
+// the projection reads each row once and writes the scaled batch straight
+// into scratch, skipping the separate input copy the matrix-loaded path
+// pays. Results are identical to loadRows + assessScratch.
+func (d *Detector) assessScratchRows(s *BatchScratch, X [][]float64, fresh bool) ([]Result, error) {
+	if d.cfg.decompose {
+		if err := s.loadRows(X); err != nil {
+			return nil, err
+		}
+		return d.assessMatrix(s.work)
+	}
+	s.init()
+	Z, err := d.pipe.ProjectRowsScratch(X, s.work, s.reduced)
+	if err != nil {
+		return nil, fmt.Errorf("detector: %w", err)
+	}
+	return d.assessZ(s, Z, fresh)
+}
+
+// assessZ is the member-vote + summarize tail shared by every batched
+// entry point, running over the already-projected batch Z.
+func (d *Detector) assessZ(s *BatchScratch, Z *linalg.Matrix, fresh bool) ([]Result, error) {
 	n, k := Z.Rows(), d.pipe.Classes()
 	members := d.pipe.Members()
+
+	// The vectorized tree kernel reads one feature across 32 samples, so
+	// members that want it share a single feature-major copy of the
+	// projected batch — one transpose per batch, read-only afterwards
+	// (race-free under the parallel member partition below).
+	var ZT *linalg.Matrix
+	if d.pipe.WantsCols() {
+		if s.workT == nil {
+			s.workT = linalg.New(0, 0)
+		}
+		s.workT.ResizeUnset(Z.Cols(), Z.Rows()) // TInto writes every cell
+		if err := Z.TInto(s.workT); err != nil {
+			return nil, fmt.Errorf("detector: %w", err)
+		}
+		ZT = s.workT
+	}
 
 	s.counts = growInts(s.counts, n*k)
 	clearInts(s.counts)
@@ -144,10 +183,11 @@ func (d *Detector) assessScratch(s *BatchScratch, fresh bool) ([]Result, error) 
 	if workers > members {
 		workers = members
 	}
+	var err error
 	if workers <= 1 {
-		err = d.pipe.AccumulateVotes(Z, s.counts, 0, members, s.votes, s.input)
+		err = d.pipe.AccumulateVotes(Z, ZT, s.counts, 0, members, s.votes, s.input)
 	} else {
-		err = d.accumulateParallel(s, Z, workers, members, k)
+		err = d.accumulateParallel(s, Z, ZT, workers, members, k)
 	}
 	if err != nil {
 		if !isVoteRange(err) {
@@ -198,7 +238,7 @@ func (d *Detector) assessScratch(s *BatchScratch, fresh bool) ([]Result, error) 
 // each filling a private vote histogram, and integer-merges the partials —
 // counts are order-independent, so the result is bit-identical to the
 // serial accumulation.
-func (d *Detector) accumulateParallel(s *BatchScratch, Z *linalg.Matrix, workers, members, k int) error {
+func (d *Detector) accumulateParallel(s *BatchScratch, Z, ZT *linalg.Matrix, workers, members, k int) error {
 	n := Z.Rows()
 	for len(s.partCounts) < workers {
 		s.partCounts = append(s.partCounts, nil)
@@ -234,7 +274,7 @@ func (d *Detector) accumulateParallel(s *BatchScratch, Z *linalg.Matrix, workers
 		launched++
 		go func(w, from, to int) {
 			defer wg.Done()
-			s.errs[w] = d.pipe.AccumulateVotes(Z, s.partCounts[w], from, to, s.partVotes[w], s.partInput[w])
+			s.errs[w] = d.pipe.AccumulateVotes(Z, ZT, s.partCounts[w], from, to, s.partVotes[w], s.partInput[w])
 		}(w, from, to)
 	}
 	wg.Wait()

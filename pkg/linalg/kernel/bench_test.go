@@ -1,0 +1,88 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for each kernel at the hot path's real shapes: 17-wide
+// rows (the DVFS feature dimension) and ~22-node trees over 32-sample
+// blocks. Run with -tags or TRUSTHMD_NOSIMD=1 to compare dispatch levels.
+
+func benchVec(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func BenchmarkAxpy(b *testing.B) {
+	for _, n := range []int{17, 64, 256} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			dst, x := benchVec(n), benchVec(n)
+			b.ReportAllocs()
+			b.SetBytes(int64(n * 8))
+			for i := 0; i < b.N; i++ {
+				Axpy(dst, 1.0000001, x)
+			}
+		})
+	}
+}
+
+func BenchmarkCenterScale(b *testing.B) {
+	for _, n := range []int{17, 64, 256} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			dst, x, mu, sd := benchVec(n), benchVec(n), benchVec(n), benchVec(n)
+			for i := range sd {
+				sd[i] = 1 + sd[i]*sd[i]
+			}
+			b.ReportAllocs()
+			b.SetBytes(int64(n * 8))
+			for i := 0; i < b.N; i++ {
+				CenterScale(dst, x, mu, sd)
+			}
+		})
+	}
+}
+
+func BenchmarkSub(b *testing.B) {
+	dst, x, mu := benchVec(17), benchVec(17), benchVec(17)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sub(dst, x, mu)
+	}
+}
+
+func BenchmarkTreeMask32(b *testing.B) {
+	const nodes, feats, stride = 22, 17, 256
+	rng := rand.New(rand.NewSource(2))
+	xcols := benchVec(feats * stride)
+	thr := benchVec(nodes)
+	masks := make([]uint64, nodes)
+	fidx := make([]uint32, nodes)
+	for i := range masks {
+		masks[i] = rng.Uint64()
+		fidx[i] = uint32(rng.Intn(feats))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var v [32]uint64
+		for j := range v {
+			v[j] = ^uint64(0)
+		}
+		TreeMask32(&v, thr, masks, fidx, xcols, stride)
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 17:
+		return "d17"
+	case 64:
+		return "d64"
+	default:
+		return "d256"
+	}
+}

@@ -1,0 +1,114 @@
+package kernel
+
+// amd64 dispatch: SSE2 is the architecture baseline, AVX2 requires both
+// the CPUID feature bit and OS support for saving YMM state (OSXSAVE +
+// XCR0 bits 1 and 2). Detection runs once; golang.org/x/sys/cpu is
+// deliberately not used to keep the module dependency-free, so the two
+// CPUID leaves are read through a local assembly shim (cpu_amd64.s).
+
+// cpuid executes the CPUID instruction for (leaf, sub).
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (requires OSXSAVE, checked before calling).
+func xgetbv() (eax, edx uint32)
+
+// hasAVX2 reports CPU + OS support for 256-bit AVX2 integer and float
+// vectors.
+func hasAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE state) and 2 (AVX upper halves) must both be
+	// OS-enabled or the YMM registers are not preserved across context
+	// switches.
+	xcr0, _ := xgetbv()
+	if xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+func bestImpl() impl {
+	if hasAVX2() {
+		return impl{
+			name:        "avx2",
+			axpy:        axpyAVX2Go,
+			centerScale: centerScaleAVX2Go,
+			sub:         subAVX2Go,
+			treeMaskVec: true,
+		}
+	}
+	// SSE2 is unconditionally present on amd64. The tree kernel needs
+	// AVX2 (VPBROADCASTQ and 4-wide qword masks); without it the generic
+	// tree walk stays in charge (treeMaskVec false).
+	return impl{
+		name:        "sse2",
+		axpy:        axpySSE2Go,
+		centerScale: centerScaleSSE2Go,
+		sub:         subSSE2Go,
+	}
+}
+
+// treeMask32Vec is the vector tree kernel TreeMask32 calls when
+// treeMaskVec is set — a direct call so //go:noescape keeps the caller's
+// bitvector on its stack.
+func treeMask32Vec(v *[32]uint64, thr []float64, masks []uint64, feats []uint32, xcols []float64, stride int) {
+	treeMask32AVX2(v, &thr[0], &masks[0], &feats[0], len(thr), &xcols[0], stride)
+}
+
+// Assembly entry points (kernels_amd64.s). Pointer+length form keeps the
+// assembly free of slice-header decoding; the Go shims below guarantee
+// non-nil pointers and consistent lengths.
+
+//go:noescape
+func axpySSE2(dst, x *float64, n int, alpha float64)
+
+//go:noescape
+func axpyAVX2(dst, x *float64, n int, alpha float64)
+
+//go:noescape
+func centerScaleSSE2(dst, x, mu, sd *float64, n int)
+
+//go:noescape
+func centerScaleAVX2(dst, x, mu, sd *float64, n int)
+
+//go:noescape
+func subSSE2(dst, x, mu *float64, n int)
+
+//go:noescape
+func subAVX2(dst, x, mu *float64, n int)
+
+//go:noescape
+func treeMask32AVX2(v *[32]uint64, thr *float64, masks *uint64, feats *uint32, nodes int, xcols *float64, stride int)
+
+func axpySSE2Go(dst []float64, alpha float64, x []float64) {
+	axpySSE2(&dst[0], &x[0], len(x), alpha)
+}
+
+func axpyAVX2Go(dst []float64, alpha float64, x []float64) {
+	axpyAVX2(&dst[0], &x[0], len(x), alpha)
+}
+
+func centerScaleSSE2Go(dst, x, mu, sd []float64) {
+	centerScaleSSE2(&dst[0], &x[0], &mu[0], &sd[0], len(x))
+}
+
+func centerScaleAVX2Go(dst, x, mu, sd []float64) {
+	centerScaleAVX2(&dst[0], &x[0], &mu[0], &sd[0], len(x))
+}
+
+func subSSE2Go(dst, x, mu []float64) {
+	subSSE2(&dst[0], &x[0], &mu[0], len(x))
+}
+
+func subAVX2Go(dst, x, mu []float64) {
+	subAVX2(&dst[0], &x[0], &mu[0], len(x))
+}

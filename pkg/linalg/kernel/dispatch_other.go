@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package kernel
+
+// Non-amd64 architectures run the pure-Go kernels; the dispatch hooks and
+// the bit-identical contract are the same, there is just one table.
+func bestImpl() impl { return genericImpl }
+
+// treeMask32Vec is never reached here: no impl sets treeMaskVec, so
+// TreeMask32 always takes the generic branch.
+func treeMask32Vec(v *[32]uint64, thr []float64, masks []uint64, feats []uint32, xcols []float64, stride int) {
+	treeMask32Generic(v, thr, masks, feats, xcols, stride)
+}

@@ -1,0 +1,53 @@
+package kernel
+
+// The pure-Go reference kernels. Always compiled on every architecture —
+// they are both the non-amd64 implementation and the reference the
+// equivalence tests pin the assembly against.
+
+func axpyGeneric(dst []float64, alpha float64, x []float64) {
+	if len(x) == 0 {
+		return
+	}
+	_ = dst[len(x)-1]
+	for i, v := range x {
+		dst[i] += alpha * v
+	}
+}
+
+func centerScaleGeneric(dst, x, mu, sd []float64) {
+	if len(x) == 0 {
+		return
+	}
+	_ = dst[len(x)-1]
+	_ = mu[len(x)-1]
+	_ = sd[len(x)-1]
+	for i, v := range x {
+		dst[i] = (v - mu[i]) / sd[i]
+	}
+}
+
+func subGeneric(dst, x, mu []float64) {
+	if len(x) == 0 {
+		return
+	}
+	_ = dst[len(x)-1]
+	_ = mu[len(x)-1]
+	for i, v := range x {
+		dst[i] = v - mu[i]
+	}
+}
+
+func treeMask32Generic(v *[32]uint64, thr []float64, masks []uint64, feats []uint32, xcols []float64, stride int) {
+	for n, t := range thr {
+		m := masks[n]
+		col := xcols[int(feats[n])*stride:]
+		for j := 0; j < 32; j++ {
+			// NaN compares false, like Go's <= — lanes holding NaN take
+			// every node's "false" mask, exactly as a scalar walk would
+			// go right at every node.
+			if !(col[j] <= t) {
+				v[j] &= m
+			}
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// The contract under test: for every kernel, the dispatched implementation
+// and the pure-Go reference produce bit-identical outputs over arbitrary
+// shapes — in particular ragged tails (lengths not divisible by the vector
+// width), single elements, and empty inputs. NaN payloads are exempt: both
+// sides must agree that an element is NaN, not on its bits.
+
+func sameBits(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// randVals fills a slice with a spread of magnitudes, signs, exact zeros
+// and the occasional special value so rounding differences cannot hide.
+func randVals(rng *rand.Rand, n int, specials bool) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		switch k := rng.Intn(20); {
+		case k == 0:
+			out[i] = 0
+		case k == 1:
+			out[i] = math.Copysign(0, -1)
+		case specials && k == 2:
+			out[i] = math.Inf(1 - 2*rng.Intn(2))
+		case specials && k == 3:
+			out[i] = math.NaN()
+		case k < 8:
+			out[i] = (rng.Float64() - 0.5) * 1e-300 // subnormal territory
+		default:
+			out[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(40)-20))
+		}
+	}
+	return out
+}
+
+func checkSlices(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	for i := range want {
+		if !sameBits(got[i], want[i]) {
+			t.Fatalf("%s: elem %d: got %x (%v), want %x (%v) [impl %s]",
+				name, i, math.Float64bits(got[i]), got[i],
+				math.Float64bits(want[i]), want[i], Active())
+		}
+	}
+}
+
+// testDims covers every residue class of both the 4-wide and 8-wide main
+// loops plus a long run, so tails of every length execute.
+func testDims() []int {
+	dims := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 129, 255, 256, 257}
+	return dims
+}
+
+func TestAxpyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range testDims() {
+		for trial := 0; trial < 8; trial++ {
+			x := randVals(rng, n, true)
+			dst0 := randVals(rng, n, true)
+			alpha := randVals(rng, 1, true)[0]
+			want := append([]float64(nil), dst0...)
+			axpyGeneric(want, alpha, x)
+			got := append([]float64(nil), dst0...)
+			Axpy(got, alpha, x)
+			checkSlices(t, "axpy", got, want)
+		}
+	}
+	Axpy(nil, 2, nil) // empty must not panic
+}
+
+func TestCenterScaleEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range testDims() {
+		for trial := 0; trial < 8; trial++ {
+			x := randVals(rng, n, true)
+			mu := randVals(rng, n, true)
+			sd := randVals(rng, n, false) // zero sd allowed: division yields ±Inf/NaN both sides
+			want := make([]float64, n)
+			centerScaleGeneric(want, x, mu, sd)
+			got := make([]float64, n)
+			CenterScale(got, x, mu, sd)
+			checkSlices(t, "centerScale", got, want)
+
+			// In-place form (dst == x) must match too.
+			inplace := append([]float64(nil), x...)
+			CenterScale(inplace, inplace, mu, sd)
+			checkSlices(t, "centerScale in-place", inplace, want)
+		}
+	}
+	CenterScale(nil, nil, nil, nil)
+}
+
+func TestSubEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range testDims() {
+		for trial := 0; trial < 8; trial++ {
+			x := randVals(rng, n, true)
+			mu := randVals(rng, n, true)
+			want := make([]float64, n)
+			subGeneric(want, x, mu)
+			got := make([]float64, n)
+			Sub(got, x, mu)
+			checkSlices(t, "sub", got, want)
+
+			inplace := append([]float64(nil), x...)
+			Sub(inplace, inplace, mu)
+			checkSlices(t, "sub in-place", inplace, want)
+		}
+	}
+	Sub(nil, nil, nil)
+}
+
+func TestTreeMask32Equivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, nodes := range []int{0, 1, 2, 3, 7, 8, 45, 63, 100} {
+		for _, feats := range []int{1, 2, 17, 40} {
+			for trial := 0; trial < 4; trial++ {
+				stride := 32 + rng.Intn(3)*32 // transposed blocks are multiples of 32 wide
+				xcols := randVals(rng, feats*stride, true)
+				thr := randVals(rng, nodes, true)
+				masks := make([]uint64, nodes)
+				fidx := make([]uint32, nodes)
+				for i := range masks {
+					masks[i] = rng.Uint64()
+					fidx[i] = uint32(rng.Intn(feats))
+				}
+				var v0 [32]uint64
+				for i := range v0 {
+					v0[i] = rng.Uint64()
+				}
+				want := v0
+				treeMask32Generic(&want, thr, masks, fidx, xcols, stride)
+				got := v0
+				TreeMask32(&got, thr, masks, fidx, xcols, stride)
+				if got != want {
+					t.Fatalf("treeMask32: nodes=%d feats=%d stride=%d: got %v want %v [impl %s]",
+						nodes, feats, stride, got, want, Active())
+				}
+			}
+		}
+	}
+}
+
+func TestForceGenericAndReset(t *testing.T) {
+	defer Reset()
+	ForceGeneric()
+	if Active() != "generic" {
+		t.Fatalf("after ForceGeneric: Active() = %q", Active())
+	}
+	if TreeMaskSIMD() {
+		t.Fatal("generic impl must report TreeMaskSIMD() == false")
+	}
+	Reset()
+	if os.Getenv(NoSIMDEnv) != "" && Active() != "generic" {
+		t.Fatalf("%s set but Active() = %q", NoSIMDEnv, Active())
+	}
+	t.Logf("dispatched implementation: %s (treeMaskSIMD=%v)", Active(), TreeMaskSIMD())
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic on length mismatch", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("axpy", func() { Axpy(make([]float64, 2), 1, make([]float64, 3)) })
+	mustPanic("centerScale", func() {
+		CenterScale(make([]float64, 2), make([]float64, 2), make([]float64, 1), make([]float64, 2))
+	})
+	mustPanic("sub", func() { Sub(make([]float64, 2), make([]float64, 2), make([]float64, 3)) })
+	mustPanic("treeMask", func() {
+		var v [32]uint64
+		TreeMask32(&v, make([]float64, 2), make([]uint64, 1), make([]uint32, 2), make([]float64, 64), 32)
+	})
+}
+
+// Fuzzers: same bit-identity property, adversarial inputs. Lengths are
+// derived from the shortest input so any byte soup is a valid case.
+
+func bytesToFloats(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		var u uint64
+		for j := 0; j < 8; j++ {
+			u = u<<8 | uint64(b[i*8+j])
+		}
+		out[i] = math.Float64frombits(u)
+	}
+	return out
+}
+
+func FuzzAxpy(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{9, 10, 11, 12, 13, 14, 15, 16}, float64(1.5))
+	f.Fuzz(func(t *testing.T, db, xb []byte, alpha float64) {
+		dst0 := bytesToFloats(db)
+		x := bytesToFloats(xb)
+		n := min(len(dst0), len(x))
+		dst0, x = dst0[:n], x[:n]
+		want := append([]float64(nil), dst0...)
+		axpyGeneric(want, alpha, x)
+		got := append([]float64(nil), dst0...)
+		Axpy(got, alpha, x)
+		for i := range want {
+			if !sameBits(got[i], want[i]) {
+				t.Fatalf("elem %d: got %x want %x", i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+	})
+}
+
+func FuzzCenterScale(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{0, 0, 0, 0, 0, 0, 0, 0}, []byte{9, 9, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, xb, mb, sb []byte) {
+		x := bytesToFloats(xb)
+		mu := bytesToFloats(mb)
+		sd := bytesToFloats(sb)
+		n := min(len(x), min(len(mu), len(sd)))
+		x, mu, sd = x[:n], mu[:n], sd[:n]
+		want := make([]float64, n)
+		centerScaleGeneric(want, x, mu, sd)
+		got := make([]float64, n)
+		CenterScale(got, x, mu, sd)
+		for i := range want {
+			if !sameBits(got[i], want[i]) {
+				t.Fatalf("elem %d: got %x want %x", i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+	})
+}
+
+func FuzzTreeMask32(f *testing.F) {
+	f.Add(make([]byte, 8*3), uint16(3), uint64(0xffff0000ffff0000))
+	f.Fuzz(func(t *testing.T, tb []byte, nf uint16, seed uint64) {
+		thr := bytesToFloats(tb)
+		feats := int(nf%8) + 1
+		rng := rand.New(rand.NewSource(int64(seed)))
+		const stride = 32
+		xcols := randVals(rng, feats*stride, true)
+		masks := make([]uint64, len(thr))
+		fidx := make([]uint32, len(thr))
+		for i := range masks {
+			masks[i] = rng.Uint64()
+			fidx[i] = uint32(rng.Intn(feats))
+		}
+		var v0 [32]uint64
+		for i := range v0 {
+			v0[i] = rng.Uint64()
+		}
+		want := v0
+		treeMask32Generic(&want, thr, masks, fidx, xcols, stride)
+		got := v0
+		TreeMask32(&got, thr, masks, fidx, xcols, stride)
+		if got != want {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	})
+}

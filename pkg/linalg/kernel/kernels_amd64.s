@@ -1,0 +1,325 @@
+#include "textflag.h"
+
+// Vectorized inner loops. Two rules keep every kernel bit-identical to
+// the pure-Go reference (generic.go):
+//
+//  1. No FMA. An fused multiply-add rounds once; the Go loop's separate
+//     multiply and add round twice. VMULPD+VADDPD only.
+//  2. No reassociation. Each output element's operations happen in the
+//     same order as the scalar loop — elementwise kernels vectorize
+//     across elements (each lane is one element's whole dependency
+//     chain), and horizontal reductions are not implemented here at all.
+//
+// VSUBPD/VDIVPD/VCMPPD are single IEEE-rounded operations, identical to
+// their scalar counterparts lane by lane.
+
+// func axpySSE2(dst, x *float64, n int, alpha float64)
+TEXT ·axpySSE2(SB), NOSPLIT, $0-32
+	MOVQ  dst+0(FP), DI
+	MOVQ  x+8(FP), SI
+	MOVQ  n+16(FP), CX
+	MOVSD alpha+24(FP), X0
+	UNPCKLPD X0, X0
+	XORQ  AX, AX
+	MOVQ  CX, DX
+	ANDQ  $-4, DX
+	JE    sse2tail
+sse2loop4:
+	MOVUPD (SI)(AX*8), X1
+	MOVUPD 16(SI)(AX*8), X2
+	MULPD  X0, X1
+	MULPD  X0, X2
+	MOVUPD (DI)(AX*8), X3
+	MOVUPD 16(DI)(AX*8), X4
+	ADDPD  X3, X1
+	ADDPD  X4, X2
+	MOVUPD X1, (DI)(AX*8)
+	MOVUPD X2, 16(DI)(AX*8)
+	ADDQ   $4, AX
+	CMPQ   AX, DX
+	JL     sse2loop4
+sse2tail:
+	CMPQ AX, CX
+	JGE  sse2done
+sse2scalar:
+	MOVSD (SI)(AX*8), X1
+	MULSD X0, X1
+	ADDSD (DI)(AX*8), X1
+	MOVSD X1, (DI)(AX*8)
+	INCQ  AX
+	CMPQ  AX, CX
+	JL    sse2scalar
+sse2done:
+	RET
+
+// func axpyAVX2(dst, x *float64, n int, alpha float64)
+TEXT ·axpyAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSD alpha+24(FP), Y0
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+	JE   axpytail
+axpyloop8:
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD 32(SI)(AX*8), Y2
+	VMULPD  Y0, Y1, Y1
+	VMULPD  Y0, Y2, Y2
+	VADDPD  (DI)(AX*8), Y1, Y1
+	VADDPD  32(DI)(AX*8), Y2, Y2
+	VMOVUPD Y1, (DI)(AX*8)
+	VMOVUPD Y2, 32(DI)(AX*8)
+	ADDQ    $8, AX
+	CMPQ    AX, DX
+	JL      axpyloop8
+axpytail:
+	VZEROUPPER
+	CMPQ  AX, CX
+	JGE   axpydone
+	MOVSD alpha+24(FP), X0
+axpyscalar:
+	MOVSD (SI)(AX*8), X1
+	MULSD X0, X1
+	ADDSD (DI)(AX*8), X1
+	MOVSD X1, (DI)(AX*8)
+	INCQ  AX
+	CMPQ  AX, CX
+	JL    axpyscalar
+axpydone:
+	RET
+
+// func centerScaleSSE2(dst, x, mu, sd *float64, n int)
+TEXT ·centerScaleSSE2(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ mu+16(FP), R8
+	MOVQ sd+24(FP), R9
+	MOVQ n+32(FP), CX
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-4, DX
+	JE   cssse2tail
+cssse2loop4:
+	MOVUPD (SI)(AX*8), X1
+	MOVUPD 16(SI)(AX*8), X2
+	MOVUPD (R8)(AX*8), X3
+	MOVUPD 16(R8)(AX*8), X4
+	SUBPD  X3, X1
+	SUBPD  X4, X2
+	MOVUPD (R9)(AX*8), X3
+	MOVUPD 16(R9)(AX*8), X4
+	DIVPD  X3, X1
+	DIVPD  X4, X2
+	MOVUPD X1, (DI)(AX*8)
+	MOVUPD X2, 16(DI)(AX*8)
+	ADDQ   $4, AX
+	CMPQ   AX, DX
+	JL     cssse2loop4
+cssse2tail:
+	CMPQ AX, CX
+	JGE  cssse2done
+cssse2scalar:
+	MOVSD (SI)(AX*8), X1
+	SUBSD (R8)(AX*8), X1
+	DIVSD (R9)(AX*8), X1
+	MOVSD X1, (DI)(AX*8)
+	INCQ  AX
+	CMPQ  AX, CX
+	JL    cssse2scalar
+cssse2done:
+	RET
+
+// func centerScaleAVX2(dst, x, mu, sd *float64, n int)
+TEXT ·centerScaleAVX2(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ mu+16(FP), R8
+	MOVQ sd+24(FP), R9
+	MOVQ n+32(FP), CX
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+	JE   cstail
+csloop8:
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD 32(SI)(AX*8), Y2
+	VSUBPD  (R8)(AX*8), Y1, Y1
+	VSUBPD  32(R8)(AX*8), Y2, Y2
+	VDIVPD  (R9)(AX*8), Y1, Y1
+	VDIVPD  32(R9)(AX*8), Y2, Y2
+	VMOVUPD Y1, (DI)(AX*8)
+	VMOVUPD Y2, 32(DI)(AX*8)
+	ADDQ    $8, AX
+	CMPQ    AX, DX
+	JL      csloop8
+cstail:
+	VZEROUPPER
+	CMPQ AX, CX
+	JGE  csdone
+csscalar:
+	MOVSD (SI)(AX*8), X1
+	SUBSD (R8)(AX*8), X1
+	DIVSD (R9)(AX*8), X1
+	MOVSD X1, (DI)(AX*8)
+	INCQ  AX
+	CMPQ  AX, CX
+	JL    csscalar
+csdone:
+	RET
+
+// func subSSE2(dst, x, mu *float64, n int)
+TEXT ·subSSE2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ mu+16(FP), R8
+	MOVQ n+24(FP), CX
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-4, DX
+	JE   subsse2tail
+subsse2loop4:
+	MOVUPD (SI)(AX*8), X1
+	MOVUPD 16(SI)(AX*8), X2
+	MOVUPD (R8)(AX*8), X3
+	MOVUPD 16(R8)(AX*8), X4
+	SUBPD  X3, X1
+	SUBPD  X4, X2
+	MOVUPD X1, (DI)(AX*8)
+	MOVUPD X2, 16(DI)(AX*8)
+	ADDQ   $4, AX
+	CMPQ   AX, DX
+	JL     subsse2loop4
+subsse2tail:
+	CMPQ AX, CX
+	JGE  subsse2done
+subsse2scalar:
+	MOVSD (SI)(AX*8), X1
+	SUBSD (R8)(AX*8), X1
+	MOVSD X1, (DI)(AX*8)
+	INCQ  AX
+	CMPQ  AX, CX
+	JL    subsse2scalar
+subsse2done:
+	RET
+
+// func subAVX2(dst, x, mu *float64, n int)
+TEXT ·subAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ mu+16(FP), R8
+	MOVQ n+24(FP), CX
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+	JE   subtail
+subloop8:
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD 32(SI)(AX*8), Y2
+	VSUBPD  (R8)(AX*8), Y1, Y1
+	VSUBPD  32(R8)(AX*8), Y2, Y2
+	VMOVUPD Y1, (DI)(AX*8)
+	VMOVUPD Y2, 32(DI)(AX*8)
+	ADDQ    $8, AX
+	CMPQ    AX, DX
+	JL      subloop8
+subtail:
+	VZEROUPPER
+	CMPQ AX, CX
+	JGE  subdone
+subscalar:
+	MOVSD (SI)(AX*8), X1
+	SUBSD (R8)(AX*8), X1
+	MOVSD X1, (DI)(AX*8)
+	INCQ  AX
+	CMPQ  AX, CX
+	JL    subscalar
+subdone:
+	RET
+
+// func treeMask32AVX2(v *[32]uint64, thr *float64, masks *uint64, feats *uint32, nodes int, xcols *float64, stride int)
+//
+// Branch-free bitmask tree evaluation, 32 samples per call. The 32
+// surviving-leaf bitvectors live in Y8-Y15 for the whole node loop; per
+// node the kernel broadcasts (threshold, false-mask), loads the node's
+// feature column for all 32 samples (contiguous — xcols is transposed),
+// and refines v lanewise:
+//
+//	sel  = (x <= t) ? ~0 : 0        VCMPPD LE_OQ (NaN -> false, as Go)
+//	v   &= sel | mask               VORPD + VANDPD
+//
+// ~9 uops/node for 32 samples versus ~5 loads+compare per sample per
+// step in the scalar lockstep walk — the whole win of the kernel.
+TEXT ·treeMask32AVX2(SB), NOSPLIT, $0-56
+	MOVQ v+0(FP), DI
+	MOVQ thr+8(FP), R8
+	MOVQ masks+16(FP), R9
+	MOVQ feats+24(FP), R10
+	MOVQ nodes+32(FP), CX
+	MOVQ xcols+40(FP), SI
+	MOVQ stride+48(FP), R11
+	SHLQ $3, R11
+	VMOVDQU (DI), Y8
+	VMOVDQU 32(DI), Y9
+	VMOVDQU 64(DI), Y10
+	VMOVDQU 96(DI), Y11
+	VMOVDQU 128(DI), Y12
+	VMOVDQU 160(DI), Y13
+	VMOVDQU 192(DI), Y14
+	VMOVDQU 224(DI), Y15
+	XORQ  AX, AX
+	TESTQ CX, CX
+	JE    tmstore
+tmnode:
+	MOVL  (R10)(AX*4), DX
+	IMULQ R11, DX
+	LEAQ  (SI)(DX*1), BX
+	VBROADCASTSD (R8)(AX*8), Y0
+	VPBROADCASTQ (R9)(AX*8), Y1
+	VMOVUPD (BX), Y2
+	VMOVUPD 32(BX), Y3
+	VMOVUPD 64(BX), Y4
+	VMOVUPD 96(BX), Y5
+	VCMPPD  $0x12, Y0, Y2, Y2
+	VCMPPD  $0x12, Y0, Y3, Y3
+	VCMPPD  $0x12, Y0, Y4, Y4
+	VCMPPD  $0x12, Y0, Y5, Y5
+	VORPD   Y1, Y2, Y2
+	VORPD   Y1, Y3, Y3
+	VORPD   Y1, Y4, Y4
+	VORPD   Y1, Y5, Y5
+	VANDPD  Y2, Y8, Y8
+	VANDPD  Y3, Y9, Y9
+	VANDPD  Y4, Y10, Y10
+	VANDPD  Y5, Y11, Y11
+	VMOVUPD 128(BX), Y2
+	VMOVUPD 160(BX), Y3
+	VMOVUPD 192(BX), Y4
+	VMOVUPD 224(BX), Y5
+	VCMPPD  $0x12, Y0, Y2, Y2
+	VCMPPD  $0x12, Y0, Y3, Y3
+	VCMPPD  $0x12, Y0, Y4, Y4
+	VCMPPD  $0x12, Y0, Y5, Y5
+	VORPD   Y1, Y2, Y2
+	VORPD   Y1, Y3, Y3
+	VORPD   Y1, Y4, Y4
+	VORPD   Y1, Y5, Y5
+	VANDPD  Y2, Y12, Y12
+	VANDPD  Y3, Y13, Y13
+	VANDPD  Y4, Y14, Y14
+	VANDPD  Y5, Y15, Y15
+	INCQ AX
+	CMPQ AX, CX
+	JL   tmnode
+tmstore:
+	VMOVDQU Y8, (DI)
+	VMOVDQU Y9, 32(DI)
+	VMOVDQU Y10, 64(DI)
+	VMOVDQU Y11, 96(DI)
+	VMOVDQU Y12, 128(DI)
+	VMOVDQU Y13, 160(DI)
+	VMOVDQU Y14, 192(DI)
+	VMOVDQU Y15, 224(DI)
+	VZEROUPPER
+	RET

@@ -11,6 +11,9 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"unsafe"
+
+	"trusthmd/pkg/linalg/kernel"
 )
 
 // Matrix is a dense, row-major matrix of float64 values.
@@ -183,10 +186,17 @@ func (m *Matrix) TInto(dst *Matrix) error {
 	if dst.rows != m.cols || dst.cols != m.rows {
 		return fmt.Errorf("linalg: transpose %dx%d into %dx%d: %w", m.rows, m.cols, dst.rows, dst.cols, ErrShape)
 	}
+	// The scatter writes j*dst.cols+i are in range by the shape check
+	// (i < dst.cols, j < dst.rows); unsafe stores drop the per-element
+	// bounds check from what is a pure data-movement loop on the batched
+	// inference hot path (the ensemble's feature-major batch copy).
+	dp := unsafe.Pointer(unsafe.SliceData(dst.data))
+	dcols := uintptr(dst.cols)
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
+		out := unsafe.Add(dp, uintptr(i)*8)
 		for j, v := range row {
-			dst.data[j*dst.cols+i] = v
+			*(*float64)(unsafe.Add(out, uintptr(j)*dcols*8)) = v
 		}
 	}
 	return nil
@@ -223,11 +233,21 @@ func (m *Matrix) MulInto(dst, b *Matrix) error {
 		return fmt.Errorf("linalg: mul %dx%d by %dx%d into %dx%d: %w",
 			m.rows, m.cols, b.rows, b.cols, dst.rows, dst.cols, ErrShape)
 	}
-	workers := runtime.GOMAXPROCS(0)
+	// Size the fan-out by the work available: one goroutine per
+	// mulParallelFlops of product, capped by GOMAXPROCS and the row count.
+	// Small products (and products barely past the threshold) thus run
+	// serial or nearly so instead of paying spawn-and-join overhead for
+	// sub-threshold slices — the bursty-stream path multiplies many small
+	// batches where that overhead dominated.
+	flops := m.rows * m.cols * b.cols
+	workers := flops / mulParallelFlops
+	if g := runtime.GOMAXPROCS(0); workers > g {
+		workers = g
+	}
 	if workers > m.rows {
 		workers = m.rows
 	}
-	if workers <= 1 || m.rows*m.cols*b.cols < mulParallelFlops {
+	if workers <= 1 {
 		m.mulRows(dst, b, 0, m.rows)
 		return nil
 	}
@@ -256,14 +276,26 @@ func (m *Matrix) mulRows(dst, b *Matrix, lo, hi int) {
 		for j := range orow {
 			orow[j] = 0
 		}
+		if b.cols < 12 {
+			// Narrow right-hand sides (the K-wide PCA projection) keep the
+			// inline loop: per-call kernel overhead would exceed the FLOPs.
+			for k, mv := range mrow {
+				if mv == 0 {
+					continue
+				}
+				brow := b.data[k*b.cols : (k+1)*b.cols]
+				for j, bv := range brow {
+					orow[j] += mv * bv
+				}
+			}
+			continue
+		}
 		for k, mv := range mrow {
 			if mv == 0 {
 				continue
 			}
 			brow := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range brow {
-				orow[j] += mv * bv
-			}
+			kernel.Axpy(orow, mv, brow)
 		}
 	}
 }
@@ -412,11 +444,7 @@ func (m *Matrix) CenterRowsInto(dst *Matrix, mu []float64) error {
 		return fmt.Errorf("linalg: center %dx%d into %dx%d: %w", m.rows, m.cols, dst.rows, dst.cols, ErrShape)
 	}
 	for i := 0; i < m.rows; i++ {
-		src := m.Row(i)
-		out := dst.Row(i)
-		for j, v := range src {
-			out[j] = v - mu[j]
-		}
+		kernel.Sub(dst.Row(i), m.Row(i), mu)
 	}
 	return nil
 }

@@ -3,9 +3,17 @@ package linalg
 import (
 	"fmt"
 	"math"
+
+	"trusthmd/pkg/linalg/kernel"
 )
 
 // Dot returns the inner product of a and b. It panics if the lengths differ.
+//
+// Dot is deliberately NOT vectorized: a SIMD dot product keeps per-lane
+// partial sums and reduces them at the end, which reassociates the
+// additions and changes the rounding. The repo-wide contract is that
+// results are bit-identical with and without SIMD (see pkg/linalg/kernel),
+// so horizontal reductions stay scalar.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("linalg: dot of len %d and %d", len(a), len(b)))
@@ -44,9 +52,7 @@ func AddScaled(dst []float64, s float64, src []float64) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("linalg: addscaled of len %d and %d", len(dst), len(src)))
 	}
-	for i, v := range src {
-		dst[i] += s * v
-	}
+	kernel.Axpy(dst, s, src)
 }
 
 // ScaleVec multiplies every element of v by s in place.

@@ -72,6 +72,24 @@ type BatchClassifier interface {
 	PredictBatch(X *linalg.Matrix, out []int)
 }
 
+// ColsBatchClassifier is optionally implemented by batch classifiers that
+// can additionally exploit a feature-major (transposed) copy of the batch.
+// The vectorized tree kernel loads one feature across 32 samples at a
+// time, which is contiguous only in column-major storage; the caller
+// computes the transpose once per batch and shares it across every member
+// that wants it.
+type ColsBatchClassifier interface {
+	BatchClassifier
+	// WantsCols reports whether PredictBatchCols would actually use XT on
+	// this host (vector kernel dispatched, model shape eligible). Callers
+	// may skip computing the transpose when no member wants it.
+	WantsCols() bool
+	// PredictBatchCols is PredictBatch with XT = transpose of X alongside.
+	// Implementations must produce exactly PredictBatch's labels and fall
+	// back to it when XT is nil or mis-shaped.
+	PredictBatchCols(X, XT *linalg.Matrix, out []int)
+}
+
 // Factory constructs one untrained ensemble member from a seed. The
 // ensemble calls it once per member with that member's own seed;
 // deterministic families may ignore the seed (bootstrap resampling still

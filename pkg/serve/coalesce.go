@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +61,11 @@ type coTuning struct {
 	// being collected, the flusher stops waiting out maxWait and flushes
 	// what is immediately available. 0 disables (timer/size flushes only).
 	flushDepth int
+	// pinCPU, when nonzero, is 1 + the CPU the flusher's OS thread is
+	// pinned to (sched_setaffinity on Linux, no-op elsewhere). 0 leaves
+	// the thread to the scheduler. One-based so the zero value stays
+	// unpinned.
+	pinCPU int
 }
 
 // coalescer batches concurrent single-sample requests for one replica.
@@ -74,6 +80,12 @@ type coalescer struct {
 
 	queue chan pending
 	wg    sync.WaitGroup
+
+	// scratch is the flusher's private assessment workspace: one arena per
+	// replica, touched only from the flusher goroutine, so the projection
+	// and vote buffers of a pinned replica stay resident in that core's
+	// cache across batches.
+	scratch detector.BatchScratch
 
 	mu     sync.RWMutex // guards queue close vs concurrent submit
 	closed bool
@@ -151,6 +163,13 @@ func (c *coalescer) close() {
 // the timer at all.
 func (c *coalescer) loop() {
 	defer c.wg.Done()
+	if cpu := c.tuning.pinCPU - 1; cpu >= 0 {
+		// Pin this flusher to its core for the goroutine's lifetime. The
+		// locked thread is destroyed when the goroutine exits, so the
+		// narrowed affinity mask never leaks to unrelated goroutines.
+		runtime.LockOSThread()
+		pinThread(cpu)
+	}
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
@@ -226,7 +245,9 @@ func (c *coalescer) flush(batch []pending) {
 	for i, p := range batch {
 		X[i] = p.x
 	}
-	rs, err := c.det.AssessBatch(X)
+	// The flusher is this scratch's only user, so the replica's hot
+	// buffers never migrate between workers (or cores, when pinned).
+	rs, err := c.det.AssessBatchWith(&c.scratch, X)
 	c.settle(batch, rs, err)
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -60,6 +61,11 @@ type Fleet struct {
 	// verdictAppendErrs counts verdict-store appends that failed (the tap
 	// never fails serving, so the only trace is this counter).
 	verdictAppendErrs atomic.Int64
+
+	// nextPin hands out CPU cores round-robin to replica flushers when
+	// PinCores is set; it keeps counting across loads and swaps so a
+	// replacement group lands on fresh cores instead of stacking on 0.
+	nextPin atomic.Int64
 }
 
 // group is one named shard version fanned out over N replicas. The
@@ -269,6 +275,11 @@ func (f *Fleet) newGroup(name string, version uint64, det *detector.Detector, st
 		flushDepth: f.cfg.FlushDepth,
 	}
 	for i := range g.replicas {
+		if f.cfg.PinCores {
+			// Stored one-based (see coTuning.pinCPU); core assignment wraps
+			// when the fleet outgrows the machine.
+			tuning.pinCPU = 1 + int(f.nextPin.Add(1)-1)%runtime.NumCPU()
+		}
 		g.replicas[i] = &replica{
 			name:        name,
 			version:     version,

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -370,5 +371,57 @@ func TestStatsReplicaFields(t *testing.T) {
 	}
 	if stats.FleetEpoch == 0 {
 		t.Fatal("fleet_epoch missing from /stats")
+	}
+}
+
+// TestPinCoresServes builds a pinned fleet and drives coalesced + batch
+// traffic through it: pinning is a locality discipline, so every verdict
+// must come back exactly as from an unpinned fleet, with distinct one-based
+// core assignments handed to the flushers (wrapping on small machines).
+func TestPinCoresServes(t *testing.T) {
+	d, X := testDetector(t)
+	f, err := NewFleet(map[string]*detector.Detector{"m": d}, Config{Replicas: 3, PinCores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	g, err := f.resolve("m", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncpu := runtime.NumCPU()
+	for i, r := range g.replicas {
+		want := 1 + i%ncpu
+		if got := r.co.tuning.pinCPU; got != want {
+			t.Fatalf("replica %d pinned to %d, want %d (NumCPU=%d)", i, got, want, ncpu)
+		}
+	}
+
+	want, err := d.Assess(X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := f.Assess(context.Background(), AssessSpec{Model: "m", Features: X[0], Source: "assess"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Prediction != want.Prediction || out.Result.Decision != want.Decision {
+		t.Fatalf("pinned fleet answered %+v, direct assess %+v", out.Result, want)
+	}
+
+	// A swap keeps counting cores instead of restacking on the first ones.
+	if _, err := f.Swap("m", d); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := f.resolve("m", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range g2.replicas {
+		want := 1 + (3+i)%ncpu
+		if got := r.co.tuning.pinCPU; got != want {
+			t.Fatalf("post-swap replica %d pinned to %d, want %d", i, got, want)
+		}
 	}
 }

@@ -83,6 +83,14 @@ type Config struct {
 	// consistent-hash home replica and overflow spills to the least-loaded
 	// sibling.
 	Replicas int
+	// PinCores pins each replica's flusher thread to its own CPU core,
+	// assigned round-robin across the fleet (sched_setaffinity on Linux,
+	// no-op elsewhere). With per-replica scratch arenas this keeps every
+	// replica's hot projection and vote buffers resident in one core's
+	// cache and stops flushers from migrating under load. Best with
+	// Replicas x shards <= NumCPU; assignment wraps beyond that. Verdicts
+	// are unaffected — pinning changes locality, never results.
+	PinCores bool
 	// MaxInflight caps one replica's concurrent work — coalesced requests
 	// accepted and not yet answered plus client-batch samples assessing.
 	// Beyond it requests shed with 503 + Retry-After. 0 means unbounded.
