@@ -18,8 +18,9 @@
 // experiments: train a tiny detector, build a verdict-tapped fleet
 // (-replicas controls the group size), drive N windows per scenario
 // (uniform devices, then a bursty single device) through the full
-// concurrent serving path, and report throughput with p50/p99 latency and
-// the replica spill share per scenario, plus verdict-store occupancy.
+// concurrent serving path, and report throughput with p50/p99/p999
+// latency, heap allocs per window, and the replica spill share per
+// scenario, plus verdict-store occupancy.
 package main
 
 import (
@@ -50,7 +51,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		m        = flag.Int("m", 25, "ensemble size")
 		tsneCSV  = flag.String("tsne-csv", "", "directory to dump Fig. 8 embedding coordinates as CSV")
-		loopN    = flag.Int("loop", 0, "closed-loop load harness: assess N windows per scenario through a verdict-tapped fleet and report throughput + p50/p99 (skips -exp)")
+		loopN    = flag.Int("loop", 0, "closed-loop load harness: assess N windows per scenario through a verdict-tapped fleet and report throughput + p50/p99/p999 + allocs/op (skips -exp)")
 		replicas = flag.Int("replicas", 1, "replica-group size for the -loop fleet (drives spill routing under the bursty scenario)")
 		pinCores = flag.Bool("pin-cores", false, "pin each -loop replica's flusher thread to its own CPU core (Linux; no-op elsewhere)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
@@ -221,6 +222,8 @@ func runClosedLoop(n int, seed int64, replicas int, pinCores bool, out *os.File)
 			latencies = make([][]time.Duration, workers)
 			firstErr  atomic.Pointer[error]
 		)
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
 		start := time.Now()
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -256,6 +259,7 @@ func runClosedLoop(n int, seed int64, replicas int, pinCores bool, out *os.File)
 			return *errp
 		}
 		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms1)
 		var all []time.Duration
 		for _, lats := range latencies {
 			all = append(all, lats...)
@@ -263,10 +267,14 @@ func runClosedLoop(n int, seed int64, replicas int, pinCores bool, out *os.File)
 		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 		served += int64(len(all))
 		throughput := float64(len(all)) / elapsed.Seconds()
-		fmt.Fprintf(out, "closed loop [%-7s x%d replica(s)]: %d windows in %v — %.0f verdicts/s (p50 %v, p99 %v, %.1f%% spilled, %d rejected)\n",
+		// Heap allocations across the whole scenario, per served window —
+		// the closed-loop view of the request path's alloc budget.
+		allocsPer := float64(ms1.Mallocs-ms0.Mallocs) / float64(len(all))
+		fmt.Fprintf(out, "closed loop [%-7s x%d replica(s)]: %d windows in %v — %.0f verdicts/s (p50 %v, p99 %v, p999 %v, %.1f%% spilled, %d rejected, %.1f allocs/op)\n",
 			sc.name, replicas, len(all), elapsed.Round(time.Millisecond), throughput,
-			percentile(all, 50).Round(time.Microsecond), percentile(all, 99).Round(time.Microsecond),
-			100*float64(spilled.Load())/float64(len(all)), rejected.Load())
+			percentile(all, 500).Round(time.Microsecond), percentile(all, 990).Round(time.Microsecond),
+			percentile(all, 999).Round(time.Microsecond),
+			100*float64(spilled.Load())/float64(len(all)), rejected.Load(), allocsPer)
 	}
 	st := store.Stats()
 	if st.Records != served {
@@ -294,12 +302,13 @@ func writeMemProfile(path string) {
 	}
 }
 
-// percentile reads the p-th percentile off a sorted latency slice.
+// percentile reads the p-th permille (p50 = 500, p999 = 999) off a
+// sorted latency slice.
 func percentile(sorted []time.Duration, p int) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := len(sorted) * p / 100
+	idx := len(sorted) * p / 1000
 	if idx >= len(sorted) {
 		idx = len(sorted) - 1
 	}

@@ -109,6 +109,7 @@ func main() {
 		verdictDir  = flag.String("verdict-dir", "", "persist every served verdict to this directory (append-only segment store; enables GET /v1/verdicts)")
 		verdictSeg  = flag.Int64("verdict-segment-bytes", 4<<20, "verdict-store segment size before rotation, in bytes")
 		verdictKeep = flag.Int("verdict-retain", 16, "sealed verdict segments retained; beyond it the oldest segment is dropped")
+		verdictSync = flag.Int("verdict-sync-every", 0, "verdict-store durability: 0 group-commits appends off the serving path (a crash loses at most one uncommitted group), N>0 writes each record synchronously and fsyncs every N records")
 
 		ingestDir     = flag.String("ingest-dir", "", "poll this directory for CSV telemetry drops and assess them through the fleet (enables POST /v1/ingest)")
 		ingestPoll    = flag.Duration("ingest-poll", 2*time.Second, "ingest drop-directory poll interval")
@@ -132,6 +133,7 @@ func main() {
 		verdictDir:      *verdictDir,
 		verdictSegBytes: *verdictSeg,
 		verdictRetain:   *verdictKeep,
+		verdictSync:     *verdictSync,
 		ingestDir:       *ingestDir,
 		ingestPoll:      *ingestPoll,
 		ingestQueue:     *ingestQueue,
@@ -359,6 +361,7 @@ type loopConfig struct {
 	verdictDir      string
 	verdictSegBytes int64
 	verdictRetain   int
+	verdictSync     int
 
 	ingestDir     string
 	ingestPoll    time.Duration
@@ -425,6 +428,7 @@ func run(addr, loadPath string, specs modelFlags, cfg serve.Config, workers int,
 		store, err = verdictstore.Open(loop.verdictDir, verdictstore.Config{
 			SegmentBytes: loop.verdictSegBytes,
 			MaxSegments:  loop.verdictRetain,
+			SyncEvery:    loop.verdictSync,
 		})
 		if err != nil {
 			return err

@@ -1,6 +1,10 @@
 //go:build linux
 
-package serve
+// Package cpupin pins OS threads to CPU cores — the shared cache-locality
+// discipline of the serving layer's replica flushers and the verdict
+// store's group-commit flusher. Pinning is always best-effort: failures
+// and out-of-range CPUs are ignored, never surfaced.
+package cpupin
 
 import (
 	"runtime"
@@ -8,14 +12,14 @@ import (
 	"unsafe"
 )
 
-// pinThread restricts the calling OS thread to a single CPU via
+// PinThread restricts the calling OS thread to a single CPU via
 // sched_setaffinity(2). The caller must have locked its goroutine to the
 // thread (runtime.LockOSThread) first, or the mask lands on whichever
 // thread happens to run the call. Out-of-range CPUs and syscall failures
 // are ignored: affinity is a cache-locality discipline, never a
 // correctness requirement, and a daemon in a restricted sandbox (seccomp,
 // cpuset) must keep serving unpinned rather than fail.
-func pinThread(cpu int) {
+func PinThread(cpu int) {
 	if cpu < 0 || cpu >= runtime.NumCPU() || cpu >= len(cpuSet{})*64 {
 		return
 	}

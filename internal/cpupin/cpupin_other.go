@@ -1,0 +1,7 @@
+//go:build !linux
+
+package cpupin
+
+// PinThread is a no-op off Linux: only the Linux syscall surface is
+// wired, and affinity is a best-effort locality discipline everywhere.
+func PinThread(int) {}

@@ -31,6 +31,7 @@ type BatchScratch struct {
 	input   []float64      // member feature-subset scratch
 	dists   []float64      // VoteDist backing for scratch-owned results
 	results []Result
+	rows    [][]float64 // 1-row view for the single-sample AssessInto path
 
 	// Per-worker private histograms for the parallel member partition;
 	// integer merges keep the parallel accumulation bit-identical.
@@ -88,6 +89,34 @@ func (d *Detector) AssessBatchInto(s *BatchScratch, X [][]float64) ([]Result, er
 	return d.assessScratchRows(s, X, false)
 }
 
+// AssessInto is Assess with caller-owned memory: the projection, vote and
+// result buffers all live in s, so a steady-state caller assessing one
+// sample at a time allocates nothing. The returned Result (including its
+// VoteDist) is valid only until the scratch's next use. Results are
+// element-wise identical to Assess; member votes accumulate serially, like
+// the pooled single-sample path. Detectors built WithDecomposition fall
+// back to the allocating Assess.
+func (d *Detector) AssessInto(s *BatchScratch, x []float64) (Result, error) {
+	if d.cfg.decompose {
+		return d.Assess(x)
+	}
+	s.init()
+	if cap(s.rows) == 0 {
+		s.rows = make([][]float64, 0, 1)
+	}
+	s.rows = append(s.rows[:0], x)
+	Z, err := d.pipe.ProjectRowsScratch(s.rows, s.work, s.reduced)
+	s.rows[0] = nil // do not pin the caller's vector past the call
+	if err != nil {
+		return Result{}, fmt.Errorf("detector: %w", err)
+	}
+	rs, err := d.assessZ(s, Z, false, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	return rs[0], nil
+}
+
 // loadRows copies the raw samples into the scratch work matrix, validating
 // that the batch is rectangular. Both AssessBatch entry points share it.
 func (s *BatchScratch) loadRows(X [][]float64) error {
@@ -127,7 +156,7 @@ func (d *Detector) assessScratch(s *BatchScratch, fresh bool) ([]Result, error) 
 	if err != nil {
 		return nil, fmt.Errorf("detector: %w", err)
 	}
-	return d.assessZ(s, Z, fresh)
+	return d.assessZ(s, Z, fresh, 0)
 }
 
 // assessScratchRows is assessScratch fed directly from raw sample rows:
@@ -146,12 +175,15 @@ func (d *Detector) assessScratchRows(s *BatchScratch, X [][]float64, fresh bool)
 	if err != nil {
 		return nil, fmt.Errorf("detector: %w", err)
 	}
-	return d.assessZ(s, Z, fresh)
+	return d.assessZ(s, Z, fresh, 0)
 }
 
 // assessZ is the member-vote + summarize tail shared by every batched
-// entry point, running over the already-projected batch Z.
-func (d *Detector) assessZ(s *BatchScratch, Z *linalg.Matrix, fresh bool) ([]Result, error) {
+// entry point, running over the already-projected batch Z. maxWorkers,
+// when positive, caps the member-vote parallelism below the detector's
+// configured worker count (the single-sample path forces 1 to match the
+// serial pooled path's cost profile); 0 leaves the configuration alone.
+func (d *Detector) assessZ(s *BatchScratch, Z *linalg.Matrix, fresh bool, maxWorkers int) ([]Result, error) {
 	n, k := Z.Rows(), d.pipe.Classes()
 	members := d.pipe.Members()
 
@@ -179,6 +211,9 @@ func (d *Detector) assessZ(s *BatchScratch, Z *linalg.Matrix, fresh bool) ([]Res
 	workers := d.cfg.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if maxWorkers > 0 && workers > maxWorkers {
+		workers = maxWorkers
 	}
 	if workers > members {
 		workers = members

@@ -23,6 +23,12 @@ type AssessSpec struct {
 	// Source tags the verdict's origin in the verdict store ("assess",
 	// "batch", "stream", "ingest"; default "assess").
 	Source string
+	// VoteBuf, when non-nil, is a caller-owned buffer the verdict's vote
+	// distribution is built in (grown as needed) instead of a fresh
+	// allocation. On success the returned Result owns the possibly-regrown
+	// buffer; on error the buffer must be considered lost — the coalescer
+	// may still be writing into it (see coalescer.submitVotes).
+	VoteBuf []float64
 }
 
 // AssessOutcome is one served verdict with its provenance.
@@ -97,7 +103,7 @@ func (f *Fleet) Assess(ctx context.Context, spec AssessSpec) (AssessOutcome, err
 				missCounted = true
 			}
 		}
-		res, err := sh.assessOne(ctx, spec.Features)
+		res, err := sh.assessOne(ctx, spec.Features, spec.VoteBuf)
 		switch {
 		case err == nil:
 			sh.cache.put(key, spec.Features, res)
@@ -161,6 +167,14 @@ func writeAssessError(w http.ResponseWriter, err error) {
 		writeResolveError(w, route.err)
 	case errors.As(err, &invalid):
 		writeError(w, http.StatusBadRequest, err.Error())
+	case err == ErrQueueFull:
+		// The exact sentinel is the hot shed path: precomputed body, no
+		// formatting — overload rejection must itself be cheap.
+		w.Header()["Retry-After"] = retryAfterOne
+		writeBytes(w, http.StatusServiceUnavailable, bodyQueueFull)
+	case err == ErrClosed:
+		w.Header()["Retry-After"] = retryAfterOne
+		writeBytes(w, http.StatusServiceUnavailable, bodyClosed)
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err.Error())

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"trusthmd/internal/cpupin"
 	"trusthmd/pkg/detector"
 )
 
@@ -31,13 +32,27 @@ var ErrQueueFull = errors.New("serve: assessment queue full")
 // ErrClosed is returned for requests submitted after shutdown began.
 var ErrClosed = errors.New("serve: server is shutting down")
 
-// pending is one queued single-sample request.
+// pending is one queued single-sample request. Pendings are pooled: the
+// 1-slot result channel is the expensive part, and the steady state reuses
+// it across requests instead of allocating one per submit.
 type pending struct {
 	x []float64
+	// votes, when non-nil, is the caller-owned buffer the flusher copies
+	// the verdict's vote distribution into (nil falls back to a fresh
+	// allocation). Ownership rides with the request: once enqueued, the
+	// buffer belongs to the flusher until the caller receives the outcome,
+	// and a caller that gives up (context cancellation) must abandon it.
+	votes []float64
 	// out is buffered (capacity 1) so the flusher never blocks on a caller
 	// that gave up (context cancellation, client disconnect).
 	out chan outcome
 }
+
+// pendingPool recycles pending objects and their result channels. A
+// pending is returned to the pool only after its outcome was received —
+// one abandoned mid-flight stays out (the flusher may still write to it)
+// and is collected with its channel when both sides drop it.
+var pendingPool = sync.Pool{New: func() any { return &pending{out: make(chan outcome, 1)} }}
 
 type outcome struct {
 	res detector.Result
@@ -78,14 +93,17 @@ type coalescer struct {
 	// the queue and not yet settled. The group's load-aware pick reads it.
 	inflight atomic.Int64
 
-	queue chan pending
+	queue chan *pending
 	wg    sync.WaitGroup
 
 	// scratch is the flusher's private assessment workspace: one arena per
 	// replica, touched only from the flusher goroutine, so the projection
 	// and vote buffers of a pinned replica stay resident in that core's
-	// cache across batches.
+	// cache across batches. xbuf and one are the flusher-owned batch view
+	// and single-result slot, reused every flush.
 	scratch detector.BatchScratch
+	xbuf    [][]float64
+	one     [1]detector.Result
 
 	mu     sync.RWMutex // guards queue close vs concurrent submit
 	closed bool
@@ -97,7 +115,7 @@ func newCoalescer(det *detector.Detector, tuning coTuning, stats *shardStats) *c
 		det:    det,
 		tuning: tuning,
 		stats:  stats,
-		queue:  make(chan pending, tuning.queueSize),
+		queue:  make(chan *pending, tuning.queueSize),
 	}
 	c.wg.Add(1)
 	go c.loop()
@@ -110,10 +128,21 @@ func (c *coalescer) queueDepth() int { return len(c.queue) }
 // submit enqueues one feature vector and blocks until its coalesced batch
 // is assessed, the context is cancelled, or admission control rejects it.
 func (c *coalescer) submit(ctx context.Context, x []float64) (detector.Result, error) {
-	p := pending{x: x, out: make(chan outcome, 1)}
+	return c.submitVotes(ctx, x, nil)
+}
+
+// submitVotes is submit with a caller-owned vote buffer: the verdict's
+// VoteDist is built in votes (growing it as needed) instead of a fresh
+// allocation. On success the returned Result owns the (possibly regrown)
+// buffer; on any error after enqueue the buffer must be considered lost.
+func (c *coalescer) submitVotes(ctx context.Context, x, votes []float64) (detector.Result, error) {
+	p := pendingPool.Get().(*pending)
+	p.x, p.votes = x, votes
 	c.mu.RLock()
 	if c.closed {
 		c.mu.RUnlock()
+		p.x, p.votes = nil, nil
+		pendingPool.Put(p)
 		return detector.Result{}, ErrClosed
 	}
 	if c.tuning.shedDepth > 0 && len(c.queue) >= c.tuning.shedDepth {
@@ -121,6 +150,8 @@ func (c *coalescer) submit(ctx context.Context, x []float64) (detector.Result, e
 		// latency than a retry would cost the client.
 		c.mu.RUnlock()
 		c.stats.shed.Add(1)
+		p.x, p.votes = nil, nil
+		pendingPool.Put(p)
 		return detector.Result{}, ErrQueueFull
 	}
 	select {
@@ -130,15 +161,21 @@ func (c *coalescer) submit(ctx context.Context, x []float64) (detector.Result, e
 	default:
 		c.mu.RUnlock()
 		c.stats.shed.Add(1)
+		p.x, p.votes = nil, nil
+		pendingPool.Put(p)
 		return detector.Result{}, ErrQueueFull
 	}
 	c.stats.requests.Add(1)
 	select {
 	case o := <-p.out:
+		p.x, p.votes = nil, nil
+		pendingPool.Put(p)
 		return o.res, o.err
 	case <-ctx.Done():
 		// The flusher still assesses the sample; the buffered channel
-		// absorbs the result nobody is waiting for.
+		// absorbs the result nobody is waiting for. The pending (and the
+		// caller's vote buffer with it) is abandoned, not pooled — the
+		// flusher may still be writing to both.
 		return detector.Result{}, ctx.Err()
 	}
 }
@@ -168,14 +205,14 @@ func (c *coalescer) loop() {
 		// locked thread is destroyed when the goroutine exits, so the
 		// narrowed affinity mask never leaks to unrelated goroutines.
 		runtime.LockOSThread()
-		pinThread(cpu)
+		cpupin.PinThread(cpu)
 	}
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
 	}
 	defer timer.Stop()
-	batch := make([]pending, 0, c.tuning.maxBatch)
+	batch := make([]*pending, 0, c.tuning.maxBatch)
 	for {
 		p, ok := <-c.queue
 		if !ok {
@@ -233,27 +270,37 @@ func (c *coalescer) loop() {
 	}
 }
 
-// flush assesses one coalesced batch and fans the results back out.
-func (c *coalescer) flush(batch []pending) {
+// flush assesses one coalesced batch and fans the results back out. The
+// results come out of the flusher's scratch arena — settle copies each
+// vote distribution out (into the caller's buffer when one was provided)
+// before the next flush reuses the arena.
+func (c *coalescer) flush(batch []*pending) {
 	c.stats.batches.Add(1)
 	if len(batch) == 1 {
-		r, err := c.det.Assess(batch[0].x)
-		c.settle(batch[:1], []detector.Result{r}, err)
+		var err error
+		c.one[0], err = c.det.AssessInto(&c.scratch, batch[0].x)
+		c.settle(batch, c.one[:], err)
 		return
 	}
-	X := make([][]float64, len(batch))
-	for i, p := range batch {
-		X[i] = p.x
+	X := c.xbuf[:0]
+	for _, p := range batch {
+		X = append(X, p.x)
 	}
+	c.xbuf = X
 	// The flusher is this scratch's only user, so the replica's hot
 	// buffers never migrate between workers (or cores, when pinned).
-	rs, err := c.det.AssessBatchWith(&c.scratch, X)
+	rs, err := c.det.AssessBatchInto(&c.scratch, X)
 	c.settle(batch, rs, err)
+	// Drop the borrowed feature-vector views so the batch's request
+	// scratches are not pinned until the next flush.
+	clear(c.xbuf)
 }
 
 // settle delivers per-request outcomes, updates the decision tally, and
-// retires the batch from the in-flight gauge.
-func (c *coalescer) settle(batch []pending, rs []detector.Result, err error) {
+// retires the batch from the in-flight gauge. rs is scratch-owned: each
+// result's VoteDist is copied into the request's vote buffer (or a fresh
+// slice for buffer-less callers) before it leaves the flusher.
+func (c *coalescer) settle(batch []*pending, rs []detector.Result, err error) {
 	defer c.inflight.Add(-int64(len(batch)))
 	if err != nil {
 		c.stats.errors.Add(int64(len(batch)))
@@ -264,6 +311,8 @@ func (c *coalescer) settle(batch []pending, rs []detector.Result, err error) {
 	}
 	c.stats.observe(rs)
 	for i, p := range batch {
-		p.out <- outcome{res: rs[i]}
+		r := rs[i]
+		r.VoteDist = append(p.votes[:0], r.VoteDist...)
+		p.out <- outcome{res: r}
 	}
 }

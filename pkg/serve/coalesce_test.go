@@ -71,7 +71,7 @@ func TestCoalescerFlushOnLatency(t *testing.T) {
 func TestCoalescerQueueFull(t *testing.T) {
 	d, X := testDetector(t)
 	st := &shardStats{}
-	c := &coalescer{det: d, tuning: coTuning{maxBatch: 8, queueSize: 1, maxWait: time.Hour}, stats: st, queue: make(chan pending, 1)}
+	c := &coalescer{det: d, tuning: coTuning{maxBatch: 8, queueSize: 1, maxWait: time.Hour}, stats: st, queue: make(chan *pending, 1)}
 
 	cancelled, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -99,7 +99,7 @@ func TestCoalescerShedDepth(t *testing.T) {
 		det:    d,
 		tuning: coTuning{maxBatch: 8, queueSize: 8, maxWait: time.Hour, shedDepth: 1},
 		stats:  st,
-		queue:  make(chan pending, 8),
+		queue:  make(chan *pending, 8),
 	}
 
 	cancelled, cancel := context.WithCancel(context.Background())
@@ -131,7 +131,7 @@ func TestCoalescerEarlyFlush(t *testing.T) {
 		det:    d,
 		tuning: coTuning{maxBatch: 1 << 20, queueSize: 64, maxWait: time.Hour, flushDepth: 2},
 		stats:  st,
-		queue:  make(chan pending, 64),
+		queue:  make(chan *pending, 64),
 	}
 
 	const n = 4

@@ -132,12 +132,12 @@ func (r *replica) overloaded() bool {
 // assessOne is the admission-controlled single-sample path: the in-flight
 // cap is enforced here (the queue-depth watermark lives in the coalescer),
 // then the request coalesces as before.
-func (r *replica) assessOne(ctx context.Context, x []float64) (detector.Result, error) {
+func (r *replica) assessOne(ctx context.Context, x, votes []float64) (detector.Result, error) {
 	if r.maxInflight > 0 && r.load() >= int64(r.maxInflight) {
 		r.stats.shed.Add(1)
 		return detector.Result{}, ErrQueueFull
 	}
-	return r.co.submit(ctx, x)
+	return r.co.submitVotes(ctx, x, votes)
 }
 
 // admitBatch reserves capacity for a client-supplied batch of n samples.

@@ -55,6 +55,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -313,27 +314,49 @@ func (s *Server) Close() {
 func (s *Server) Stats() []ShardStats { return s.fleet.Stats() }
 
 func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
-	var req AssessRequest
-	if !s.decodeJSON(w, r, &req) {
+	sc := getCodecScratch()
+	defer putCodecScratch(sc)
+	if !s.readBody(w, r, sc, s.fleet.cfg.MaxBodyBytes) {
 		return
 	}
+	var req AssessRequest
+	if err := decodeAssessRequest(sc.body, sc, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	// Hand the scratch vote buffer to the assessment: the coalescer copies
+	// the verdict's vote distribution into it instead of allocating. The
+	// buffer's ownership rides with the request — on any error after
+	// enqueue the flusher may still write into it, so it is recovered only
+	// from a successful outcome and abandoned otherwise.
+	voteBuf := sc.votes
+	sc.votes = nil
 	out, err := s.fleet.Assess(r.Context(), AssessSpec{
 		Model:    req.Model,
 		Device:   req.Device,
 		Features: req.Features,
 		Source:   "assess",
+		VoteBuf:  voteBuf,
 	})
 	if err != nil {
 		writeAssessError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toResponse(out.Model, out.Version, out.Result))
+	sc.votes = out.Result.VoteDist
+	sc.out = appendResultResponse(sc.out[:0], out.Model, out.Version, &out.Result)
+	writeBytes(w, http.StatusOK, sc.out)
 }
 
 func (s *Server) handleAssessBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	sc := getCodecScratch()
+	defer putCodecScratch(sc)
+	if !s.readBody(w, r, sc, s.fleet.cfg.MaxBodyBytes) {
+		return
+	}
 	var req BatchRequest
-	if !s.decodeJSON(w, r, &req) {
+	if err := decodeBatchRequest(sc.body, sc, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
 	g, err := s.fleet.resolve(req.Model, req.Device)
@@ -371,16 +394,22 @@ func (s *Server) handleAssessBatch(w http.ResponseWriter, r *http.Request) {
 	// The client already aggregated; consult the cross-request cache per
 	// vector and go straight to the batched path for the misses only.
 	// With the cache disabled, every row is a "miss" without hashing or
-	// counter traffic.
-	results := make([]detector.Result, n)
-	var keys []uint64
-	var missIdx []int
+	// counter traffic. All working slices live in the request scratch; the
+	// assessed results are scratch-owned too, which is safe here because
+	// everything retained past the handler (cache entries, verdict
+	// records) copies out of them and the response is encoded before the
+	// scratch is pooled again.
+	if cap(sc.results) < n {
+		sc.results = make([]detector.Result, n)
+	}
+	results := sc.results[:n]
+	keys := sc.keys[:0]
+	missIdx := sc.missIdx[:0]
 	missX := req.Batch
 	if sh.cache != nil {
-		keys = make([]uint64, n)
-		missX = nil
+		missX = sc.missX[:0]
 		for i, x := range req.Batch {
-			keys[i] = hashVec(x)
+			keys = append(keys, hashVec(x))
 			if r, ok := sh.cache.get(keys[i], x); ok {
 				results[i] = r
 				continue
@@ -388,23 +417,24 @@ func (s *Server) handleAssessBatch(w http.ResponseWriter, r *http.Request) {
 			missIdx = append(missIdx, i)
 			missX = append(missX, x)
 		}
+		sc.keys, sc.missIdx, sc.missX = keys, missIdx, missX
 		sh.stats.cacheHits.Add(int64(n - len(missX)))
 		sh.stats.cacheMisses.Add(int64(len(missX)))
 	}
 	if len(missX) > 0 {
-		rs, err := sh.det.AssessBatch(missX)
+		rs, err := sh.det.AssessBatchInto(&sc.assess, missX)
 		if err != nil {
 			sh.stats.errors.Add(int64(len(missX)))
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
-		for j, r := range rs {
+		for j := range rs {
 			idx := j
 			if sh.cache != nil {
 				idx = missIdx[j]
-				sh.cache.put(keys[idx], missX[j], r)
+				sh.cache.put(keys[idx], missX[j], rs[j])
 			}
-			results[idx] = r
+			results[idx] = rs[j]
 		}
 	}
 	sh.stats.batchRequests.Add(1)
@@ -414,14 +444,11 @@ func (s *Server) handleAssessBatch(w http.ResponseWriter, r *http.Request) {
 	// Tap every row into the verdict store (latency is the whole batch's
 	// serving time — the rows were answered together).
 	elapsed := time.Since(start)
-	for i, res := range results {
-		s.fleet.recordVerdict(req.Device, "batch", sh.name, sh.version, res, req.Batch[i], elapsed)
+	for i := range results {
+		s.fleet.recordVerdict(req.Device, "batch", sh.name, sh.version, results[i], req.Batch[i], elapsed)
 	}
-	resp := BatchResponse{Model: sh.name, Version: sh.version, Results: make([]AssessResponse, n)}
-	for i, r := range results {
-		resp.Results[i] = toResponse(sh.name, sh.version, r)
-	}
-	writeJSON(w, http.StatusOK, resp)
+	sc.out = appendBatchResponseResults(sc.out[:0], sh.name, sh.version, results)
+	writeBytes(w, http.StatusOK, sc.out)
 }
 
 // handleModels serves the listing (GET) and the admin load/swap (POST).
@@ -509,6 +536,48 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// readBody enforces POST and slurps the request body into sc.body,
+// bounding it at limit bytes — the hot-path replacement for the
+// MaxBytesReader + json.Decoder pipeline, reading into pooled scratch
+// instead of wrapping the body in a fresh limiter per request.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, sc *codecScratch, limit int64) bool {
+	if !requireMethod(w, r, http.MethodPost) {
+		return false
+	}
+	buf := sc.body[:0]
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, 4096)
+	}
+	for {
+		if int64(len(buf)) > limit {
+			sc.body = buf
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", limit))
+			return false
+		}
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sc.body = buf
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return false
+		}
+	}
+	sc.body = buf
+	if int64(len(buf)) > limit {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", limit))
+		return false
+	}
+	return true
+}
+
 // decodeJSON enforces POST, bounds the body, and decodes strictly.
 func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	return s.decodeJSONLimit(w, r, v, s.fleet.cfg.MaxBodyBytes)
@@ -551,26 +620,71 @@ func writeResolveError(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusNotFound, err.Error())
 }
 
+// contentTypeJSON is the shared Content-Type header value; assigning the
+// slice directly skips the per-call []string allocation Header().Set pays.
+var contentTypeJSON = []string{"application/json"}
+
+// retryAfterOne is the shared Retry-After value every shed answer carries.
+var retryAfterOne = []string{"1"}
+
+// bodyQueueFull / bodyClosed are the precomputed shed envelopes: a
+// saturated box answers 503 from static bytes instead of encoding its way
+// through its own overload.
+var (
+	bodyQueueFull = appendErrorResponse(nil, ErrQueueFull.Error())
+	bodyClosed    = appendErrorResponse(nil, ErrClosed.Error())
+)
+
+// methodNotAllowedBodies precomputes the 405 envelope for every
+// Allow-header combination the mux mounts, so method discipline on a
+// saturated box costs no encoding.
+var methodNotAllowedBodies = map[string][]byte{}
+
+func init() {
+	for _, ms := range [][]string{
+		{http.MethodPost},
+		{http.MethodGet},
+		{http.MethodGet, http.MethodPost},
+		{http.MethodGet, http.MethodDelete},
+	} {
+		methodNotAllowedBodies[strings.Join(ms, ", ")] =
+			appendErrorResponse(nil, "use "+strings.Join(ms, " or "))
+	}
+}
+
 // requireMethod answers 405 (with the Allow header listing every accepted
 // method, per RFC 9110) unless the request used one of them. The error
-// body keeps the JSON envelope like every other non-2xx answer.
+// body keeps the JSON envelope like every other non-2xx answer; the known
+// method combinations are served from precomputed bytes.
 func requireMethod(w http.ResponseWriter, r *http.Request, methods ...string) bool {
 	for _, m := range methods {
 		if r.Method == m {
 			return true
 		}
 	}
-	w.Header().Set("Allow", strings.Join(methods, ", "))
+	allow := strings.Join(methods, ", ")
+	w.Header().Set("Allow", allow)
+	if body, ok := methodNotAllowedBodies[allow]; ok {
+		writeBytes(w, http.StatusMethodNotAllowed, body)
+		return false
+	}
 	writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("use %s", strings.Join(methods, " or ")))
 	return false
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header()["Content-Type"] = contentTypeJSON
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeBytes answers with a pre-encoded JSON body.
+func writeBytes(w http.ResponseWriter, code int, body []byte) {
+	w.Header()["Content-Type"] = contentTypeJSON
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
+}
+
 func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, ErrorResponse{Error: msg})
+	writeBytes(w, code, appendErrorResponse(nil, msg))
 }

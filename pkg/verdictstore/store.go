@@ -10,15 +10,26 @@
 // [uint32 length | uint32 CRC-32 | JSON payload]; the active segment
 // rotates once it exceeds Config.SegmentBytes and retention drops the
 // oldest segments beyond Config.MaxSegments. Recovery is crash-safe: Open
-// scans every segment, truncates a torn tail at the last intact frame
-// (a crash mid-append loses at most the record being written), and
-// resumes the sequence number after the last durable record.
+// scans every segment, truncates a torn tail at the last intact frame,
+// and resumes the sequence number after the last durable record.
+//
+// Appends are group-committed: Append frames the record into an
+// in-memory pending group and returns; a background flusher (optionally
+// core-pinned) drains the whole group with one write syscall and fsyncs
+// the active segment on a timer, so the serving path never waits on the
+// disk. Query, Stats, Sync and Close commit the pending group first, so
+// a read always observes every Append that returned before it. The
+// durability contract: a crash loses at most one uncommitted group plus
+// whatever the OS had not flushed since the last fsync tick — Sync
+// forces full durability on demand, and Config.SyncEvery switches the
+// store to synchronous per-record writes when that window is too wide.
 //
 // A Store is safe for concurrent use.
 package verdictstore
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -27,10 +38,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"trusthmd/internal/cpupin"
 )
 
 // Record is one served verdict. Seq is store-assigned and strictly
@@ -67,6 +81,20 @@ type Config struct {
 	// oldest segments are deleted, records and all (default 16 segments —
 	// with the default segment size, ~64 MiB of verdict history).
 	MaxSegments int
+	// SyncEvery selects the durability mode. 0 (the default) is group
+	// commit: Append frames the record into a pending group and returns,
+	// and a background flusher writes each group with one syscall,
+	// fsyncing every SyncInterval. N > 0 makes Append synchronous — the
+	// record is written before Append returns and the segment is fsynced
+	// every N records (1 = fsync per append, write-ahead-log durability).
+	SyncEvery int
+	// SyncInterval is the background fsync cadence of group-commit mode
+	// (default 100ms). Ignored when SyncEvery > 0.
+	SyncInterval time.Duration
+	// PinCPU, when nonzero, is 1 + the CPU core the group-commit flusher
+	// thread is pinned to (sched_setaffinity on Linux, no-op elsewhere).
+	// One-based so the zero value stays unpinned.
+	PinCPU int
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +103,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSegments <= 0 {
 		c.MaxSegments = 16
+	}
+	if c.SyncEvery < 0 {
+		c.SyncEvery = 0
+	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = 100 * time.Millisecond
 	}
 	return c
 }
@@ -129,6 +163,16 @@ type segment struct {
 	bytes    int64
 }
 
+// pendMeta is the bookkeeping of one framed-but-unwritten record in the
+// pending group: what commitLocked needs to account the frame to its
+// segment without retaining the Record (the frame bytes live in pendBuf,
+// so Append borrows nothing from the caller past its return).
+type pendMeta struct {
+	seq  uint64
+	tn   int64 // Record.Time in unix nanos, for segment time bounds
+	size int   // frame bytes (header + payload) in pendBuf
+}
+
 // Store is the embedded verdict log. Open one per daemon.
 type Store struct {
 	dir string
@@ -138,7 +182,21 @@ type Store struct {
 	closed bool
 	segs   []*segment // oldest first; the last one is active
 	f      *os.File   // active segment, O_APPEND
-	w      *bufio.Writer
+
+	// The pending group: Append frames records into pendBuf (metadata in
+	// pending) and the flusher — or the next Query/Stats/Sync/Close —
+	// commits the whole group with one write syscall.
+	pending   []pendMeta
+	pendBuf   []byte
+	encBuf    bytes.Buffer
+	enc       *json.Encoder
+	dirty     bool  // active segment has writes not yet fsynced
+	werr      error // sticky background commit error; surfaced and cleared by the next Append/Sync
+	sinceSync int   // records since the last fsync (SyncEvery > 0 mode)
+
+	signal chan struct{} // wakes the flusher after an append; cap 1, non-blocking send
+	stopCh chan struct{} // nil when no flusher runs (SyncEvery > 0)
+	wg     sync.WaitGroup
 
 	nextSeq   uint64
 	appended  int64
@@ -190,14 +248,20 @@ func Open(dir string, cfg Config) (*Store, error) {
 		}
 	}
 	// Resume the last segment when it has rotation headroom; otherwise
-	// (or when the directory is empty) the first append opens a fresh one.
+	// (or when the directory is empty) the first commit opens a fresh one.
 	if n := len(s.segs); n > 0 && s.segs[n-1].bytes < cfg.SegmentBytes {
 		f, err := os.OpenFile(s.segs[n-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("verdictstore: %w", err)
 		}
 		s.f = f
-		s.w = bufio.NewWriter(f)
+	}
+	s.enc = json.NewEncoder(&s.encBuf)
+	s.signal = make(chan struct{}, 1)
+	if cfg.SyncEvery == 0 {
+		s.stopCh = make(chan struct{})
+		s.wg.Add(1)
+		go s.flusher(s.signal, s.stopCh)
 	}
 	return s, nil
 }
@@ -223,7 +287,7 @@ func (s *Store) recoverSegment(path string) (*segment, error) {
 		}
 		offset += n
 		good = offset
-		seg.note(rec)
+		seg.note(rec.Seq, rec.Time.UnixNano())
 	}
 	fi, err := f.Stat()
 	if err != nil {
@@ -239,18 +303,17 @@ func (s *Store) recoverSegment(path string) (*segment, error) {
 	return seg, nil
 }
 
-// note folds one recovered or appended record into the segment metadata.
-func (g *segment) note(rec Record) {
+// note folds one recovered or committed record into the segment metadata.
+func (g *segment) note(seq uint64, tn int64) {
 	if g.records == 0 {
-		g.firstSeq = rec.Seq
+		g.firstSeq = seq
 	}
-	g.lastSeq = rec.Seq
-	t := rec.Time.UnixNano()
-	if g.records == 0 || t < g.minTime {
-		g.minTime = t
+	g.lastSeq = seq
+	if g.records == 0 || tn < g.minTime {
+		g.minTime = tn
 	}
-	if t > g.maxTime {
-		g.maxTime = t
+	if tn > g.maxTime {
+		g.maxTime = tn
 	}
 	g.records++
 }
@@ -285,72 +348,145 @@ func readFrame(br *bufio.Reader) (Record, int64, error) {
 }
 
 // Append stamps and persists one record, returning its sequence number.
-// The write is buffered; Sync (or rotation or Close) makes it durable,
-// and Query always observes it immediately.
+// In group-commit mode (Config.SyncEvery == 0) the record is framed into
+// the pending group and written by the background flusher — Append never
+// waits on the disk, and Query still observes the record immediately.
+// With SyncEvery > 0 the write (and every N-th fsync) happens before
+// Append returns. Append borrows nothing from rec: the frame is encoded
+// before Append returns, so the caller may reuse Votes and Features.
 func (s *Store) Append(rec Record) (uint64, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return 0, ErrClosed
+	}
+	if err := s.werr; err != nil {
+		// Surface (and clear) a background commit failure on the append
+		// path instead of acknowledging records a dead disk will lose.
+		s.werr = nil
+		s.mu.Unlock()
+		return 0, err
 	}
 	rec.Seq = s.nextSeq
 	if rec.Time.IsZero() {
 		rec.Time = time.Now()
 	}
-	payload, err := json.Marshal(rec)
-	if err != nil {
+	s.encBuf.Reset()
+	if err := s.enc.Encode(rec); err != nil {
+		s.mu.Unlock()
 		return 0, fmt.Errorf("verdictstore: %w", err)
 	}
+	payload := s.encBuf.Bytes()
+	payload = payload[:len(payload)-1] // Encode appends '\n'; frames carry bare JSON
 	if len(payload) > maxPayload {
+		s.mu.Unlock()
 		return 0, fmt.Errorf("verdictstore: record of %d bytes exceeds frame limit", len(payload))
-	}
-	if s.f == nil || s.active().bytes >= s.cfg.SegmentBytes {
-		if err := s.rotateLocked(); err != nil {
-			return 0, err
-		}
 	}
 	var hdr [frameHdr]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	if _, err := s.w.Write(hdr[:]); err != nil {
-		return 0, fmt.Errorf("verdictstore: %w", err)
-	}
-	if _, err := s.w.Write(payload); err != nil {
-		return 0, fmt.Errorf("verdictstore: %w", err)
-	}
-	seg := s.active()
-	seg.note(rec)
-	seg.bytes += frameHdr + int64(len(payload))
+	s.pendBuf = append(s.pendBuf, hdr[:]...)
+	s.pendBuf = append(s.pendBuf, payload...)
+	s.pending = append(s.pending, pendMeta{seq: rec.Seq, tn: rec.Time.UnixNano(), size: frameHdr + len(payload)})
 	s.nextSeq++
 	s.appended++
+	if s.cfg.SyncEvery > 0 {
+		err := s.commitLocked()
+		if err == nil {
+			s.sinceSync++
+			if s.sinceSync >= s.cfg.SyncEvery && s.f != nil {
+				if serr := s.f.Sync(); serr != nil {
+					err = fmt.Errorf("verdictstore: %w", serr)
+				}
+				s.dirty = false
+				s.sinceSync = 0
+			}
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		return rec.Seq, nil
+	}
+	s.mu.Unlock()
+	select {
+	case s.signal <- struct{}{}:
+	default: // flusher already signalled
+	}
 	return rec.Seq, nil
 }
 
 func (s *Store) active() *segment { return s.segs[len(s.segs)-1] }
 
-// rotateLocked seals the active segment (flush + fsync) and opens a fresh
-// one, then enforces retention. Callers hold s.mu.
-func (s *Store) rotateLocked() error {
-	if s.f != nil {
-		if err := s.w.Flush(); err != nil {
-			return fmt.Errorf("verdictstore: %w", err)
+// commitLocked writes the pending group to the active segment — one
+// write syscall per contiguous run, rotating mid-group when the segment
+// bound is crossed. The group is consumed whether or not the commit
+// lands: a write failure drops it (the error is the caller's, or parks
+// in werr for the next Append/Sync to surface) rather than retrying
+// forever against a dead disk. Callers hold s.mu.
+func (s *Store) commitLocked() error {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	defer func() {
+		s.pending = s.pending[:0]
+		s.pendBuf = s.pendBuf[:0]
+	}()
+	off, start := 0, 0
+	for _, pm := range s.pending {
+		if s.f == nil || s.active().bytes >= s.cfg.SegmentBytes {
+			// Flush the run accounted to the outgoing segment before
+			// rotation seals it.
+			if err := s.writeGroup(start, off); err != nil {
+				return err
+			}
+			start = off
+			if err := s.rotateLocked(pm.seq); err != nil {
+				return err
+			}
 		}
+		seg := s.active()
+		seg.note(pm.seq, pm.tn)
+		seg.bytes += int64(pm.size)
+		off += pm.size
+	}
+	return s.writeGroup(start, off)
+}
+
+// writeGroup pushes pendBuf[start:end] — the frames accounted to the
+// current active segment — to the file in one Write. Callers hold s.mu.
+func (s *Store) writeGroup(start, end int) error {
+	if end == start {
+		return nil
+	}
+	if _, err := s.f.Write(s.pendBuf[start:end]); err != nil {
+		return fmt.Errorf("verdictstore: %w", err)
+	}
+	s.dirty = true
+	return nil
+}
+
+// rotateLocked seals the active segment (fsync + close) and opens a
+// fresh one named for the first sequence it will hold, then enforces
+// retention. Callers hold s.mu.
+func (s *Store) rotateLocked(firstSeq uint64) error {
+	if s.f != nil {
 		if err := s.f.Sync(); err != nil {
 			return fmt.Errorf("verdictstore: %w", err)
 		}
 		if err := s.f.Close(); err != nil {
 			return fmt.Errorf("verdictstore: %w", err)
 		}
-		s.f, s.w = nil, nil
+		s.f = nil
+		s.dirty = false
 	}
-	path := filepath.Join(s.dir, segName(s.nextSeq))
+	path := filepath.Join(s.dir, segName(firstSeq))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("verdictstore: %w", err)
 	}
 	s.f = f
-	s.w = bufio.NewWriter(f)
-	s.segs = append(s.segs, &segment{path: path, firstSeq: s.nextSeq})
+	s.segs = append(s.segs, &segment{path: path, firstSeq: firstSeq})
 	// Retention: drop the oldest sealed segments beyond the bound. The
 	// fresh (last) segment is never a candidate.
 	for len(s.segs) > s.cfg.MaxSegments {
@@ -364,6 +500,57 @@ func (s *Store) rotateLocked() error {
 	return nil
 }
 
+// flusher is the group-commit goroutine: drain the pending group on
+// every append signal (one write syscall per group), fsync the active
+// segment on the SyncInterval tick, final-drain on shutdown. The
+// channels are captured at start so Close can clear the Store fields.
+func (s *Store) flusher(signal, stop chan struct{}) {
+	defer s.wg.Done()
+	if s.cfg.PinCPU > 0 {
+		// Pin for the goroutine's lifetime; the locked thread dies with
+		// it, so the narrowed affinity mask never leaks.
+		runtime.LockOSThread()
+		cpupin.PinThread(s.cfg.PinCPU - 1)
+	}
+	ticker := time.NewTicker(s.cfg.SyncInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-signal:
+			s.drain(false)
+		case <-ticker.C:
+			s.drain(true)
+		case <-stop:
+			s.drain(false)
+			return
+		}
+	}
+}
+
+// drain commits the pending group; with fsync it also makes the active
+// segment durable (outside the lock, so appends keep flowing while the
+// disk syncs). Commit failures park in werr for Append/Sync to surface.
+func (s *Store) drain(fsync bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if err := s.commitLocked(); err != nil && s.werr == nil {
+		s.werr = err
+	}
+	var f *os.File
+	if fsync && s.dirty && s.f != nil {
+		f, s.dirty = s.f, false
+	}
+	s.mu.Unlock()
+	if f != nil {
+		// A background fsync error is not actionable here; a genuinely
+		// dead disk fails the next commit's write, which is sticky.
+		_ = f.Sync()
+	}
+}
+
 // Query returns the records matching f in sequence order. It observes
 // every Append that returned before the call, flushed or not.
 func (s *Store) Query(f Filter) ([]Record, error) {
@@ -372,12 +559,10 @@ func (s *Store) Query(f Filter) ([]Record, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
-	// The active segment's tail may still sit in the write buffer; push it
-	// to the file so the read pass below sees everything appended.
-	if s.w != nil {
-		if err := s.w.Flush(); err != nil {
-			return nil, fmt.Errorf("verdictstore: %w", err)
-		}
+	// Commit the pending group first so the read pass below sees
+	// everything appended.
+	if err := s.commitLocked(); err != nil {
+		return nil, err
 	}
 	var out []Record
 	for _, seg := range s.segs {
@@ -437,29 +622,42 @@ func (f Filter) matches(rec Record) bool {
 	return true
 }
 
-// Sync flushes buffered appends to the OS and fsyncs the active segment.
+// Sync commits the pending group and fsyncs the active segment, making
+// every acknowledged append durable.
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	if s.w == nil {
-		return nil
+	if err := s.werr; err != nil {
+		s.werr = nil
+		return err
 	}
-	if err := s.w.Flush(); err != nil {
-		return fmt.Errorf("verdictstore: %w", err)
+	if err := s.commitLocked(); err != nil {
+		return err
+	}
+	if s.f == nil {
+		return nil
 	}
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("verdictstore: %w", err)
 	}
+	s.dirty = false
+	s.sinceSync = 0
 	return nil
 }
 
-// Stats snapshots the store's counters.
+// Stats snapshots the store's counters. Like Query it commits the
+// pending group first, so Records counts every Append that returned.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !s.closed {
+		if err := s.commitLocked(); err != nil && s.werr == nil {
+			s.werr = err
+		}
+	}
 	st := Stats{
 		Appended:       s.appended,
 		Recovered:      s.recovered,
@@ -478,27 +676,34 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// Close flushes and seals the active segment. Further operations return
-// ErrClosed; Close is idempotent.
+// Close commits the pending group, fsyncs, and seals the active segment.
+// Further operations return ErrClosed; Close is idempotent.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
+	err := s.commitLocked()
 	s.closed = true
-	if s.f == nil {
-		return nil
+	if s.f != nil {
+		if serr := s.f.Sync(); err == nil && serr != nil {
+			err = fmt.Errorf("verdictstore: %w", serr)
+		}
+		if cerr := s.f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("verdictstore: %w", cerr)
+		}
+		s.f = nil
 	}
-	if err := s.w.Flush(); err != nil {
-		return fmt.Errorf("verdictstore: %w", err)
+	if err == nil && s.werr != nil {
+		err, s.werr = s.werr, nil
 	}
-	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("verdictstore: %w", err)
+	stop := s.stopCh
+	s.stopCh = nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		s.wg.Wait()
 	}
-	if err := s.f.Close(); err != nil {
-		return fmt.Errorf("verdictstore: %w", err)
-	}
-	s.f, s.w = nil, nil
-	return nil
+	return err
 }

@@ -3,6 +3,7 @@ package verdictstore
 import (
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 	"time"
 )
@@ -328,5 +329,187 @@ func TestConcurrentAppendQuery(t *testing.T) {
 	}
 	if st := s.Stats(); st.Appended != 200 {
 		t.Fatalf("appended %d, want 200", st.Appended)
+	}
+}
+
+// freezeFlusher stops a group-commit store's background flusher so the
+// test alone decides when the pending group commits (white-box: pending
+// appends then accumulate until Sync/Query/Stats/Close forces them out).
+func freezeFlusher(t *testing.T, s *Store) {
+	t.Helper()
+	s.mu.Lock()
+	stop := s.stopCh
+	s.stopCh = nil
+	s.mu.Unlock()
+	if stop == nil {
+		t.Fatal("store has no flusher to freeze")
+	}
+	close(stop)
+	s.wg.Wait()
+}
+
+// copySegments snapshots dir's segment files into a fresh directory — the
+// on-disk state a crash at this instant would leave behind (Close, with
+// its final commit and fsync, never runs for the copy).
+func copySegments(t *testing.T, dir string) string {
+	t.Helper()
+	crash := t.TempDir()
+	segs, err := filepath.Glob(filepath.Join(dir, "verdicts-*.seg"))
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	for _, p := range segs {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("read %s: %v", p, err)
+		}
+		if err := os.WriteFile(filepath.Join(crash, filepath.Base(p)), data, 0o644); err != nil {
+			t.Fatalf("copy %s: %v", p, err)
+		}
+	}
+	return crash
+}
+
+// TestGroupCommitCrashRecoveryAtRotation drives one multi-record group
+// commit across several segment rotations, "crashes" (copies the segment
+// files without Close), tears the newest segment mid-frame, and reopens:
+// recovery must truncate exactly the torn frame, keep every other record
+// of the group, and continue the sequence.
+func TestGroupCommitCrashRecoveryAtRotation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{SegmentBytes: 512, MaxSegments: 64, SyncInterval: time.Hour})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	freezeFlusher(t, s)
+
+	const n = 40
+	for i := 0; i < n; i++ {
+		mustAppend(t, s, Record{Device: "edge", Model: "m", Version: 1, Decision: "benign", Entropy: float64(i), Votes: []float64{0.7, 0.3}})
+	}
+	s.mu.Lock()
+	pendingLen := len(s.pending)
+	s.mu.Unlock()
+	if pendingLen != n {
+		t.Fatalf("pending %d records, want %d (flusher frozen, nothing read yet)", pendingLen, n)
+	}
+	// One group commit: the whole run lands with rotation decisions made
+	// mid-group, frames batched per segment into single writes.
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	st := s.Stats()
+	if st.Records != n || st.Segments < 2 {
+		t.Fatalf("after group commit: %+v (want %d records across >= 2 segments)", st, n)
+	}
+
+	crash := copySegments(t, dir)
+	segs, err := filepath.Glob(filepath.Join(crash, "verdicts-*.seg"))
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("crash copy has %d segments (%v), want the rotation to have happened", len(segs), err)
+	}
+	sort.Strings(segs)
+	last := segs[len(segs)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	// Tear the active segment mid-frame, as a crash part-way through the
+	// group's final write would.
+	if err := os.Truncate(last, fi.Size()-5); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, err := Open(crash, Config{SegmentBytes: 512, MaxSegments: 64})
+	if err != nil {
+		t.Fatalf("reopen crash copy: %v", err)
+	}
+	defer s2.Close()
+	st2 := s2.Stats()
+	if st2.TruncatedBytes == 0 {
+		t.Fatalf("expected a truncated torn tail, stats %+v", st2)
+	}
+	if st2.Recovered != n-1 {
+		t.Fatalf("recovered %d records, want %d (only the torn frame may be lost)", st2.Recovered, n-1)
+	}
+	recs, err := s2.Query(Filter{})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(recs) != n-1 {
+		t.Fatalf("query saw %d records, want %d", len(recs), n-1)
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d — recovery left a gap", i, rec.Seq)
+		}
+	}
+	if seq := mustAppend(t, s2, Record{Model: "m", Version: 1, Decision: "reject"}); seq != n {
+		t.Fatalf("post-recovery seq = %d, want %d", seq, n)
+	}
+	if recs, err = s2.Query(Filter{}); err != nil || len(recs) != n {
+		t.Fatalf("after post-recovery append: %d records (%v), want %d", len(recs), err, n)
+	}
+}
+
+// TestSyncEverySynchronousDurability: with SyncEvery > 0 there is no
+// flusher and every Append is on disk (written and fsynced at the
+// configured cadence) before it returns — a crash copy taken with no
+// Sync and no Close recovers every acknowledged record.
+func TestSyncEverySynchronousDurability(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{SyncEvery: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if s.stopCh != nil {
+		t.Fatal("synchronous mode must not start a background flusher")
+	}
+	const n = 5
+	for i := 0; i < n; i++ {
+		mustAppend(t, s, Record{Model: "m", Version: 1, Decision: "benign", Entropy: float64(i)})
+	}
+	crash := copySegments(t, dir)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s2, err := Open(crash, Config{})
+	if err != nil {
+		t.Fatalf("reopen crash copy: %v", err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Recovered != n || st.TruncatedBytes != 0 {
+		t.Fatalf("synchronous appends not all durable: %+v", st)
+	}
+}
+
+// TestGroupCommitReadsObservePending: Query and Stats must commit the
+// pending group themselves — every Append that returned is visible even
+// when the background flusher never ran.
+func TestGroupCommitReadsObservePending(t *testing.T) {
+	s, err := Open(t.TempDir(), Config{SyncInterval: time.Hour})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	freezeFlusher(t, s)
+	const n = 10
+	for i := 0; i < n; i++ {
+		mustAppend(t, s, Record{Model: "m", Version: 1, Decision: "benign"})
+	}
+	recs, err := s.Query(Filter{})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(recs) != n {
+		t.Fatalf("query saw %d records, want %d (pending group not committed on read)", len(recs), n)
+	}
+	if st := s.Stats(); st.Records != n {
+		t.Fatalf("stats records %d, want %d", st.Records, n)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
 	}
 }
