@@ -3,7 +3,7 @@ REV     := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 BENCH   ?= .
 BENCHTIME ?= 1x
 
-.PHONY: all build build-arm64 test test-short test-nosimd test-allocs race vet fmt-check bench benchcmp serve-stats stream-e2e retrain-e2e replica-e2e ci
+.PHONY: all build build-arm64 test test-short test-nosimd test-allocs race vet fmt-check bench benchcmp serve-stats stream-e2e retrain-e2e replica-e2e cluster-e2e ci
 
 all: build
 
@@ -105,6 +105,20 @@ replica-e2e:
 	$(GO) test -race -count=1 \
 		-run 'TestReplicaSpillUnderLoad|TestReplicaGroupSwapUnderLoadLossless|TestReplicaGroupShape|TestAssessShedsWithRetryAfter|TestBatchShedsWithRetryAfter|TestStatsReplicaFields|TestCoalescerShedDepth|TestCoalescerEarlyFlush' ./pkg/serve/
 	$(GO) test -race -count=1 -run 'TestClosedLoopReplicas' ./cmd/hmdbench/
+
+# cluster-e2e is the fleet smoke: boot a three-node cluster over loopback
+# HTTP, drive bursty load through every entry point while a fleet-wide
+# two-phase hot swap lands, then SIGKILL-equivalently drop a non-coordinator
+# node mid-stream and a coordinator outright — asserting zero lost requests,
+# element-wise identical verdicts after session replay onto the ring
+# successor, and promotion of a new coordinator — under the race detector,
+# since membership-vs-forwarding is exactly where races would hide.
+cluster-e2e:
+	$(GO) test -race -count=1 -v -run 'TestCluster' ./pkg/cluster/
+	$(GO) test -race -count=1 -run 'TestMembership|TestOwnership|TestCatalog' ./pkg/cluster/
+	$(GO) test -race -count=1 ./pkg/cluster/ring/
+	$(GO) test -race -count=1 -run 'TestClusterFlags' ./cmd/trusthmdd/
+	$(GO) test -race -count=1 -run 'TestPostWindowRetries|TestHTTPLoopSmoke|TestParseRetryAfter' ./cmd/hmdbench/
 
 # serve-stats replays the serve-layer cross-request cache e2e and writes
 # the final /stats snapshot (cache hit/miss counters included) to

@@ -6,6 +6,7 @@
 //	hmdbench [-exp all|T1|F4|F5|F7a|F7b|F8|F9a|F9b|H|A1|A2|A3]
 //	         [-scale 1.0] [-seed 1] [-m 25] [-tsne-csv dir]
 //	hmdbench -loop 2000 [-replicas 4] [-pin-cores]
+//	hmdbench -loop 2000 -target http://n1:8080 -target http://n2:8080
 //
 // Either mode accepts -cpuprofile/-memprofile to dump pprof profiles of
 // the whole run.
@@ -20,18 +21,34 @@
 // (uniform devices, then a bursty single device) through the full
 // concurrent serving path, and report throughput with p50/p99/p999
 // latency, heap allocs per window, and the replica spill share per
-// scenario, plus verdict-store occupancy.
+// scenario, plus verdict-store occupancy. A shed window (queue full) is
+// retried with bounded backoff, and the per-scenario retry count is
+// reported — zero under healthy sizing.
+//
+// With -target (repeatable, or comma-separated) the same load shapes are
+// driven over HTTP instead: POST /v1/assess round-robin across the given
+// daemons — point it at the nodes of a cluster to load the whole fleet
+// through every entry point at once. A 503 shed is retried where the
+// server's Retry-After header says (bounded: at most 8 attempts, delays
+// capped at 2s), and the per-scenario retry count is reported alongside
+// throughput and latency.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -57,6 +74,8 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
 	)
+	var targets targetFlags
+	flag.Var(&targets, "target", "daemon base URL for the -loop HTTP mode (repeatable or comma-separated; round-robin across all)")
 	flag.Parse()
 
 	if *cpuProf != "" {
@@ -75,11 +94,21 @@ func main() {
 	defer writeMemProfile(*memProf)
 
 	if *loopN > 0 {
-		if err := runClosedLoop(*loopN, *seed, *replicas, *pinCores, os.Stdout); err != nil {
+		var err error
+		if len(targets) > 0 {
+			err = runHTTPLoop(*loopN, *seed, targets, os.Stdout)
+		} else {
+			err = runClosedLoop(*loopN, *seed, *replicas, *pinCores, os.Stdout)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "hmdbench: loop: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if len(targets) > 0 {
+		fmt.Fprintln(os.Stderr, "hmdbench: -target needs -loop N")
+		os.Exit(1)
 	}
 
 	cfg := exp.Config{Seed: *seed, Scale: *scale, M: *m}
@@ -166,6 +195,74 @@ type loopScenario struct {
 	device func(i int) string
 }
 
+func loopScenarios() []loopScenario {
+	return []loopScenario{
+		{name: "uniform", device: func(i int) string { return fmt.Sprintf("bench-%d", i%8) }},
+		{name: "bursty", device: func(i int) string { return "bench-hot" }},
+	}
+}
+
+// targetFlags collects -target URLs (repeatable, each possibly
+// comma-separated).
+type targetFlags []string
+
+func (t *targetFlags) String() string { return strings.Join(*t, ",") }
+
+func (t *targetFlags) Set(v string) error {
+	for _, u := range strings.Split(v, ",") {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		*t = append(*t, u)
+	}
+	return nil
+}
+
+// The bounded retry policy both loop modes share: a shed (ErrQueueFull in
+// process, 503 over HTTP) is backpressure, not failure — the harness
+// retries where the server's Retry-After header says, but never more than
+// maxRetryAttempts times and never sleeping longer than maxRetryDelay per
+// attempt, so a dead fleet fails the run instead of hanging it.
+const (
+	maxRetryAttempts  = 8
+	maxRetryDelay     = 2 * time.Second
+	defaultRetryDelay = 50 * time.Millisecond
+)
+
+// parseRetryAfter turns a Retry-After header into a bounded delay.
+// Only the delta-seconds form is honored (the HTTP-date form is not worth
+// a clock comparison in a load tool); absent or malformed values fall
+// back to defaultRetryDelay, and everything is capped at maxRetryDelay.
+func parseRetryAfter(h string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs < 0 {
+		return defaultRetryDelay
+	}
+	d := time.Duration(secs) * time.Second
+	if d > maxRetryDelay {
+		return maxRetryDelay
+	}
+	return d
+}
+
+// assessWithRetry drives one window through the in-process fleet,
+// retrying sheds with doubling backoff. It returns how many retries the
+// window needed.
+func assessWithRetry(ctx context.Context, fleet *serve.Fleet, spec serve.AssessSpec) (serve.AssessOutcome, int, error) {
+	delay := time.Millisecond
+	for attempt := 0; ; attempt++ {
+		res, err := fleet.Assess(ctx, spec)
+		if !errors.Is(err, serve.ErrQueueFull) || attempt == maxRetryAttempts {
+			return res, attempt, err
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > maxRetryDelay {
+			delay = maxRetryDelay
+		}
+	}
+}
+
 // runClosedLoop is the -loop load harness: a tiny detector served by a
 // verdict-tapped replica-group fleet, n windows per scenario driven
 // concurrently through the full path (routing, replica pick, coalescing,
@@ -207,18 +304,15 @@ func runClosedLoop(n int, seed int64, replicas int, pinCores bool, out *os.File)
 	}
 	defer fleet.Close()
 
-	scenarios := []loopScenario{
-		{name: "uniform", device: func(i int) string { return fmt.Sprintf("bench-%d", i%8) }},
-		{name: "bursty", device: func(i int) string { return "bench-hot" }},
-	}
 	const workers = 8
 	ctx := context.Background()
 	served := int64(0)
-	for _, sc := range scenarios {
+	for _, sc := range loopScenarios() {
 		var (
 			wg        sync.WaitGroup
 			rejected  atomic.Int64
 			spilled   atomic.Int64
+			retried   atomic.Int64
 			latencies = make([][]time.Duration, workers)
 			firstErr  atomic.Pointer[error]
 		)
@@ -233,16 +327,19 @@ func runClosedLoop(n int, seed int64, replicas int, pinCores bool, out *os.File)
 				for i := w; i < n; i += workers {
 					smp := splits.Test.At(i % splits.Test.Len())
 					t0 := time.Now()
-					res, err := fleet.Assess(ctx, serve.AssessSpec{
+					res, retries, err := assessWithRetry(ctx, fleet, serve.AssessSpec{
 						Device:   sc.device(i),
 						Features: smp.Features,
 						Source:   "assess",
 					})
+					retried.Add(int64(retries))
 					if err != nil {
 						err = fmt.Errorf("%s window %d: %w", sc.name, i, err)
 						firstErr.CompareAndSwap(nil, &err)
 						return
 					}
+					// Latency includes the retries: the cost of a shed is
+					// part of the window's serving time, not noise.
 					lats = append(lats, time.Since(t0))
 					if res.Result.Decision == detector.Reject {
 						rejected.Add(1)
@@ -270,11 +367,11 @@ func runClosedLoop(n int, seed int64, replicas int, pinCores bool, out *os.File)
 		// Heap allocations across the whole scenario, per served window —
 		// the closed-loop view of the request path's alloc budget.
 		allocsPer := float64(ms1.Mallocs-ms0.Mallocs) / float64(len(all))
-		fmt.Fprintf(out, "closed loop [%-7s x%d replica(s)]: %d windows in %v — %.0f verdicts/s (p50 %v, p99 %v, p999 %v, %.1f%% spilled, %d rejected, %.1f allocs/op)\n",
+		fmt.Fprintf(out, "closed loop [%-7s x%d replica(s)]: %d windows in %v — %.0f verdicts/s (p50 %v, p99 %v, p999 %v, %.1f%% spilled, %d rejected, %d retried, %.1f allocs/op)\n",
 			sc.name, replicas, len(all), elapsed.Round(time.Millisecond), throughput,
 			percentile(all, 500).Round(time.Microsecond), percentile(all, 990).Round(time.Microsecond),
 			percentile(all, 999).Round(time.Microsecond),
-			100*float64(spilled.Load())/float64(len(all)), rejected.Load(), allocsPer)
+			100*float64(spilled.Load())/float64(len(all)), rejected.Load(), retried.Load(), allocsPer)
 	}
 	st := store.Stats()
 	if st.Records != served {
@@ -282,6 +379,105 @@ func runClosedLoop(n int, seed int64, replicas int, pinCores bool, out *os.File)
 	}
 	fmt.Fprintf(out, "verdict store: %d records in %d segment(s)\n", st.Records, st.Segments)
 	return nil
+}
+
+// runHTTPLoop is the -target mode: the same load shapes as the in-process
+// harness, driven as POST /v1/assess round-robin over the given daemons —
+// against a cluster, this loads the whole fleet through every entry point
+// at once, forwarding included. 503 sheds are retried per the server's
+// Retry-After (bounded), and the per-scenario retry count is reported.
+func runHTTPLoop(n int, seed int64, targets []string, out *os.File) error {
+	splits, err := gen.DVFSWithSizes(seed, gen.Sizes{Train: 280, Test: 140, Unknown: 40})
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	const workers = 8
+	for _, sc := range loopScenarios() {
+		var (
+			wg        sync.WaitGroup
+			rejected  atomic.Int64
+			retried   atomic.Int64
+			latencies = make([][]time.Duration, workers)
+			firstErr  atomic.Pointer[error]
+		)
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lats := make([]time.Duration, 0, n/workers+1)
+				for i := w; i < n; i += workers {
+					smp := splits.Test.At(i % splits.Test.Len())
+					t0 := time.Now()
+					decision, retries, err := postWindow(client, targets[i%len(targets)], serve.AssessRequest{
+						Device:   sc.device(i),
+						Features: smp.Features,
+					})
+					retried.Add(int64(retries))
+					if err != nil {
+						err = fmt.Errorf("%s window %d: %w", sc.name, i, err)
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+					lats = append(lats, time.Since(t0))
+					if decision == detector.Reject.String() {
+						rejected.Add(1)
+					}
+				}
+				latencies[w] = lats
+			}(w)
+		}
+		wg.Wait()
+		if errp := firstErr.Load(); errp != nil {
+			return *errp
+		}
+		elapsed := time.Since(start)
+		var all []time.Duration
+		for _, lats := range latencies {
+			all = append(all, lats...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		throughput := float64(len(all)) / elapsed.Seconds()
+		fmt.Fprintf(out, "http loop [%-7s x%d target(s)]: %d windows in %v — %.0f verdicts/s (p50 %v, p99 %v, p999 %v, %d rejected, %d retried)\n",
+			sc.name, len(targets), len(all), elapsed.Round(time.Millisecond), throughput,
+			percentile(all, 500).Round(time.Microsecond), percentile(all, 990).Round(time.Microsecond),
+			percentile(all, 999).Round(time.Microsecond), rejected.Load(), retried.Load())
+	}
+	return nil
+}
+
+// postWindow drives one window through POST /v1/assess, honoring 503 +
+// Retry-After with the bounded policy. It returns the server's decision
+// string and how many retries the window needed.
+func postWindow(client *http.Client, target string, req serve.AssessRequest) (string, int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", 0, err
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(target+"/v1/assess", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", attempt, err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return "", attempt, err
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			var out serve.AssessResponse
+			if err := json.Unmarshal(raw, &out); err != nil {
+				return "", attempt, fmt.Errorf("%s: bad response: %w", target, err)
+			}
+			return out.Decision, attempt, nil
+		case resp.StatusCode == http.StatusServiceUnavailable && attempt < maxRetryAttempts:
+			time.Sleep(parseRetryAfter(resp.Header.Get("Retry-After")))
+		default:
+			return "", attempt, fmt.Errorf("%s: status %d: %s", target, resp.StatusCode, raw)
+		}
+	}
 }
 
 // writeMemProfile dumps an end-of-run heap profile after a final GC, so

@@ -22,6 +22,8 @@
 //	         [-admin-token secret] [-watch 5s]
 //	         [-verdict-dir verdicts] [-ingest-dir drops]
 //	         [-auto-retrain -retrain-data data/dvfs/train.csv]
+//	         [-coordinator | -join http://peer:8080]
+//	         [-advertise http://me:8080] [-node-id n1] [-heartbeat 1s]
 //
 //	curl -s localhost:8080/v1/assess -d '{"features":[...]}'
 //
@@ -40,6 +42,16 @@
 // paths reapply the daemon's -workers/-threshold overrides to the
 // incoming model, so a hot swap never silently drops the fleet-wide
 // serving configuration.
+//
+// Clustering: -coordinator starts a new cluster, -join http://peer:8080
+// joins a running one (either needs -advertise, the URL peers reach this
+// node at; -node-id defaults to the hostname). Clustered nodes form one
+// fleet: any node serves any request (non-local shards are forwarded to
+// their owner), POST /v1/models on any node rolls the model out two-phase
+// to every member, NDJSON streams survive the death of the node computing
+// them, and a joiner may boot with no models at all — the cluster catalog
+// supplies its shards on demand. GET /v1/cluster shows the node's view.
+// The /cluster/v1/* node-to-node API shares -admin-token.
 //
 // The closed loop: -verdict-dir persists every served verdict to an
 // embedded append-only segment store (queryable over GET /v1/verdicts,
@@ -65,6 +77,7 @@ import (
 	"syscall"
 	"time"
 
+	"trusthmd/pkg/cluster"
 	"trusthmd/pkg/dataset"
 	"trusthmd/pkg/detector"
 	"trusthmd/pkg/ingest"
@@ -116,6 +129,12 @@ func main() {
 		ingestQueue   = flag.Int("ingest-queue", 1024, "ingest pump queue depth; a full queue sheds HTTP pushes with 503")
 		ingestWorkers = flag.Int("ingest-workers", 2, "goroutines draining the ingest queue into the fleet")
 
+		nodeID      = flag.String("node-id", "", "cluster identity of this node (default: hostname; IDs order coordinator promotion)")
+		advertise   = flag.String("advertise", "", "base URL other cluster nodes reach this node at, e.g. http://10.0.0.5:8080 (required with -coordinator or -join)")
+		coordinator = flag.Bool("coordinator", false, "start this node as the cluster coordinator")
+		joinAddr    = flag.String("join", "", "advertise URL of a running cluster member to join (exactly one of -coordinator/-join)")
+		heartbeat   = flag.Duration("heartbeat", time.Second, "cluster heartbeat and membership-sweep interval")
+
 		autoRetrain     = flag.Bool("auto-retrain", false, "tail the verdict store for per-device drift and hot-swap a background-retrained model (needs -verdict-dir and -retrain-data)")
 		retrainData     = flag.String("retrain-data", "", "base training-set CSV (datagen/WriteCSV format) folded into every -auto-retrain round")
 		retrainModel    = flag.String("retrain-model", "", "shard supervised by -auto-retrain (default: the -default shard, or the only one)")
@@ -148,7 +167,15 @@ func main() {
 		retrainCooldown: *retrainCooldown,
 	}
 
-	if err := run(*addr, *loadPath, specs, serve.Config{
+	cl := clusterFlags{
+		nodeID:      *nodeID,
+		advertise:   *advertise,
+		coordinator: *coordinator,
+		join:        *joinAddr,
+		heartbeat:   *heartbeat,
+	}
+
+	if err := run(*addr, *loadPath, specs, cl, serve.Config{
 		MaxBatch:           *maxBatch,
 		MaxWait:            *maxWait,
 		QueueSize:          *queue,
@@ -222,8 +249,10 @@ func overrides(workers int, threshold float64) func(*detector.Detector) (*detect
 	}
 }
 
-// allSpecs folds the -load shorthand into the spec list.
-func allSpecs(loadPath string, specs modelFlags) (modelFlags, error) {
+// allSpecs folds the -load shorthand into the spec list. A node joining a
+// cluster may boot with no models at all: it installs shards on demand
+// from the cluster catalog.
+func allSpecs(loadPath string, specs modelFlags, allowEmpty bool) (modelFlags, error) {
 	if loadPath != "" {
 		for _, s := range specs {
 			if s.name == "default" {
@@ -232,10 +261,49 @@ func allSpecs(loadPath string, specs modelFlags) (modelFlags, error) {
 		}
 		specs = append(modelFlags{{name: "default", path: loadPath}}, specs...)
 	}
-	if len(specs) == 0 {
+	if len(specs) == 0 && !allowEmpty {
 		return nil, errors.New("no models: train one with `trusthmd -save det.gob`, then pass -load det.gob or -model name=det.gob")
 	}
 	return specs, nil
+}
+
+// clusterFlags bundles the multi-node flags.
+type clusterFlags struct {
+	nodeID      string
+	advertise   string
+	coordinator bool
+	join        string
+	heartbeat   time.Duration
+}
+
+func (c clusterFlags) enabled() bool { return c.coordinator || c.join != "" }
+
+// agentConfig validates the cluster flags into a cluster.Config. The
+// node-to-node surface inherits the admin token, so a cluster is never
+// more open than its admin endpoints.
+func (c clusterFlags) agentConfig(adminToken string) (cluster.Config, error) {
+	if c.advertise == "" {
+		return cluster.Config{}, errors.New("clustering needs -advertise (the URL other nodes reach this one at)")
+	}
+	id := c.nodeID
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			return cluster.Config{}, errors.New("cannot derive -node-id from hostname; pass it explicitly")
+		}
+		id = host
+	}
+	return cluster.Config{
+		NodeID:      id,
+		Advertise:   strings.TrimRight(c.advertise, "/"),
+		Coordinator: c.coordinator,
+		Join:        c.join,
+		Heartbeat:   c.heartbeat,
+		Token:       adminToken,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	}, nil
 }
 
 // loadModels opens every resolved shard spec through the prepare hook —
@@ -407,7 +475,7 @@ func loadBaseDataset(path string) (*dataset.Dataset, error) {
 	return d, nil
 }
 
-func run(addr, loadPath string, specs modelFlags, cfg serve.Config, workers int, threshold float64,
+func run(addr, loadPath string, specs modelFlags, cl clusterFlags, cfg serve.Config, workers int, threshold float64,
 	watch, shutdownTimeout time.Duration, loop loopConfig) error {
 	if loop.autoRetrain && (loop.verdictDir == "" || loop.retrainData == "") {
 		return errors.New("-auto-retrain needs -verdict-dir (the drift signal) and -retrain-data (the retraining base)")
@@ -415,8 +483,9 @@ func run(addr, loadPath string, specs modelFlags, cfg serve.Config, workers int,
 	prepare := overrides(workers, threshold)
 	cfg.PrepareDetector = prepare
 	// One spec resolution and one prepare hook feed boot-time loading,
-	// the watcher and (via cfg) the admin endpoint alike.
-	resolved, err := allSpecs(loadPath, specs)
+	// the watcher and (via cfg) the admin endpoint alike. A cluster joiner
+	// may boot empty — the cluster catalog supplies its shards.
+	resolved, err := allSpecs(loadPath, specs, cl.join != "")
 	if err != nil {
 		return err
 	}
@@ -456,9 +525,30 @@ func run(addr, loadPath string, specs modelFlags, cfg serve.Config, workers int,
 	}
 	srv := serve.NewServer(fleet)
 
+	// Clustered: an Agent shares the listener with the serving mux (the
+	// node-to-node API lives under /cluster/v1/) and hooks the server so
+	// any node serves any request, swaps go fleet-wide, and streams
+	// survive node death.
+	var agent *cluster.Agent
+	handler := http.Handler(srv)
+	if cl.enabled() {
+		acfg, err := cl.agentConfig(cfg.AdminToken)
+		if err != nil {
+			return err
+		}
+		if agent, err = cluster.New(acfg, fleet); err != nil {
+			return err
+		}
+		srv.AttachCluster(agent)
+		mux := http.NewServeMux()
+		mux.Handle("/cluster/", agent.Handler())
+		mux.Handle("/", srv)
+		handler = mux
+	}
+
 	httpSrv := &http.Server{
 		Addr:              addr,
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -551,11 +641,29 @@ func run(addr, loadPath string, specs modelFlags, cfg serve.Config, workers int,
 		errc <- httpSrv.ListenAndServe()
 	}()
 
-	// stopLoop winds down the pump (which finishes every accepted event)
-	// and the retrain controller (which waits out an in-flight round,
-	// possibly swapping the fleet) — both need the fleet alive, so it runs
-	// BEFORE srv.Close.
+	// The agent starts once the listener goroutine is up: a coordinator
+	// publishes its first table, a joiner dials -join (retrying briefly),
+	// and either way the background loops take over.
+	if agent != nil {
+		if err := agent.Start(); err != nil {
+			httpSrv.Close()
+			stop()
+			loopWG.Wait()
+			srv.Close()
+			return err
+		}
+		fmt.Printf("cluster node %s (%s) up as %s\n", agent.NodeID(), cl.advertise, agent.Role())
+	}
+
+	// stopLoop winds down the cluster agent (heartbeats stop; peers will
+	// declare this node dead and rebalance), then the pump (which finishes
+	// every accepted event) and the retrain controller (which waits out an
+	// in-flight round, possibly swapping the fleet) — the latter two need
+	// the fleet alive, so it all runs BEFORE srv.Close.
 	stopLoop := func() {
+		if agent != nil {
+			agent.Close()
+		}
 		stop()
 		loopWG.Wait()
 	}

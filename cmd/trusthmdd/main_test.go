@@ -46,10 +46,10 @@ func TestModelFlagsParsing(t *testing.T) {
 }
 
 func TestLoadModelsErrors(t *testing.T) {
-	if _, err := allSpecs("", nil); err == nil {
+	if _, err := allSpecs("", nil, false); err == nil {
 		t.Fatal("expected no-models error")
 	}
-	specs, err := allSpecs("/does/not/exist.gob", nil)
+	specs, err := allSpecs("/does/not/exist.gob", nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,8 +58,45 @@ func TestLoadModelsErrors(t *testing.T) {
 	}
 	// -load claims the name "default"; a -model spec reusing it must be
 	// rejected up front, not silently resolved by map order.
-	if _, err := allSpecs("/x.gob", modelFlags{{name: "default", path: "/y.gob"}}); err == nil {
+	if _, err := allSpecs("/x.gob", modelFlags{{name: "default", path: "/y.gob"}}, false); err == nil {
 		t.Fatal("expected duplicate-default error")
+	}
+	// A cluster joiner may boot with no models at all.
+	if specs, err := allSpecs("", nil, true); err != nil || len(specs) != 0 {
+		t.Fatalf("empty specs with allowEmpty: %v %v", specs, err)
+	}
+}
+
+func TestClusterFlags(t *testing.T) {
+	if (clusterFlags{}).enabled() {
+		t.Fatal("no cluster flags must mean standalone")
+	}
+	if !(clusterFlags{coordinator: true}).enabled() || !(clusterFlags{join: "http://x"}).enabled() {
+		t.Fatal("-coordinator and -join must both enable clustering")
+	}
+	if _, err := (clusterFlags{coordinator: true}).agentConfig(""); err == nil {
+		t.Fatal("clustering without -advertise must be rejected")
+	}
+	cfg, err := clusterFlags{
+		nodeID:      "n1",
+		advertise:   "http://10.0.0.5:8080/",
+		coordinator: true,
+		heartbeat:   250 * time.Millisecond,
+	}.agentConfig("secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NodeID != "n1" || cfg.Advertise != "http://10.0.0.5:8080" ||
+		!cfg.Coordinator || cfg.Token != "secret" || cfg.Heartbeat != 250*time.Millisecond {
+		t.Fatalf("agentConfig: %+v", cfg)
+	}
+	// -node-id defaults to the hostname.
+	cfg, err = (clusterFlags{advertise: "http://x", join: "http://y"}).agentConfig("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host, _ := os.Hostname(); host != "" && cfg.NodeID != host {
+		t.Fatalf("default node ID %q, want hostname %q", cfg.NodeID, host)
 	}
 }
 
@@ -87,7 +124,7 @@ func TestDaemonHandoff(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	specs, err := allSpecs(path, modelFlags{{name: "named", path: path}})
+	specs, err := allSpecs(path, modelFlags{{name: "named", path: path}}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +193,7 @@ func TestStreamE2EHotSwap(t *testing.T) {
 	const token = "swap-secret"
 	cfg := serve.Config{DefaultModel: "default", AdminToken: token}
 	cfg.PrepareDetector = overrides(0, -1)
-	specs, err := allSpecs(pathV1, nil)
+	specs, err := allSpecs(pathV1, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +355,7 @@ func TestWatchHotSwapsOnMtime(t *testing.T) {
 
 	const thresholdOverride = 0.125
 	prepare := overrides(0, thresholdOverride)
-	specs, err := allSpecs(path, nil)
+	specs, err := allSpecs(path, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -457,7 +494,7 @@ func TestGBMShardServes(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	specs, err := allSpecs(path, nil)
+	specs, err := allSpecs(path, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -550,7 +587,7 @@ func TestReplicaE2E(t *testing.T) {
 		MaxWait:      time.Millisecond,
 	}
 	cfg.PrepareDetector = overrides(0, -1)
-	specs, err := allSpecs(path, nil)
+	specs, err := allSpecs(path, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}

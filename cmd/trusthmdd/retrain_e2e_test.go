@@ -82,7 +82,7 @@ func TestRetrainE2EClosedLoop(t *testing.T) {
 	}
 	prepare := overrides(0, -1)
 	cfg := serve.Config{DefaultModel: "default", PrepareDetector: prepare, Verdicts: store}
-	specs, err := allSpecs(gobPath, nil)
+	specs, err := allSpecs(gobPath, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}

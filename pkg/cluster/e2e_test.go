@@ -1,0 +1,769 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"trusthmd/internal/gen"
+	"trusthmd/pkg/cluster/ring"
+	"trusthmd/pkg/detector"
+	"trusthmd/pkg/serve"
+)
+
+// End-to-end cluster tests: 2-3 real nodes (each a full serve.Server plus
+// cluster.Agent on an httptest listener), real HTTP between them. These
+// pin the acceptance properties of the control plane: any node serves any
+// request, a fleet-wide swap is atomic under load, and a node kill loses
+// no requests and no stream — with decisions element-wise identical to an
+// uninterrupted single-node run.
+
+const (
+	e2eToken = "cluster-e2e-secret"
+	e2eModel = "dvfs-rf"
+)
+
+// Trained detectors are shared across tests (training dominates runtime;
+// a trained Detector is immutable and safe for concurrent use).
+var (
+	e2eOnce sync.Once
+	e2eDetA *detector.Detector // the boot model
+	e2eDetB *detector.Detector // the swap target (different ensemble)
+	e2eX    [][]float64
+	e2eErr  error
+)
+
+func e2eDetectors(t testing.TB) (*detector.Detector, *detector.Detector, [][]float64) {
+	t.Helper()
+	e2eOnce.Do(func() {
+		var s gen.Splits
+		s, e2eErr = gen.DVFSWithSizes(3, gen.Sizes{Train: 280, Test: 140, Unknown: 40})
+		if e2eErr != nil {
+			return
+		}
+		e2eDetA, e2eErr = detector.New(s.Train,
+			detector.WithModel("rf"), detector.WithEnsembleSize(11), detector.WithSeed(1))
+		if e2eErr != nil {
+			return
+		}
+		e2eDetB, e2eErr = detector.New(s.Train,
+			detector.WithModel("rf"), detector.WithEnsembleSize(9), detector.WithSeed(7))
+		if e2eErr != nil {
+			return
+		}
+		e2eX = make([][]float64, s.Test.Len())
+		for i := range e2eX {
+			e2eX[i] = s.Test.At(i).Features
+		}
+	})
+	if e2eErr != nil {
+		t.Fatal(e2eErr)
+	}
+	return e2eDetA, e2eDetB, e2eX
+}
+
+// node is one cluster member: a serve.Server and an Agent sharing an
+// httptest listener, the same wiring cmd/trusthmdd does.
+type node struct {
+	id    string
+	srv   *serve.Server
+	agent *Agent
+	ts    *httptest.Server
+	dead  bool
+}
+
+func (n *node) url() string { return n.ts.URL }
+
+// kill is the SIGKILL equivalent: stop the agent's loops and yank the
+// listener, force-closing established connections mid-flight.
+func (n *node) kill() {
+	if n.dead {
+		return
+	}
+	n.dead = true
+	n.agent.Close()
+	n.ts.CloseClientConnections()
+	n.ts.Close()
+	n.srv.Close()
+}
+
+// startNode boots one member. models may be nil: a joiner without local
+// models installs shards on demand from the cluster catalog.
+func startNode(t testing.TB, id string, models map[string]*detector.Detector, coordinator bool, join string) *node {
+	t.Helper()
+	mux := http.NewServeMux()
+	ts := httptest.NewServer(mux)
+	fleet, err := serve.NewFleet(models, serve.Config{AdminToken: e2eToken})
+	if err != nil {
+		ts.Close()
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(fleet)
+	agent, err := New(Config{
+		NodeID:      id,
+		Advertise:   ts.URL,
+		Coordinator: coordinator,
+		Join:        join,
+		Heartbeat:   25 * time.Millisecond,
+		Token:       e2eToken,
+		Logf:        t.Logf,
+	}, srv.Fleet())
+	if err != nil {
+		ts.Close()
+		srv.Close()
+		t.Fatal(err)
+	}
+	srv.AttachCluster(agent)
+	mux.Handle("/cluster/", agent.Handler())
+	mux.Handle("/", srv)
+	if err := agent.Start(); err != nil {
+		ts.Close()
+		srv.Close()
+		t.Fatal(err)
+	}
+	n := &node{id: id, srv: srv, agent: agent, ts: ts}
+	t.Cleanup(n.kill)
+	return n
+}
+
+// startCluster boots a coordinator (holding the model) plus followers
+// that join empty, and waits until every node's view lists all members
+// alive.
+func startCluster(t testing.TB, ids []string, coordID string, det *detector.Detector) map[string]*node {
+	t.Helper()
+	nodes := make(map[string]*node, len(ids))
+	coord := startNode(t, coordID, map[string]*detector.Detector{e2eModel: det}, true, "")
+	nodes[coordID] = coord
+	for _, id := range ids {
+		if id == coordID {
+			continue
+		}
+		nodes[id] = startNode(t, id, nil, false, coord.url())
+	}
+	waitForMembers(t, nodes, len(ids))
+	return nodes
+}
+
+// waitForMembers polls every live node's /stats until members_alive
+// reaches want (table propagation is pull-based, so followers converge a
+// heartbeat after the coordinator).
+func waitForMembers(t testing.TB, nodes map[string]*node, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ok := true
+		for _, n := range nodes {
+			if n.dead {
+				continue
+			}
+			st := getStats(t, n.url())
+			if int(st["members_alive"].(float64)) != want {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			for id, n := range nodes {
+				if !n.dead {
+					t.Logf("node %s stats: %v", id, getStats(t, n.url()))
+				}
+			}
+			t.Fatalf("cluster did not converge to %d alive members", want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func getStats(t testing.TB, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func postAssess(url string, req serve.AssessRequest) (*serve.AssessResponse, int, error) {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := http.Post(url+"/v1/assess", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	var out serve.AssessResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return &out, resp.StatusCode, nil
+}
+
+func sameDecision(a serve.AssessResponse, b detector.Result) bool {
+	return a.Prediction == b.Prediction &&
+		a.Decision == b.Decision.String() &&
+		math.Abs(a.Entropy-b.Entropy) < 1e-12
+}
+
+// TestClusterAnyNodeServesAnyRequest: explicit-model and device-keyed
+// assessments through every node — owner or not — return decisions
+// element-wise identical to direct detector calls, and the forward
+// counters prove requests really crossed nodes.
+func TestClusterAnyNodeServesAnyRequest(t *testing.T) {
+	detA, _, X := e2eDetectors(t)
+	ids := []string{"n1", "n2", "n3"}
+	nodes := startCluster(t, ids, "n1", detA)
+
+	want := make([]detector.Result, len(X))
+	for i, x := range X {
+		r, err := detA.Assess(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+
+	// Round-robin the three nodes; alternate explicit model and device
+	// keys so both routing paths (model name, device -> shard) are hit.
+	urls := []string{nodes["n1"].url(), nodes["n2"].url(), nodes["n3"].url()}
+	for i, x := range X {
+		req := serve.AssessRequest{Features: x}
+		if i%2 == 0 {
+			req.Model = e2eModel
+		} else {
+			req.Device = fmt.Sprintf("device-%03d", i%17)
+		}
+		got, _, err := postAssess(urls[i%3], req)
+		if err != nil {
+			t.Fatalf("assess %d via %s: %v", i, urls[i%3], err)
+		}
+		if got.Model != e2eModel {
+			t.Fatalf("assess %d answered by model %q", i, got.Model)
+		}
+		if !sameDecision(*got, want[i]) {
+			t.Fatalf("assess %d: got %+v want %+v", i, got, want[i])
+		}
+	}
+
+	// The shard has one owner, so at least one non-owner node forwarded.
+	var in, out int64
+	for _, n := range nodes {
+		st := getStats(t, n.url())
+		if st["node_id"].(string) != n.id {
+			t.Fatalf("stats node_id %v on %s", st["node_id"], n.id)
+		}
+		role := st["role"].(string)
+		if (n.id == "n1") != (role == "coordinator") {
+			t.Fatalf("node %s reports role %q", n.id, role)
+		}
+		in += int64(st["forwards_in"].(float64))
+		out += int64(st["forwards_out"].(float64))
+	}
+	if in == 0 || out == 0 {
+		t.Fatalf("no forwarding happened (in=%d out=%d); routing is broken", in, out)
+	}
+
+	// GET /v1/cluster: exactly one node owns the shard.
+	owners := 0
+	for _, n := range nodes {
+		resp, err := http.Get(n.url() + "/v1/cluster")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st Status
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.NodeID != n.id {
+			t.Fatalf("/v1/cluster node_id %q on %s", st.NodeID, n.id)
+		}
+		for _, s := range st.OwnedShards {
+			if s == e2eModel {
+				owners++
+			}
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("shard %q has %d owners, want exactly 1", e2eModel, owners)
+	}
+}
+
+// TestClusterFleetWideSwap: a POST /v1/models through a follower reaches
+// every node two-phase, while sustained load through all nodes loses zero
+// requests; afterwards every node answers with the NEW model's decisions.
+func TestClusterFleetWideSwap(t *testing.T) {
+	detA, detB, X := e2eDetectors(t)
+	ids := []string{"n1", "n2", "n3"}
+	nodes := startCluster(t, ids, "n1", detA)
+	urls := []string{nodes["n1"].url(), nodes["n2"].url(), nodes["n3"].url()}
+
+	wantB := make([]detector.Result, len(X))
+	differs := false
+	for i, x := range X {
+		rb, err := detB.Assess(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantB[i] = rb
+		ra, err := detA.Assess(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameDecision(serve.AssessResponse{
+			Prediction: ra.Prediction, Entropy: ra.Entropy, Decision: ra.Decision.String(),
+		}, rb) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("detA and detB agree everywhere; the swap would be unobservable")
+	}
+
+	// Sustained load through all three nodes while the swap lands. Every
+	// response must be 200 and match either the old or the new model —
+	// nothing lost, nothing garbled.
+	loadErrs := make(chan error, 3)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	stopLoad := func() { stopOnce.Do(func() { close(stop) }) }
+	defer stopLoad()
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				x := X[(i*7+w)%len(X)]
+				got, _, err := postAssess(urls[(i+w)%3], serve.AssessRequest{Model: e2eModel, Features: x})
+				if err != nil {
+					loadErrs <- fmt.Errorf("load worker %d: %v", w, err)
+					return
+				}
+				ra, _ := detA.Assess(x)
+				rb, _ := detB.Assess(x)
+				if !sameDecision(*got, ra) && !sameDecision(*got, rb) {
+					loadErrs <- fmt.Errorf("load worker %d: answer matches neither model: %+v", w, got)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Serialise detB and push it through follower n2 (exercising the
+	// relay to the coordinator).
+	var buf bytes.Buffer
+	if err := detB.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(serve.LoadModelRequest{Name: e2eModel, Data: buf.Bytes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, nodes["n2"].url()+"/v1/models", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer "+e2eToken)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet-wide swap: status %d: %s", resp.StatusCode, swapBody)
+	}
+	var sw SwapResponse
+	if err := json.Unmarshal(swapBody, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Nodes != 3 || !sw.Replaced || sw.Name != e2eModel {
+		t.Fatalf("swap response %+v, want all 3 nodes, replaced", sw)
+	}
+
+	stopLoad()
+	wg.Wait()
+	select {
+	case err := <-loadErrs:
+		t.Fatalf("request lost or garbled during the swap: %v", err)
+	default:
+	}
+
+	// The swap returned, so the commit phase is complete everywhere:
+	// every node must now answer with detB's decisions, no grace period.
+	for i, url := range urls {
+		for j := 0; j < 10; j++ {
+			x := X[(i*10+j)%len(X)]
+			got, _, err := postAssess(url, serve.AssessRequest{Model: e2eModel, Features: x})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameDecision(*got, wantB[(i*10+j)%len(X)]) {
+				t.Fatalf("node %d answers old model after swap: %+v", i, got)
+			}
+		}
+	}
+}
+
+// unauthenticated swaps must be rejected before any cluster traffic.
+func TestClusterSwapRequiresAdminToken(t *testing.T) {
+	detA, _, _ := e2eDetectors(t)
+	nodes := startCluster(t, []string{"n1", "n2"}, "n1", detA)
+	body, _ := json.Marshal(serve.LoadModelRequest{Name: e2eModel, Data: []byte("x")})
+	resp, err := http.Post(nodes["n2"].url()+"/v1/models", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated swap: status %d, want 401", resp.StatusCode)
+	}
+}
+
+// TestClusterNodeKillLosslessFailover is the headline e2e: an NDJSON
+// stream proxied to the shard owner survives a SIGKILL of that owner
+// mid-stream — the session replays onto a ring successor and the decision
+// sequence is element-wise identical to an uninterrupted run — and
+// request traffic through the survivors keeps succeeding throughout.
+func TestClusterNodeKillLosslessFailover(t *testing.T) {
+	detA, _, X := e2eDetectors(t)
+	ids := []string{"n1", "n2", "n3"}
+
+	// The shard's owner is a pure function of the alive IDs, so compute it
+	// up front and make some OTHER node the coordinator — the kill target
+	// must be a non-coordinator for this scenario.
+	victim := ring.New(ids, 0).Lookup(e2eModel)
+	coordID := ""
+	for _, id := range ids {
+		if id != victim {
+			coordID = id
+			break
+		}
+	}
+	nodes := startCluster(t, ids, coordID, detA)
+
+	// The streaming entry point: a node that is neither the victim nor
+	// the coordinator if possible, else the coordinator — any non-owner
+	// proxies chunk pushes to the owner.
+	entryID := ""
+	for _, id := range ids {
+		if id != victim {
+			entryID = id
+		}
+	}
+	entry := nodes[entryID]
+	t.Logf("owner=%s coordinator=%s entry=%s", victim, coordID, entryID)
+
+	// Baseline: an uninterrupted session over the same state sequence.
+	const (
+		levels  = 8
+		window  = 16
+		stride  = 4
+		samples = 200
+	)
+	rng := rand.New(rand.NewSource(42))
+	states := make([]int, samples)
+	for i := range states {
+		states[i] = rng.Intn(levels)
+	}
+	cfg := detector.StreamConfig{Levels: levels, Window: window, Stride: stride}
+	base, err := detector.NewSession(detA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantResults, err := base.PushAll(states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantResults) == 0 {
+		t.Fatal("baseline produced no decisions; bad stream parameters")
+	}
+
+	// Open the stream through the entry node, feeding chunks by hand so
+	// the kill lands mid-stream with precision.
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, entry.url()+"/v1/assess/stream", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	type streamLine struct {
+		res serve.StreamResult
+		sum *serve.StreamSummary
+	}
+	lines := make(chan streamLine, samples)
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(lines)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			readErr <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			readErr <- fmt.Errorf("stream status %d: %s", resp.StatusCode, body)
+			return
+		}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var probe map[string]json.RawMessage
+			if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+				readErr <- fmt.Errorf("bad stream line %q: %v", sc.Text(), err)
+				return
+			}
+			if probe["error"] != nil {
+				readErr <- fmt.Errorf("stream error line: %s", sc.Text())
+				return
+			}
+			var ln streamLine
+			if probe["done"] != nil {
+				ln.sum = new(serve.StreamSummary)
+				if err := json.Unmarshal(sc.Bytes(), ln.sum); err != nil {
+					readErr <- err
+					return
+				}
+			} else if err := json.Unmarshal(sc.Bytes(), &ln.res); err != nil {
+				readErr <- err
+				return
+			}
+			lines <- ln
+		}
+		if err := sc.Err(); err != nil {
+			readErr <- err
+		}
+	}()
+
+	writeLine := func(v any) {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pw.Write(append(raw, '\n')); err != nil {
+			t.Fatalf("writing stream: %v", err)
+		}
+	}
+	writeLine(serve.StreamHeader{Model: e2eModel, Levels: levels, Window: window, Stride: stride})
+
+	const chunk = 20
+	half := samples / 2
+	for off := 0; off < half; off += chunk {
+		writeLine(serve.StreamSample{States: states[off : off+chunk]})
+	}
+	// Let the proxied pushes drain to the owner before the kill so the
+	// first half's decisions are computed there.
+	time.Sleep(300 * time.Millisecond)
+
+	// SIGKILL the owner, then keep streaming and keep assessing through
+	// the survivors: nothing may be lost.
+	nodes[victim].kill()
+
+	var killLoad sync.WaitGroup
+	survivors := []string{}
+	for _, id := range ids {
+		if id != victim {
+			survivors = append(survivors, id)
+		}
+	}
+	loadErr := make(chan error, 1)
+	killLoad.Add(1)
+	go func() {
+		defer killLoad.Done()
+		for i := 0; i < 40; i++ {
+			x := X[i%len(X)]
+			url := nodes[survivors[i%2]].url()
+			got, _, err := postAssess(url, serve.AssessRequest{Model: e2eModel, Features: x})
+			if err != nil {
+				loadErr <- fmt.Errorf("assess %d after kill via %s: %v", i, url, err)
+				return
+			}
+			want, _ := detA.Assess(x)
+			if !sameDecision(*got, want) {
+				loadErr <- fmt.Errorf("assess %d after kill: got %+v want %+v", i, got, want)
+				return
+			}
+		}
+	}()
+
+	for off := half; off < samples; off += chunk {
+		writeLine(serve.StreamSample{States: states[off : off+chunk]})
+	}
+	pw.Close()
+
+	// Collect the full decision stream and the summary.
+	var got []serve.StreamResult
+	var sum *serve.StreamSummary
+	deadline := time.After(30 * time.Second)
+	for sum == nil {
+		select {
+		case ln, ok := <-lines:
+			if !ok {
+				select {
+				case err := <-readErr:
+					t.Fatalf("stream ended early: %v", err)
+				default:
+					t.Fatal("stream ended without summary")
+				}
+			}
+			if ln.sum != nil {
+				sum = ln.sum
+			} else {
+				got = append(got, ln.res)
+			}
+		case err := <-readErr:
+			t.Fatalf("stream failed: %v", err)
+		case <-deadline:
+			t.Fatalf("no summary after 30s (%d results so far)", len(got))
+		}
+	}
+	killLoad.Wait()
+	select {
+	case err := <-loadErr:
+		t.Fatalf("request traffic lost during the kill: %v", err)
+	default:
+	}
+
+	// Element-wise identity with the uninterrupted baseline — the window
+	// straddling the kill included.
+	if len(got) != len(wantResults) {
+		t.Fatalf("stream produced %d decisions, baseline %d", len(got), len(wantResults))
+	}
+	for i, g := range got {
+		w := wantResults[i]
+		if !sameDecision(g.AssessResponse, w) {
+			t.Fatalf("decision %d diverged after failover: got %+v want %+v", i, g.AssessResponse, w)
+		}
+		if g.Seq != i+1 {
+			t.Fatalf("decision %d has seq %d", i, g.Seq)
+		}
+	}
+	if sum.Samples != samples || sum.Decisions != len(wantResults) {
+		t.Fatalf("summary %+v, want %d samples / %d decisions", sum, samples, len(wantResults))
+	}
+
+	// The survivors eventually declare the victim dead and rebalance; the
+	// shard keeps exactly one (new) owner.
+	alive := map[string]*node{}
+	for _, id := range survivors {
+		alive[id] = nodes[id]
+	}
+	waitForMembers(t, alive, 2)
+	for _, id := range survivors {
+		got, _, err := postAssess(nodes[id].url(), serve.AssessRequest{Model: e2eModel, Features: X[0]})
+		if err != nil {
+			t.Fatalf("assess after rebalance via %s: %v", id, err)
+		}
+		want, _ := detA.Assess(X[0])
+		if !sameDecision(*got, want) {
+			t.Fatalf("post-rebalance decision diverged: %+v", got)
+		}
+	}
+}
+
+// TestClusterCoordinatorFailover: killing the coordinator promotes the
+// lowest-ID survivor and the cluster keeps serving and swapping.
+func TestClusterCoordinatorFailover(t *testing.T) {
+	detA, detB, X := e2eDetectors(t)
+	ids := []string{"n1", "n2", "n3"}
+	nodes := startCluster(t, ids, "n1", detA)
+
+	nodes["n1"].kill()
+
+	// The lowest-ID survivor (n2) must promote itself and both survivors
+	// must converge on a 2-member table.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st := getStats(t, nodes["n2"].url())
+		if st["role"].(string) == "coordinator" && int(st["members_alive"].(float64)) == 2 {
+			st3 := getStats(t, nodes["n3"].url())
+			if int(st3["members_alive"].(float64)) == 2 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("n2 did not take over: %v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Serving still works through both survivors...
+	for _, id := range []string{"n2", "n3"} {
+		got, _, err := postAssess(nodes[id].url(), serve.AssessRequest{Model: e2eModel, Features: X[1]})
+		if err != nil {
+			t.Fatalf("assess via %s after coordinator loss: %v", id, err)
+		}
+		want, _ := detA.Assess(X[1])
+		if !sameDecision(*got, want) {
+			t.Fatalf("decision diverged after coordinator loss: %+v", got)
+		}
+	}
+
+	// ...and so do fleet-wide swaps, via the NEW coordinator's relay path
+	// (posted to n3, a follower of n2).
+	var buf bytes.Buffer
+	if err := detB.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(serve.LoadModelRequest{Name: e2eModel, Data: buf.Bytes()})
+	req, _ := http.NewRequest(http.MethodPost, nodes["n3"].url()+"/v1/models", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer "+e2eToken)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("swap after failover: status %d: %s", resp.StatusCode, swapBody)
+	}
+	var sw SwapResponse
+	if err := json.Unmarshal(swapBody, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Nodes != 2 {
+		t.Fatalf("swap after failover reached %d nodes, want 2", sw.Nodes)
+	}
+	got, _, err := postAssess(nodes["n2"].url(), serve.AssessRequest{Model: e2eModel, Features: X[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := detB.Assess(X[2])
+	if !sameDecision(*got, want) {
+		t.Fatalf("post-failover swap not visible: %+v", got)
+	}
+}

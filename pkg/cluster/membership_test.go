@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The membership state machine is driven by a fake clock: observe and
+// sweep take explicit times, so the alive -> suspect -> dead transitions
+// are tested deterministically, with no sleeping.
+
+const (
+	tSuspect = 3 * time.Second
+	tDead    = 6 * time.Second
+)
+
+func memberStates(t *memberTable) map[string]string {
+	out := make(map[string]string)
+	for _, m := range t.snapshot() {
+		out[m.ID] = m.State
+	}
+	return out
+}
+
+func TestMembershipExpiry(t *testing.T) {
+	mt := newMemberTable()
+	t0 := time.Unix(1000, 0)
+
+	if !mt.observe("n1", "http://a", t0) {
+		t.Fatal("first observe must report a change")
+	}
+	if !mt.observe("n2", "http://b", t0) {
+		t.Fatal("first observe must report a change")
+	}
+	if mt.observe("n1", "http://a", t0.Add(2*time.Second)) {
+		t.Fatal("a fresh heartbeat from an alive member is not a routing change")
+	}
+
+	// Nothing has been silent long enough: sweep is a no-op.
+	if mt.sweep(t0.Add(2*time.Second), tSuspect, tDead) {
+		t.Fatal("sweep before SuspectAfter must not change state")
+	}
+
+	// n2 has been silent 4s (>= SuspectAfter), n1 only 2s thanks to its
+	// later heartbeat. Suspect members keep their ring membership.
+	if !mt.sweep(t0.Add(4*time.Second), tSuspect, tDead) {
+		t.Fatal("sweep past SuspectAfter must report a change")
+	}
+	got := memberStates(mt)
+	if got["n1"] != StateAlive || got["n2"] != StateSuspect {
+		t.Fatalf("states after first sweep: %v", got)
+	}
+	if ids := aliveMembers(mt.snapshot()); !reflect.DeepEqual(ids, []string{"n1", "n2"}) {
+		t.Fatalf("suspect members must keep shard eligibility, got %v", ids)
+	}
+
+	// A heartbeat revives the suspect.
+	if !mt.observe("n2", "http://b", t0.Add(5*time.Second)) {
+		t.Fatal("reviving a suspect is a routing change")
+	}
+	if memberStates(mt)["n2"] != StateAlive {
+		t.Fatal("observe must revive a suspect to alive")
+	}
+
+	// Silence past DeadAfter: alive -> dead directly (the suspect phase
+	// is skipped when the sweep cadence was slower than the decay).
+	if !mt.sweep(t0.Add(20*time.Second), tSuspect, tDead) {
+		t.Fatal("sweep past DeadAfter must report a change")
+	}
+	got = memberStates(mt)
+	if got["n1"] != StateDead || got["n2"] != StateDead {
+		t.Fatalf("states after long silence: %v", got)
+	}
+	if ids := aliveMembers(mt.snapshot()); len(ids) != 0 {
+		t.Fatalf("dead members must leave the ring, got %v", ids)
+	}
+
+	// Dead entries are tombstones: a heartbeat resurrects them.
+	if !mt.observe("n1", "http://a", t0.Add(21*time.Second)) {
+		t.Fatal("resurrecting a dead member is a routing change")
+	}
+	if memberStates(mt)["n1"] != StateAlive {
+		t.Fatal("observe must resurrect a dead member")
+	}
+	// ... and the resurrected entry does not immediately re-expire.
+	if mt.sweep(t0.Add(22*time.Second), tSuspect, tDead) {
+		t.Fatal("a just-resurrected member must not re-expire")
+	}
+}
+
+func TestMembershipAddressChange(t *testing.T) {
+	mt := newMemberTable()
+	t0 := time.Unix(0, 0)
+	mt.observe("n1", "http://old", t0)
+	if !mt.observe("n1", "http://new", t0.Add(time.Second)) {
+		t.Fatal("an address change is a routing change")
+	}
+	if ms := mt.snapshot(); ms[0].Addr != "http://new" {
+		t.Fatalf("address not updated: %+v", ms[0])
+	}
+}
+
+func TestMembershipMarkDead(t *testing.T) {
+	mt := newMemberTable()
+	t0 := time.Unix(0, 0)
+	mt.observe("n1", "http://a", t0)
+	if !mt.markDead("n1") {
+		t.Fatal("markDead on an alive member must report a change")
+	}
+	if mt.markDead("n1") {
+		t.Fatal("markDead is idempotent")
+	}
+	if mt.markDead("ghost") {
+		t.Fatal("markDead on an unknown member is a no-op")
+	}
+	if memberStates(mt)["n1"] != StateDead {
+		t.Fatal("markDead must kill the member")
+	}
+}
+
+// TestMembershipAdopt: a promoted follower seeds its authoritative table
+// from its last known view; the adopted entries are alive from the moment
+// of adoption, so survivors get a full DeadAfter to re-register.
+func TestMembershipAdopt(t *testing.T) {
+	mt := newMemberTable()
+	t0 := time.Unix(0, 0)
+	mt.adopt([]Member{
+		{ID: "n1", Addr: "http://a", State: StateAlive},
+		{ID: "n2", Addr: "http://b", State: StateSuspect},
+		{ID: "n3", Addr: "http://c", State: StateDead},
+	}, t0)
+
+	got := memberStates(mt)
+	want := map[string]string{"n1": StateAlive, "n2": StateSuspect, "n3": StateDead}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("adopt states: got %v want %v", got, want)
+	}
+	// Adopted members decay from the adoption time, not their original
+	// lastSeen (which the snapshot does not carry).
+	if mt.sweep(t0.Add(tSuspect-time.Second), tSuspect, tDead) {
+		t.Fatal("adopted members must not expire before SuspectAfter from adoption")
+	}
+	if !mt.sweep(t0.Add(tDead+time.Second), tSuspect, tDead) {
+		t.Fatal("adopted members must expire eventually")
+	}
+	if ids := aliveMembers(mt.snapshot()); len(ids) != 0 {
+		t.Fatalf("all should be dead, got %v", ids)
+	}
+}

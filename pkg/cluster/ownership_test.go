@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Cluster-level minimal-remap property: ownership is the consistent hash
+// of the shard set over the alive member IDs, so a node joining or dying
+// may move only the arc of shards that involves that node — every other
+// shard keeps its owner. This is what makes a rebalance cheap: the
+// republished table changes routing only where it must.
+
+func testTable(memberIDs []string, shards int) Table {
+	t := Table{Epoch: 1, Coordinator: memberIDs[0]}
+	for _, id := range memberIDs {
+		t.Members = append(t.Members, Member{ID: id, Addr: "http://" + id, State: StateAlive})
+	}
+	for i := 0; i < shards; i++ {
+		t.Shards = append(t.Shards, fmt.Sprintf("model-%02d", i))
+	}
+	return t
+}
+
+func owners(v *routeView) map[string]string {
+	out := make(map[string]string, len(v.table.Shards))
+	for _, s := range v.table.Shards {
+		out[s] = v.owner(s)
+	}
+	return out
+}
+
+func TestOwnershipMinimalRemapOnDeath(t *testing.T) {
+	tab := testTable([]string{"n1", "n2", "n3", "n4"}, 64)
+	before := owners(buildView(tab))
+
+	// Every member must own something at this shard count, or the test
+	// below is vacuous for the dead node.
+	perNode := make(map[string]int)
+	for _, o := range before {
+		perNode[o]++
+	}
+	for _, id := range []string{"n1", "n2", "n3", "n4"} {
+		if perNode[id] == 0 {
+			t.Fatalf("node %s owns no shards; placement is degenerate: %v", id, perNode)
+		}
+	}
+
+	// Kill n3: its shards must move, everyone else's must not.
+	for i := range tab.Members {
+		if tab.Members[i].ID == "n3" {
+			tab.Members[i].State = StateDead
+		}
+	}
+	after := owners(buildView(tab))
+	for shard, prev := range before {
+		now := after[shard]
+		if prev == "n3" {
+			if now == "n3" || now == "" {
+				t.Fatalf("shard %s still owned by the dead node (now %q)", shard, now)
+			}
+			continue
+		}
+		if now != prev {
+			t.Fatalf("shard %s moved %s -> %s although its owner survived", shard, prev, now)
+		}
+	}
+}
+
+func TestOwnershipMinimalRemapOnJoin(t *testing.T) {
+	tab := testTable([]string{"n1", "n2", "n3"}, 64)
+	before := owners(buildView(tab))
+
+	tab.Members = append(tab.Members, Member{ID: "n4", Addr: "http://n4", State: StateAlive})
+	after := owners(buildView(tab))
+
+	moved := 0
+	for shard, prev := range before {
+		now := after[shard]
+		if now == prev {
+			continue
+		}
+		if now != "n4" {
+			t.Fatalf("shard %s moved %s -> %s, but only moves TO the joiner are allowed", shard, prev, now)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Fatal("the joiner picked up no shards; placement is degenerate")
+	}
+	// A balanced ring hands the joiner roughly its fair share, never the
+	// whole keyspace.
+	if moved == len(before) {
+		t.Fatal("the joiner took every shard; remap is not minimal")
+	}
+}
+
+// TestOwnershipSuspectKeepsShards: suspicion (a missed heartbeat or two)
+// must not trigger a rebalance — only death moves shards.
+func TestOwnershipSuspectKeepsShards(t *testing.T) {
+	tab := testTable([]string{"n1", "n2", "n3"}, 32)
+	before := owners(buildView(tab))
+	for i := range tab.Members {
+		if tab.Members[i].ID == "n2" {
+			tab.Members[i].State = StateSuspect
+		}
+	}
+	after := owners(buildView(tab))
+	for shard, prev := range before {
+		if after[shard] != prev {
+			t.Fatalf("shard %s moved %s -> %s on suspicion", shard, prev, after[shard])
+		}
+	}
+}
+
+// TestOwnershipAgreement: two nodes holding the same table compute the
+// same owners — placement is pure computation, never negotiated.
+func TestOwnershipAgreement(t *testing.T) {
+	tab := testTable([]string{"n1", "n2", "n3", "n4", "n5"}, 48)
+	a, b := buildView(tab), buildView(tab)
+	for _, s := range tab.Shards {
+		if a.owner(s) != b.owner(s) {
+			t.Fatalf("views disagree on %s: %s vs %s", s, a.owner(s), b.owner(s))
+		}
+	}
+	// Device keys likewise: the shard ring maps any device to the same
+	// shard on every node.
+	for i := 0; i < 32; i++ {
+		dev := fmt.Sprintf("device-%03d", i)
+		if a.shardRing.Lookup(dev) != b.shardRing.Lookup(dev) {
+			t.Fatalf("views disagree on device %s", dev)
+		}
+	}
+}

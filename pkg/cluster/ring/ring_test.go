@@ -1,0 +1,149 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDeterministicAndOrderless(t *testing.T) {
+	a := New([]string{"alpha", "beta", "gamma"}, 0)
+	b := New([]string{"gamma", "alpha", "beta"}, 0)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("device-%d", i)
+		if a.Lookup(key) != b.Lookup(key) {
+			t.Fatalf("ring depends on construction order for %q", key)
+		}
+	}
+	if New(nil, 0) != nil {
+		t.Fatal("empty ring should be nil")
+	}
+	var nilRing *Ring
+	if nilRing.Lookup("x") != "" {
+		t.Fatal("nil ring lookup should return empty")
+	}
+	if nilRing.Successors("x", 2) != nil {
+		t.Fatal("nil ring successors should return nil")
+	}
+	if nilRing.Members() != 0 {
+		t.Fatal("nil ring should report zero members")
+	}
+}
+
+func TestDuplicatesCollapse(t *testing.T) {
+	a := New([]string{"a", "b", "a", "b", "a"}, 16)
+	if a.Members() != 2 {
+		t.Fatalf("duplicate members should collapse: got %d", a.Members())
+	}
+	b := New([]string{"a", "b"}, 16)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if a.Lookup(key) != b.Lookup(key) {
+			t.Fatalf("duplicate members changed routing for %q", key)
+		}
+	}
+}
+
+func TestSpread(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	r := New(members, 0)
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[r.Lookup(fmt.Sprintf("device-%d", i))]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / n
+		// With 128 virtual nodes per member the split stays near 1/4; a
+		// member starved below 10% or hogging above 50% means the ring is
+		// broken, not merely unlucky.
+		if share < 0.10 || share > 0.50 {
+			t.Fatalf("member %s owns %.1f%% of keys: %v", m, 100*share, counts)
+		}
+	}
+}
+
+// TestMinimalRemap is consistent hashing's defining property: when a
+// member leaves, only its keys remap — everyone else keeps their owner.
+func TestMinimalRemap(t *testing.T) {
+	before := New([]string{"a", "b", "c", "d"}, 0)
+	after := New([]string{"a", "b", "c"}, 0)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("device-%d", i)
+		was, is := before.Lookup(key), after.Lookup(key)
+		if was == "d" {
+			if is == "d" {
+				t.Fatalf("key %q still routes to the removed member", key)
+			}
+			continue // had to move
+		}
+		if was != is {
+			t.Fatalf("key %q moved between surviving members (%s -> %s)", key, was, is)
+		}
+	}
+}
+
+func TestSuccessorsDistinctAndStartAtOwner(t *testing.T) {
+	r := New([]string{"n1", "n2", "n3", "n4"}, 0)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("shard-%d", i)
+		succ := r.Successors(key, 3)
+		if len(succ) != 3 {
+			t.Fatalf("want 3 successors, got %v", succ)
+		}
+		if succ[0] != r.Lookup(key) {
+			t.Fatalf("successors must start at the owner: %v vs %s", succ, r.Lookup(key))
+		}
+		seen := map[string]bool{}
+		for _, m := range succ {
+			if seen[m] {
+				t.Fatalf("duplicate member in successors: %v", succ)
+			}
+			seen[m] = true
+		}
+	}
+	// Asking for more members than exist returns them all, once each.
+	if got := r.Successors("k", 99); len(got) != 4 {
+		t.Fatalf("want all 4 members, got %v", got)
+	}
+}
+
+// TestSuccessorFailoverIsConsistent: the first successor after the owner
+// is exactly where the key lands when the owner leaves the ring — the
+// property cluster failover leans on to route around a dead node before
+// the coordinator rebuilds the table.
+func TestSuccessorFailoverIsConsistent(t *testing.T) {
+	members := []string{"n1", "n2", "n3", "n4"}
+	full := New(members, 0)
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("shard-%d", i)
+		succ := full.Successors(key, 2)
+		owner := succ[0]
+		var rest []string
+		for _, m := range members {
+			if m != owner {
+				rest = append(rest, m)
+			}
+		}
+		without := New(rest, 0)
+		if got := without.Lookup(key); got != succ[1] {
+			t.Fatalf("key %q: successor %s but post-removal owner %s", key, succ[1], got)
+		}
+	}
+}
+
+func TestHashAvalanche(t *testing.T) {
+	// Same-prefix keys must not cluster: count bit differences between
+	// consecutive keys' hashes — an avalanche keeps them near 32.
+	for i := 0; i < 64; i++ {
+		a := Hash(fmt.Sprintf("shard#%d", i))
+		b := Hash(fmt.Sprintf("shard#%d", i+1))
+		diff := 0
+		for x := a ^ b; x != 0; x &= x - 1 {
+			diff++
+		}
+		if diff < 10 {
+			t.Fatalf("hashes of neighbouring keys differ in only %d bits", diff)
+		}
+	}
+}

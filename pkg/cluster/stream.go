@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"errors"
+	"io"
+	"net/http"
+
+	"trusthmd/pkg/detector"
+	"trusthmd/pkg/serve"
+)
+
+// Stream proxying: an NDJSON stream whose shard lives on another node is
+// replayed there chunk by chunk. Every push carries the complete exported
+// session state (window buffer, stride phase, counters) and gets the
+// updated state back, so the protocol is stateless on the owner: when the
+// owner dies mid-stream, the SAME chunk and state are replayed onto the
+// shard's ring successor and the stream continues with decisions
+// element-wise identical to an uninterrupted session — the window
+// straddling the kill included. That is the lossless-failover property
+// the cluster e2e pins.
+
+// ProxyStream implements serve.ClusterHook.
+func (a *Agent) ProxyStream(conn *serve.StreamConn) {
+	v := a.view.Load()
+	if v == nil {
+		conn.HTTPError(http.StatusServiceUnavailable, "cluster view not ready")
+		return
+	}
+	shard := conn.Hdr.Model
+	if shard == "" {
+		shard = v.shardRing.Lookup(conn.Hdr.Device)
+	}
+	cfg := detector.StreamConfig{Levels: conn.Hdr.Levels, Window: conn.Hdr.Window, Stride: conn.Hdr.Stride}
+
+	// Opening push (no samples, no state): validates the header against
+	// the model on the owner while the HTTP status machinery is still
+	// available, exactly like the local path's session-open checks.
+	open, err := a.pushChunk(shard, conn.Hdr.Device, cfg, nil, nil)
+	if err != nil {
+		conn.HTTPError(http.StatusBadRequest, err.Error())
+		return
+	}
+	state := open.State
+	model, version := open.Model, open.Version
+	conn.Begin()
+
+	seq, samples := 0, 0
+	summary := func(draining bool) {
+		st := state.Stats
+		conn.Emit(serve.StreamSummary{
+			Done:      true,
+			Draining:  draining,
+			Model:     model,
+			Version:   version,
+			Samples:   st.Samples,
+			Decisions: st.Total(),
+			CacheHits: st.CacheHits,
+			Benign:    st.Benign,
+			Malware:   st.Malware,
+			Rejected:  st.Rejected,
+		})
+	}
+	for {
+		states, err := conn.Next()
+		var lineErr *serve.StreamLineError
+		switch {
+		case errors.Is(err, io.EOF):
+			summary(false)
+			return
+		case errors.As(err, &lineErr):
+			conn.Fail(lineErr.Msg)
+			return
+		case err != nil:
+			if conn.Draining() {
+				summary(true)
+				return
+			}
+			conn.Fail("reading stream: " + err.Error())
+			return
+		}
+		res, err := a.pushChunk(shard, conn.Hdr.Device, cfg, &state, states)
+		if err != nil {
+			conn.Fail(err.Error())
+			return
+		}
+		state = res.State
+		model, version = res.Model, res.Version
+		for _, d := range res.Results {
+			seq++
+			if !conn.Emit(serve.StreamResult{
+				Seq:            seq,
+				Sample:         samples + d.Offset,
+				AssessResponse: serve.ToResponse(res.Model, res.Version, d.Result),
+			}) {
+				return // client stopped reading; abandon the stream
+			}
+		}
+		samples += len(states)
+	}
+}
+
+// pushChunk applies one chunk on the shard's owner, walking the ring
+// successor chain on transport errors — the same chunk and state replay
+// losslessly because the push is idempotent given its state. A successor
+// chain entry that is this node itself serves the chunk in-process.
+func (a *Agent) pushChunk(shard, device string, cfg detector.StreamConfig, st *detector.SessionState, states []int) (serve.StreamPushResult, error) {
+	v := a.view.Load()
+	if v == nil {
+		return serve.StreamPushResult{}, errors.New("cluster view not ready")
+	}
+	req := pushRequest{
+		Shard:  shard,
+		Device: device,
+		Levels: cfg.Levels,
+		Window: cfg.Window,
+		Stride: cfg.Stride,
+		State:  st,
+		States: states,
+	}
+	var lastErr error
+	for i, id := range v.memberRing.Successors(shard, forwardSuccessors) {
+		if i > 0 {
+			a.streamFailovers.Add(1)
+			a.cfg.Logf("cluster: %s replaying stream chunk for %q onto %s", a.cfg.NodeID, shard, id)
+		}
+		if id == a.cfg.NodeID {
+			if err := a.ensureLocal(shard); err != nil {
+				lastErr = err
+				continue
+			}
+			return a.fleet.StreamPush(shard, device, cfg, st, states)
+		}
+		addr, ok := v.addrs[id]
+		if !ok {
+			continue
+		}
+		var res serve.StreamPushResult
+		err := a.postJSON(addr, "/cluster/v1/push", req, &res)
+		if err == nil {
+			a.forwardsOut.Add(1)
+			return res, nil
+		}
+		lastErr = err
+		// Application rejections (4xx become plain errors with the remote
+		// message) end the stream; only transport-level failures and the
+		// 503 a successor answers while it cannot materialise the shard
+		// are worth failing over.
+		if !retriablePushErr(err) {
+			return serve.StreamPushResult{}, err
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no reachable owner for shard " + shard)
+	}
+	return serve.StreamPushResult{}, lastErr
+}
+
+// retriablePushErr reports whether a push failure may succeed on a ring
+// successor: network errors (url.Error from the client) and remote 503s
+// qualify; anything else is an application rejection.
+func retriablePushErr(err error) bool {
+	var re *remoteError
+	if errors.As(err, &re) {
+		return re.status == http.StatusServiceUnavailable
+	}
+	// Non-remoteError failures from postJSON are transport-level
+	// (connection refused, reset, timeout) — the failover case.
+	var rd *errRedirect
+	return !errors.As(err, &rd)
+}

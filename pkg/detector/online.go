@@ -53,17 +53,21 @@ type Online struct {
 	Stats OnlineStats
 }
 
-// OnlineStats tallies the stream's decisions.
+// OnlineStats tallies the stream's decisions. The JSON tags make the
+// tally transportable as part of an exported SessionState, so a cluster
+// can move a live stream between nodes without losing its counters.
 type OnlineStats struct {
-	Benign, Malware, Rejected int
-	Windows                   int
+	Benign   int `json:"benign"`
+	Malware  int `json:"malware"`
+	Rejected int `json:"rejected"`
+	Windows  int `json:"windows"`
 	// Samples counts the states accepted into the window — every Push
 	// that passed range validation, including samples whose assessment
 	// failed (the window retains them and retries on the next Push).
-	Samples int
+	Samples int `json:"samples"`
 	// CacheHits counts windows served from the projected-vector memo
 	// (identical to their predecessor, so scale+PCA were skipped).
-	CacheHits int
+	CacheHits int `json:"cache_hits"`
 }
 
 // Observe folds one decision into the tally. Serving layers reuse it to
@@ -154,6 +158,61 @@ func NewOnline(d *Detector, cfg StreamConfig) (*Online, error) {
 		scratch: make([]int, cfg.Window),
 		stride:  stride,
 	}, nil
+}
+
+// exportState snapshots the stream's replayable state: the window buffer
+// linearised oldest-first (only the filled portion), the stride phase and
+// the cumulative stats. The projection memo is deliberately excluded — it
+// is a pure optimisation, so a resumed stream produces identical decisions
+// with at most a one-window warm-up cost.
+func (o *Online) exportState() SessionState {
+	win := make([]int, o.filled)
+	if o.filled == len(o.ring) {
+		n := copy(win, o.ring[o.head:])
+		copy(win[n:], o.ring[:o.head])
+	} else {
+		// A partially filled ring has never wrapped: samples 0..filled-1
+		// sit at indices 0..filled-1 and head == filled.
+		copy(win, o.ring[:o.filled])
+	}
+	return SessionState{
+		Window:    win,
+		SinceLast: o.sinceLast,
+		Stats:     o.Stats,
+	}
+}
+
+// resumeOnline rebuilds a streaming detector from an exported state, so a
+// stream can continue on another detector instance (same trained model)
+// with decisions identical to never having moved.
+func resumeOnline(d *Detector, cfg StreamConfig, st *SessionState) (*Online, error) {
+	o, err := NewOnline(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if st == nil {
+		return o, nil
+	}
+	if len(st.Window) > cfg.Window {
+		return nil, fmt.Errorf("detector: resume state holds %d samples, window is %d", len(st.Window), cfg.Window)
+	}
+	for i, s := range st.Window {
+		if s < 0 || s >= cfg.Levels {
+			return nil, fmt.Errorf("detector: resume state sample %d: state %d outside [0,%d)", i, s, cfg.Levels)
+		}
+	}
+	// SinceLast has no upper bound: before the first full window it grows
+	// with every push (decisions only start once the window fills), and a
+	// failed assessment leaves it at or beyond the stride for the retry.
+	if st.SinceLast < 0 {
+		return nil, fmt.Errorf("detector: resume state since_last %d is negative", st.SinceLast)
+	}
+	copy(o.ring, st.Window)
+	o.filled = len(st.Window)
+	o.head = o.filled % len(o.ring)
+	o.sinceLast = st.SinceLast
+	o.Stats = st.Stats
+	return o, nil
 }
 
 // Push feeds one DVFS state sample. When a full window is available and the

@@ -45,6 +45,37 @@ type SessionStats struct {
 	CacheHits int `json:"cache_hits"`
 }
 
+// SessionState is the replayable snapshot of a streaming session: the
+// window buffer linearised oldest-first, the per-stride phase counter and
+// the cumulative stats. It is everything another node needs to continue
+// the stream with decisions element-wise identical to never having moved —
+// the unit a cluster replays onto a shard's new owner on failover.
+type SessionState struct {
+	Window    []int       `json:"window"`
+	SinceLast int         `json:"since_last"`
+	Stats     OnlineStats `json:"stats"`
+}
+
+// Export snapshots the session's replayable state. It is safe to call
+// concurrently with Push and remains readable after Close.
+func (s *Session) Export() SessionState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.online.exportState()
+}
+
+// ResumeSession opens a streaming session continuing from an exported
+// state (nil state means a fresh session, exactly like NewSession). The
+// detector need not be the same instance the state was exported from —
+// only the same trained model, if identical decisions are required.
+func ResumeSession(d *Detector, cfg StreamConfig, st *SessionState) (*Session, error) {
+	o, err := resumeOnline(d, cfg, st)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{online: o}, nil
+}
+
 // NewSession opens a streaming session over a trained detector. The
 // config is validated exactly like NewOnline's.
 func NewSession(d *Detector, cfg StreamConfig) (*Session, error) {

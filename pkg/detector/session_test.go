@@ -163,6 +163,94 @@ func TestSessionPushAll(t *testing.T) {
 	}
 }
 
+// TestSessionExportResumeIdentity pins the failover contract: exporting a
+// session mid-stream at an arbitrary cut point and resuming it on a fresh
+// Session (fresh detector instance of the same model included) yields
+// decisions element-wise identical to the uninterrupted stream — windows
+// straddling the cut included.
+func TestSessionExportResumeIdentity(t *testing.T) {
+	d := onlineDetector(t)
+	cfg := StreamConfig{Levels: 8, Window: 32, Stride: 8}
+
+	rng := rand.New(rand.NewSource(31))
+	states := make([]int, 300)
+	for i := range states {
+		states[i] = rng.Intn(cfg.Levels)
+	}
+
+	baseline, err := NewSession(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := baseline.PushAll(states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("baseline produced no decisions")
+	}
+
+	// Cut points exercise every regime: mid-fill (window not yet full),
+	// mid-stride, and exactly on a decision boundary.
+	for _, cut := range []int{0, 7, 17, 40, 131, 200} {
+		first, err := NewSession(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := first.PushAll(states[:cut])
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := first.Export()
+		first.Close()
+
+		resumed, err := ResumeSession(d, cfg, &st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rest, err := resumed.PushAll(states[cut:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rest...)
+
+		if len(got) != len(want) {
+			t.Fatalf("cut %d: %d decisions, want %d", cut, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Prediction != want[i].Prediction ||
+				got[i].Entropy != want[i].Entropy ||
+				got[i].Decision != want[i].Decision {
+				t.Fatalf("cut %d: decision %d diverged: %+v vs %+v", cut, i, got[i], want[i])
+			}
+		}
+		stats := resumed.Stats()
+		if stats.Samples != len(states) {
+			t.Fatalf("cut %d: resumed samples %d, want %d", cut, stats.Samples, len(states))
+		}
+		if stats.Decisions != len(want) {
+			t.Fatalf("cut %d: resumed decisions %d, want %d", cut, stats.Decisions, len(want))
+		}
+		resumed.Close()
+	}
+
+	// A nil state resumes fresh; invalid states are rejected up front.
+	if _, err := ResumeSession(d, cfg, nil); err != nil {
+		t.Fatalf("nil state: %v", err)
+	}
+	bad := []SessionState{
+		{Window: make([]int, cfg.Window+1)},
+		{Window: []int{0, 1, 99}},
+		{Window: []int{0, 1, -1}},
+		{SinceLast: -1},
+	}
+	for i, st := range bad {
+		if _, err := ResumeSession(d, cfg, &st); err == nil {
+			t.Fatalf("bad state %d: expected error", i)
+		}
+	}
+}
+
 // TestSessionConcurrentClose exercises the one concurrency promise the
 // Session makes beyond Online: a transport may Close from another
 // goroutine while the read loop is pushing.

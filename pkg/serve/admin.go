@@ -88,6 +88,13 @@ func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "exactly one of path and data must be set")
 		return
 	}
+	// In a cluster the load becomes a fleet-wide two-phase hot swap (stage
+	// the model on every member, then commit everywhere, rolling back on
+	// partial failure); the hook owns the whole exchange. Admin auth has
+	// already been enforced above.
+	if hook := s.clusterHook(); hook != nil && hook.HandleModelLoad(w, r, req) {
+		return
+	}
 	var (
 		det *detector.Detector
 		err error

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"trusthmd/pkg/detector"
+)
+
+// Cluster integration: serve stays a single-node transport, and a cluster
+// control plane (pkg/cluster) attaches through the ClusterHook interface —
+// serve defines the seam, the cluster implements it, so the import points
+// cluster -> serve and no cycle forms. Without an attached hook every path
+// below is a no-op and the server behaves exactly as a standalone daemon.
+//
+// The hook intercepts at four places:
+//
+//   - assessment routing: ResolveAssess maps the request's model/device
+//     keys onto the cluster-wide shard space and says whether this node
+//     owns the shard; ForwardAssess proxies non-local requests to the
+//     owner (with a loop-guard header so a forwarded request is always
+//     served where it lands).
+//   - streaming: a non-local NDJSON stream is proxied line by line via
+//     ProxyStream; serve hands the hook a StreamConn bundling the parsed
+//     header and deadline-disciplined read/write closures, so all socket
+//     hygiene (idle timeouts, write deadlines, drain behaviour) stays in
+//     one place regardless of who runs the loop.
+//   - admin: HandleModelLoad lets the hook turn POST /v1/models into a
+//     fleet-wide two-phase hot swap.
+//   - observability: StatsFields merges cluster counters into /stats and
+//     Status answers GET /v1/cluster.
+
+// ForwardedHeader is the loop guard on node-to-node forwarded requests:
+// a request carrying it is always served locally by the receiving node
+// (installing the shard from the cluster catalog on demand), never
+// forwarded again — so a stale routing table cannot create a forwarding
+// cycle. The value names the node that forwarded.
+const ForwardedHeader = "X-Trusthmd-Forwarded"
+
+// ClusterHook is the seam a cluster control plane implements to make one
+// server a fleet member. Methods must be safe for concurrent use.
+type ClusterHook interface {
+	// ResolveAssess maps a request's routing keys onto the cluster: it
+	// returns the cluster-wide shard name the request belongs to (device
+	// keys are hashed over the whole cluster's shard set, not just the
+	// local fleet's) and whether this node serves it locally. Forwarded
+	// requests (ForwardedHeader present) always resolve local.
+	ResolveAssess(r *http.Request, model, device string) (shard string, local bool)
+	// ForwardAssess proxies a non-local request (original body bytes, same
+	// path) to the shard's owner and relays the response. It always writes
+	// a response, falling over to ring successors on network errors and
+	// answering 503 when no owner is reachable.
+	ForwardAssess(w http.ResponseWriter, r *http.Request, shard, device string, body []byte)
+	// ProxyStream runs a non-local NDJSON stream by replaying its samples
+	// onto the owning node (and, on owner death, replaying the exported
+	// session state onto a ring successor so the stream survives).
+	ProxyStream(conn *StreamConn)
+	// HandleModelLoad intercepts an authenticated POST /v1/models and
+	// applies it cluster-wide; returning false falls back to the local
+	// single-node install.
+	HandleModelLoad(w http.ResponseWriter, r *http.Request, req LoadModelRequest) bool
+	// StatsFields returns the cluster counters /stats merges into its
+	// snapshot: node_id, role, members_alive, forwards_in, forwards_out.
+	StatsFields() map[string]any
+	// Status answers GET /v1/cluster: the node's view of the membership
+	// table and catalog.
+	Status() any
+}
+
+// StreamConn is the serve-side of a proxied NDJSON stream: the parsed
+// header plus closures that keep every read and write under the same
+// deadline discipline as a locally served stream. The hook's proxy loop
+// calls Next for the client's sample chunks and Emit/Fail for response
+// lines; exactly one of HTTPError (before Begin) or Begin-then-Emit
+// terminates the exchange.
+type StreamConn struct {
+	// Hdr is the stream's parsed header line.
+	Hdr StreamHeader
+	// Next returns the next sample chunk. io.EOF means a clean client
+	// end-of-stream; a *StreamLineError is a protocol violation whose
+	// message should be sent with Fail; any other error is a transport
+	// failure (check Draining to distinguish shutdown from disconnect).
+	Next func() ([]int, error)
+	// HTTPError rejects the stream with a proper HTTP status; only valid
+	// before Begin.
+	HTTPError func(code int, msg string)
+	// Begin commits the 200 and switches to NDJSON framing.
+	Begin func()
+	// Emit writes one NDJSON response line under a write deadline; false
+	// means the client stopped reading and the stream must be abandoned.
+	Emit func(v any) bool
+	// Fail emits a terminal error line (the post-200 failure shape).
+	Fail func(msg string)
+	// Draining reports whether the server began draining (the stream
+	// should end with a Draining summary).
+	Draining func() bool
+}
+
+// StreamLineError is a protocol violation on a stream line (oversized
+// line, malformed JSON, ambiguous sample shape): the stream fails with
+// this message but the transport is healthy.
+type StreamLineError struct{ Msg string }
+
+func (e *StreamLineError) Error() string { return e.Msg }
+
+// decodeStreamStates parses one NDJSON sample line into its states,
+// returning a *StreamLineError on any protocol violation.
+func decodeStreamStates(line []byte) ([]int, error) {
+	var sample StreamSample
+	if err := unmarshalStrict(line, &sample); err != nil {
+		return nil, &StreamLineError{Msg: fmt.Sprintf("bad stream line: %v", err)}
+	}
+	if sample.State != nil && len(sample.States) > 0 {
+		return nil, &StreamLineError{Msg: `stream line carries both "state" and "states"`}
+	}
+	states := sample.States
+	if sample.State != nil {
+		states = append(states, *sample.State)
+	}
+	if len(states) == 0 {
+		return nil, &StreamLineError{Msg: `stream line carries neither "state" nor "states"`}
+	}
+	return states, nil
+}
+
+// clusterBox wraps the hook interface so it can live in an
+// atomic.Pointer (which needs a concrete element type).
+type clusterBox struct{ hook ClusterHook }
+
+// AttachCluster wires a cluster control plane into the server: assessment
+// and stream requests for shards owned elsewhere are forwarded, POST
+// /v1/models becomes fleet-wide, and /stats + /v1/cluster report the
+// node's cluster identity.
+func (s *Server) AttachCluster(h ClusterHook) { s.cluster.Store(&clusterBox{hook: h}) }
+
+// clusterHook returns the attached hook, nil when standalone.
+func (s *Server) clusterHook() ClusterHook {
+	if b := s.cluster.Load(); b != nil {
+		return b.hook
+	}
+	return nil
+}
+
+// handleClusterStatus is GET /v1/cluster: the node's membership view, or
+// 404 on a standalone daemon.
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	hook := s.clusterHook()
+	if hook == nil {
+		writeError(w, http.StatusNotFound, "no cluster attached")
+		return
+	}
+	writeJSON(w, http.StatusOK, hook.Status())
+}
+
+// WriteJSON / WriteError expose the server's response envelope to the
+// cluster package, so node-to-node endpoints answer in the same shape as
+// every other endpoint.
+func WriteJSON(w http.ResponseWriter, code int, v any) { writeJSON(w, code, v) }
+
+// WriteError writes the standard JSON error envelope.
+func WriteError(w http.ResponseWriter, code int, msg string) { writeError(w, code, msg) }
+
+// StreamPushDecision is one decision produced by a StreamPush chunk.
+type StreamPushDecision struct {
+	// Offset is the index within the pushed chunk of the sample that
+	// completed the window.
+	Offset int             `json:"offset"`
+	Result detector.Result `json:"result"`
+}
+
+// StreamPushResult answers one StreamPush: the shard version that served
+// the chunk, the decisions it produced, and the exported session state the
+// caller must carry into the next push — the state is the whole session,
+// so the next chunk may land on any node holding the same model.
+type StreamPushResult struct {
+	Model   string                `json:"model"`
+	Version uint64                `json:"version"`
+	Results []StreamPushDecision  `json:"results"`
+	State   detector.SessionState `json:"state"`
+}
+
+// StreamPush is the owner-side half of cluster stream proxying: it applies
+// one chunk of DVFS states to a streaming session materialised from the
+// pushed state (nil state opens the session) and returns the decisions
+// plus the re-exported state. Holding the session state on the caller
+// makes the protocol stateless here — a chunk may be replayed onto a ring
+// successor after this node dies and the stream continues losslessly,
+// which is exactly what the cluster does on failover.
+func (f *Fleet) StreamPush(model, device string, cfg detector.StreamConfig, st *detector.SessionState, states []int) (StreamPushResult, error) {
+	g, err := f.resolve(model, device)
+	if err != nil {
+		return StreamPushResult{}, &routeError{err}
+	}
+	sh := g.home(device)
+	if cfg.Window > f.cfg.MaxStreamWindow {
+		return StreamPushResult{}, fmt.Errorf("window %d exceeds limit %d", cfg.Window, f.cfg.MaxStreamWindow)
+	}
+	if err := sh.det.ValidateStream(cfg); err != nil {
+		return StreamPushResult{}, err
+	}
+	sess, err := detector.ResumeSession(sh.det, cfg, st)
+	if err != nil {
+		return StreamPushResult{}, err
+	}
+	defer sess.Close()
+	if st == nil {
+		sh.stats.streamSessions.Add(1)
+	}
+	before := sess.Stats()
+	out := StreamPushResult{Model: sh.name, Version: sh.version}
+	for i, state := range states {
+		res, ok, err := sess.Push(state)
+		if err != nil {
+			return StreamPushResult{}, fmt.Errorf("sample %d: %w", i, err)
+		}
+		if !ok {
+			continue
+		}
+		sh.stats.observeOne(res.Decision)
+		f.recordVerdict(device, "stream", sh.name, sh.version, res, nil, time.Duration(0))
+		out.Results = append(out.Results, StreamPushDecision{Offset: i, Result: res})
+	}
+	after := sess.Stats()
+	sh.stats.streamSamples.Add(int64(after.Samples - before.Samples))
+	sh.stats.streamDecisions.Add(int64(after.Decisions - before.Decisions))
+	sh.stats.streamCacheHits.Add(int64(after.CacheHits - before.CacheHits))
+	out.State = sess.Export()
+	return out, nil
+}
+
+// PrepareDetector runs a detector through the fleet's configured prepare
+// hook (identity when none is set) — the cluster applies it when
+// installing models that arrive over the wire, so fleet-wide swaps get
+// the same per-node overrides as admin loads.
+func (f *Fleet) PrepareDetector(det *detector.Detector) (*detector.Detector, error) {
+	if prep := f.cfg.PrepareDetector; prep != nil {
+		return prep(det)
+	}
+	return det, nil
+}
+
+// ToResponse converts a raw detector result into the wire form, stamped
+// with the serving shard version — the cluster's stream proxy uses it to
+// emit result lines identical to a locally served stream's.
+func ToResponse(model string, version uint64, r detector.Result) AssessResponse {
+	return toResponse(model, version, r)
+}

@@ -1,8 +1,9 @@
 package serve
 
 import (
-	"sort"
 	"strconv"
+
+	"trusthmd/pkg/cluster/ring"
 )
 
 // Consistent-hash routing: requests that carry a device key instead of an
@@ -11,62 +12,39 @@ import (
 // membership is stable, and loading or unloading a shard only remaps the
 // ~1/n of devices nearest to it on the ring — the rest keep their shard
 // (and therefore their warm result-cache entries).
+//
+// The ring itself lives in pkg/cluster/ring — one tested implementation
+// shared by all three routing levels (device→shard and device→replica
+// here, shard→node in pkg/cluster); this file is the serve-layer alias
+// over it.
 
-// ringReplicas is the number of virtual nodes per shard. More replicas
-// smooth the load split between shards at the cost of a larger (still
-// tiny) sorted ring.
-const ringReplicas = 128
+// ringReplicas is the number of virtual nodes per shard.
+const ringReplicas = ring.DefaultVNodes
 
-type ringPoint struct {
-	hash uint64
-	name string
-}
-
-// hashRing is an immutable consistent-hash ring over shard names. The
-// fleet rebuilds it on every membership change; lookups are lock-free on
-// the snapshot they captured.
+// hashRing is the serve-layer view of one consistent-hash ring: the same
+// immutable snapshot semantics, with the replica-index convenience lookup
+// layered on top.
 type hashRing struct {
-	points []ringPoint
+	r *ring.Ring
 }
 
 // buildRing constructs the ring for the given shard names (order does not
 // matter). Returns nil for an empty fleet.
 func buildRing(names []string) *hashRing {
-	if len(names) == 0 {
+	r := ring.New(names, ringReplicas)
+	if r == nil {
 		return nil
 	}
-	points := make([]ringPoint, 0, len(names)*ringReplicas)
-	for _, name := range names {
-		for i := 0; i < ringReplicas; i++ {
-			points = append(points, ringPoint{
-				hash: hashKey(name + "#" + strconv.Itoa(i)),
-				name: name,
-			})
-		}
-	}
-	sort.Slice(points, func(i, j int) bool {
-		if points[i].hash != points[j].hash {
-			return points[i].hash < points[j].hash
-		}
-		// Equal hashes (astronomically rare): break the tie by name so the
-		// ring is deterministic regardless of input order.
-		return points[i].name < points[j].name
-	})
-	return &hashRing{points: points}
+	return &hashRing{r: r}
 }
 
 // lookup maps a device key to its shard: the first virtual node at or
 // clockwise after the key's hash, wrapping around the ring.
-func (r *hashRing) lookup(device string) string {
-	if r == nil || len(r.points) == 0 {
+func (h *hashRing) lookup(device string) string {
+	if h == nil {
 		return ""
 	}
-	h := hashKey(device)
-	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	if i == len(r.points) {
-		i = 0
-	}
-	return r.points[i].name
+	return h.r.Lookup(device)
 }
 
 // Replica routing: within a replica group the same consistent-hash shape
@@ -92,8 +70,8 @@ func buildReplicaRing(n int) *hashRing {
 
 // lookupReplica maps a device key onto a replica index. A nil ring (one
 // replica) always answers 0.
-func (r *hashRing) lookupReplica(device string) int {
-	label := r.lookup(device)
+func (h *hashRing) lookupReplica(device string) int {
+	label := h.lookup(device)
 	if label == "" {
 		return 0
 	}
@@ -104,27 +82,6 @@ func (r *hashRing) lookupReplica(device string) int {
 	return idx
 }
 
-// hashKey is FNV-1a over the key's bytes, finished with a 64-bit avalanche
-// mix. The mix matters: raw FNV-1a perturbs the hash by only ~2^46 when
-// just the tail bytes differ, so "shard#0".."shard#127" (and "device-1"
-// vs "device-2") would cluster into one arc of the ring instead of
-// spreading — exactly the keys a consistent-hash ring is fed.
-func hashKey(s string) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= prime
-	}
-	// Murmur3's fmix64 finalizer: full avalanche, so every input byte
-	// flips every output bit with probability ~1/2.
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	h *= 0xc4ceb9fe1a85ec53
-	h ^= h >> 33
-	return h
-}
+// hashKey hashes one routing key; kept as the serve-layer alias so every
+// historical call site (and test) reads the same.
+func hashKey(s string) uint64 { return ring.Hash(s) }

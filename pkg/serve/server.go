@@ -247,6 +247,10 @@ type Server struct {
 	// AttachRetrain): /v1/ingest feeds the pump, /stats reports both.
 	pump    atomic.Pointer[ingest.Pump]
 	retrain atomic.Pointer[RetrainController]
+	// cluster is the fleet-membership attachment (AttachCluster): non-local
+	// shards forward to their owner, POST /v1/models goes fleet-wide, and
+	// /stats + /v1/cluster report the node's cluster identity.
+	cluster atomic.Pointer[clusterBox]
 }
 
 // NewServer mounts the HTTP transport over a fleet. Closing the server
@@ -262,6 +266,7 @@ func NewServer(f *Fleet) *Server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/verdicts", s.handleVerdicts)
 	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("/v1/cluster", s.handleClusterStatus)
 	return s
 }
 
@@ -324,6 +329,19 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
+	// In a cluster, resolve against the cluster-wide shard space first:
+	// shards owned by another node forward there (the hook writes the
+	// relayed response), local ones are pinned by rewriting the model key
+	// so the local ring cannot re-route a device the cluster already
+	// placed.
+	if hook := s.clusterHook(); hook != nil {
+		shard, local := hook.ResolveAssess(r, req.Model, req.Device)
+		if !local {
+			hook.ForwardAssess(w, r, shard, req.Device, sc.body)
+			return
+		}
+		req.Model = shard
+	}
 	// Hand the scratch vote buffer to the assessment: the coalescer copies
 	// the verdict's vote distribution into it instead of allocating. The
 	// buffer's ownership rides with the request — on any error after
@@ -358,6 +376,16 @@ func (s *Server) handleAssessBatch(w http.ResponseWriter, r *http.Request) {
 	if err := decodeBatchRequest(sc.body, sc, &req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
+	}
+	// Cluster routing mirrors handleAssess: forward non-local shards to
+	// their owner, pin local ones by model name.
+	if hook := s.clusterHook(); hook != nil {
+		shard, local := hook.ResolveAssess(r, req.Model, req.Device)
+		if !local {
+			hook.ForwardAssess(w, r, shard, req.Device, sc.body)
+			return
+		}
+		req.Model = shard
 	}
 	g, err := s.fleet.resolve(req.Model, req.Device)
 	if err != nil {
@@ -517,6 +545,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"verdicts_stored":    int64(0),
 		"ingest_lag":         0,
 		"retrains_triggered": int64(0),
+		// Cluster identity keys are likewise always present (zero-valued on
+		// a standalone daemon) and overwritten from the hook's snapshot when
+		// the node is a fleet member.
+		"node_id":       "",
+		"role":          "",
+		"members_alive": 0,
+		"forwards_in":   int64(0),
+		"forwards_out":  int64(0),
 	}
 	if st := s.fleet.cfg.Verdicts; st != nil {
 		snap := st.Stats()
@@ -532,6 +568,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		snap := rc.Stats()
 		out["retrains_triggered"] = snap.Retrains
 		out["retrain"] = snap
+	}
+	if hook := s.clusterHook(); hook != nil {
+		for k, v := range hook.StatsFields() {
+			out[k] = v
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -139,6 +139,43 @@ func (s *Server) handleAssessStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad stream header: %v", err))
 		return
 	}
+	// In a cluster, a stream whose shard lives on another node is proxied
+	// there chunk by chunk; the hook replays the exported session state
+	// onto a ring successor if the owner dies, so the stream survives a
+	// node kill. All socket discipline (idle deadlines, write deadlines,
+	// drain behaviour) stays here, packaged into the StreamConn closures.
+	if hook := s.clusterHook(); hook != nil {
+		shard, local := hook.ResolveAssess(r, hdr.Model, hdr.Device)
+		if !local {
+			emit := s.streamEmitter(w, rc, drainingNow)
+			hook.ProxyStream(&StreamConn{
+				Hdr: hdr,
+				Next: func() ([]int, error) {
+					armIdle()
+					line, err := nextLine(sc)
+					if errors.Is(err, bufio.ErrTooLong) {
+						return nil, &StreamLineError{Msg: fmt.Sprintf(
+							"stream line exceeds %d bytes", s.fleet.cfg.MaxStreamLineBytes)}
+					}
+					if err != nil {
+						return nil, err
+					}
+					return decodeStreamStates(line)
+				},
+				HTTPError: func(code int, msg string) { writeError(w, code, msg) },
+				Begin: func() {
+					_ = rc.EnableFullDuplex()
+					w.Header().Set("Content-Type", "application/x-ndjson")
+					w.WriteHeader(http.StatusOK)
+				},
+				Emit:     emit,
+				Fail:     func(msg string) { emit(ErrorResponse{Error: msg}) },
+				Draining: drainingNow,
+			})
+			return
+		}
+		hdr.Model = shard
+	}
 	g, err := s.fleet.resolve(hdr.Model, hdr.Device)
 	if err != nil {
 		writeResolveError(w, err)
@@ -181,32 +218,7 @@ func (s *Server) handleAssessStream(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	// emit reports whether the line was written. Every write carries a
-	// deadline: a client that sends states but never reads its responses
-	// would otherwise fill the socket buffer and wedge this goroutine (and
-	// its Session) in Write forever — emit failing aborts the stream
-	// instead. While draining, the tighter grace keeps shutdown snappy.
-	emit := func(v any) bool {
-		_ = rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
-		// Re-check draining AFTER arming the deadline: checking first
-		// would let a drain that fires in between leave the long deadline
-		// in place and pin shutdown on a non-reading client. With this
-		// order every interleaving ends on the short grace — either this
-		// re-check sees the drain, or the watchdog's own SetWriteDeadline
-		// happens after ours.
-		if drainingNow() {
-			_ = rc.SetWriteDeadline(time.Now().Add(drainWriteGrace))
-		}
-		if err := enc.Encode(v); err != nil {
-			return false
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-		return true
-	}
+	emit := s.streamEmitter(w, rc, drainingNow)
 	// After the 200 the status is spent; mid-stream failures become a
 	// terminal error line in the same envelope shape as ErrorResponse.
 	fail := func(msg string) { emit(ErrorResponse{Error: msg}) }
@@ -260,23 +272,11 @@ func (s *Server) handleAssessStream(w http.ResponseWriter, r *http.Request) {
 			fail(fmt.Sprintf("reading stream: %v", err))
 			return
 		}
-		var sample StreamSample
-		if err := unmarshalStrict(line, &sample); err != nil {
-			fail(fmt.Sprintf("bad stream line: %v", err))
-			return
-		}
-		if sample.State != nil && len(sample.States) > 0 {
-			// Ambiguous ordering — the line's intent is unclear, so it is
-			// a hard error like every other malformed line.
-			fail(`stream line carries both "state" and "states"`)
-			return
-		}
-		states := sample.States
-		if sample.State != nil {
-			states = append(states, *sample.State)
-		}
-		if len(states) == 0 {
-			fail(`stream line carries neither "state" nor "states"`)
+		states, err := decodeStreamStates(line)
+		if err != nil {
+			// Ambiguous or malformed lines are hard errors — the line's
+			// intent is unclear, so nothing of it is applied.
+			fail(err.Error())
 			return
 		}
 		for _, state := range states {
@@ -305,6 +305,36 @@ func (s *Server) handleAssessStream(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
+	}
+}
+
+// streamEmitter builds the stream's response writer: emit reports whether
+// the line was written. Every write carries a deadline — a client that
+// sends states but never reads its responses would otherwise fill the
+// socket buffer and wedge the handler goroutine (and its Session) in
+// Write forever; emit failing aborts the stream instead. While draining,
+// the tighter grace keeps shutdown snappy.
+func (s *Server) streamEmitter(w http.ResponseWriter, rc *http.ResponseController, drainingNow func() bool) func(v any) bool {
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	return func(v any) bool {
+		_ = rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+		// Re-check draining AFTER arming the deadline: checking first
+		// would let a drain that fires in between leave the long deadline
+		// in place and pin shutdown on a non-reading client. With this
+		// order every interleaving ends on the short grace — either this
+		// re-check sees the drain, or the watchdog's own SetWriteDeadline
+		// happens after ours.
+		if drainingNow() {
+			_ = rc.SetWriteDeadline(time.Now().Add(drainWriteGrace))
+		}
+		if err := enc.Encode(v); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
 	}
 }
 
